@@ -1,0 +1,46 @@
+// Ablation: binary versus height-1 (flat) reduction trees for TSLU/TSQR
+// panels, the design choice discussed in Sections II-III (the paper uses a
+// binary tree for TSLU/TSQR and finds the height-1 tree an efficient
+// alternative for CAQR).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace camult;
+  using bench::Table;
+
+  const idx m = bench::env_idx("CAMULT_BENCH_M", 20000);
+  const std::vector<idx> ns =
+      bench::env_idx_list("CAMULT_BENCH_NS", {50, 100, 200, 500});
+  const int cores = 8;
+  bench::print_mode_banner("Ablation: reduction tree shape", cores);
+
+  Table t({"n", "CALU bin", "CALU flat", "CAQR bin", "CAQR flat", "TSQR bin",
+           "TSQR flat", "TSQR hybrid"});
+  for (idx n : ns) {
+    Matrix a = random_matrix(m, n, 500 + n);
+    const idx b = std::min<idx>(n, 100);
+    const double luf = bench::lu_flops(m, n);
+    const double qrf = bench::qr_flops(m, n);
+
+    auto run = [&](const bench::Competitor& c, double flops) {
+      return bench::measure(
+                 [&](int threads) { return c.run(a, threads); }, flops, cores)
+          .gflops;
+    };
+    t.row().cell(static_cast<long long>(n));
+    t.cell(run(bench::lu_calu(b, 8, core::ReductionTree::Binary), luf));
+    t.cell(run(bench::lu_calu(b, 8, core::ReductionTree::Flat), luf));
+    t.cell(run(bench::qr_caqr(b, 8, core::ReductionTree::Binary), qrf));
+    t.cell(run(bench::qr_caqr(b, 8, core::ReductionTree::Flat), qrf));
+    // TSQR = single-panel CAQR with b = n.
+    t.cell(run(bench::qr_caqr(n, 8, core::ReductionTree::Binary, "TSQRb"),
+               qrf));
+    t.cell(run(bench::qr_caqr(n, 8, core::ReductionTree::Flat, "TSQRf"),
+               qrf));
+    t.cell(run(bench::qr_caqr(n, 8, core::ReductionTree::Hybrid, "TSQRh"),
+               qrf));
+  }
+  t.print("Ablation: binary vs flat reduction tree (GFlop/s, 8 cores)",
+          bench::csv_path("ablation_tree_shape"));
+  return 0;
+}

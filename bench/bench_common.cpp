@@ -1,0 +1,265 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+
+#include "blas/blas.hpp"
+#include "matrix/norms.hpp"
+
+namespace camult::bench {
+namespace {
+
+constexpr double kThreshold = 100.0;  // scaled-residual units
+
+void die(const char* what, double resid) {
+  std::fprintf(stderr, "VERIFICATION FAILED: %s (scaled residual %g)\n", what,
+               resid);
+  std::exit(1);
+}
+
+}  // namespace
+
+// The competitor lambdas all route through the library entry points tested
+// by the unit suite; this gate re-checks the exact configurations the bench
+// uses, on a small instance, before any timing happens.
+void verify_lu_competitors(const std::vector<Competitor>&) {
+  const idx m = 600, n = 120;
+  Matrix a = random_matrix(m, n, 4242);
+
+  {
+    Matrix w = a;
+    PivotVector ipiv;
+    lapack::getf2(w.view(), ipiv);
+    const double r = lapack::lu_residual(a, w, ipiv);
+    if (!(r < kThreshold)) die("dgetf2", r);
+  }
+  {
+    Matrix w = a;
+    baseline::BlockedOptions o;
+    o.nb = 40;
+    o.num_threads = 2;
+    auto res = baseline::blocked_getrf(w.view(), o);
+    const double r = lapack::lu_residual(a, w, res.ipiv);
+    if (!(r < kThreshold)) die("blocked dgetrf", r);
+  }
+  {
+    Matrix sq = random_matrix(n, n, 4243);
+    Matrix w = sq;
+    tiled::TileLuOptions o;
+    o.b = 40;
+    o.num_threads = 2;
+    auto res = tiled::tile_lu_factor(w.view(), o);
+    Matrix x = random_matrix(n, 1, 4244);
+    Matrix rhs = Matrix::zeros(n, 1);
+    blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, 1.0, sq, x, 0.0,
+               rhs.view());
+    tiled::tile_lu_solve(res, w.view(), rhs.view());
+    double err = 0;
+    for (idx i = 0; i < n; ++i) {
+      err = std::max(err, std::abs(rhs(i, 0) - x(i, 0)));
+    }
+    if (!(err < 1e-6 * std::max(1.0, norm_max(x)) * n)) die("tiled LU", err);
+  }
+  for (idx tr : {idx{4}, idx{8}}) {
+    Matrix w = a;
+    core::CaluOptions o;
+    o.b = 40;
+    o.tr = tr;
+    o.num_threads = 2;
+    auto res = core::calu_factor(w.view(), o);
+    const double r = lapack::lu_residual(a, w, res.ipiv);
+    if (!(r < kThreshold)) die("CALU", r);
+  }
+  std::printf("correctness gate: all LU competitors verified\n");
+}
+
+void verify_qr_competitors(const std::vector<Competitor>&) {
+  const idx m = 600, n = 120;
+  Matrix a = random_matrix(m, n, 4245);
+
+  {
+    Matrix w = a;
+    std::vector<double> tau;
+    lapack::geqr2(w.view(), tau);
+    const double r = lapack::qr_residual(a, w, tau);
+    if (!(r < kThreshold)) die("dgeqr2", r);
+  }
+  {
+    Matrix w = a;
+    baseline::BlockedOptions o;
+    o.nb = 40;
+    o.num_threads = 2;
+    auto res = baseline::blocked_geqrf(w.view(), o);
+    const double r = lapack::qr_residual(a, w, res.tau);
+    if (!(r < kThreshold)) die("blocked dgeqrf", r);
+  }
+  {
+    Matrix w = a;
+    tiled::TileQrOptions o;
+    o.b = 40;
+    o.num_threads = 2;
+    auto res = tiled::tile_qr_factor(w.view(), o);
+    const double r = tiled::tile_qr_residual(a, w, res);
+    if (!(r < kThreshold)) die("tiled QR", r);
+  }
+  for (idx tr : {idx{4}, idx{8}}) {
+    Matrix w = a;
+    core::CaqrOptions o;
+    o.b = 40;
+    o.tr = tr;
+    o.num_threads = 2;
+    auto res = core::caqr_factor(w.view(), o);
+    const double r = core::caqr_residual(a, w, res);
+    if (!(r < kThreshold)) die("CAQR", r);
+  }
+  std::printf("correctness gate: all QR competitors verified\n");
+}
+
+namespace {
+
+Measurement run_one(const Competitor& comp, const Matrix& a, double flops,
+                    int cores) {
+  return measure([&](int threads) { return comp.run(a, threads); }, flops,
+                 cores);
+}
+
+}  // namespace
+
+void run_lu_tall_figure(const std::string& title, const std::string& csv_name,
+                        idx default_m, int cores, const std::vector<idx>& trs,
+                        const std::vector<idx>& default_ns) {
+  const idx m = env_idx("CAMULT_BENCH_M", default_m);
+  const std::vector<idx> ns = env_idx_list("CAMULT_BENCH_NS", default_ns);
+  print_mode_banner(title.c_str(), cores);
+  std::printf("m = %lld (paper: see EXPERIMENTS.md; override with "
+              "CAMULT_BENCH_M / CAMULT_BENCH_NS)\n",
+              static_cast<long long>(m));
+  verify_lu_competitors({});
+
+  std::vector<std::string> headers = {"n", "dgetf2", "blk_dgetrf", "tiledLU"};
+  for (idx tr : trs) headers.push_back("CALU Tr=" + std::to_string(tr));
+  headers.push_back("CALU/blk");
+  headers.push_back("CALU/getf2");
+  headers.push_back("CALU/tiled");
+  Table t(headers);
+
+  for (idx n : ns) {
+    if (n > m) continue;
+    const idx b = std::min<idx>(n, 100);
+    Matrix a = random_matrix(m, n, 1000 + n);
+    const double flops = lu_flops(m, n);
+
+    const Measurement g2 = run_one(lu_getf2(), a, flops, cores);
+    const Measurement blk = run_one(lu_blocked(b, cores), a, flops, cores);
+    const Measurement til = run_one(lu_tiled(b), a, flops, cores);
+    std::vector<Measurement> calu;
+    for (idx tr : trs) {
+      calu.push_back(run_one(lu_calu(b, tr), a, flops, cores));
+    }
+    double best = 0;
+    for (const auto& c : calu) best = std::max(best, c.gflops);
+
+    t.row().cell(static_cast<long long>(n));
+    t.cell(g2.gflops).cell(blk.gflops).cell(til.gflops);
+    for (const auto& c : calu) t.cell(c.gflops);
+    t.cell(blk.gflops > 0 ? best / blk.gflops : 0.0)
+        .cell(g2.gflops > 0 ? best / g2.gflops : 0.0)
+        .cell(til.gflops > 0 ? best / til.gflops : 0.0);
+  }
+  t.print(title + " (GFlop/s)", csv_path(csv_name));
+}
+
+void run_qr_tall_figure(const std::string& title, const std::string& csv_name,
+                        idx default_m, int cores,
+                        const std::vector<idx>& default_ns) {
+  const idx m = env_idx("CAMULT_BENCH_M", default_m);
+  const std::vector<idx> ns = env_idx_list("CAMULT_BENCH_NS", default_ns);
+  print_mode_banner(title.c_str(), cores);
+  std::printf("m = %lld (override with CAMULT_BENCH_M / CAMULT_BENCH_NS)\n",
+              static_cast<long long>(m));
+  verify_qr_competitors({});
+
+  Table t({"n", "dgeqr2", "blk_dgeqrf", "tiledQR", "CAQR Tr=4", "TSQR Tr=8",
+           "TSQR/blk", "TSQR/tiled", "CAQR/blk"});
+  for (idx n : ns) {
+    if (n > m) continue;
+    const idx b = std::min<idx>(n, 100);
+    Matrix a = random_matrix(m, n, 2000 + n);
+    const double flops = qr_flops(m, n);
+
+    const Measurement g2 = run_one(qr_geqr2(), a, flops, cores);
+    const Measurement blk = run_one(qr_blocked(b), a, flops, cores);
+    const Measurement til = run_one(qr_tiled(b), a, flops, cores);
+    const Measurement caqr =
+        run_one(qr_caqr(b, 4, core::ReductionTree::Flat), a, flops, cores);
+    const Measurement tsqr = run_one(qr_tsqr(8), a, flops, cores);
+
+    t.row().cell(static_cast<long long>(n));
+    t.cell(g2.gflops)
+        .cell(blk.gflops)
+        .cell(til.gflops)
+        .cell(caqr.gflops)
+        .cell(tsqr.gflops);
+    t.cell(blk.gflops > 0 ? tsqr.gflops / blk.gflops : 0.0)
+        .cell(til.gflops > 0 ? tsqr.gflops / til.gflops : 0.0)
+        .cell(blk.gflops > 0 ? caqr.gflops / blk.gflops : 0.0);
+  }
+  t.print(title + " (GFlop/s)", csv_path(csv_name));
+}
+
+void run_lu_square_table(const std::string& title,
+                         const std::string& csv_name, int cores,
+                         const std::vector<idx>& trs,
+                         const std::vector<idx>& default_sizes) {
+  const std::vector<idx> sizes =
+      env_idx_list("CAMULT_BENCH_SQUARE_SIZES", default_sizes);
+  print_mode_banner(title.c_str(), cores);
+  verify_lu_competitors({});
+
+  std::vector<std::string> headers = {"m=n", "blk_dgetrf", "tiledLU"};
+  for (idx tr : trs) headers.push_back("CALU Tr=" + std::to_string(tr));
+  Table t(headers);
+
+  for (idx n : sizes) {
+    const idx b = std::min<idx>(n, 100);
+    Matrix a = random_matrix(n, n, 3000 + n);
+    const double flops = lu_flops(n, n);
+    t.row().cell(static_cast<long long>(n));
+    t.cell(run_one(lu_blocked(b, cores), a, flops, cores).gflops);
+    t.cell(run_one(lu_tiled(b), a, flops, cores).gflops);
+    for (idx tr : trs) {
+      t.cell(run_one(lu_calu(b, tr), a, flops, cores).gflops);
+    }
+  }
+  t.print(title + " (GFlop/s)", csv_path(csv_name));
+}
+
+void run_qr_square_table(const std::string& title,
+                         const std::string& csv_name, int cores,
+                         const std::vector<idx>& trs,
+                         const std::vector<idx>& default_sizes) {
+  const std::vector<idx> sizes =
+      env_idx_list("CAMULT_BENCH_SQUARE_SIZES", default_sizes);
+  print_mode_banner(title.c_str(), cores);
+  verify_qr_competitors({});
+
+  std::vector<std::string> headers = {"m=n", "blk_dgeqrf", "tiledQR"};
+  for (idx tr : trs) headers.push_back("CAQR Tr=" + std::to_string(tr));
+  Table t(headers);
+
+  for (idx n : sizes) {
+    const idx b = std::min<idx>(n, 100);
+    Matrix a = random_matrix(n, n, 3500 + n);
+    const double flops = qr_flops(n, n);
+    t.row().cell(static_cast<long long>(n));
+    t.cell(run_one(qr_blocked(b), a, flops, cores).gflops);
+    t.cell(run_one(qr_tiled(b), a, flops, cores).gflops);
+    for (idx tr : trs) {
+      t.cell(run_one(qr_caqr(b, tr, core::ReductionTree::Flat), a, flops,
+                     cores)
+                 .gflops);
+    }
+  }
+  t.print(title + " (GFlop/s)", csv_path(csv_name));
+}
+
+}  // namespace camult::bench

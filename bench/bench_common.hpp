@@ -1,0 +1,209 @@
+// bench_common.hpp — shared harness for the paper-reproduction benchmarks.
+//
+// Each bench binary builds the workload, runs every competitor through
+// camult::bench::measure() (serial record + simulated P cores by default;
+// real threads with CAMULT_BENCH_REAL=1), and prints the paper-shaped table.
+// Competitors are wrapped so each run factors a private copy of the input.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baseline/blocked.hpp"
+#include "bench_support/flops.hpp"
+#include "bench_support/runner.hpp"
+#include "bench_support/table.hpp"
+#include "core/calu.hpp"
+#include "core/caqr.hpp"
+#include "lapack/lapack.hpp"
+#include "matrix/random.hpp"
+#include "runtime/trace.hpp"
+#include "tiled/tile_lu.hpp"
+#include "tiled/tile_qr.hpp"
+
+namespace camult::bench {
+
+/// Wrap a single serial kernel call as a one-task DAG (BLAS2 baselines).
+inline RunArtifacts one_task(const std::function<void()>& fn) {
+  rt::TaskGraph g({0, true});
+  rt::TaskOptions o;
+  o.kind = rt::TaskKind::Generic;
+  o.label = "serial";
+  g.submit({}, std::move(o), fn);
+  g.wait();
+  return {g.trace(), g.edges()};
+}
+
+/// A named competitor: given the pristine input and a worker count, factor
+/// a private copy and return the executed DAG.
+struct Competitor {
+  std::string name;
+  std::function<RunArtifacts(const Matrix&, int threads)> run;
+};
+
+// ---- LU competitors ----------------------------------------------------
+
+inline Competitor lu_getf2() {
+  return {"dgetf2(BLAS2)", [](const Matrix& a, int) {
+            Matrix w = a;
+            return one_task([&] {
+              PivotVector ipiv;
+              lapack::getf2(w.view(), ipiv);
+            });
+          }};
+}
+
+inline Competitor lu_blocked(idx nb, idx strips) {
+  return {"blk_dgetrf", [nb, strips](const Matrix& a, int threads) {
+            Matrix w = a;
+            baseline::BlockedOptions o;
+            o.nb = nb;
+            o.strips = strips;
+            o.num_threads = threads;
+            auto r = baseline::blocked_getrf(w.view(), o);
+            return RunArtifacts{std::move(r.trace), std::move(r.edges)};
+          }};
+}
+
+inline Competitor lu_tiled(idx b) {
+  return {"tiledLU", [b](const Matrix& a, int threads) {
+            Matrix w = a;
+            tiled::TileLuOptions o;
+            o.b = b;
+            o.num_threads = threads;
+            auto r = tiled::tile_lu_factor(w.view(), o);
+            return RunArtifacts{std::move(r.trace), std::move(r.edges)};
+          }};
+}
+
+inline Competitor lu_calu(idx b, idx tr, core::ReductionTree tree =
+                                             core::ReductionTree::Binary) {
+  return {"CALU Tr=" + std::to_string(tr),
+          [b, tr, tree](const Matrix& a, int threads) {
+            Matrix w = a;
+            core::CaluOptions o;
+            o.b = b;
+            o.tr = tr;
+            o.tree = tree;
+            o.num_threads = threads;
+            auto r = core::calu_factor(w.view(), o);
+            return RunArtifacts{std::move(r.trace), std::move(r.edges)};
+          }};
+}
+
+// ---- QR competitors ----------------------------------------------------
+
+inline Competitor qr_geqr2() {
+  return {"dgeqr2(BLAS2)", [](const Matrix& a, int) {
+            Matrix w = a;
+            return one_task([&] {
+              std::vector<double> tau;
+              lapack::geqr2(w.view(), tau);
+            });
+          }};
+}
+
+inline Competitor qr_blocked(idx nb) {
+  return {"blk_dgeqrf", [nb](const Matrix& a, int threads) {
+            Matrix w = a;
+            baseline::BlockedOptions o;
+            o.nb = nb;
+            o.num_threads = threads;
+            auto r = baseline::blocked_geqrf(w.view(), o);
+            return RunArtifacts{std::move(r.trace), std::move(r.edges)};
+          }};
+}
+
+inline Competitor qr_tiled(idx b) {
+  return {"tiledQR", [b](const Matrix& a, int threads) {
+            Matrix w = a;
+            tiled::TileQrOptions o;
+            o.b = b;
+            o.num_threads = threads;
+            auto r = tiled::tile_qr_factor(w.view(), o);
+            return RunArtifacts{std::move(r.trace), std::move(r.edges)};
+          }};
+}
+
+inline Competitor qr_caqr(idx b, idx tr, core::ReductionTree tree =
+                                             core::ReductionTree::Flat,
+                          const std::string& name = "") {
+  return {name.empty() ? "CAQR Tr=" + std::to_string(tr) : name,
+          [b, tr, tree](const Matrix& a, int threads) {
+            Matrix w = a;
+            core::CaqrOptions o;
+            o.b = b;
+            o.tr = tr;
+            o.tree = tree;
+            o.num_threads = threads;
+            auto r = core::caqr_factor(w.view(), o);
+            return RunArtifacts{std::move(r.trace), std::move(r.edges)};
+          }};
+}
+
+/// Multithreaded TSQR = single-panel CAQR with b = n.
+inline Competitor qr_tsqr(idx tr) {
+  return {"TSQR Tr=" + std::to_string(tr),
+          [tr](const Matrix& a, int threads) {
+            Matrix w = a;
+            core::CaqrOptions o;
+            o.b = a.cols();
+            o.tr = tr;
+            o.tree = core::ReductionTree::Binary;
+            o.num_threads = threads;
+            auto r = core::caqr_factor(w.view(), o);
+            return RunArtifacts{std::move(r.trace), std::move(r.edges)};
+          }};
+}
+
+// ---- Boilerplate ---------------------------------------------------------
+
+inline void print_mode_banner(const char* what, int cores) {
+  if (real_mode()) {
+    std::printf("%s — REAL thread mode, %d worker threads (wall-clock)\n",
+                what, cores);
+  } else {
+    std::printf(
+        "%s — simulated %d-core mode (kernel times measured serially on "
+        "this machine, DAG list-scheduled onto %d virtual cores; see "
+        "DESIGN.md)\n",
+        what, cores, cores);
+  }
+}
+
+/// Quick correctness gate executed before timing: factor a small matrix
+/// with each competitor and abort on failure. (Benchmarking a wrong answer
+/// is worse than a slow one.)
+void verify_lu_competitors(const std::vector<Competitor>& comps);
+void verify_qr_competitors(const std::vector<Competitor>& comps);
+
+/// Generic figure/table runners shared by the per-figure binaries.
+/// Tall-skinny LU sweep over n (paper Figures 5/6/7).
+void run_lu_tall_figure(const std::string& title, const std::string& csv_name,
+                        idx default_m, int cores, const std::vector<idx>& trs,
+                        const std::vector<idx>& default_ns = {10, 25, 50, 100,
+                                                              150, 200, 500,
+                                                              1000});
+
+/// Tall-skinny QR sweep over n (paper Figure 8).
+void run_qr_tall_figure(const std::string& title, const std::string& csv_name,
+                        idx default_m, int cores,
+                        const std::vector<idx>& default_ns = {10, 25, 50, 100,
+                                                              150, 200, 500,
+                                                              1000});
+
+/// Square LU GFlop/s table (paper Tables I/II).
+void run_lu_square_table(const std::string& title,
+                         const std::string& csv_name, int cores,
+                         const std::vector<idx>& trs,
+                         const std::vector<idx>& default_sizes);
+
+/// Square QR GFlop/s table (paper Table III).
+void run_qr_square_table(const std::string& title,
+                         const std::string& csv_name, int cores,
+                         const std::vector<idx>& trs,
+                         const std::vector<idx>& default_sizes);
+
+}  // namespace camult::bench

@@ -1,0 +1,12 @@
+// Figure 5: LU of tall-skinny matrices, m = 1e5 (default scaled down for a
+// single-core host; set CAMULT_BENCH_M=100000 for paper scale), n from 10 to
+// 1000, 8 cores. Competitors: BLAS2 dgetf2, vendor-style blocked dgetrf,
+// PLASMA-style tiled LU, CALU with Tr = 4 and 8.
+#include "bench_common.hpp"
+
+int main() {
+  camult::bench::run_lu_tall_figure(
+      "Figure 5: LU, tall-skinny, 8 cores (paper m=1e5)", "fig5",
+      /*default_m=*/30000, /*cores=*/8, /*trs=*/{4, 8});
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 6: LU of tall-skinny matrices, m = 1e6 (default scaled down; set
+// CAMULT_BENCH_M=1000000 for paper scale), n from 10 to 1000, 8 cores.
+#include "bench_common.hpp"
+
+int main() {
+  camult::bench::run_lu_tall_figure(
+      "Figure 6: LU, tall-skinny, 8 cores (paper m=1e6)", "fig6",
+      /*default_m=*/100000, /*cores=*/8, /*trs=*/{4, 8},
+      /*default_ns=*/{10, 25, 50, 100, 200, 500});
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 7: LU of tall-skinny matrices on the 16-core AMD machine (paper
+// m=1e5). Competitors: vendor-style blocked dgetrf (the ACML stand-in),
+// tiled LU, CALU with Tr = 8 and 16.
+#include "bench_common.hpp"
+
+int main() {
+  camult::bench::run_lu_tall_figure(
+      "Figure 7: LU, tall-skinny, 16 cores (paper m=1e5, AMD)", "fig7",
+      /*default_m=*/30000, /*cores=*/16, /*trs=*/{8, 16});
+  return 0;
+}

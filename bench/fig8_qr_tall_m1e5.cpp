@@ -1,0 +1,12 @@
+// Figure 8: QR of tall-skinny matrices, m = 1e5 (default scaled down; set
+// CAMULT_BENCH_M=100000 for paper scale), n from 10 to 1000, 8 cores.
+// Competitors: BLAS2 dgeqr2, vendor-style blocked dgeqrf, PLASMA-style tiled
+// QR, CAQR (Tr=4, height-1 tree), multithreaded TSQR (Tr=8, binary tree).
+#include "bench_common.hpp"
+
+int main() {
+  camult::bench::run_qr_tall_figure(
+      "Figure 8: QR, tall-skinny, 8 cores (paper m=1e5)", "fig8",
+      /*default_m=*/30000, /*cores=*/8);
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Stability study: the paper's central numerical claim (Section II,
+// referencing Grigori/Demmel/Xiang) is that ca-pivoting (tournament
+// pivoting) is as stable as partial pivoting in practice. This bench
+// quantifies it: element growth factors and solve backward errors for
+//   * GEPP          (getrf — partial pivoting),
+//   * CALU          (tournament pivoting, Tr in {4, 16}, binary and flat),
+//   * tiled LU      (incremental pairwise pivoting — known to be weaker),
+// across matrix families: uniform random, normal random, diagonally
+// dominant, and the classic 2^(n-1) GEPP growth matrix.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "lapack/solve.hpp"
+#include "matrix/norms.hpp"
+
+namespace {
+
+using namespace camult;
+
+struct Family {
+  const char* name;
+  Matrix (*make)(idx, std::uint64_t);
+};
+
+Matrix make_uniform(idx n, std::uint64_t s) { return random_matrix(n, n, s); }
+Matrix make_normal(idx n, std::uint64_t s) {
+  return random_normal_matrix(n, n, s);
+}
+Matrix make_dd(idx n, std::uint64_t s) {
+  return random_diagonally_dominant_matrix(n, s);
+}
+Matrix make_growth(idx n, std::uint64_t) { return gepp_growth_matrix(n); }
+
+struct Result {
+  double growth = 0.0;
+  double backward = 0.0;  // scaled solve residual
+};
+
+double solve_backward(const Matrix& a, const Matrix& x, const Matrix& b) {
+  return lapack::solve_residual(a, x, b);
+}
+
+Result run_gepp(const Matrix& a, const Matrix& rhs) {
+  Matrix lu = a;
+  PivotVector ipiv;
+  lapack::getrf(lu.view(), ipiv);
+  Matrix x = rhs;
+  lapack::getrs(blas::Trans::NoTrans, lu, ipiv, x.view());
+  return {lapack::pivot_growth(a, lu), solve_backward(a, x, rhs)};
+}
+
+Result run_calu(const Matrix& a, const Matrix& rhs, idx tr,
+                core::ReductionTree tree) {
+  Matrix lu = a;
+  core::CaluOptions o;
+  o.b = 50;
+  o.tr = tr;
+  o.tree = tree;
+  o.num_threads = 2;
+  core::CaluResult res = core::calu_factor(lu.view(), o);
+  Matrix x = rhs;
+  lapack::getrs(blas::Trans::NoTrans, lu, res.ipiv, x.view());
+  return {lapack::pivot_growth(a, lu), solve_backward(a, x, rhs)};
+}
+
+Result run_tiled(const Matrix& a, const Matrix& rhs) {
+  Matrix lu = a;
+  tiled::TileLuOptions o;
+  o.b = 50;
+  o.num_threads = 2;
+  tiled::TileLuResult res = tiled::tile_lu_factor(lu.view(), o);
+  Matrix x = rhs;
+  tiled::tile_lu_solve(res, lu.view(), x.view());
+  return {lapack::pivot_growth(a, lu), solve_backward(a, x, rhs)};
+}
+
+}  // namespace
+
+int main() {
+  using bench::Table;
+  const idx n = bench::env_idx("CAMULT_BENCH_N", 400);
+  std::printf("Stability study, n = %lld (average of 3 seeds per random "
+              "family)\n",
+              static_cast<long long>(n));
+  std::printf("growth = max|U| / max|A|; backward = scaled solve residual "
+              "(units of n*eps; O(1)-O(10) is stable)\n");
+
+  const Family families[] = {{"uniform", make_uniform},
+                             {"normal", make_normal},
+                             {"diag-dominant", make_dd},
+                             {"gepp-growth", make_growth}};
+
+  Table t({"family", "metric", "GEPP", "CALU Tr=4 bin", "CALU Tr=16 bin",
+           "CALU Tr=4 flat", "tiled(incpiv)"});
+  for (const Family& fam : families) {
+    const bool is_growth = fam.make == make_growth;
+    const int seeds = is_growth ? 1 : 3;
+    // The growth matrix's 2^(n-1) factor overflows beyond n ~ 1000; keep it
+    // small enough to display while still showing exponential growth.
+    const idx fam_n = is_growth ? std::min<idx>(n, 40) : n;
+    Result gepp, c4b, c16b, c4f, til;
+    for (int s = 0; s < seeds; ++s) {
+      Matrix a = fam.make(fam_n, 1234 + s);
+      Matrix rhs = random_matrix(fam_n, 1, 99 + s);
+      auto acc = [&](Result& dst, const Result& r) {
+        dst.growth = std::max(dst.growth, r.growth);
+        dst.backward = std::max(dst.backward, r.backward);
+      };
+      acc(gepp, run_gepp(a, rhs));
+      acc(c4b, run_calu(a, rhs, 4, core::ReductionTree::Binary));
+      acc(c16b, run_calu(a, rhs, 16, core::ReductionTree::Binary));
+      acc(c4f, run_calu(a, rhs, 4, core::ReductionTree::Flat));
+      acc(til, run_tiled(a, rhs));
+    }
+    t.row().cell(fam.name).cell("growth");
+    t.cell(gepp.growth).cell(c4b.growth).cell(c16b.growth).cell(c4f.growth);
+    t.cell(til.growth);
+    t.row().cell("").cell("backward");
+    t.cell(gepp.backward, 3)
+        .cell(c4b.backward, 3)
+        .cell(c16b.backward, 3)
+        .cell(c4f.backward, 3)
+        .cell(til.backward, 3);
+  }
+  t.print("Stability: tournament pivoting vs partial vs incremental",
+          bench::csv_path("stability_study"));
+  std::printf(
+      "\nExpected shape (paper + CALU literature): CALU growth/backward\n"
+      "errors within a small factor of GEPP on random families; incremental\n"
+      "pivoting (tiled) noticeably worse; the gepp-growth matrix exhibits\n"
+      "2^(n-1)-type growth for partial pivoting by construction.\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Table I: LU GFlop/s for square matrices on the 8-core machine.
+// Paper sizes: 1000..10000 (defaults scaled down; set
+// CAMULT_BENCH_SQUARE_SIZES=1000,2000,...,10000 for paper scale).
+#include "bench_common.hpp"
+
+int main() {
+  camult::bench::run_lu_square_table(
+      "Table I: LU, square, 8 cores", "table1", /*cores=*/8,
+      /*trs=*/{1, 2, 4, 8}, /*default_sizes=*/{500, 1000, 1500, 2000});
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Table II: LU GFlop/s for square matrices on the 16-core AMD machine.
+// Paper sizes: 1000..5000.
+#include "bench_common.hpp"
+
+int main() {
+  camult::bench::run_lu_square_table(
+      "Table II: LU, square, 16 cores (AMD)", "table2", /*cores=*/16,
+      /*trs=*/{1, 2, 4, 8, 16}, /*default_sizes=*/{500, 1000, 2000});
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Table III: QR GFlop/s for square matrices on the 8-core machine.
+// Paper sizes: 1000..5000.
+#include "bench_common.hpp"
+
+int main() {
+  camult::bench::run_qr_square_table(
+      "Table III: QR, square, 8 cores", "table3", /*cores=*/8,
+      /*trs=*/{1, 2, 4, 8}, /*default_sizes=*/{500, 1000, 2000});
+  return 0;
+}

@@ -1,0 +1,58 @@
+// replay_dag — what-if scheduling studies on a recorded task DAG.
+//
+// Record a factorization once (scheduler_trace writes scheduler_trace.dag,
+// or use rt::save_dag_file on any trace), then replay it here on arbitrary
+// virtual core counts without re-running the kernels:
+//
+//   $ ./scheduler_trace 4000 1000 4      # writes scheduler_trace.dag
+//   $ ./replay_dag scheduler_trace.dag 1 2 4 8 16
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/trace.hpp"
+#include "runtime/trace_io.hpp"
+#include "sim/sim_scheduler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camult;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <dag-file> [core counts...]\n", argv[0]);
+    return 2;
+  }
+  rt::RecordedDag dag;
+  try {
+    dag = rt::load_dag_file(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%zu tasks, %zu edges\n", dag.tasks.size(), dag.edges.size());
+
+  std::vector<int> cores;
+  for (int i = 2; i < argc; ++i) cores.push_back(std::atoi(argv[i]));
+  if (cores.empty()) cores = {1, 2, 4, 8, 16};
+
+  double serial_s = 0.0;
+  std::printf("%6s  %12s  %9s  %6s\n", "cores", "makespan(ms)", "speedup",
+              "idle%");
+  for (int p : cores) {
+    if (p <= 0) continue;
+    sim::SimResult r = sim::simulate(dag.tasks, dag.edges, p);
+    const double s = static_cast<double>(r.makespan_ns) * 1e-9;
+    if (serial_s == 0.0) {
+      serial_s = static_cast<double>(r.total_work_ns) * 1e-9;
+    }
+    rt::TraceStats st = rt::compute_stats(r.schedule, p);
+    std::printf("%6d  %12.2f  %8.2fx  %5d%%\n", p, s * 1e3, serial_s / s,
+                static_cast<int>(st.idle_fraction * 100));
+  }
+  std::printf("critical path: %.2f ms (speedup ceiling %.2fx)\n",
+              static_cast<double>(
+                  sim::simulate(dag.tasks, dag.edges, 1).critical_path_ns) *
+                  1e-6,
+              serial_s /
+                  (static_cast<double>(
+                       sim::simulate(dag.tasks, dag.edges, 1).critical_path_ns) *
+                   1e-9));
+  return 0;
+}

@@ -1,0 +1,43 @@
+// blocked.hpp — vendor-library-style blocked factorizations on the task
+// runtime (the paper's "MKL_dgetrf" / "MKL_dgeqrf" baseline class).
+//
+// Classic right-looking blocked algorithms: the panel is ONE serial task on
+// the critical path (vendor panel factorizations do not scale), while the
+// trailing update is parallelized fork-join style — across column blocks
+// (QR) or column blocks x row strips (LU). This models exactly the property
+// the paper attributes to vendor libraries: highly optimized BLAS-3 updates
+// but a sequential panel, which dominates on tall-skinny matrices.
+#pragma once
+
+#include "matrix/permutation.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace camult::baseline {
+
+struct BlockedOptions {
+  idx nb = 100;         ///< panel width
+  idx strips = 8;       ///< row strips for the LU gemm update
+  int num_threads = 4;  ///< 0 = inline serial (record mode)
+  bool record_trace = true;
+};
+
+struct BlockedLuResult {
+  PivotVector ipiv;
+  idx info = 0;
+  std::vector<rt::TaskRecord> trace;
+  std::vector<rt::TaskGraph::Edge> edges;
+};
+
+/// Blocked LU with partial pivoting (getrf layout), serial panel task.
+BlockedLuResult blocked_getrf(MatrixView a, const BlockedOptions& opts = {});
+
+struct BlockedQrResult {
+  std::vector<double> tau;
+  std::vector<rt::TaskRecord> trace;
+  std::vector<rt::TaskGraph::Edge> edges;
+};
+
+/// Blocked Householder QR (geqrf layout), serial panel task.
+BlockedQrResult blocked_geqrf(MatrixView a, const BlockedOptions& opts = {});
+
+}  // namespace camult::baseline

@@ -1,0 +1,32 @@
+// flops.hpp — standard flop counts used to report GFlop/s, matching the
+// paper's convention (the nominal LAPACK operation count; any redundant
+// communication-avoiding flops make the measured rate lower, exactly as in
+// the paper).
+#pragma once
+
+#include "matrix/view.hpp"
+
+namespace camult::bench {
+
+/// dgetrf: 2mnk - (m+n)k^2 + (2/3)k^3 with k = min(m,n)
+/// (= (2/3)n^3 for square).
+inline double lu_flops(idx m, idx n) {
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(std::min(m, n));
+  return 2.0 * md * nd * kd - (md + nd) * kd * kd + (2.0 / 3.0) * kd * kd * kd;
+}
+
+/// dgeqrf (m >= n): 2n^2(m - n/3); general via the LAWN count.
+inline double qr_flops(idx m, idx n) {
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  if (m >= n) return 2.0 * nd * nd * (md - nd / 3.0);
+  return 2.0 * md * md * (nd - md / 3.0);
+}
+
+inline double gflops(double flops, double seconds) {
+  return seconds > 0 ? flops / seconds * 1e-9 : 0.0;
+}
+
+}  // namespace camult::bench

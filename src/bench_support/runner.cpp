@@ -1,0 +1,62 @@
+#include "bench_support/runner.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+#include "bench_support/flops.hpp"
+
+namespace camult::bench {
+
+bool real_mode() {
+  const char* v = std::getenv("CAMULT_BENCH_REAL");
+  return v != nullptr && v[0] == '1';
+}
+
+Measurement measure(const std::function<RunArtifacts(int)>& run, double flops,
+                    int cores) {
+  Measurement m;
+  if (real_mode()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)run(cores);
+    const auto t1 = std::chrono::steady_clock::now();
+    m.seconds = std::chrono::duration<double>(t1 - t0).count();
+    m.gflops = gflops(flops, m.seconds);
+    return m;
+  }
+  RunArtifacts art = run(0);  // serial record mode
+  sim::SimResult sr = sim::simulate(art.trace, art.edges, cores);
+  m.seconds = static_cast<double>(sr.makespan_ns) * 1e-9;
+  m.critical_path_s = static_cast<double>(sr.critical_path_ns) * 1e-9;
+  m.total_work_s = static_cast<double>(sr.total_work_ns) * 1e-9;
+  m.gflops = gflops(flops, m.seconds);
+  m.schedule = std::move(sr.schedule);
+  return m;
+}
+
+idx env_idx(const char* name, idx fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<idx>(std::strtoll(v, nullptr, 10));
+}
+
+std::vector<idx> env_idx_list(const char* name,
+                              const std::vector<idx>& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  std::vector<idx> out;
+  std::stringstream ss(v);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(static_cast<idx>(std::stoll(tok)));
+  }
+  return out.empty() ? fallback : out;
+}
+
+std::string csv_path(const std::string& name) {
+  const char* dir = std::getenv("CAMULT_BENCH_CSV");
+  if (dir == nullptr || *dir == '\0') return {};
+  return std::string(dir) + "/" + name + ".csv";
+}
+
+}  // namespace camult::bench

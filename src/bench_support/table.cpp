@@ -1,0 +1,73 @@
+#include "bench_support/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace camult::bench {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& s) {
+  rows_.back().push_back(s);
+  return *this;
+}
+
+Table& Table::cell(const char* s) { return cell(std::string(s)); }
+
+Table& Table::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(long long v) { return cell(std::to_string(v)); }
+
+void Table::print(const std::string& title,
+                  const std::string& csv_file) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  if (!title.empty()) std::cout << "\n== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      std::cout << "  " << s;
+      for (std::size_t p = s.size(); p < widths[c]; ++p) std::cout << ' ';
+    }
+    std::cout << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 2;
+  for (std::size_t w : widths) total += w + 2;
+  std::cout << "  " << std::string(total - 2, '-') << '\n';
+  for (const auto& r : rows_) print_row(r);
+  std::cout.flush();
+
+  if (!csv_file.empty()) {
+    std::ofstream out(csv_file);
+    auto csv_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c) out << ',';
+        out << cells[c];
+      }
+      out << '\n';
+    };
+    csv_row(headers_);
+    for (const auto& r : rows_) csv_row(r);
+  }
+}
+
+}  // namespace camult::bench

@@ -1,0 +1,32 @@
+// table.hpp — paper-style aligned table printing + optional CSV mirror.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace camult::bench {
+
+/// Collects string cells and prints them as an aligned ASCII table, with an
+/// optional CSV mirror (see csv_path()).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row.
+  Table& row();
+  /// Append cells to the current row.
+  Table& cell(const std::string& s);
+  Table& cell(const char* s);
+  Table& cell(double v, int precision = 2);
+  Table& cell(long long v);
+
+  /// Print to stdout; if csv_file is non-empty also write CSV there.
+  void print(const std::string& title = "",
+             const std::string& csv_file = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace camult::bench

@@ -1,0 +1,247 @@
+#include "blas/gemm.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace camult::blas {
+namespace {
+
+// Microkernel register block. 8x6 keeps the accumulator within the AVX2
+// register budget when GCC vectorizes the row dimension.
+constexpr idx MR = 8;
+constexpr idx NR = 6;
+// Cache blocks: A panel (MC x KC) targets L2, B panel (KC x NC) targets L3.
+constexpr idx MC = 192;
+constexpr idx KC = 256;
+constexpr idx NC = 768;
+
+inline double op_elem(ConstMatrixView a, Trans trans, idx i, idx p) {
+  return trans == Trans::NoTrans ? a(i, p) : a(p, i);
+}
+
+// Pack op(A)(i0:i0+mc, p0:p0+kc) into MR-row panels:
+// buf[panel][p * MR + r], zero padded in the row direction.
+void pack_a(ConstMatrixView a, Trans trans, idx i0, idx p0, idx mc, idx kc,
+            double* buf) {
+  const idx panels = (mc + MR - 1) / MR;
+  for (idx ip = 0; ip < panels; ++ip) {
+    const idx i_base = i0 + ip * MR;
+    const idx rows = std::min<idx>(MR, i0 + mc - i_base);
+    double* dst = buf + ip * (MR * kc);
+    if (trans == Trans::NoTrans) {
+      for (idx p = 0; p < kc; ++p) {
+        const double* src = a.col_ptr(p0 + p) + i_base;
+        for (idx r = 0; r < rows; ++r) dst[p * MR + r] = src[r];
+        for (idx r = rows; r < MR; ++r) dst[p * MR + r] = 0.0;
+      }
+    } else {
+      for (idx p = 0; p < kc; ++p) {
+        for (idx r = 0; r < rows; ++r) {
+          dst[p * MR + r] = a(p0 + p, i_base + r);
+        }
+        for (idx r = rows; r < MR; ++r) dst[p * MR + r] = 0.0;
+      }
+    }
+  }
+}
+
+// Pack op(B)(p0:p0+kc, j0:j0+nc) into NR-column panels:
+// buf[panel][p * NR + c], zero padded in the column direction.
+void pack_b(ConstMatrixView b, Trans trans, idx p0, idx j0, idx kc, idx nc,
+            double* buf) {
+  const idx panels = (nc + NR - 1) / NR;
+  for (idx jp = 0; jp < panels; ++jp) {
+    const idx j_base = j0 + jp * NR;
+    const idx cols = std::min<idx>(NR, j0 + nc - j_base);
+    double* dst = buf + jp * (NR * kc);
+    if (trans == Trans::NoTrans) {
+      for (idx p = 0; p < kc; ++p) {
+        for (idx c = 0; c < cols; ++c) dst[p * NR + c] = b(p0 + p, j_base + c);
+        for (idx c = cols; c < NR; ++c) dst[p * NR + c] = 0.0;
+      }
+    } else {
+      for (idx c = 0; c < cols; ++c) {
+        const double* src = b.col_ptr(p0) + (j_base + c);
+        // op(B)(p, j) = b(j, p): walk row j_base+c of b, stride ld.
+        for (idx p = 0; p < kc; ++p) dst[p * NR + c] = src[p * b.ld()];
+      }
+      for (idx c = cols; c < NR; ++c) {
+        for (idx p = 0; p < kc; ++p) dst[p * NR + c] = 0.0;
+      }
+    }
+  }
+}
+
+// C(0:mr_eff, 0:nr_eff) += alpha * Ap * Bp where Ap is MR x kc packed and
+// Bp is kc x NR packed.
+#if defined(__AVX2__) && defined(__FMA__)
+// Hand-vectorized kernel: 12 independent ymm accumulators (2 per column),
+// which keeps the FMA pipelines saturated — compilers reliably fail to get
+// this register allocation right from the scalar loop.
+void microkernel(idx kc, double alpha, const double* __restrict ap,
+                 const double* __restrict bp, double* __restrict c, idx ldc,
+                 idx mr_eff, idx nr_eff) {
+  static_assert(MR == 8 && NR == 6, "kernel assumes 8x6");
+  __m256d acc_lo[NR];
+  __m256d acc_hi[NR];
+  for (int j = 0; j < NR; ++j) {
+    acc_lo[j] = _mm256_setzero_pd();
+    acc_hi[j] = _mm256_setzero_pd();
+  }
+  for (idx p = 0; p < kc; ++p) {
+    const __m256d a0 = _mm256_loadu_pd(ap + p * MR);
+    const __m256d a1 = _mm256_loadu_pd(ap + p * MR + 4);
+    const double* b = bp + p * NR;
+    for (int j = 0; j < NR; ++j) {
+      const __m256d bv = _mm256_broadcast_sd(b + j);
+      acc_lo[j] = _mm256_fmadd_pd(a0, bv, acc_lo[j]);
+      acc_hi[j] = _mm256_fmadd_pd(a1, bv, acc_hi[j]);
+    }
+  }
+  if (mr_eff == MR && nr_eff == NR) {
+    const __m256d va = _mm256_set1_pd(alpha);
+    for (int j = 0; j < NR; ++j) {
+      double* cc = c + j * ldc;
+      _mm256_storeu_pd(cc, _mm256_fmadd_pd(va, acc_lo[j],
+                                           _mm256_loadu_pd(cc)));
+      _mm256_storeu_pd(cc + 4, _mm256_fmadd_pd(va, acc_hi[j],
+                                               _mm256_loadu_pd(cc + 4)));
+    }
+  } else {
+    double acc[MR * NR];
+    for (int j = 0; j < NR; ++j) {
+      _mm256_storeu_pd(acc + j * MR, acc_lo[j]);
+      _mm256_storeu_pd(acc + j * MR + 4, acc_hi[j]);
+    }
+    for (idx cj = 0; cj < nr_eff; ++cj) {
+      double* cc = c + cj * ldc;
+      const double* accc = acc + cj * MR;
+      for (idx ri = 0; ri < mr_eff; ++ri) cc[ri] += alpha * accc[ri];
+    }
+  }
+}
+#else
+void microkernel(idx kc, double alpha, const double* __restrict ap,
+                 const double* __restrict bp, double* __restrict c, idx ldc,
+                 idx mr_eff, idx nr_eff) {
+  double acc[MR * NR];
+  for (idx i = 0; i < MR * NR; ++i) acc[i] = 0.0;
+  for (idx p = 0; p < kc; ++p) {
+    const double* a = ap + p * MR;
+    const double* b = bp + p * NR;
+    for (idx cj = 0; cj < NR; ++cj) {
+      const double bv = b[cj];
+      double* accc = acc + cj * MR;
+      for (idx ri = 0; ri < MR; ++ri) accc[ri] += a[ri] * bv;
+    }
+  }
+  if (mr_eff == MR && nr_eff == NR) {
+    for (idx cj = 0; cj < NR; ++cj) {
+      double* cc = c + cj * ldc;
+      const double* accc = acc + cj * MR;
+      for (idx ri = 0; ri < MR; ++ri) cc[ri] += alpha * accc[ri];
+    }
+  } else {
+    for (idx cj = 0; cj < nr_eff; ++cj) {
+      double* cc = c + cj * ldc;
+      const double* accc = acc + cj * MR;
+      for (idx ri = 0; ri < mr_eff; ++ri) cc[ri] += alpha * accc[ri];
+    }
+  }
+}
+#endif
+
+void scale_matrix(MatrixView c, double beta) {
+  if (beta == 1.0) return;
+  if (beta == 0.0) {
+    for (idx j = 0; j < c.cols(); ++j) {
+      std::memset(c.col_ptr(j), 0, static_cast<std::size_t>(c.rows()) * sizeof(double));
+    }
+    return;
+  }
+  for (idx j = 0; j < c.cols(); ++j) {
+    double* col = c.col_ptr(j);
+    for (idx i = 0; i < c.rows(); ++i) col[i] *= beta;
+  }
+}
+
+// Direct triple loop for problems too small to amortize packing.
+void gemm_small(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+                ConstMatrixView b, MatrixView c, idx k) {
+  const idx m = c.rows();
+  const idx n = c.cols();
+  for (idx j = 0; j < n; ++j) {
+    double* cc = c.col_ptr(j);
+    for (idx p = 0; p < k; ++p) {
+      const double bv = alpha * op_elem(b, transb, p, j);
+      if (bv == 0.0) continue;
+      if (transa == Trans::NoTrans) {
+        const double* ac = a.col_ptr(p);
+        for (idx i = 0; i < m; ++i) cc[i] += ac[i] * bv;
+      } else {
+        const double* ar = a.col_ptr(0) + p * a.ld();
+        // op(A)(i, p) = a(p, i): row p of a, stride ld.
+        (void)ar;
+        for (idx i = 0; i < m; ++i) cc[i] += a(p, i) * bv;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GemmBlocking gemm_blocking() { return {MC, KC, NC, MR, NR}; }
+
+void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c) {
+  const idx m = c.rows();
+  const idx n = c.cols();
+  const idx k = (transa == Trans::NoTrans) ? a.cols() : a.rows();
+  assert(((transa == Trans::NoTrans) ? a.rows() : a.cols()) == m);
+  assert(((transb == Trans::NoTrans) ? b.rows() : b.cols()) == k);
+  assert(((transb == Trans::NoTrans) ? b.cols() : b.rows()) == n);
+
+  scale_matrix(c, beta);
+  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+
+  if (m * n * k <= 16 * 16 * 16) {
+    gemm_small(transa, transb, alpha, a, b, c, k);
+    return;
+  }
+
+  // Packing workspaces are reused across calls on the same thread; workers in
+  // the task runtime each get their own copies.
+  thread_local std::vector<double> a_buf;
+  thread_local std::vector<double> b_buf;
+  a_buf.resize(static_cast<std::size_t>(((MC + MR - 1) / MR) * MR * KC));
+  b_buf.resize(static_cast<std::size_t>(((NC + NR - 1) / NR) * NR * KC));
+
+  for (idx jc = 0; jc < n; jc += NC) {
+    const idx nc = std::min<idx>(NC, n - jc);
+    for (idx pc = 0; pc < k; pc += KC) {
+      const idx kc = std::min<idx>(KC, k - pc);
+      pack_b(b, transb, pc, jc, kc, nc, b_buf.data());
+      for (idx ic = 0; ic < m; ic += MC) {
+        const idx mc = std::min<idx>(MC, m - ic);
+        pack_a(a, transa, ic, pc, mc, kc, a_buf.data());
+        for (idx jr = 0; jr < nc; jr += NR) {
+          const idx nr_eff = std::min<idx>(NR, nc - jr);
+          const double* bp = b_buf.data() + (jr / NR) * (NR * kc);
+          for (idx ir = 0; ir < mc; ir += MR) {
+            const idx mr_eff = std::min<idx>(MR, mc - ir);
+            const double* ap = a_buf.data() + (ir / MR) * (MR * kc);
+            double* cblk = c.data() + (ic + ir) + (jc + jr) * c.ld();
+            microkernel(kc, alpha, ap, bp, cblk, c.ld(), mr_eff, nr_eff);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace camult::blas

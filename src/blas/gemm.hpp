@@ -1,0 +1,32 @@
+// gemm.hpp — general matrix multiply, the BLAS-3 workhorse of every
+// factorization in this library.
+//
+// C = alpha * op(A) * op(B) + beta * C
+//
+// The implementation is a GotoBLAS-style blocked algorithm: A and B are
+// packed into contiguous cache-resident panels and the inner product is
+// computed by a register-blocked MR x NR microkernel that the compiler
+// vectorizes. All four transpose combinations are supported; transposition
+// is absorbed by the packing routines.
+#pragma once
+
+#include "blas/types.hpp"
+#include "matrix/view.hpp"
+
+namespace camult::blas {
+
+/// Shape contract: op(A) is m x k, op(B) is k x n, C is m x n.
+void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c);
+
+/// Cache blocking parameters, exposed for benchmarks/tests.
+struct GemmBlocking {
+  idx mc;  ///< rows of the packed A panel
+  idx kc;  ///< depth of the packed panels
+  idx nc;  ///< columns of the packed B panel
+  idx mr;  ///< microkernel rows
+  idx nr;  ///< microkernel cols
+};
+GemmBlocking gemm_blocking();
+
+}  // namespace camult::blas

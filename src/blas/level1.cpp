@@ -1,0 +1,87 @@
+#include "blas/level1.hpp"
+
+#include <cmath>
+
+namespace camult::blas {
+
+idx iamax(idx n, const double* x, idx incx) {
+  if (n <= 0) return -1;
+  idx best = 0;
+  double best_val = std::abs(x[0]);
+  for (idx i = 1; i < n; ++i) {
+    const double v = std::abs(x[i * incx]);
+    if (v > best_val) {
+      best_val = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void swap(idx n, double* x, idx incx, double* y, idx incy) {
+  for (idx i = 0; i < n; ++i) {
+    std::swap(x[i * incx], y[i * incy]);
+  }
+}
+
+void scal(idx n, double alpha, double* x, idx incx) {
+  if (incx == 1) {
+    for (idx i = 0; i < n; ++i) x[i] *= alpha;
+  } else {
+    for (idx i = 0; i < n; ++i) x[i * incx] *= alpha;
+  }
+}
+
+void axpy(idx n, double alpha, const double* x, idx incx, double* y,
+          idx incy) {
+  if (alpha == 0.0) return;
+  if (incx == 1 && incy == 1) {
+    for (idx i = 0; i < n; ++i) y[i] += alpha * x[i];
+  } else {
+    for (idx i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
+  }
+}
+
+double dot(idx n, const double* x, idx incx, const double* y, idx incy) {
+  double s = 0.0;
+  if (incx == 1 && incy == 1) {
+    for (idx i = 0; i < n; ++i) s += x[i] * y[i];
+  } else {
+    for (idx i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
+  }
+  return s;
+}
+
+double nrm2(idx n, const double* x, idx incx) {
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (idx i = 0; i < n; ++i) {
+    const double v = std::abs(x[i * incx]);
+    if (v == 0.0) continue;
+    if (scale < v) {
+      const double r = scale / v;
+      ssq = 1.0 + ssq * r * r;
+      scale = v;
+    } else {
+      const double r = v / scale;
+      ssq += r * r;
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+void copy(idx n, const double* x, idx incx, double* y, idx incy) {
+  if (incx == 1 && incy == 1) {
+    for (idx i = 0; i < n; ++i) y[i] = x[i];
+  } else {
+    for (idx i = 0; i < n; ++i) y[i * incy] = x[i * incx];
+  }
+}
+
+double asum(idx n, const double* x, idx incx) {
+  double s = 0.0;
+  for (idx i = 0; i < n; ++i) s += std::abs(x[i * incx]);
+  return s;
+}
+
+}  // namespace camult::blas

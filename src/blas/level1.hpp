@@ -1,0 +1,35 @@
+// level1.hpp — BLAS level-1 vector kernels on strided vectors.
+//
+// Vectors are described by (pointer, length, stride) so both matrix columns
+// (stride 1) and matrix rows (stride = ld) can be passed without copies.
+#pragma once
+
+#include "matrix/view.hpp"
+
+namespace camult::blas {
+
+/// Index of the element with the largest |value| (first on ties); -1 if n==0.
+idx iamax(idx n, const double* x, idx incx);
+
+/// x <-> y elementwise.
+void swap(idx n, double* x, idx incx, double* y, idx incy);
+
+/// x *= alpha.
+void scal(idx n, double alpha, double* x, idx incx);
+
+/// y += alpha * x.
+void axpy(idx n, double alpha, const double* x, idx incx, double* y, idx incy);
+
+/// Sum of x_i * y_i.
+double dot(idx n, const double* x, idx incx, const double* y, idx incy);
+
+/// Euclidean norm, computed with scaling to avoid overflow/underflow.
+double nrm2(idx n, const double* x, idx incx);
+
+/// y = x.
+void copy(idx n, const double* x, idx incx, double* y, idx incy);
+
+/// Sum of |x_i|.
+double asum(idx n, const double* x, idx incx);
+
+}  // namespace camult::blas

@@ -1,0 +1,26 @@
+// level2.hpp — BLAS level-2 matrix-vector kernels.
+#pragma once
+
+#include "blas/types.hpp"
+#include "matrix/view.hpp"
+
+namespace camult::blas {
+
+/// y = alpha * op(A) * x + beta * y.
+/// op(A) is rows(A) x cols(A) for NoTrans, cols(A) x rows(A) for Trans.
+void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
+          idx incx, double beta, double* y, idx incy);
+
+/// A += alpha * x * y^T, where A is m x n, x has m entries, y has n entries.
+void ger(double alpha, const double* x, idx incx, const double* y, idx incy,
+         MatrixView a);
+
+/// Solve op(A) * x = b in place (x overwrites b), A triangular n x n.
+void trsv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView a, double* x,
+          idx incx);
+
+/// x = op(A) * x, A triangular n x n.
+void trmv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView a, double* x,
+          idx incx);
+
+}  // namespace camult::blas

@@ -1,0 +1,43 @@
+#include "blas/syrk.hpp"
+
+#include <cassert>
+
+namespace camult::blas {
+
+void syrk(Uplo uplo, Trans trans, double alpha, ConstMatrixView a, double beta,
+          MatrixView c) {
+  assert(c.rows() == c.cols());
+  const idx n = c.rows();
+  const idx k = (trans == Trans::NoTrans) ? a.cols() : a.rows();
+  assert(((trans == Trans::NoTrans) ? a.rows() : a.cols()) == n);
+
+  for (idx j = 0; j < n; ++j) {
+    const idx i_lo = (uplo == Uplo::Lower) ? j : 0;
+    const idx i_hi = (uplo == Uplo::Lower) ? n : j + 1;
+    double* cc = c.col_ptr(j);
+    if (beta != 1.0) {
+      for (idx i = i_lo; i < i_hi; ++i) cc[i] *= beta;
+    }
+    if (alpha == 0.0) continue;
+    if (trans == Trans::NoTrans) {
+      // C(:,j) += alpha * A * A(j,:)^T over the referenced rows.
+      for (idx p = 0; p < k; ++p) {
+        const double t = alpha * a(j, p);
+        if (t == 0.0) continue;
+        const double* ac = a.col_ptr(p);
+        for (idx i = i_lo; i < i_hi; ++i) cc[i] += t * ac[i];
+      }
+    } else {
+      // C(i,j) += alpha * dot(A(:,i), A(:,j)).
+      const double* aj = a.col_ptr(j);
+      for (idx i = i_lo; i < i_hi; ++i) {
+        const double* ai = a.col_ptr(i);
+        double s = 0.0;
+        for (idx p = 0; p < k; ++p) s += ai[p] * aj[p];
+        cc[i] += alpha * s;
+      }
+    }
+  }
+}
+
+}  // namespace camult::blas

@@ -1,0 +1,17 @@
+// syrk.hpp — symmetric rank-k update (used by normal-equation style checks).
+//
+//   C := alpha * A * A^T + beta * C     (Trans::NoTrans)
+//   C := alpha * A^T * A + beta * C     (Trans::Trans)
+//
+// Only the triangle selected by uplo is referenced and updated.
+#pragma once
+
+#include "blas/types.hpp"
+#include "matrix/view.hpp"
+
+namespace camult::blas {
+
+void syrk(Uplo uplo, Trans trans, double alpha, ConstMatrixView a, double beta,
+          MatrixView c);
+
+}  // namespace camult::blas

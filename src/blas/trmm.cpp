@@ -1,0 +1,109 @@
+#include "blas/trmm.hpp"
+
+#include <cassert>
+
+#include "blas/gemm.hpp"
+#include "blas/level1.hpp"
+#include "blas/level2.hpp"
+
+namespace camult::blas {
+namespace {
+
+constexpr idx kBaseSize = 32;
+
+inline Trans flip(Trans t) {
+  return t == Trans::NoTrans ? Trans::Trans : Trans::NoTrans;
+}
+
+void trmm_base(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+               ConstMatrixView a, MatrixView b) {
+  if (side == Side::Left) {
+    for (idx j = 0; j < b.cols(); ++j) {
+      trmv(uplo, trans, diag, a, b.col_ptr(j), 1);
+      if (alpha != 1.0) scal(b.rows(), alpha, b.col_ptr(j), 1);
+    }
+  } else {
+    // B * op(A) = (op(A)^T * B^T)^T: apply trmv to each row of B.
+    for (idx i = 0; i < b.rows(); ++i) {
+      trmv(uplo, flip(trans), diag, a, b.data() + i, b.ld());
+      if (alpha != 1.0) scal(b.cols(), alpha, b.data() + i, b.ld());
+    }
+  }
+}
+
+void trmm_rec(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+              ConstMatrixView a, MatrixView b) {
+  const idx n_tri = a.rows();
+  if (n_tri <= kBaseSize) {
+    trmm_base(side, uplo, trans, diag, alpha, a, b);
+    return;
+  }
+  const idx h = n_tri / 2;
+  const idx r = n_tri - h;
+  ConstMatrixView a11 = a.block(0, 0, h, h);
+  ConstMatrixView a22 = a.block(h, h, r, r);
+
+  if (side == Side::Left) {
+    MatrixView b1 = b.rows_range(0, h);
+    MatrixView b2 = b.rows_range(h, r);
+    if (uplo == Uplo::Upper && trans == Trans::NoTrans) {
+      ConstMatrixView a12 = a.block(0, h, h, r);
+      trmm_rec(side, uplo, trans, diag, alpha, a11, b1);
+      gemm(Trans::NoTrans, Trans::NoTrans, alpha, a12, b2, 1.0, b1);
+      trmm_rec(side, uplo, trans, diag, alpha, a22, b2);
+    } else if (uplo == Uplo::Upper && trans == Trans::Trans) {
+      ConstMatrixView a12 = a.block(0, h, h, r);
+      trmm_rec(side, uplo, trans, diag, alpha, a22, b2);
+      gemm(Trans::Trans, Trans::NoTrans, alpha, a12, b1, 1.0, b2);
+      trmm_rec(side, uplo, trans, diag, alpha, a11, b1);
+    } else if (uplo == Uplo::Lower && trans == Trans::NoTrans) {
+      ConstMatrixView a21 = a.block(h, 0, r, h);
+      trmm_rec(side, uplo, trans, diag, alpha, a22, b2);
+      gemm(Trans::NoTrans, Trans::NoTrans, alpha, a21, b1, 1.0, b2);
+      trmm_rec(side, uplo, trans, diag, alpha, a11, b1);
+    } else {  // Lower, Trans
+      ConstMatrixView a21 = a.block(h, 0, r, h);
+      trmm_rec(side, uplo, trans, diag, alpha, a11, b1);
+      gemm(Trans::Trans, Trans::NoTrans, alpha, a21, b2, 1.0, b1);
+      trmm_rec(side, uplo, trans, diag, alpha, a22, b2);
+    }
+  } else {
+    MatrixView b1 = b.cols_range(0, h);
+    MatrixView b2 = b.cols_range(h, r);
+    if (uplo == Uplo::Upper && trans == Trans::NoTrans) {
+      ConstMatrixView a12 = a.block(0, h, h, r);
+      trmm_rec(side, uplo, trans, diag, alpha, a22, b2);
+      gemm(Trans::NoTrans, Trans::NoTrans, alpha, b1, a12, 1.0, b2);
+      trmm_rec(side, uplo, trans, diag, alpha, a11, b1);
+    } else if (uplo == Uplo::Upper && trans == Trans::Trans) {
+      ConstMatrixView a12 = a.block(0, h, h, r);
+      trmm_rec(side, uplo, trans, diag, alpha, a11, b1);
+      gemm(Trans::NoTrans, Trans::Trans, alpha, b2, a12, 1.0, b1);
+      trmm_rec(side, uplo, trans, diag, alpha, a22, b2);
+    } else if (uplo == Uplo::Lower && trans == Trans::NoTrans) {
+      ConstMatrixView a21 = a.block(h, 0, r, h);
+      trmm_rec(side, uplo, trans, diag, alpha, a11, b1);
+      gemm(Trans::NoTrans, Trans::NoTrans, alpha, b2, a21, 1.0, b1);
+      trmm_rec(side, uplo, trans, diag, alpha, a22, b2);
+    } else {  // Lower, Trans
+      ConstMatrixView a21 = a.block(h, 0, r, h);
+      trmm_rec(side, uplo, trans, diag, alpha, a22, b2);
+      gemm(Trans::NoTrans, Trans::Trans, alpha, b1, a21, 1.0, b2);
+      trmm_rec(side, uplo, trans, diag, alpha, a11, b1);
+    }
+  }
+}
+
+}  // namespace
+
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b) {
+  assert(a.rows() == a.cols());
+  const idx n_tri = (side == Side::Left) ? b.rows() : b.cols();
+  assert(a.rows() == n_tri);
+  (void)n_tri;
+  if (b.rows() == 0 || b.cols() == 0) return;
+  trmm_rec(side, uplo, trans, diag, alpha, a, b);
+}
+
+}  // namespace camult::blas

@@ -1,0 +1,114 @@
+#include "blas/trsm.hpp"
+
+#include <cassert>
+
+#include "blas/gemm.hpp"
+#include "blas/level1.hpp"
+#include "blas/level2.hpp"
+
+namespace camult::blas {
+namespace {
+
+constexpr idx kBaseSize = 32;
+
+inline Trans flip(Trans t) {
+  return t == Trans::NoTrans ? Trans::Trans : Trans::NoTrans;
+}
+
+void scale_all(MatrixView b, double alpha) {
+  if (alpha == 1.0) return;
+  for (idx j = 0; j < b.cols(); ++j) scal(b.rows(), alpha, b.col_ptr(j), 1);
+}
+
+// Base case: solve column-by-column (Left) or row-by-row (Right) with trsv.
+void trsm_base(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+               ConstMatrixView a, MatrixView b) {
+  scale_all(b, alpha);
+  if (side == Side::Left) {
+    for (idx j = 0; j < b.cols(); ++j) {
+      trsv(uplo, trans, diag, a, b.col_ptr(j), 1);
+    }
+  } else {
+    // X * op(A) = B  <=>  op(A)^T * X^T = B^T: solve each row of B.
+    for (idx i = 0; i < b.rows(); ++i) {
+      trsv(uplo, flip(trans), diag, a, b.data() + i, b.ld());
+    }
+  }
+}
+
+void trsm_rec(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+              ConstMatrixView a, MatrixView b) {
+  const idx n_tri = a.rows();
+  if (n_tri <= kBaseSize) {
+    trsm_base(side, uplo, trans, diag, alpha, a, b);
+    return;
+  }
+  const idx h = n_tri / 2;
+  const idx r = n_tri - h;
+  ConstMatrixView a11 = a.block(0, 0, h, h);
+  ConstMatrixView a22 = a.block(h, h, r, r);
+
+  if (side == Side::Left) {
+    MatrixView b1 = b.rows_range(0, h);
+    MatrixView b2 = b.rows_range(h, r);
+    if (uplo == Uplo::Lower && trans == Trans::NoTrans) {
+      ConstMatrixView a21 = a.block(h, 0, r, h);
+      trsm_rec(side, uplo, trans, diag, alpha, a11, b1);
+      gemm(Trans::NoTrans, Trans::NoTrans, -1.0, a21, b1, alpha, b2);
+      trsm_rec(side, uplo, trans, diag, 1.0, a22, b2);
+    } else if (uplo == Uplo::Lower && trans == Trans::Trans) {
+      ConstMatrixView a21 = a.block(h, 0, r, h);
+      trsm_rec(side, uplo, trans, diag, alpha, a22, b2);
+      gemm(Trans::Trans, Trans::NoTrans, -1.0, a21, b2, alpha, b1);
+      trsm_rec(side, uplo, trans, diag, 1.0, a11, b1);
+    } else if (uplo == Uplo::Upper && trans == Trans::NoTrans) {
+      ConstMatrixView a12 = a.block(0, h, h, r);
+      trsm_rec(side, uplo, trans, diag, alpha, a22, b2);
+      gemm(Trans::NoTrans, Trans::NoTrans, -1.0, a12, b2, alpha, b1);
+      trsm_rec(side, uplo, trans, diag, 1.0, a11, b1);
+    } else {  // Upper, Trans
+      ConstMatrixView a12 = a.block(0, h, h, r);
+      trsm_rec(side, uplo, trans, diag, alpha, a11, b1);
+      gemm(Trans::Trans, Trans::NoTrans, -1.0, a12, b1, alpha, b2);
+      trsm_rec(side, uplo, trans, diag, 1.0, a22, b2);
+    }
+  } else {
+    MatrixView b1 = b.cols_range(0, h);
+    MatrixView b2 = b.cols_range(h, r);
+    if (uplo == Uplo::Upper && trans == Trans::NoTrans) {
+      ConstMatrixView a12 = a.block(0, h, h, r);
+      trsm_rec(side, uplo, trans, diag, alpha, a11, b1);
+      gemm(Trans::NoTrans, Trans::NoTrans, -1.0, b1, a12, alpha, b2);
+      trsm_rec(side, uplo, trans, diag, 1.0, a22, b2);
+    } else if (uplo == Uplo::Upper && trans == Trans::Trans) {
+      ConstMatrixView a12 = a.block(0, h, h, r);
+      trsm_rec(side, uplo, trans, diag, alpha, a22, b2);
+      gemm(Trans::NoTrans, Trans::Trans, -1.0, b2, a12, alpha, b1);
+      trsm_rec(side, uplo, trans, diag, 1.0, a11, b1);
+    } else if (uplo == Uplo::Lower && trans == Trans::NoTrans) {
+      ConstMatrixView a21 = a.block(h, 0, r, h);
+      trsm_rec(side, uplo, trans, diag, alpha, a22, b2);
+      gemm(Trans::NoTrans, Trans::NoTrans, -1.0, b2, a21, alpha, b1);
+      trsm_rec(side, uplo, trans, diag, 1.0, a11, b1);
+    } else {  // Lower, Trans
+      ConstMatrixView a21 = a.block(h, 0, r, h);
+      trsm_rec(side, uplo, trans, diag, alpha, a11, b1);
+      gemm(Trans::NoTrans, Trans::Trans, -1.0, b1, a21, alpha, b2);
+      trsm_rec(side, uplo, trans, diag, 1.0, a22, b2);
+    }
+  }
+}
+
+}  // namespace
+
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b) {
+  assert(a.rows() == a.cols());
+  const idx n_tri = (side == Side::Left) ? b.rows() : b.cols();
+  assert(a.rows() == n_tri);
+  (void)n_tri;
+  if (b.rows() == 0 || b.cols() == 0) return;
+  trsm_rec(side, uplo, trans, diag, alpha, a, b);
+}
+
+}  // namespace camult::blas

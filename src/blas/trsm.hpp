@@ -1,0 +1,22 @@
+// trsm.hpp — triangular solve with multiple right-hand sides.
+//
+//   Side::Left :  op(A) * X = alpha * B
+//   Side::Right:  X * op(A) = alpha * B
+//
+// X overwrites B. A is the triangular n_tri x n_tri matrix (n_tri = rows of
+// B for Left, cols of B for Right); only the referenced triangle is read.
+//
+// The implementation is recursive: the triangle is split in half and the
+// rectangular off-diagonal work is routed through gemm, so large solves run
+// at BLAS-3 speed; small base cases fall back to per-vector trsv.
+#pragma once
+
+#include "blas/types.hpp"
+#include "matrix/view.hpp"
+
+namespace camult::blas {
+
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b);
+
+}  // namespace camult::blas

@@ -1,0 +1,11 @@
+// types.hpp — shared BLAS enumerations (LAPACK naming conventions).
+#pragma once
+
+namespace camult::blas {
+
+enum class Trans { NoTrans, Trans };
+enum class Side { Left, Right };
+enum class Uplo { Upper, Lower };
+enum class Diag { NonUnit, Unit };
+
+}  // namespace camult::blas

@@ -1,0 +1,358 @@
+#include "core/calu.hpp"
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "blas/blas.hpp"
+#include "core/partition.hpp"
+#include "core/tournament.hpp"
+#include "lapack/laswp.hpp"
+#include "runtime/dep_tracker.hpp"
+
+namespace camult::core {
+namespace {
+
+using rt::AccessMode;
+using rt::BlockAccess;
+using rt::TaskId;
+using rt::TaskKind;
+
+// Key spaces for the dependency tracker: matrix tiles, tournament candidate
+// slots, and the per-iteration pivot decision.
+rt::BlockKey tile_key(idx i, idx j) { return rt::block_key(i, j); }
+rt::BlockKey cand_key(idx k, idx slot) {
+  return (idx{1} << 60) + k * 8192 + slot;
+}
+rt::BlockKey piv_key(idx k) { return (idx{1} << 61) + k; }
+
+// Per-iteration shared state, kept alive until the graph drains.
+struct IterState {
+  RowPartition part;             // panel row partition (panel-relative)
+  std::vector<Candidates> slot;  // tournament slots
+  PivotVector piv;               // panel-local swap sequence
+  idx jb = 0;
+};
+
+// Priority bands implementing the look-ahead-of-1 policy: the panel path
+// (P/L, then the U/S tasks of column k+1 that unblock panel k+1) always
+// outranks ordinary trailing updates of ANY iteration, so the next panel
+// races ahead as soon as its column is up to date. With lookahead off, all
+// tasks share one priority and the scheduler degenerates to dependency +
+// FIFO order (fork-join-like).
+struct Priorities {
+  idx n_panels;
+  bool lookahead;
+
+  int panel(idx k) const {
+    return lookahead ? 2000000000 - static_cast<int>(k) * 4 : 0;
+  }
+  int lfactor(idx k) const {
+    return lookahead ? 2000000000 - static_cast<int>(k) * 4 - 1 : 0;
+  }
+  int ufactor(idx k, idx j) const {
+    if (!lookahead) return 0;
+    if (j == k + 1) return 1000000000 - static_cast<int>(k) * 4;
+    return 1000000 - static_cast<int>(k * 1000 + (j - k));
+  }
+  int update(idx k, idx j) const {
+    if (!lookahead) return 0;
+    if (j == k + 1) return 1000000000 - static_cast<int>(k) * 4 - 1;
+    return 1000000 - static_cast<int>(k * 1000 + (j - k)) - 1;
+  }
+};
+
+void add_tile_range(std::vector<BlockAccess>& acc, idx i0, idx i1, idx j,
+                    AccessMode mode) {
+  for (idx i = i0; i < i1; ++i) acc.push_back({tile_key(i, j), mode});
+}
+
+}  // namespace
+
+CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
+  const idx m = a.rows();
+  const idx n = a.cols();
+  const idx k_total = std::min(m, n);
+  const idx b = std::max<idx>(1, std::min(opts.b, k_total));
+  const idx n_panels = (k_total + b - 1) / b;
+  const idx n_blocks = (n + b - 1) / b;  // column blocks
+  const idx m_blocks = (m + b - 1) / b;  // row blocks (tracker granularity)
+
+  CaluResult result;
+  result.ipiv.assign(static_cast<std::size_t>(k_total), 0);
+  std::vector<idx> panel_info(static_cast<std::size_t>(n_panels), 0);
+
+  rt::TaskGraph graph({opts.num_threads, opts.record_trace, opts.scheduler});
+  rt::DepTracker tracker;
+  const Priorities prio{n_panels, opts.lookahead};
+
+  std::vector<std::unique_ptr<IterState>> iters;
+  iters.reserve(static_cast<std::size_t>(n_panels));
+
+  // Task ids are assigned densely in submission order, so the id can be
+  // known before submit() and used to register the block accesses.
+  TaskId next_id = 0;
+  auto add_task = [&](const std::vector<BlockAccess>& acc,
+                      rt::TaskOptions topts,
+                      std::function<void()> fn) -> TaskId {
+    const std::vector<TaskId> deps = tracker.depends(next_id, acc);
+    const TaskId id = graph.submit(deps, std::move(topts), std::move(fn));
+    assert(id == next_id);
+    ++next_id;
+    return id;
+  };
+
+  for (idx k = 0; k < n_panels; ++k) {
+    const idx row0 = k * b;                        // panel top row
+    const idx jb = std::min(b, k_total - row0);    // panel width
+    const idx col0 = row0;                         // panel left column
+    const idx panel_rows = m - row0;
+    const idx kb = row0 / b;                       // block row/col index
+
+    auto st = std::make_unique<IterState>();
+    st->jb = jb;
+    st->part = partition_panel_rows(panel_rows, b, opts.tr, jb);
+    const idx leaves = st->part.count();
+    st->slot.resize(static_cast<std::size_t>(leaves));
+    IterState* S = st.get();
+    iters.push_back(std::move(st));
+
+    MatrixView panel = a.block(row0, col0, panel_rows, jb);
+
+    // --- Task P (leaves): tournament round 1.
+    for (idx i = 0; i < leaves; ++i) {
+      const idx lstart = S->part.start[static_cast<std::size_t>(i)];
+      const idx lrows = S->part.rows[static_cast<std::size_t>(i)];
+      std::vector<BlockAccess> acc;
+      add_tile_range(acc, kb + lstart / b, kb + (lstart + lrows + b - 1) / b,
+                     kb, AccessMode::Read);
+      acc.push_back({cand_key(k, i), AccessMode::Write});
+      rt::TaskOptions topts;
+      topts.kind = TaskKind::Panel;
+      topts.iteration = static_cast<int>(k);
+      topts.priority = prio.panel(k);
+      topts.label = "leaf" + std::to_string(i);
+      const lapack::LuPanelKernel kern = opts.leaf_kernel;
+      add_task(acc, std::move(topts), [S, panel, lstart, lrows, i, b, kern]() {
+        S->slot[static_cast<std::size_t>(i)] = tournament_leaf(
+            panel.block(lstart, 0, lrows, panel.cols()), lstart, b, kern);
+      });
+    }
+
+    // --- Task P (tree nodes).
+    for (const ReductionStep& step :
+         reduction_schedule(static_cast<int>(leaves), opts.tree)) {
+      std::vector<BlockAccess> acc;
+      acc.push_back(
+          {cand_key(k, step.sources.front()), AccessMode::ReadWrite});
+      for (std::size_t s = 1; s < step.sources.size(); ++s) {
+        acc.push_back({cand_key(k, step.sources[s]), AccessMode::Read});
+      }
+      rt::TaskOptions topts;
+      topts.kind = TaskKind::Panel;
+      topts.iteration = static_cast<int>(k);
+      topts.priority = prio.panel(k);
+      topts.label = "node l" + std::to_string(step.level);
+      std::vector<int> sources = step.sources;
+      const lapack::LuPanelKernel kern = opts.leaf_kernel;
+      add_task(acc, std::move(topts), [S, sources, b, kern]() {
+        std::vector<const Candidates*> srcs;
+        srcs.reserve(sources.size());
+        for (int s : sources) {
+          srcs.push_back(&S->slot[static_cast<std::size_t>(s)]);
+        }
+        Candidates combined = tournament_combine(srcs, b, kern);
+        S->slot[static_cast<std::size_t>(sources.front())] =
+            std::move(combined);
+      });
+    }
+
+    // --- Task P (pivot placement): build the swap sequence, swap the panel
+    // rows, install the root's packed LU as the top jb x jb block.
+    {
+      std::vector<BlockAccess> acc;
+      acc.push_back({cand_key(k, 0), AccessMode::Read});
+      acc.push_back({piv_key(k), AccessMode::Write});
+      add_tile_range(acc, kb, m_blocks, kb, AccessMode::ReadWrite);
+      rt::TaskOptions topts;
+      topts.kind = TaskKind::Panel;
+      topts.iteration = static_cast<int>(k);
+      topts.priority = prio.panel(k);
+      topts.label = "pivot";
+      PivotVector* global_ipiv = &result.ipiv;
+      idx* info_slot = &panel_info[static_cast<std::size_t>(k)];
+      add_task(acc, std::move(topts),
+               [S, panel, row0, jb, global_ipiv, info_slot]() {
+        const Candidates& root = S->slot[0];
+        S->piv = winners_to_pivots(root.row_index, panel.rows());
+        lapack::laswp(panel, 0, jb, S->piv);
+        copy_into(root.lu_top.view().block(0, 0, jb, jb),
+                  panel.rows_range(0, jb));
+        for (idx j = 0; j < jb; ++j) {
+          (*global_ipiv)[static_cast<std::size_t>(row0 + j)] =
+              row0 + S->piv[static_cast<std::size_t>(j)];
+          if (panel(j, j) == 0.0 && *info_slot == 0) *info_slot = row0 + j + 1;
+        }
+      });
+    }
+
+    // --- Task L: remaining rows of the panel's L factor, one task per leaf.
+    for (idx i = 0; i < leaves; ++i) {
+      idx lstart = S->part.start[static_cast<std::size_t>(i)];
+      idx lrows = S->part.rows[static_cast<std::size_t>(i)];
+      if (i == 0) {  // top jb rows already hold L_KK/U_KK
+        lstart += jb;
+        lrows -= jb;
+      }
+      if (lrows <= 0) continue;
+      std::vector<BlockAccess> acc;
+      acc.push_back({tile_key(kb, kb), AccessMode::Read});  // U_KK
+      add_tile_range(acc, kb + lstart / b, kb + (lstart + lrows + b - 1) / b,
+                     kb, AccessMode::ReadWrite);
+      rt::TaskOptions topts;
+      topts.kind = TaskKind::LFactor;
+      topts.iteration = static_cast<int>(k);
+      topts.priority = prio.lfactor(k);
+      topts.label = "L" + std::to_string(i);
+      add_task(acc, std::move(topts), [panel, lstart, lrows, jb]() {
+        blas::trsm(blas::Side::Right, blas::Uplo::Upper, blas::Trans::NoTrans,
+                   blas::Diag::NonUnit, 1.0, panel.rows_range(0, jb),
+                   panel.rows_range(lstart, lrows));
+      });
+    }
+
+    // Trailing column segments: when the (last) panel is narrower than its
+    // column block, the leftover columns of block kb still need this
+    // iteration's U treatment; then the full blocks to the right, grouped
+    // into super-blocks of update_cols_per_task panels (the Section V
+    // "B > b" extension; 1 recovers the base algorithm).
+    struct ColSegment {
+      idx col0, cols, jblk0, jblk1;  // [jblk0, jblk1) tile columns
+    };
+    std::vector<ColSegment> segments;
+    if (col0 + jb < std::min(n, (kb + 1) * b)) {
+      segments.push_back(
+          {col0 + jb, std::min(n, (kb + 1) * b) - (col0 + jb), kb, kb + 1});
+    }
+    const idx group = std::max<idx>(1, opts.update_cols_per_task);
+    for (idx jblk = kb + 1; jblk < n_blocks; jblk += group) {
+      const idx jend = std::min(n_blocks, jblk + group);
+      const idx jcol0 = jblk * b;
+      segments.push_back(
+          {jcol0, std::min(n, jend * b) - jcol0, jblk, jend});
+    }
+
+    // --- Task U per trailing column segment: permute, then triangular
+    // solve.
+    for (const ColSegment& seg : segments) {
+      const idx jblk = seg.jblk0;
+      const idx jcol0 = seg.col0;
+      const idx jcols = seg.cols;
+      std::vector<BlockAccess> acc;
+      acc.push_back({piv_key(k), AccessMode::Read});
+      acc.push_back({tile_key(kb, kb), AccessMode::Read});  // L_KK
+      for (idx j2 = seg.jblk0; j2 < seg.jblk1; ++j2) {
+        add_tile_range(acc, kb, m_blocks, j2, AccessMode::ReadWrite);
+      }
+      rt::TaskOptions topts;
+      topts.kind = TaskKind::UFactor;
+      topts.iteration = static_cast<int>(k);
+      topts.priority = prio.ufactor(k, jblk);
+      topts.label = "U j" + std::to_string(jblk);
+      MatrixView col = a.block(row0, jcol0, panel_rows, jcols);
+      MatrixView lkk = a.block(row0, col0, jb, jb);
+      add_task(acc, std::move(topts), [S, col, lkk, jb]() {
+        lapack::laswp(col, 0, jb, S->piv);
+        blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::NoTrans,
+                   blas::Diag::Unit, 1.0, lkk, col.rows_range(0, jb));
+      });
+    }
+
+    // --- Task S per (leaf, trailing column segment): gemm update.
+    for (const ColSegment& seg : segments) {
+      const idx jblk = seg.jblk0;
+      const idx jcol0 = seg.col0;
+      const idx jcols = seg.cols;
+      for (idx i = 0; i < leaves; ++i) {
+        idx lstart = S->part.start[static_cast<std::size_t>(i)];
+        idx lrows = S->part.rows[static_cast<std::size_t>(i)];
+        if (i == 0) {
+          lstart += jb;
+          lrows -= jb;
+        }
+        if (lrows <= 0) continue;
+        std::vector<BlockAccess> acc;
+        add_tile_range(acc, kb + lstart / b,
+                       kb + (lstart + lrows + b - 1) / b, kb,
+                       AccessMode::Read);                    // L blocks
+        for (idx j2 = seg.jblk0; j2 < seg.jblk1; ++j2) {
+          acc.push_back({tile_key(kb, j2), AccessMode::Read});  // U row
+          add_tile_range(acc, kb + lstart / b,
+                         kb + (lstart + lrows + b - 1) / b, j2,
+                         AccessMode::ReadWrite);
+        }
+        rt::TaskOptions topts;
+        topts.kind = TaskKind::Update;
+        topts.iteration = static_cast<int>(k);
+        topts.priority = prio.update(k, jblk);
+        topts.label = "S i" + std::to_string(i) + " j" + std::to_string(jblk);
+        MatrixView lblk = a.block(row0 + lstart, col0, lrows, jb);
+        MatrixView ublk = a.block(row0, jcol0, jb, jcols);
+        MatrixView cblk = a.block(row0 + lstart, jcol0, lrows, jcols);
+        add_task(acc, std::move(topts), [lblk, ublk, cblk]() {
+          blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, -1.0, lblk,
+                     ublk, 1.0, cblk);
+        });
+      }
+    }
+  }
+
+  // --- Deferred left swaps (Algorithm 1, line 41), one task per column
+  // block: apply the pivots of every later iteration, in order.
+  for (idx jblk = 0; jblk < n_blocks && jblk * b < k_total; ++jblk) {
+    const idx jcol0 = jblk * b;
+    const idx jcols = std::min(b, n - jcol0);
+    std::vector<BlockAccess> acc;
+    for (idx kk = jblk + 1; kk < n_panels; ++kk) {
+      acc.push_back({piv_key(kk), AccessMode::Read});
+    }
+    if (acc.empty()) continue;
+    add_tile_range(acc, jblk + 1, m_blocks, jblk, AccessMode::ReadWrite);
+    rt::TaskOptions topts;
+    topts.kind = TaskKind::Generic;
+    topts.iteration = static_cast<int>(n_panels - 1);
+    topts.priority = 0;
+    topts.label = "lswap j" + std::to_string(jblk);
+    std::vector<IterState*> later;
+    for (idx kk = jblk + 1; kk < n_panels; ++kk) {
+      later.push_back(iters[static_cast<std::size_t>(kk)].get());
+    }
+    MatrixView colv = a.block(0, jcol0, m, jcols);
+    const idx jb_here = jblk;
+    add_task(acc, std::move(topts), [later, colv, jb_here, b]() {
+      idx kk = jb_here + 1;
+      for (IterState* it : later) {
+        MatrixView below = colv.trailing(kk * b, 0);
+        lapack::laswp(below, 0, it->jb, it->piv);
+        ++kk;
+      }
+    });
+  }
+
+  graph.wait();
+
+  for (idx inf : panel_info) {
+    if (inf != 0) {
+      result.info = inf;
+      break;
+    }
+  }
+  if (opts.record_trace) {
+    result.trace = graph.trace();
+    result.edges = graph.edges();
+  }
+  return result;
+}
+
+}  // namespace camult::core

@@ -1,0 +1,54 @@
+// calu.hpp — multithreaded CALU (paper Algorithm 1).
+//
+// Right-looking LU over block columns. Each panel is factored by
+// task-parallel TSLU (tournament pivoting over a reduction tree); the
+// trailing matrix is updated by independent U (triangular solve) and S
+// (gemm) tasks. All tasks run on the dynamic runtime with dependencies
+// inferred from block accesses, and the look-ahead-of-1 priority policy
+// keeps the panel factorization's critical path hot.
+//
+// Row interchanges to the right of the panel are applied inside the U tasks;
+// interchanges to the left are deferred and applied by per-column cleanup
+// tasks at the end, exactly as in the paper (Algorithm 1, line 41).
+#pragma once
+
+#include "core/options.hpp"
+#include "lapack/getrf.hpp"
+#include "matrix/permutation.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace camult::core {
+
+struct CaluOptions {
+  idx b = 100;         ///< panel width (block size)
+  idx tr = 4;          ///< panel task count T_r
+  ReductionTree tree = ReductionTree::Binary;
+  /// GEPP kernel inside the tournament (see TsluOptions::leaf_kernel).
+  lapack::LuPanelKernel leaf_kernel = lapack::LuPanelKernel::Recursive;
+  int num_threads = 4; ///< worker threads; 0 = inline serial (record mode)
+  bool lookahead = true;  ///< look-ahead-of-1 priorities (paper Section III)
+  bool record_trace = true;
+  /// Scheduler policy for real-thread mode (see rt::TaskGraph::Policy).
+  rt::TaskGraph::Policy scheduler = rt::TaskGraph::Policy::CentralPriority;
+  /// The paper's Section V future-work extension: perform the trailing
+  /// update on column super-blocks of `update_cols_per_task` panels (B =
+  /// this * b), reducing the task count and improving BLAS-3 granularity at
+  /// the cost of available parallelism. 1 = the paper's base algorithm.
+  idx update_cols_per_task = 1;
+};
+
+struct CaluResult {
+  /// Global LAPACK-convention swap sequence (length min(m, n)).
+  PivotVector ipiv;
+  /// 0, or 1-based index of the first exactly-zero pivot.
+  idx info = 0;
+  /// Executed task trace and DAG edges (for Gantt rendering and the
+  /// simulated-multicore replayer). Empty if record_trace is false.
+  std::vector<rt::TaskRecord> trace;
+  std::vector<rt::TaskGraph::Edge> edges;
+};
+
+/// Factor A = P L U in place (same storage convention as getrf).
+CaluResult calu_factor(MatrixView a, const CaluOptions& opts = {});
+
+}  // namespace camult::core

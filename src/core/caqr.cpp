@@ -1,0 +1,316 @@
+#include "core/caqr.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "core/partition.hpp"
+#include "matrix/norms.hpp"
+#include "runtime/dep_tracker.hpp"
+
+namespace camult::core {
+namespace {
+
+using rt::AccessMode;
+using rt::BlockAccess;
+using rt::TaskId;
+using rt::TaskKind;
+
+rt::BlockKey tile_key(idx i, idx j) { return rt::block_key(i, j); }
+rt::BlockKey leaf_key(idx k, idx slot) {
+  return (idx{1} << 60) + k * 8192 + slot;
+}
+rt::BlockKey node_key(idx k, idx node) {
+  return (idx{1} << 61) + k * 8192 + node;
+}
+
+// Same banded look-ahead scheme as CALU (see calu.cpp): panel path on top,
+// then the next panel's column updates, then ordinary updates.
+struct Priorities {
+  idx n_panels;
+  bool lookahead;
+  int panel(idx k) const {
+    return lookahead ? 2000000000 - static_cast<int>(k) * 4 : 0;
+  }
+  int update(idx k, idx j) const {
+    if (!lookahead) return 0;
+    if (j == k + 1) return 1000000000 - static_cast<int>(k) * 4;
+    return 1000000 - static_cast<int>(k * 1000 + (j - k));
+  }
+};
+
+void add_tile_range(std::vector<BlockAccess>& acc, idx i0, idx i1, idx j,
+                    AccessMode mode) {
+  for (idx i = i0; i < i1; ++i) acc.push_back({tile_key(i, j), mode});
+}
+
+}  // namespace
+
+CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
+  const idx m = a.rows();
+  const idx n = a.cols();
+  const idx k_total = std::min(m, n);
+  const idx b = std::max<idx>(1, std::min(opts.b, k_total));
+  const idx n_panels = (k_total + b - 1) / b;
+  const idx n_blocks = (n + b - 1) / b;
+
+  CaqrResult result;
+  result.m = m;
+  result.n = n;
+  result.iterations.resize(static_cast<std::size_t>(n_panels));
+
+  rt::TaskGraph graph({opts.num_threads, opts.record_trace, opts.scheduler});
+  rt::DepTracker tracker;
+  const Priorities prio{n_panels, opts.lookahead};
+
+  TaskId next_id = 0;
+  auto add_task = [&](const std::vector<BlockAccess>& acc,
+                      rt::TaskOptions topts,
+                      std::function<void()> fn) -> TaskId {
+    const std::vector<TaskId> deps = tracker.depends(next_id, acc);
+    const TaskId id = graph.submit(deps, std::move(topts), std::move(fn));
+    assert(id == next_id);
+    ++next_id;
+    return id;
+  };
+
+  for (idx k = 0; k < n_panels; ++k) {
+    const idx row0 = k * b;
+    const idx jb = std::min(b, k_total - row0);
+    const idx panel_rows = m - row0;
+    const idx kb = row0 / b;
+
+    CaqrIterationFactors& F = result.iterations[static_cast<std::size_t>(k)];
+    F.row0 = row0;
+    F.jb = jb;
+    F.part = partition_panel_rows(panel_rows, b, opts.tr, jb);
+    const idx leaves = F.part.count();
+    F.leaves.resize(static_cast<std::size_t>(leaves));
+    const auto schedule =
+        reduction_schedule(static_cast<int>(leaves), opts.tree);
+    F.nodes.resize(schedule.size());
+
+    MatrixView panel = a.block(row0, row0, panel_rows, jb);
+
+    // --- Task P (leaves): QR of each leaf block.
+    for (idx i = 0; i < leaves; ++i) {
+      const idx lstart = F.part.start[static_cast<std::size_t>(i)];
+      const idx lrows = F.part.rows[static_cast<std::size_t>(i)];
+      std::vector<BlockAccess> acc;
+      add_tile_range(acc, kb + lstart / b, kb + (lstart + lrows + b - 1) / b,
+                     kb, AccessMode::ReadWrite);
+      acc.push_back({leaf_key(k, i), AccessMode::Write});
+      rt::TaskOptions topts;
+      topts.kind = TaskKind::Panel;
+      topts.iteration = static_cast<int>(k);
+      topts.priority = prio.panel(k);
+      topts.label = "leaf" + std::to_string(i);
+      CaqrIterationFactors* Fp = &F;
+      add_task(acc, std::move(topts), [Fp, panel, lstart, lrows, i]() {
+        Fp->leaves[static_cast<std::size_t>(i)] = tsqr_leaf_kernel(
+            panel.block(lstart, 0, lrows, panel.cols()), lstart);
+      });
+    }
+
+    // Trailing column segments: the leftover columns of the panel's own
+    // block (when jb < b), then all full blocks to the right.
+    struct ColSegment {
+      idx col0, cols, jblk;
+    };
+    std::vector<ColSegment> segments;
+    if (row0 + jb < std::min(n, (kb + 1) * b)) {
+      segments.push_back(
+          {row0 + jb, std::min(n, (kb + 1) * b) - (row0 + jb), kb});
+    }
+    for (idx jblk = kb + 1; jblk < n_blocks; ++jblk) {
+      segments.push_back({jblk * b, std::min(b, n - jblk * b), jblk});
+    }
+
+    // --- Task S (leaf updates): apply each leaf's reflector to its rows of
+    // every trailing column segment.
+    for (const ColSegment& seg : segments) {
+      const idx jblk = seg.jblk;
+      const idx jcol0 = seg.col0;
+      const idx jcols = seg.cols;
+      for (idx i = 0; i < leaves; ++i) {
+        const idx lstart = F.part.start[static_cast<std::size_t>(i)];
+        const idx lrows = F.part.rows[static_cast<std::size_t>(i)];
+        std::vector<BlockAccess> acc;
+        acc.push_back({leaf_key(k, i), AccessMode::Read});
+        add_tile_range(acc, kb + lstart / b,
+                       kb + (lstart + lrows + b - 1) / b, kb,
+                       AccessMode::Read);  // leaf V tiles
+        add_tile_range(acc, kb + lstart / b,
+                       kb + (lstart + lrows + b - 1) / b, jblk,
+                       AccessMode::ReadWrite);
+        rt::TaskOptions topts;
+        topts.kind = TaskKind::Update;
+        topts.iteration = static_cast<int>(k);
+        topts.priority = prio.update(k, jblk);
+        topts.label = "Sleaf i" + std::to_string(i) + " j" +
+                      std::to_string(jblk);
+        CaqrIterationFactors* Fp = &F;
+        ConstMatrixView panel_c = panel;
+        MatrixView cpart = a.block(row0, jcol0, panel_rows, jcols);
+        add_task(acc, std::move(topts), [Fp, panel_c, cpart, i]() {
+          tsqr_leaf_apply(blas::Trans::Trans, panel_c,
+                          Fp->leaves[static_cast<std::size_t>(i)], cpart);
+        });
+      }
+    }
+
+    // --- Tree: P (node QR) and S (node updates) per reduction step.
+    for (std::size_t step_i = 0; step_i < schedule.size(); ++step_i) {
+      const ReductionStep& step = schedule[step_i];
+      std::vector<idx> src_start;
+      src_start.reserve(step.sources.size());
+      for (int s : step.sources) {
+        src_start.push_back(F.part.start[static_cast<std::size_t>(s)]);
+      }
+
+      {
+        std::vector<BlockAccess> acc;
+        // New R overwrites the target's top tile; other sources' R tiles are
+        // read (their below-triangle V tails are untouched).
+        acc.push_back(
+            {tile_key(kb + src_start[0] / b, kb), AccessMode::ReadWrite});
+        for (std::size_t s = 1; s < src_start.size(); ++s) {
+          acc.push_back(
+              {tile_key(kb + src_start[s] / b, kb), AccessMode::Read});
+        }
+        acc.push_back({node_key(k, static_cast<idx>(step_i)), AccessMode::Write});
+        rt::TaskOptions topts;
+        topts.kind = TaskKind::Panel;
+        topts.iteration = static_cast<int>(k);
+        topts.priority = prio.panel(k);
+        topts.label = "node l" + std::to_string(step.level);
+        CaqrIterationFactors* Fp = &F;
+        const std::size_t slot = step_i;
+        std::vector<idx> starts = src_start;
+        const bool structured =
+            opts.structured_nodes && starts.size() == 2;
+        add_task(acc, std::move(topts),
+                 [Fp, panel, starts, slot, jb, structured]() {
+          if (structured) {
+            Fp->nodes[slot] =
+                tsqr_node_kernel_tri(panel, starts[0], starts[1], jb);
+          } else {
+            Fp->nodes[slot] = tsqr_node_kernel(panel, starts, jb);
+          }
+        });
+      }
+
+      for (const ColSegment& seg : segments) {
+        const idx jblk = seg.jblk;
+        const idx jcol0 = seg.col0;
+        const idx jcols = seg.cols;
+        std::vector<BlockAccess> acc;
+        acc.push_back({node_key(k, static_cast<idx>(step_i)), AccessMode::Read});
+        for (idx s : src_start) {
+          acc.push_back({tile_key(kb + s / b, jblk), AccessMode::ReadWrite});
+        }
+        rt::TaskOptions topts;
+        topts.kind = TaskKind::Update;
+        topts.iteration = static_cast<int>(k);
+        topts.priority = prio.update(k, jblk);
+        topts.label = "Snode l" + std::to_string(step.level) + " j" +
+                      std::to_string(jblk);
+        CaqrIterationFactors* Fp = &F;
+        const std::size_t slot = step_i;
+        MatrixView cpart = a.block(row0, jcol0, panel_rows, jcols);
+        add_task(acc, std::move(topts), [Fp, cpart, slot]() {
+          tsqr_node_apply(blas::Trans::Trans, Fp->nodes[slot], cpart);
+        });
+      }
+    }
+  }
+
+  graph.wait();
+  if (opts.record_trace) {
+    result.trace = graph.trace();
+    result.edges = graph.edges();
+  }
+  return result;
+}
+
+void caqr_apply_q(blas::Trans trans, ConstMatrixView a,
+                  const CaqrResult& factors, MatrixView c) {
+  assert(c.rows() == factors.m);
+  auto apply_iteration = [&](const CaqrIterationFactors& F,
+                             blas::Trans dir) {
+    ConstMatrixView panel =
+        a.block(F.row0, F.row0, factors.m - F.row0, F.jb);
+    MatrixView crows = c.rows_range(F.row0, factors.m - F.row0);
+    if (dir == blas::Trans::Trans) {
+      for (const TsqrLeaf& leaf : F.leaves) {
+        tsqr_leaf_apply(blas::Trans::Trans, panel, leaf, crows);
+      }
+      for (const TsqrNode& node : F.nodes) {
+        tsqr_node_apply(blas::Trans::Trans, node, crows);
+      }
+    } else {
+      for (auto it = F.nodes.rbegin(); it != F.nodes.rend(); ++it) {
+        tsqr_node_apply(blas::Trans::NoTrans, *it, crows);
+      }
+      for (const TsqrLeaf& leaf : F.leaves) {
+        tsqr_leaf_apply(blas::Trans::NoTrans, panel, leaf, crows);
+      }
+    }
+  };
+
+  if (trans == blas::Trans::Trans) {
+    for (const CaqrIterationFactors& F : factors.iterations) {
+      apply_iteration(F, blas::Trans::Trans);
+    }
+  } else {
+    for (auto it = factors.iterations.rbegin();
+         it != factors.iterations.rend(); ++it) {
+      apply_iteration(*it, blas::Trans::NoTrans);
+    }
+  }
+}
+
+Matrix caqr_explicit_q(ConstMatrixView a, const CaqrResult& factors) {
+  const idx k = std::min(factors.m, factors.n);
+  Matrix q = Matrix::identity(factors.m, k);
+  caqr_apply_q(blas::Trans::NoTrans, a, factors, q.view());
+  return q;
+}
+
+Matrix caqr_extract_r(ConstMatrixView a, const CaqrResult& factors) {
+  const idx k = std::min(factors.m, factors.n);
+  Matrix r = Matrix::zeros(k, factors.n);
+  for (idx j = 0; j < factors.n; ++j) {
+    const idx top = std::min(j + 1, k);
+    for (idx i = 0; i < top; ++i) r(i, j) = a(i, j);
+  }
+  return r;
+}
+
+double caqr_residual(ConstMatrixView a_orig, ConstMatrixView a_factored,
+                     const CaqrResult& factors) {
+  const idx m = factors.m;
+  const idx n = factors.n;
+  const idx k = std::min(m, n);
+  Matrix qr = Matrix::zeros(m, n);
+  Matrix r = caqr_extract_r(a_factored, factors);
+  copy_into(r.view(), qr.view().rows_range(0, k));
+  caqr_apply_q(blas::Trans::NoTrans, a_factored, factors, qr.view());
+  double diff2 = 0.0;
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      const double d = qr(i, j) - a_orig(i, j);
+      diff2 += d * d;
+    }
+  }
+  const double na = norm_fro(a_orig);
+  if (na == 0.0) return std::sqrt(diff2);
+  return std::sqrt(diff2) /
+         (na * static_cast<double>(std::max(m, n)) *
+          std::numeric_limits<double>::epsilon());
+}
+
+}  // namespace camult::core

@@ -1,0 +1,70 @@
+// caqr.hpp — multithreaded CAQR (paper Algorithm 2).
+//
+// Right-looking QR over block columns. Each panel is factored by
+// task-parallel TSQR; unlike CALU the panel is factored only once, and the
+// reduction tree also drives the trailing-matrix updates: leaf updates apply
+// each leaf's block reflector to its rows, node updates apply each tree
+// node's reflector to the stacked b-row slices it combined.
+//
+// The Q factor is implicit: leaf reflector tails stay in the matrix, tree
+// node reflectors live in the returned per-iteration factors; caqr_apply_q
+// replays them.
+#pragma once
+
+#include "core/options.hpp"
+#include "core/tsqr.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace camult::core {
+
+struct CaqrOptions {
+  idx b = 100;         ///< panel width (block size)
+  idx tr = 4;          ///< panel task count T_r
+  ReductionTree tree = ReductionTree::Flat;  ///< paper's preferred CAQR tree
+  int num_threads = 4; ///< worker threads; 0 = inline serial (record mode)
+  bool lookahead = true;
+  bool record_trace = true;
+  /// Scheduler policy for real-thread mode (see rt::TaskGraph::Policy).
+  rt::TaskGraph::Policy scheduler = rt::TaskGraph::Policy::CentralPriority;
+  /// Structured tpqrt kernels for binary-tree nodes (see TsqrOptions).
+  bool structured_nodes = false;
+};
+
+/// TSQR factors of one panel iteration; row offsets inside `part`, `leaves`
+/// and `nodes` are relative to the panel top (row0).
+struct CaqrIterationFactors {
+  idx row0 = 0;  ///< panel top row (== left column)
+  idx jb = 0;    ///< panel width
+  RowPartition part;
+  std::vector<TsqrLeaf> leaves;
+  std::vector<TsqrNode> nodes;
+};
+
+struct CaqrResult {
+  idx m = 0;
+  idx n = 0;
+  std::vector<CaqrIterationFactors> iterations;
+  std::vector<rt::TaskRecord> trace;
+  std::vector<rt::TaskGraph::Edge> edges;
+};
+
+/// Factor A = Q R in place: on exit the upper triangle holds R; the rest
+/// holds leaf reflector tails referenced by the returned factors.
+CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts = {});
+
+/// C := Q C (NoTrans) or Q^T C (Trans); C has m rows. `a` is the factored
+/// matrix.
+void caqr_apply_q(blas::Trans trans, ConstMatrixView a,
+                  const CaqrResult& factors, MatrixView c);
+
+/// Thin explicit Q (m x min(m, n)).
+Matrix caqr_explicit_q(ConstMatrixView a, const CaqrResult& factors);
+
+/// The min(m,n) x n upper-trapezoidal R.
+Matrix caqr_extract_r(ConstMatrixView a, const CaqrResult& factors);
+
+/// Scaled residual ||A_orig - Q R||_F / (||A||_F * max(m,n) * eps).
+double caqr_residual(ConstMatrixView a_orig, ConstMatrixView a_factored,
+                     const CaqrResult& factors);
+
+}  // namespace camult::core

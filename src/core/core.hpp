@@ -1,0 +1,12 @@
+// core.hpp — umbrella header for the communication-avoiding algorithms
+// (the paper's contribution).
+#pragma once
+
+#include "core/calu.hpp"       // IWYU pragma: export
+#include "core/caqr.hpp"       // IWYU pragma: export
+#include "core/drivers.hpp"    // IWYU pragma: export
+#include "core/options.hpp"    // IWYU pragma: export
+#include "core/partition.hpp"  // IWYU pragma: export
+#include "core/tournament.hpp" // IWYU pragma: export
+#include "core/tslu.hpp"       // IWYU pragma: export
+#include "core/tsqr.hpp"       // IWYU pragma: export

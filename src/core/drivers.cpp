@@ -1,0 +1,35 @@
+#include "core/drivers.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "blas/blas.hpp"
+#include "lapack/solve.hpp"
+
+namespace camult::core {
+
+idx calu_gesv(MatrixView a, MatrixView b, const CaluOptions& opts) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("calu_gesv: matrix must be square");
+  }
+  assert(b.rows() == a.rows());
+  CaluResult res = calu_factor(a, opts);
+  if (res.info != 0) return res.info;
+  lapack::getrs(blas::Trans::NoTrans, a, res.ipiv, b);
+  return 0;
+}
+
+void caqr_least_squares(MatrixView a, MatrixView b, const CaqrOptions& opts) {
+  const idx n = a.cols();
+  if (a.rows() < n) {
+    throw std::invalid_argument("caqr_least_squares: matrix must be tall");
+  }
+  assert(b.rows() == a.rows());
+  CaqrResult res = caqr_factor(a, opts);
+  caqr_apply_q(blas::Trans::Trans, a, res, b);
+  blas::trsm(blas::Side::Left, blas::Uplo::Upper, blas::Trans::NoTrans,
+             blas::Diag::NonUnit, 1.0, a.block(0, 0, n, n),
+             b.rows_range(0, n));
+}
+
+}  // namespace camult::core

@@ -1,0 +1,21 @@
+// drivers.hpp — one-call solver drivers on top of the communication-
+// avoiding factorizations.
+#pragma once
+
+#include "core/calu.hpp"
+#include "core/caqr.hpp"
+
+namespace camult::core {
+
+/// Factor A (n x n, destroyed) with CALU and solve A X = B in place
+/// (B is n x nrhs). Returns 0 or the 1-based index of the first zero pivot
+/// (B untouched on failure).
+idx calu_gesv(MatrixView a, MatrixView b, const CaluOptions& opts = {});
+
+/// Least squares min ||A X - B||_F for tall A (m >= n, destroyed) via
+/// CAQR. B is m x nrhs on entry; the n x nrhs solution occupies its first
+/// n rows on exit.
+void caqr_least_squares(MatrixView a, MatrixView b,
+                        const CaqrOptions& opts = {});
+
+}  // namespace camult::core

@@ -1,0 +1,23 @@
+// options.hpp — shared configuration types for the communication-avoiding
+// algorithms.
+#pragma once
+
+#include "matrix/view.hpp"
+
+namespace camult::core {
+
+/// Shape of the panel reduction tree (paper, Section II): a binary tree
+/// minimizes parallel communication; a height-1 ("flat") tree does one
+/// all-at-once reduction and is an efficient alternative on shared memory.
+enum class ReductionTree {
+  Binary,
+  Flat,
+  /// Flat reductions over small groups of leaves, then a binary tree over
+  /// the group roots — the shape the paper's conclusion attributes to
+  /// Hadri et al. (LAWN 222) for tall-skinny QR on multicore.
+  Hybrid,
+};
+
+const char* reduction_tree_name(ReductionTree t);
+
+}  // namespace camult::core

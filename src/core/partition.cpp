@@ -1,0 +1,103 @@
+#include "core/partition.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace camult::core {
+
+const char* reduction_tree_name(ReductionTree t) {
+  switch (t) {
+    case ReductionTree::Binary: return "binary";
+    case ReductionTree::Flat: return "flat";
+    case ReductionTree::Hybrid: return "hybrid";
+  }
+  return "?";
+}
+
+RowPartition partition_panel_rows(idx panel_rows, idx b, idx tr,
+                                  idx min_leaf_rows) {
+  if (panel_rows <= 0 || b <= 0 || tr <= 0) {
+    throw std::invalid_argument("partition_panel_rows: bad arguments");
+  }
+  assert(min_leaf_rows <= panel_rows);
+  const idx blocks = (panel_rows + b - 1) / b;  // number of b-row tiles
+
+  // Find the largest feasible leaf count <= tr: with chunk = ceil(blocks/t)
+  // tiles per leaf, every leaf must have at least min_leaf_rows rows. Only
+  // the last leaf can be short, so it suffices to check it.
+  for (idx t = std::min(tr, blocks); t >= 1; --t) {
+    const idx chunk = (blocks + t - 1) / t;
+    // Number of leaves actually produced with this chunk.
+    const idx produced = (blocks + chunk - 1) / chunk;
+    const idx last_start_block = (produced - 1) * chunk;
+    const idx last_rows = panel_rows - last_start_block * b;
+    if (last_rows < min_leaf_rows && produced > 1) continue;
+
+    RowPartition part;
+    for (idx i = 0; i < produced; ++i) {
+      const idx start = i * chunk * b;
+      const idx end = std::min(panel_rows, (i + 1) * chunk * b);
+      part.start.push_back(start);
+      part.rows.push_back(end - start);
+    }
+    return part;
+  }
+  // Fall back to a single leaf spanning the panel.
+  RowPartition part;
+  part.start.push_back(0);
+  part.rows.push_back(panel_rows);
+  return part;
+}
+
+std::vector<ReductionStep> reduction_schedule(int leaves, ReductionTree tree,
+                                              int hybrid_group) {
+  std::vector<ReductionStep> steps;
+  if (leaves <= 1) return steps;
+  if (tree == ReductionTree::Flat) {
+    ReductionStep s;
+    s.level = 1;
+    for (int i = 0; i < leaves; ++i) s.sources.push_back(i);
+    steps.push_back(std::move(s));
+    return steps;
+  }
+  if (tree == ReductionTree::Hybrid) {
+    const int g = std::max(hybrid_group, 2);
+    // Flat combine within each group of g consecutive leaves...
+    std::vector<int> roots;
+    for (int i = 0; i < leaves; i += g) {
+      const int end = std::min(leaves, i + g);
+      roots.push_back(i);
+      if (end - i >= 2) {
+        ReductionStep s;
+        s.level = 1;
+        for (int v = i; v < end; ++v) s.sources.push_back(v);
+        steps.push_back(std::move(s));
+      }
+    }
+    // ...then a binary tree over the group roots.
+    int level = 2;
+    for (std::size_t stride = 1; stride < roots.size(); stride *= 2) {
+      for (std::size_t i = 0; i + stride < roots.size(); i += 2 * stride) {
+        ReductionStep s;
+        s.level = level;
+        s.sources = {roots[i], roots[i + stride]};
+        steps.push_back(std::move(s));
+      }
+      ++level;
+    }
+    return steps;
+  }
+  // Binary tree: at level l, slot i (i % 2^l == 0) absorbs slot i+2^(l-1).
+  for (int stride = 1; stride < leaves; stride *= 2) {
+    for (int i = 0; i + stride < leaves; i += 2 * stride) {
+      ReductionStep s;
+      s.level = 0;
+      for (int v = stride; v > 0; v /= 2) ++s.level;  // log2(stride)+1
+      s.sources = {i, i + stride};
+      steps.push_back(std::move(s));
+    }
+  }
+  return steps;
+}
+
+}  // namespace camult::core

@@ -1,0 +1,44 @@
+// partition.hpp — panel row partitioning and reduction-tree enumeration.
+//
+// At every iteration the active rows are split into Tr leaf blocks (the
+// paper's I1/I2 formula, in units of the block size b so that leaf
+// boundaries coincide with tile boundaries). The reduction tree is described
+// as an ordered list of combine steps over leaf indices, which both TSLU and
+// TSQR execute with their own node kernels.
+#pragma once
+
+#include <vector>
+
+#include "core/options.hpp"
+
+namespace camult::core {
+
+/// Row ranges (relative to the top of the panel) of the Tr leaf blocks.
+struct RowPartition {
+  std::vector<idx> start;  ///< first row of each leaf
+  std::vector<idx> rows;   ///< row count of each leaf (all >= min_leaf_rows)
+  idx count() const { return static_cast<idx>(start.size()); }
+};
+
+/// Partition `panel_rows` rows into at most `tr` leaves whose boundaries are
+/// multiples of `b` (except the ragged end) and which each have at least
+/// `min_leaf_rows` rows. The leaf count is reduced below `tr` when the panel
+/// is too short; at least one leaf is always returned (panel_rows >= 1).
+RowPartition partition_panel_rows(idx panel_rows, idx b, idx tr,
+                                  idx min_leaf_rows);
+
+/// One reduction step: `sources` (>= 2 leaf slots, first is the target slot)
+/// are combined and the result replaces the target slot's contribution.
+struct ReductionStep {
+  int level;                ///< 1-based tree level (flat tree: always 1)
+  std::vector<int> sources; ///< leaf slots, sources[0] is the target
+};
+
+/// Enumerate the combine steps for `leaves` leaf slots. Binary: pairwise
+/// levels as in the paper's figures. Flat: a single step combining all
+/// leaves. Hybrid: flat groups of `hybrid_group` leaves, then binary over
+/// the group roots. No steps when leaves == 1.
+std::vector<ReductionStep> reduction_schedule(int leaves, ReductionTree tree,
+                                              int hybrid_group = 4);
+
+}  // namespace camult::core

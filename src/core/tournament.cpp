@@ -1,0 +1,115 @@
+#include "core/tournament.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "lapack/getf2.hpp"
+#include "lapack/getrf.hpp"
+
+namespace camult::core {
+namespace {
+
+// Elect pivots from a stack of candidate rows: GEPP on a scratch copy, then
+// gather the winning rows (original values) and their indices.
+Candidates elect(const Matrix& stacked_values,
+                 const std::vector<idx>& stacked_index, idx b,
+                 lapack::LuPanelKernel kernel) {
+  const idx rows = stacked_values.rows();
+  const idx cols = stacked_values.cols();
+  const idx k = std::min(b, rows);
+
+  Matrix scratch = stacked_values;
+  PivotVector ipiv;
+  // Zero pivots tolerated: the row order is still the GEPP order.
+  if (kernel == lapack::LuPanelKernel::Recursive) {
+    lapack::rgetf2(scratch.view(), ipiv);
+  } else {
+    lapack::getf2(scratch.view(), ipiv);
+  }
+
+  // Positions after applying the swap sequence: permuted[r] = original slot.
+  Permutation perm = ipiv_to_permutation(ipiv, rows);
+
+  Candidates out;
+  out.values = Matrix(k, cols);
+  out.row_index.resize(static_cast<std::size_t>(k));
+  for (idx r = 0; r < k; ++r) {
+    const idx src = perm[static_cast<std::size_t>(r)];
+    for (idx j = 0; j < cols; ++j) out.values(r, j) = stacked_values(src, j);
+    out.row_index[static_cast<std::size_t>(r)] =
+        stacked_index[static_cast<std::size_t>(src)];
+  }
+  // Keep the LU factors of the winners (top k x cols of the factored stack).
+  out.lu_top = Matrix(k, cols);
+  copy_into(scratch.view().rows_range(0, k), out.lu_top.view());
+  return out;
+}
+
+}  // namespace
+
+Candidates tournament_leaf(ConstMatrixView block, idx row_offset, idx b,
+                           lapack::LuPanelKernel kernel) {
+  assert(!block.empty());
+  Matrix values = Matrix::from(block);
+  std::vector<idx> index(static_cast<std::size_t>(block.rows()));
+  for (idx i = 0; i < block.rows(); ++i) {
+    index[static_cast<std::size_t>(i)] = row_offset + i;
+  }
+  return elect(values, index, b, kernel);
+}
+
+Candidates tournament_combine(const std::vector<const Candidates*>& sources,
+                              idx b, lapack::LuPanelKernel kernel) {
+  assert(!sources.empty());
+  const idx cols = sources.front()->values.cols();
+  idx total = 0;
+  for (const Candidates* c : sources) total += c->values.rows();
+
+  Matrix stacked(total, cols);
+  std::vector<idx> index;
+  index.reserve(static_cast<std::size_t>(total));
+  idx row = 0;
+  for (const Candidates* c : sources) {
+    copy_into(c->values.view(),
+              stacked.view().rows_range(row, c->values.rows()));
+    index.insert(index.end(), c->row_index.begin(), c->row_index.end());
+    row += c->values.rows();
+  }
+  return elect(stacked, index, b, kernel);
+}
+
+PivotVector winners_to_pivots(const std::vector<idx>& winners,
+                              idx panel_rows) {
+  // position_of[r] = current row of the panel row that started at r.
+  // Only rows that move are tracked.
+  std::unordered_map<idx, idx> position_of;
+  auto pos = [&](idx original) {
+    auto it = position_of.find(original);
+    return it == position_of.end() ? original : it->second;
+  };
+  std::unordered_map<idx, idx> original_at;  // current row -> original row
+  auto orig = [&](idx current) {
+    auto it = original_at.find(current);
+    return it == original_at.end() ? current : it->second;
+  };
+
+  PivotVector ipiv(winners.size());
+  for (std::size_t k = 0; k < winners.size(); ++k) {
+    const idx dst = static_cast<idx>(k);
+    const idx src = pos(winners[k]);
+    assert(src >= dst && src < panel_rows);
+    (void)panel_rows;
+    ipiv[k] = src;
+    if (src != dst) {
+      const idx orig_dst = orig(dst);
+      const idx orig_src = orig(src);
+      position_of[orig_dst] = src;
+      position_of[orig_src] = dst;
+      original_at[src] = orig_dst;
+      original_at[dst] = orig_src;
+    }
+  }
+  return ipiv;
+}
+
+}  // namespace camult::core

@@ -1,0 +1,46 @@
+// tournament.hpp — tournament-pivoting kernels (the preprocessing step of
+// TSLU, paper Section II).
+//
+// Each node of the reduction tree plays a "match": Gaussian elimination with
+// partial pivoting on the stacked candidate rows elects the b best pivot
+// rows, which advance to the next round. Candidates carry the ORIGINAL row
+// values (the arrow notation's f(A) returns permuted rows of A, not U) plus
+// their global row indices so the final permutation can be reconstructed.
+#pragma once
+
+#include <vector>
+
+#include "lapack/getrf.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/permutation.hpp"
+
+namespace camult::core {
+
+/// A set of <= b candidate pivot rows surviving a tournament round.
+struct Candidates {
+  Matrix values;               ///< r x b candidate rows (original values)
+  std::vector<idx> row_index;  ///< global row index of each candidate row
+  /// Packed LU factors (getf2 layout) of the stacked rows this node
+  /// eliminated, restricted to its top r x b block. Only consumed at the
+  /// root, where it provides L_KK / U_KK for free.
+  Matrix lu_top;
+};
+
+/// Leaf match: GEPP on a copy of `block` (rows of the panel starting at
+/// global row `row_offset`); elects min(b, block.rows()) pivot rows.
+Candidates tournament_leaf(
+    ConstMatrixView block, idx row_offset, idx b,
+    lapack::LuPanelKernel kernel = lapack::LuPanelKernel::Recursive);
+
+/// Internal match: stack the candidate sets and run GEPP on the stack;
+/// elects min(b, total rows) pivot rows. `sources` must be non-empty.
+Candidates tournament_combine(
+    const std::vector<const Candidates*>& sources, idx b,
+    lapack::LuPanelKernel kernel = lapack::LuPanelKernel::Recursive);
+
+/// Convert the winners into a LAPACK-style swap sequence over the panel:
+/// swap step k brings winner k (global row winners[k]) to row k. The
+/// sequence accounts for earlier swaps displacing rows.
+PivotVector winners_to_pivots(const std::vector<idx>& winners, idx panel_rows);
+
+}  // namespace camult::core

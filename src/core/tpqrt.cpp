@@ -1,0 +1,109 @@
+#include "core/tpqrt.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "lapack/householder.hpp"
+
+namespace camult::core {
+
+TriTriFactors tpqrt_tri(MatrixView r1, ConstMatrixView r2) {
+  const idx b = r1.rows();
+  assert(r1.cols() == b && r2.rows() == b && r2.cols() == b);
+
+  TriTriFactors f;
+  f.v2 = Matrix::zeros(b, b);
+  for (idx j = 0; j < b; ++j) {
+    for (idx i = 0; i <= j; ++i) f.v2(i, j) = r2(i, j);
+  }
+  f.t = Matrix::zeros(b, b);
+  std::vector<double> tau(static_cast<std::size_t>(b), 0.0);
+
+  for (idx j = 0; j < b; ++j) {
+    // Reflector annihilating v2(0:j+1, j) against r1(j, j). The vector is
+    // [r1(j,j); v2(0:j, j)] of length j + 2; larfg stores the tails back
+    // into v2's column.
+    double alpha = r1(j, j);
+    tau[static_cast<std::size_t>(j)] =
+        lapack::larfg(j + 2, alpha, f.v2.view().col_ptr(j), 1);
+    r1(j, j) = alpha;
+    const double tauj = tau[static_cast<std::size_t>(j)];
+    if (tauj == 0.0) continue;
+
+    // Apply to the remaining columns c > j:
+    //   w = r1(j, c) + v2(0:j+1, j)^T v2(0:j+1, c)
+    //   r1(j, c)      -= tau * w
+    //   v2(0:j+1, c)  -= tau * w * v2(0:j+1, j)
+    const double* vj = f.v2.view().col_ptr(j);
+    for (idx c = j + 1; c < b; ++c) {
+      double* vc = f.v2.view().col_ptr(c);
+      double w = r1(j, c);
+      for (idx i = 0; i <= j; ++i) w += vj[i] * vc[i];
+      r1(j, c) -= tauj * w;
+      const double s = tauj * w;
+      for (idx i = 0; i <= j; ++i) vc[i] -= s * vj[i];
+    }
+  }
+
+  // T factor over V = [I; V2]: T(k, i) = -tau_i * <V(:,k), V(:,i)> for
+  // k < i reduces to -tau_i * <v2(:,k), v2(:,i)> (the identity rows are
+  // orthogonal), followed by the usual triangular accumulation.
+  for (idx i = 0; i < b; ++i) {
+    const double taui = tau[static_cast<std::size_t>(i)];
+    if (taui == 0.0) {
+      for (idx k = 0; k < i; ++k) f.t(k, i) = 0.0;
+    } else {
+      const double* vi = f.v2.view().col_ptr(i);
+      for (idx k = 0; k < i; ++k) {
+        const double* vk = f.v2.view().col_ptr(k);
+        double s = 0.0;
+        for (idx r = 0; r <= k; ++r) s += vk[r] * vi[r];
+        f.t(k, i) = -taui * s;
+      }
+      blas::trmv(blas::Uplo::Upper, blas::Trans::NoTrans, blas::Diag::NonUnit,
+                 f.t.view().block(0, 0, i, i), f.t.view().col_ptr(i), 1);
+    }
+    f.t(i, i) = taui;
+  }
+  return f;
+}
+
+void tpmqrt_tri(blas::Trans trans, const TriTriFactors& f, MatrixView c1,
+                MatrixView c2) {
+  const idx b = f.v2.rows();
+  assert(c1.rows() == b && c2.rows() == b);
+  assert(c1.cols() == c2.cols());
+  const idx nc = c1.cols();
+  if (nc == 0) return;
+
+  // W = C1 + V2^T C2.
+  Matrix w = Matrix::from(c2);
+  blas::trmm(blas::Side::Left, blas::Uplo::Upper, blas::Trans::Trans,
+             blas::Diag::NonUnit, 1.0, f.v2.view(), w.view());
+  for (idx j = 0; j < nc; ++j) {
+    double* wc = w.view().col_ptr(j);
+    const double* c1c = c1.col_ptr(j);
+    for (idx i = 0; i < b; ++i) wc[i] += c1c[i];
+  }
+  // W := T W (apply Q) or T^T W (apply Q^T).
+  blas::trmm(blas::Side::Left, blas::Uplo::Upper,
+             trans == blas::Trans::NoTrans ? blas::Trans::NoTrans
+                                           : blas::Trans::Trans,
+             blas::Diag::NonUnit, 1.0, f.t.view(), w.view());
+  // C1 -= W; C2 -= V2 W.
+  for (idx j = 0; j < nc; ++j) {
+    double* c1c = c1.col_ptr(j);
+    const double* wc = w.view().col_ptr(j);
+    for (idx i = 0; i < b; ++i) c1c[i] -= wc[i];
+  }
+  blas::trmm(blas::Side::Left, blas::Uplo::Upper, blas::Trans::NoTrans,
+             blas::Diag::NonUnit, 1.0, f.v2.view(), w.view());
+  for (idx j = 0; j < nc; ++j) {
+    double* c2c = c2.col_ptr(j);
+    const double* wc = w.view().col_ptr(j);
+    for (idx i = 0; i < b; ++i) c2c[i] -= wc[i];
+  }
+}
+
+}  // namespace camult::core

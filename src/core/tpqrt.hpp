@@ -1,0 +1,37 @@
+// tpqrt.hpp — structured QR of two stacked upper triangles (LAPACK
+// dtpqrt-style, fully-triangular pentagonal case).
+//
+// A binary-tree TSQR node factors [R1; R2] with BOTH operands b x b upper
+// triangular. The Householder vector of column j then only touches row j of
+// the R1 part and rows 0..j of the R2 part, so V = [I; V2] with V2 upper
+// triangular. Exploiting this halves the node flops versus the dense
+// stacked kernel and turns the block application into triangular
+// multiplies:
+//
+//   Q^T [C1; C2]:  W = C1 + V2^T C2;  W := T^T W (or T W for Q);
+//                  C1 -= W;  C2 -= V2 W.
+#pragma once
+
+#include "blas/types.hpp"
+#include "matrix/matrix.hpp"
+
+namespace camult::core {
+
+/// Factors of one structured node: V2 (upper triangular, the reflector
+/// tails) and the T factor of the compact WY form over [I; V2].
+struct TriTriFactors {
+  Matrix v2;  ///< b x b upper triangular reflector tails
+  Matrix t;   ///< b x b upper triangular T
+};
+
+/// Factor [r1; r2] where both are b x b upper triangular: r1 is updated in
+/// place with the new R; r2 is consumed (read only). Strictly-lower entries
+/// of both operands are ignored.
+TriTriFactors tpqrt_tri(MatrixView r1, ConstMatrixView r2);
+
+/// Apply the node's Q (NoTrans) or Q^T (Trans) to the stacked pair
+/// [c1; c2], each with b rows.
+void tpmqrt_tri(blas::Trans trans, const TriTriFactors& f, MatrixView c1,
+                MatrixView c2);
+
+}  // namespace camult::core

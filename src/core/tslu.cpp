@@ -1,0 +1,77 @@
+#include "core/tslu.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "blas/blas.hpp"
+#include "core/partition.hpp"
+#include "core/tournament.hpp"
+#include "lapack/getf2.hpp"
+#include "lapack/getrf.hpp"
+#include "lapack/laswp.hpp"
+
+namespace camult::core {
+
+idx tslu_factor(MatrixView panel, PivotVector& ipiv, const TsluOptions& opts) {
+  const idx m = panel.rows();
+  const idx b = panel.cols();
+  if (m < b) {
+    throw std::invalid_argument("tslu_factor: panel must be tall (m >= b)");
+  }
+
+  const RowPartition part = partition_panel_rows(m, b, opts.tr, b);
+  const idx leaves = part.count();
+  if (leaves == 1) {
+    // Degenerate tournament: plain GEPP with the configured kernel.
+    return opts.leaf_kernel == lapack::LuPanelKernel::Recursive
+               ? lapack::rgetf2(panel, ipiv)
+               : lapack::getf2(panel, ipiv);
+  }
+
+  // Phase 1: the tournament.
+  std::vector<Candidates> slot(static_cast<std::size_t>(leaves));
+  for (idx i = 0; i < leaves; ++i) {
+    slot[static_cast<std::size_t>(i)] = tournament_leaf(
+        panel.block(part.start[static_cast<std::size_t>(i)], 0,
+                    part.rows[static_cast<std::size_t>(i)], b),
+        part.start[static_cast<std::size_t>(i)], b, opts.leaf_kernel);
+  }
+  for (const ReductionStep& step :
+       reduction_schedule(static_cast<int>(leaves), opts.tree)) {
+    std::vector<const Candidates*> srcs;
+    srcs.reserve(step.sources.size());
+    for (int s : step.sources) {
+      srcs.push_back(&slot[static_cast<std::size_t>(s)]);
+    }
+    Candidates combined = tournament_combine(srcs, b, opts.leaf_kernel);
+    slot[static_cast<std::size_t>(step.sources.front())] =
+        std::move(combined);
+  }
+  const Candidates& root = slot[0];
+  assert(root.values.rows() == b);
+
+  // Phase 2: move the winners to the top and factor.
+  ipiv = winners_to_pivots(root.row_index, m);
+  lapack::laswp(panel, 0, b, ipiv);
+
+  // The root already factored the winning rows: reuse its packed LU as the
+  // top b x b block (L_KK strictly below the diagonal, U_KK on and above).
+  copy_into(root.lu_top.view(), panel.rows_range(0, b));
+
+  idx info = 0;
+  for (idx j = 0; j < b; ++j) {
+    if (panel(j, j) == 0.0 && info == 0) info = j + 1;
+  }
+
+  // Remaining rows of L: solve L(b:m, :) * U_KK = A(b:m, :). As in LAPACK,
+  // an exactly singular panel still completes (divisions by zero produce
+  // infinities and info reports the first zero pivot).
+  if (m > b) {
+    blas::trsm(blas::Side::Right, blas::Uplo::Upper, blas::Trans::NoTrans,
+               blas::Diag::NonUnit, 1.0, panel.rows_range(0, b),
+               panel.rows_range(b, m - b));
+  }
+  return info;
+}
+
+}  // namespace camult::core

@@ -1,0 +1,35 @@
+// tslu.hpp — TSLU: communication-avoiding LU of a tall-skinny panel
+// (sequential driver; the task-parallel version lives inside CALU).
+//
+// Two phases (paper Section II):
+//  1. tournament pivoting over a reduction tree elects b pivot rows;
+//  2. the pivots are swapped to the top and the whole panel is factored
+//     against the b x b LU of the winners (no further pivoting needed).
+//
+// With tr == 1 or b == panel columns the result is bitwise the GEPP
+// factorization (same pivot choices on distinct-magnitude inputs).
+#pragma once
+
+#include "core/options.hpp"
+#include "lapack/getrf.hpp"
+#include "matrix/permutation.hpp"
+
+namespace camult::core {
+
+struct TsluOptions {
+  idx tr = 4;  ///< leaf count of the tournament (paper's T_r)
+  ReductionTree tree = ReductionTree::Binary;
+  /// GEPP kernel at tournament leaves/nodes. The paper uses recursive LU
+  /// ("rgetf2") because it runs at BLAS-3 speed on out-of-cache panels;
+  /// BLAS-2 getf2 can win when the panel is cache resident.
+  lapack::LuPanelKernel leaf_kernel = lapack::LuPanelKernel::Recursive;
+};
+
+/// Factor an m x b panel in place: on exit the unit lower trapezoid holds L,
+/// the upper triangle holds U, and ipiv (resized to b) is the swap sequence
+/// (laswp convention, relative to the panel top). Requires m >= b.
+/// Returns 0, or the 1-based index of the first zero pivot.
+idx tslu_factor(MatrixView panel, PivotVector& ipiv,
+                const TsluOptions& opts = {});
+
+}  // namespace camult::core

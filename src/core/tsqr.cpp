@@ -1,0 +1,162 @@
+#include "core/tsqr.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "lapack/geqrf.hpp"
+#include "lapack/orgqr.hpp"
+
+namespace camult::core {
+
+TsqrLeaf tsqr_leaf_kernel(MatrixView block, idx start) {
+  TsqrLeaf leaf;
+  leaf.start = start;
+  leaf.rows = block.rows();
+  leaf.t = Matrix::zeros(block.cols(), block.cols());
+  lapack::geqr3(block, leaf.tau, leaf.t.view());
+  return leaf;
+}
+
+TsqrNode tsqr_node_kernel(MatrixView a, const std::vector<idx>& src_start,
+                          idx n) {
+  assert(src_start.size() >= 2);
+  TsqrNode node;
+  node.src_start = src_start;
+  node.src_rows.assign(src_start.size(), n);
+
+  const idx total = static_cast<idx>(src_start.size()) * n;
+  node.vt = Matrix::zeros(total, n);
+  // Gather the R factors: each is the upper triangle of the slice's top
+  // n x n (below-diagonal entries there are leaf/older V tails — NOT part
+  // of R, so gather only the triangle).
+  for (std::size_t s = 0; s < src_start.size(); ++s) {
+    const idx dst0 = static_cast<idx>(s) * n;
+    for (idx j = 0; j < n; ++j) {
+      for (idx i = 0; i <= j; ++i) {
+        node.vt(dst0 + i, j) = a(src_start[s] + i, j);
+      }
+    }
+  }
+  node.t = Matrix::zeros(n, n);
+  std::vector<double> tau;
+  lapack::geqr3(node.vt.view(), tau, node.t.view());
+
+  // Scatter the new R into the first slice's upper triangle.
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i <= j; ++i) {
+      a(src_start[0] + i, j) = node.vt(i, j);
+    }
+  }
+  return node;
+}
+
+TsqrNode tsqr_node_kernel_tri(MatrixView a, idx src0, idx src1, idx n) {
+  TsqrNode node;
+  node.src_start = {src0, src1};
+  node.src_rows = {n, n};
+  node.structured = true;
+  node.tri = tpqrt_tri(a.block(src0, 0, n, n), a.block(src1, 0, n, n));
+  return node;
+}
+
+void tsqr_leaf_apply(blas::Trans trans, ConstMatrixView a,
+                     const TsqrLeaf& leaf, MatrixView c) {
+  const idx n = leaf.t.rows();
+  lapack::larfb_left(trans, a.block(leaf.start, 0, leaf.rows, n),
+                     leaf.t.view(), c.rows_range(leaf.start, leaf.rows));
+}
+
+void tsqr_node_apply(blas::Trans trans, const TsqrNode& node, MatrixView c) {
+  if (node.structured) {
+    const idx nb = node.tri.v2.rows();
+    tpmqrt_tri(trans, node.tri, c.block(node.src_start[0], 0, nb, c.cols()),
+               c.block(node.src_start[1], 0, nb, c.cols()));
+    return;
+  }
+  const idx n = node.t.rows();
+  const idx slices = static_cast<idx>(node.src_start.size());
+  Matrix stacked(slices * n, c.cols());
+  for (idx s = 0; s < slices; ++s) {
+    copy_into(c.block(node.src_start[static_cast<std::size_t>(s)], 0, n,
+                      c.cols()),
+              stacked.view().rows_range(s * n, n));
+  }
+  lapack::larfb_left(trans, node.vt.view(), node.t.view(), stacked.view());
+  for (idx s = 0; s < slices; ++s) {
+    copy_into(stacked.view().rows_range(s * n, n),
+              c.block(node.src_start[static_cast<std::size_t>(s)], 0, n,
+                      c.cols()));
+  }
+}
+
+TsqrFactors tsqr_factor(MatrixView a, const TsqrOptions& opts) {
+  const idx m = a.rows();
+  const idx n = a.cols();
+  if (m < n) {
+    throw std::invalid_argument("tsqr_factor: matrix must be tall (m >= n)");
+  }
+  TsqrFactors f;
+  f.m = m;
+  f.n = n;
+  f.tree = opts.tree;
+  f.part = partition_panel_rows(m, n, opts.tr, n);
+
+  const idx leaves = f.part.count();
+  for (idx i = 0; i < leaves; ++i) {
+    const idx start = f.part.start[static_cast<std::size_t>(i)];
+    const idx rows = f.part.rows[static_cast<std::size_t>(i)];
+    f.leaves.push_back(tsqr_leaf_kernel(a.block(start, 0, rows, n), start));
+  }
+  for (const ReductionStep& step :
+       reduction_schedule(static_cast<int>(leaves), opts.tree)) {
+    std::vector<idx> src;
+    src.reserve(step.sources.size());
+    for (int s : step.sources) {
+      src.push_back(f.part.start[static_cast<std::size_t>(s)]);
+    }
+    if (opts.structured_nodes && src.size() == 2) {
+      f.nodes.push_back(tsqr_node_kernel_tri(a, src[0], src[1], n));
+    } else {
+      f.nodes.push_back(tsqr_node_kernel(a, src, n));
+    }
+  }
+  return f;
+}
+
+void tsqr_apply_q(blas::Trans trans, ConstMatrixView a,
+                  const TsqrFactors& factors, MatrixView c) {
+  assert(c.rows() == factors.m);
+  if (trans == blas::Trans::Trans) {
+    // Q^T = (node_k^T ... node_1^T) (leaf^T ...): leaves first, then nodes
+    // in reduction order — the factorization direction.
+    for (const TsqrLeaf& leaf : factors.leaves) {
+      tsqr_leaf_apply(blas::Trans::Trans, a, leaf, c);
+    }
+    for (const TsqrNode& node : factors.nodes) {
+      tsqr_node_apply(blas::Trans::Trans, node, c);
+    }
+  } else {
+    for (auto it = factors.nodes.rbegin(); it != factors.nodes.rend(); ++it) {
+      tsqr_node_apply(blas::Trans::NoTrans, *it, c);
+    }
+    for (const TsqrLeaf& leaf : factors.leaves) {
+      tsqr_leaf_apply(blas::Trans::NoTrans, a, leaf, c);
+    }
+  }
+}
+
+Matrix tsqr_explicit_q(ConstMatrixView a, const TsqrFactors& factors) {
+  Matrix q = Matrix::identity(factors.m, factors.n);
+  tsqr_apply_q(blas::Trans::NoTrans, a, factors, q.view());
+  return q;
+}
+
+Matrix tsqr_extract_r(ConstMatrixView a, const TsqrFactors& factors) {
+  Matrix r = Matrix::zeros(factors.n, factors.n);
+  for (idx j = 0; j < factors.n; ++j) {
+    for (idx i = 0; i <= j; ++i) r(i, j) = a(i, j);
+  }
+  return r;
+}
+
+}  // namespace camult::core

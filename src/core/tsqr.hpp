@@ -1,0 +1,99 @@
+// tsqr.hpp — TSQR: communication-avoiding QR of a tall-skinny matrix
+// (sequential driver; CAQR runs the same kernels as parallel tasks).
+//
+// Leaf QR factorizations (recursive dgeqr3) run on Tr row blocks; a
+// reduction tree then QR-factors stacked R factors until one R remains. The
+// Q factor is implicit: leaf reflectors stay in the matrix (LAPACK layout),
+// tree-node reflectors live in per-node buffers. apply_q/apply_qt replay
+// them, which is exactly how CAQR updates its trailing matrix.
+#pragma once
+
+#include <vector>
+
+#include "blas/types.hpp"
+#include "core/options.hpp"
+#include "core/partition.hpp"
+#include "core/tpqrt.hpp"
+#include "matrix/matrix.hpp"
+
+namespace camult::core {
+
+struct TsqrOptions {
+  idx tr = 4;  ///< leaf count (paper's T_r)
+  ReductionTree tree = ReductionTree::Binary;
+  /// Use the structured triangle-triangle kernel (tpqrt) for binary-tree
+  /// nodes instead of the dense stacked kernel: ~2x fewer node flops and
+  /// no gather/scatter in the updates. Identical results up to rounding.
+  bool structured_nodes = false;
+};
+
+/// Compact-WY factors of one leaf; the V tails live in the factored matrix.
+struct TsqrLeaf {
+  idx start = 0;  ///< first row of the leaf (relative to the matrix top)
+  idx rows = 0;
+  Matrix t;  ///< n x n T factor
+  std::vector<double> tau;
+};
+
+/// Factors of one reduction-tree node: QR of the stacked R factors of its
+/// sources. The slices (src_start[i], src_rows[i]) say which rows of the
+/// matrix the node's reflectors act on.
+struct TsqrNode {
+  std::vector<idx> src_start;
+  std::vector<idx> src_rows;
+  Matrix vt;  ///< dense kernel: factored stacked buffer (R on top, V below)
+  Matrix t;   ///< T factor (dense kernel only; structured keeps its own)
+  bool structured = false;  ///< true: `tri` holds the factors instead
+  TriTriFactors tri;
+};
+
+struct TsqrFactors {
+  idx m = 0;
+  idx n = 0;
+  ReductionTree tree = ReductionTree::Binary;
+  RowPartition part;
+  std::vector<TsqrLeaf> leaves;
+  std::vector<TsqrNode> nodes;  ///< in reduction order
+};
+
+/// Factor a (m x n, m >= n) in place: on exit the top n x n upper triangle
+/// is R, the rest of the matrix holds leaf reflector tails. The returned
+/// factors plus the matrix give the implicit Q.
+TsqrFactors tsqr_factor(MatrixView a, const TsqrOptions& opts = {});
+
+/// Kernels shared with task-parallel CAQR ------------------------------
+
+/// Leaf QR: factor `block` in place (recursive QR), producing (T, tau).
+TsqrLeaf tsqr_leaf_kernel(MatrixView block, idx start);
+
+/// Tree-node QR: gather the top n x n R slices of `a` at `src_start`, stack
+/// them, QR the stack, write the new R back into the first slice (upper
+/// triangle only — reflector tails stored there are preserved).
+TsqrNode tsqr_node_kernel(MatrixView a, const std::vector<idx>& src_start,
+                          idx n);
+
+/// Structured two-source node (binary tree): in-place tpqrt of the two R
+/// triangles at src0/src1; no stacked buffer.
+TsqrNode tsqr_node_kernel_tri(MatrixView a, idx src0, idx src1, idx n);
+
+/// Apply a leaf's block reflector to the matching rows of C.
+/// trans == Trans applies Q_leaf^T (the factorization direction).
+void tsqr_leaf_apply(blas::Trans trans, ConstMatrixView a,
+                     const TsqrLeaf& leaf, MatrixView c);
+
+/// Apply a node's block reflector to the stacked slices of C (gather,
+/// larfb, scatter).
+void tsqr_node_apply(blas::Trans trans, const TsqrNode& node, MatrixView c);
+
+/// Whole-Q application: C := Q^T C (Trans) or Q C (NoTrans). C has m rows.
+/// `a` is the factored matrix (holds the leaf V tails).
+void tsqr_apply_q(blas::Trans trans, ConstMatrixView a,
+                  const TsqrFactors& factors, MatrixView c);
+
+/// Explicit m x n Q (thin factor).
+Matrix tsqr_explicit_q(ConstMatrixView a, const TsqrFactors& factors);
+
+/// The n x n R factor (upper triangle of the factored matrix top).
+Matrix tsqr_extract_r(ConstMatrixView a, const TsqrFactors& factors);
+
+}  // namespace camult::core

@@ -1,0 +1,38 @@
+#include "lapack/getf2.hpp"
+
+#include "blas/level1.hpp"
+#include "blas/level2.hpp"
+
+namespace camult::lapack {
+
+idx getf2(MatrixView a, PivotVector& ipiv) {
+  const idx m = a.rows();
+  const idx n = a.cols();
+  const idx k = std::min(m, n);
+  ipiv.assign(static_cast<std::size_t>(k), 0);
+  idx info = 0;
+
+  for (idx j = 0; j < k; ++j) {
+    // Pivot: largest magnitude in column j at or below the diagonal.
+    const idx p = j + blas::iamax(m - j, a.col_ptr(j) + j, 1);
+    ipiv[static_cast<std::size_t>(j)] = p;
+    if (a(p, j) != 0.0) {
+      if (p != j) {
+        blas::swap(n, a.data() + j, a.ld(), a.data() + p, a.ld());
+      }
+      if (j < m - 1) {
+        blas::scal(m - j - 1, 1.0 / a(j, j), a.col_ptr(j) + j + 1, 1);
+      }
+    } else if (info == 0) {
+      info = j + 1;
+    }
+    if (j < k) {
+      // Rank-1 update of the trailing submatrix.
+      blas::ger(-1.0, a.col_ptr(j) + j + 1, 1, a.data() + j + (j + 1) * a.ld(),
+                a.ld(), a.block(j + 1, j + 1, m - j - 1, n - j - 1));
+    }
+  }
+  return info;
+}
+
+}  // namespace camult::lapack

@@ -1,0 +1,20 @@
+// getf2.hpp — unblocked Gaussian elimination with partial pivoting
+// (LAPACK dgetf2). This is the BLAS-2 baseline the paper measures as
+// "MKL_dgetf2" and also the kernel executed at every node of the TSLU
+// tournament.
+#pragma once
+
+#include "matrix/permutation.hpp"
+#include "matrix/view.hpp"
+
+namespace camult::lapack {
+
+/// Factor A = P * L * U in place. On exit the unit lower triangle of L and
+/// the upper triangle of U overwrite A; ipiv (resized to min(m,n)) records
+/// the interchanges.
+///
+/// Returns 0 on success, or the 1-based index of the first exactly-zero
+/// pivot (the factorization still completes, as in LAPACK).
+idx getf2(MatrixView a, PivotVector& ipiv);
+
+}  // namespace camult::lapack

@@ -1,0 +1,22 @@
+// getri.hpp — matrix inverse and condition estimation on top of the LU
+// factorization.
+#pragma once
+
+#include "matrix/matrix.hpp"
+#include "matrix/permutation.hpp"
+
+namespace camult::lapack {
+
+/// Invert A in place given its LU factorization (lu holds L/U, ipiv the
+/// swaps): on exit `lu` holds A^{-1}. Returns 0, or the 1-based index of a
+/// zero pivot on U's diagonal (no inverse).
+idx getri(MatrixView lu, const PivotVector& ipiv);
+
+/// Estimate the 1-norm condition number kappa_1(A) = ||A||_1 ||A^{-1}||_1
+/// from a factorization, using Hager–Higham iteration on A^{-1} (solves
+/// only, no explicit inverse). `anorm` is ||A||_1 of the ORIGINAL matrix.
+/// Returns an estimate of kappa_1 (a lower bound, usually within a small
+/// factor), or +inf for an exactly singular factorization.
+double gecon(ConstMatrixView lu, const PivotVector& ipiv, double anorm);
+
+}  // namespace camult::lapack

@@ -1,0 +1,13 @@
+// lapack.hpp — umbrella header for the LAPACK-subset substrate.
+#pragma once
+
+#include "lapack/geqrf.hpp"       // IWYU pragma: export
+#include "lapack/getf2.hpp"       // IWYU pragma: export
+#include "lapack/getrf.hpp"       // IWYU pragma: export
+#include "lapack/getri.hpp"       // IWYU pragma: export
+#include "lapack/householder.hpp" // IWYU pragma: export
+#include "lapack/laswp.hpp"       // IWYU pragma: export
+#include "lapack/orgqr.hpp"       // IWYU pragma: export
+#include "lapack/potrf.hpp"       // IWYU pragma: export
+#include "lapack/solve.hpp"       // IWYU pragma: export
+#include "lapack/verify.hpp"      // IWYU pragma: export

@@ -1,0 +1,31 @@
+#include "lapack/laswp.hpp"
+
+#include <cassert>
+
+#include "blas/level1.hpp"
+
+namespace camult::lapack {
+
+void laswp(MatrixView a, idx k1, idx k2, const PivotVector& ipiv) {
+  assert(k1 >= 0 && k2 <= static_cast<idx>(ipiv.size()));
+  for (idx k = k1; k < k2; ++k) {
+    const idx p = ipiv[static_cast<std::size_t>(k)];
+    assert(p >= 0 && p < a.rows());
+    if (p != k) {
+      blas::swap(a.cols(), a.data() + k, a.ld(), a.data() + p, a.ld());
+    }
+  }
+}
+
+void laswp_inverse(MatrixView a, idx k1, idx k2, const PivotVector& ipiv) {
+  assert(k1 >= 0 && k2 <= static_cast<idx>(ipiv.size()));
+  for (idx k = k2 - 1; k >= k1; --k) {
+    const idx p = ipiv[static_cast<std::size_t>(k)];
+    assert(p >= 0 && p < a.rows());
+    if (p != k) {
+      blas::swap(a.cols(), a.data() + k, a.ld(), a.data() + p, a.ld());
+    }
+  }
+}
+
+}  // namespace camult::lapack

@@ -1,0 +1,17 @@
+// laswp.hpp — row interchanges (LAPACK dlaswp).
+#pragma once
+
+#include "matrix/permutation.hpp"
+#include "matrix/view.hpp"
+
+namespace camult::lapack {
+
+/// Apply the interchanges ipiv[k1..k2) to the rows of a: for k = k1..k2-1 in
+/// order, swap row k with row ipiv[k]. Pivot indices are 0-based and relative
+/// to row 0 of the view.
+void laswp(MatrixView a, idx k1, idx k2, const PivotVector& ipiv);
+
+/// Apply the same interchanges in reverse order (undo laswp).
+void laswp_inverse(MatrixView a, idx k1, idx k2, const PivotVector& ipiv);
+
+}  // namespace camult::lapack

@@ -1,0 +1,82 @@
+#include "lapack/orgqr.hpp"
+
+#include <cassert>
+
+#include "lapack/householder.hpp"
+
+namespace camult::lapack {
+
+void orgqr(ConstMatrixView v, const std::vector<double>& tau, MatrixView q) {
+  const idx m = v.rows();
+  const idx k = v.cols();
+  const idx n = q.cols();
+  assert(q.rows() == m);
+  assert(k <= n && n <= m);
+  assert(static_cast<idx>(tau.size()) >= k);
+
+  // Initialise columns k..n to identity columns.
+  for (idx j = k; j < n; ++j) {
+    double* col = q.col_ptr(j);
+    for (idx i = 0; i < m; ++i) col[i] = 0.0;
+    col[j] = 1.0;
+  }
+  // Copy the reflector tails into the first k columns (contents above the
+  // diagonal are irrelevant, they get overwritten below).
+  for (idx j = 0; j < k; ++j) {
+    double* col = q.col_ptr(j);
+    for (idx i = 0; i < m; ++i) col[i] = (i > j) ? v(i, j) : 0.0;
+  }
+
+  std::vector<double> work(static_cast<std::size_t>(n));
+  for (idx j = k - 1; j >= 0; --j) {
+    const double tauj = tau[static_cast<std::size_t>(j)];
+    const double* v_tail = (j + 1 < m) ? q.col_ptr(j) + j + 1 : nullptr;
+    if (j + 1 < n) {
+      apply_reflector_left(tauj, v_tail,
+                           q.block(j, j + 1, m - j, n - j - 1), work.data());
+    }
+    // Column j of Q: H_j e_j = e_j - tau (e_j + v tail rows).
+    q(j, j) = 1.0 - tauj;
+    if (j + 1 < m) {
+      double* col = q.col_ptr(j);
+      for (idx i = j + 1; i < m; ++i) col[i] = -tauj * col[i];
+    }
+    for (idx i = 0; i < j; ++i) q(i, j) = 0.0;
+  }
+}
+
+Matrix make_q(ConstMatrixView v, const std::vector<double>& tau) {
+  Matrix q(v.rows(), v.cols());
+  orgqr(v, tau, q.view());
+  return q;
+}
+
+void ormqr_left(blas::Trans trans, ConstMatrixView v,
+                const std::vector<double>& tau, MatrixView c) {
+  const idx m = v.rows();
+  const idx k = v.cols();
+  assert(c.rows() == m);
+  assert(static_cast<idx>(tau.size()) >= k);
+
+  std::vector<double> work(static_cast<std::size_t>(c.cols()));
+  std::vector<double> v_tail(static_cast<std::size_t>(m));
+
+  auto apply_one = [&](idx j) {
+    const idx tail_len = m - j - 1;
+    for (idx i = 0; i < tail_len; ++i) {
+      v_tail[static_cast<std::size_t>(i)] = v(j + 1 + i, j);
+    }
+    apply_reflector_left(tau[static_cast<std::size_t>(j)], v_tail.data(),
+                         c.block(j, 0, m - j, c.cols()), work.data());
+  };
+
+  if (trans == blas::Trans::Trans) {
+    // Q^T = H_k ... H_1.
+    for (idx j = 0; j < k; ++j) apply_one(j);
+  } else {
+    // Q = H_1 ... H_k.
+    for (idx j = k - 1; j >= 0; --j) apply_one(j);
+  }
+}
+
+}  // namespace camult::lapack

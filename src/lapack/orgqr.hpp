@@ -1,0 +1,24 @@
+// orgqr.hpp — generate/apply the explicit Q factor of a Householder QR.
+#pragma once
+
+#include <vector>
+
+#include "blas/types.hpp"
+#include "matrix/matrix.hpp"
+
+namespace camult::lapack {
+
+/// Form the leading q.cols() columns of Q = H_1 ... H_k from the factored
+/// matrix v (m x k, reflectors below the diagonal) and tau. Requires
+/// k <= q.cols() <= m = q.rows().
+void orgqr(ConstMatrixView v, const std::vector<double>& tau, MatrixView q);
+
+/// Convenience: explicit m x n Q (n = v.cols()).
+Matrix make_q(ConstMatrixView v, const std::vector<double>& tau);
+
+/// Apply Q (Trans::NoTrans) or Q^T (Trans::Trans) from the left to C:
+/// C := op(Q) * C, with Q defined by (v, tau) as in orgqr. C has m rows.
+void ormqr_left(blas::Trans trans, ConstMatrixView v,
+                const std::vector<double>& tau, MatrixView c);
+
+}  // namespace camult::lapack

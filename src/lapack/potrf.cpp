@@ -1,0 +1,92 @@
+#include "lapack/potrf.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "blas/blas.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/norms.hpp"
+
+namespace camult::lapack {
+
+idx potf2(MatrixView a) {
+  assert(a.rows() == a.cols());
+  const idx n = a.rows();
+  for (idx k = 0; k < n; ++k) {
+    const double d = a(k, k);
+    if (!(d > 0.0)) return k + 1;  // catches <= 0 and NaN
+    const double l = std::sqrt(d);
+    a(k, k) = l;
+    if (k + 1 < n) {
+      blas::scal(n - k - 1, 1.0 / l, a.col_ptr(k) + k + 1, 1);
+      // Trailing update, lower triangle only: column by column.
+      for (idx j = k + 1; j < n; ++j) {
+        blas::axpy(n - j, -a(j, k), a.col_ptr(k) + j, 1, a.col_ptr(j) + j, 1);
+      }
+    }
+  }
+  return 0;
+}
+
+idx potrf(MatrixView a, const PotrfOptions& opts) {
+  assert(a.rows() == a.cols());
+  const idx n = a.rows();
+  const idx nb = std::max<idx>(1, opts.nb);
+
+  for (idx k = 0; k < n; k += nb) {
+    const idx kb = std::min(nb, n - k);
+    MatrixView akk = a.block(k, k, kb, kb);
+    const idx info = potf2(akk);
+    if (info != 0) return k + info;
+
+    const idx below = n - k - kb;
+    if (below == 0) continue;
+    MatrixView panel = a.block(k + kb, k, below, kb);
+    blas::trsm(blas::Side::Right, blas::Uplo::Lower, blas::Trans::Trans,
+               blas::Diag::NonUnit, 1.0, akk, panel);
+
+    // Trailing update A22 -= panel * panel^T, lower triangle only: nb-wide
+    // column blocks, small syrk on each diagonal block and gemm below it
+    // (keeps the bulk of the flops in gemm).
+    for (idx j = 0; j < below; j += nb) {
+      const idx jb = std::min(nb, below - j);
+      blas::syrk(blas::Uplo::Lower, blas::Trans::NoTrans, -1.0,
+                 panel.block(j, 0, jb, kb), 1.0,
+                 a.block(k + kb + j, k + kb + j, jb, jb));
+      if (j + jb < below) {
+        blas::gemm(blas::Trans::NoTrans, blas::Trans::Trans, -1.0,
+                   panel.block(j + jb, 0, below - j - jb, kb),
+                   panel.block(j, 0, jb, kb), 1.0,
+                   a.block(k + kb + j + jb, k + kb + j, below - j - jb, jb));
+      }
+    }
+  }
+  return 0;
+}
+
+void potrs(ConstMatrixView chol, MatrixView b) {
+  assert(chol.rows() == chol.cols());
+  assert(b.rows() == chol.rows());
+  blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::NoTrans,
+             blas::Diag::NonUnit, 1.0, chol, b);
+  blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::Trans,
+             blas::Diag::NonUnit, 1.0, chol, b);
+}
+
+double cholesky_residual(ConstMatrixView a_orig, ConstMatrixView chol) {
+  const idx n = chol.rows();
+  Matrix l = Matrix::zeros(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = j; i < n; ++i) l(i, j) = chol(i, j);
+  }
+  Matrix resid = Matrix::from(a_orig);
+  blas::gemm(blas::Trans::NoTrans, blas::Trans::Trans, -1.0, l, l, 1.0,
+             resid.view());
+  const double na = norm_fro(a_orig);
+  if (na == 0.0) return norm_fro(resid.view());
+  return norm_fro(resid.view()) /
+         (na * static_cast<double>(n) * std::numeric_limits<double>::epsilon());
+}
+
+}  // namespace camult::lapack

@@ -1,0 +1,30 @@
+// potrf.hpp — Cholesky factorization (lower triangular convention),
+// completing the one-sided factorization family alongside LU and QR.
+//
+//   A = L * L^T, A symmetric positive definite; only the lower triangle of
+//   A is referenced and overwritten with L.
+#pragma once
+
+#include "matrix/view.hpp"
+
+namespace camult::lapack {
+
+/// Unblocked Cholesky (dpotf2, Lower). Returns 0, or the 1-based index of
+/// the first non-positive pivot (A is left partially factored).
+idx potf2(MatrixView a);
+
+struct PotrfOptions {
+  idx nb = 128;  ///< panel width
+};
+
+/// Blocked right-looking Cholesky (dpotrf, Lower). Same contract as potf2.
+idx potrf(MatrixView a, const PotrfOptions& opts = {});
+
+/// Solve A X = B given the Cholesky factor (L in the lower triangle of
+/// `chol`); B is overwritten with X.
+void potrs(ConstMatrixView chol, MatrixView b);
+
+/// ||A - L L^T||_F / (||A||_F * n * eps) over the full symmetric matrix.
+double cholesky_residual(ConstMatrixView a_orig, ConstMatrixView chol);
+
+}  // namespace camult::lapack

@@ -1,0 +1,93 @@
+#include "lapack/solve.hpp"
+
+#include <cassert>
+#include <limits>
+
+#include "blas/blas.hpp"
+#include "lapack/getrf.hpp"
+#include "lapack/laswp.hpp"
+#include "lapack/orgqr.hpp"
+#include "matrix/norms.hpp"
+
+namespace camult::lapack {
+
+void getrs(blas::Trans trans, ConstMatrixView lu, const PivotVector& ipiv,
+           MatrixView b) {
+  assert(lu.rows() == lu.cols());
+  assert(b.rows() == lu.rows());
+  if (trans == blas::Trans::NoTrans) {
+    // A = P^T L U: X = U^{-1} L^{-1} P B.
+    laswp(b, 0, static_cast<idx>(ipiv.size()), ipiv);
+    blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::NoTrans,
+               blas::Diag::Unit, 1.0, lu, b);
+    blas::trsm(blas::Side::Left, blas::Uplo::Upper, blas::Trans::NoTrans,
+               blas::Diag::NonUnit, 1.0, lu, b);
+  } else {
+    // A^T = U^T L^T P: X = P^T L^{-T} U^{-T} B.
+    blas::trsm(blas::Side::Left, blas::Uplo::Upper, blas::Trans::Trans,
+               blas::Diag::NonUnit, 1.0, lu, b);
+    blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::Trans,
+               blas::Diag::Unit, 1.0, lu, b);
+    laswp_inverse(b, 0, static_cast<idx>(ipiv.size()), ipiv);
+  }
+}
+
+idx gesv(MatrixView a, PivotVector& ipiv, MatrixView b) {
+  const idx info = getrf(a, ipiv);
+  if (info != 0) return info;
+  getrs(blas::Trans::NoTrans, a, ipiv, b);
+  return 0;
+}
+
+void qr_solve(ConstMatrixView qr, const std::vector<double>& tau,
+              MatrixView b) {
+  const idx n = qr.cols();
+  assert(qr.rows() >= n);
+  assert(b.rows() == qr.rows());
+  ormqr_left(blas::Trans::Trans, qr, tau, b);
+  blas::trsm(blas::Side::Left, blas::Uplo::Upper, blas::Trans::NoTrans,
+             blas::Diag::NonUnit, 1.0, qr.block(0, 0, n, n),
+             b.rows_range(0, n));
+}
+
+int refine_solution(ConstMatrixView a, ConstMatrixView lu,
+                    const PivotVector& ipiv, ConstMatrixView b, MatrixView x,
+                    int max_iters) {
+  const idx n = a.rows();
+  assert(a.cols() == n && x.rows() == n && b.rows() == n);
+  assert(x.cols() == b.cols());
+
+  double prev = std::numeric_limits<double>::infinity();
+  int sweeps = 0;
+  Matrix r(n, x.cols());
+  for (int it = 0; it < max_iters; ++it) {
+    // r = B - A X.
+    copy_into(b, r.view());
+    blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, -1.0, a, x, 1.0,
+               r.view());
+    const double rn = norm_fro(r.view());
+    if (!(rn < prev) || rn == 0.0) break;  // no further progress
+    prev = rn;
+    // Solve A d = r, then X += d.
+    getrs(blas::Trans::NoTrans, lu, ipiv, r.view());
+    for (idx j = 0; j < x.cols(); ++j) {
+      blas::axpy(n, 1.0, r.view().col_ptr(j), 1, x.col_ptr(j), 1);
+    }
+    ++sweeps;
+  }
+  return sweeps;
+}
+
+double solve_residual(ConstMatrixView a, ConstMatrixView x,
+                      ConstMatrixView b) {
+  Matrix r = Matrix::from(b);
+  blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, 1.0, a, x, -1.0,
+             r.view());
+  const double denom = norm_fro(a) * norm_fro(x) + norm_fro(b);
+  if (denom == 0.0) return norm_fro(r.view());
+  return norm_fro(r.view()) /
+         (denom * static_cast<double>(a.cols()) *
+          std::numeric_limits<double>::epsilon());
+}
+
+}  // namespace camult::lapack

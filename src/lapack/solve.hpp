@@ -1,0 +1,43 @@
+// solve.hpp — solver drivers on top of the factorizations (LAPACK
+// getrs/gesv/gels analogues). These are what downstream users actually
+// call; the benches and examples use them too.
+#pragma once
+
+#include <vector>
+
+#include "blas/types.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/permutation.hpp"
+
+namespace camult::lapack {
+
+/// Solve op(A) X = B given a getrf/calu factorization (lu, ipiv).
+/// B (n x nrhs) is overwritten with X.
+void getrs(blas::Trans trans, ConstMatrixView lu, const PivotVector& ipiv,
+           MatrixView b);
+
+/// Factor A (destroyed) and solve A X = B in one call. Returns getrf's
+/// info (0, or 1-based first zero pivot; B is untouched when info != 0).
+idx gesv(MatrixView a, PivotVector& ipiv, MatrixView b);
+
+/// Least squares min ||A X - B||_F for tall A (m >= n) from a geqrf
+/// factorization (qr, tau): X = R^{-1} (Q^T B)(1:n, :). B is m x nrhs on
+/// entry; the solution occupies its first n rows on exit.
+void qr_solve(ConstMatrixView qr, const std::vector<double>& tau,
+              MatrixView b);
+
+/// Residual of a solve: ||A X - B||_F / (||A||_F ||X||_F + ||B||_F) /
+/// (n * eps) — small means backward stable.
+double solve_residual(ConstMatrixView a, ConstMatrixView x,
+                      ConstMatrixView b);
+
+/// Iterative refinement (dgerfs-style, working precision): given the
+/// original A, its LU factorization, the right-hand sides B and the current
+/// solution X (n x nrhs, refined in place), perform up to `max_iters`
+/// refinement sweeps, stopping early once the residual stops improving.
+/// Returns the number of sweeps applied.
+int refine_solution(ConstMatrixView a, ConstMatrixView lu,
+                    const PivotVector& ipiv, ConstMatrixView b, MatrixView x,
+                    int max_iters = 3);
+
+}  // namespace camult::lapack

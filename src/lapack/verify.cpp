@@ -1,0 +1,102 @@
+#include "lapack/verify.hpp"
+
+#include <limits>
+
+#include "blas/blas.hpp"
+#include "lapack/orgqr.hpp"
+#include "matrix/norms.hpp"
+
+namespace camult::lapack {
+namespace {
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+}
+
+Matrix extract_unit_lower(ConstMatrixView lu, idx k) {
+  const idx m = lu.rows();
+  Matrix l = Matrix::zeros(m, k);
+  for (idx j = 0; j < k; ++j) {
+    l(j, j) = 1.0;
+    for (idx i = j + 1; i < m; ++i) l(i, j) = lu(i, j);
+  }
+  return l;
+}
+
+Matrix extract_upper(ConstMatrixView lu, idx k) {
+  const idx n = lu.cols();
+  Matrix u = Matrix::zeros(k, n);
+  for (idx j = 0; j < n; ++j) {
+    const idx top = std::min(j + 1, k);
+    for (idx i = 0; i < top; ++i) u(i, j) = lu(i, j);
+  }
+  return u;
+}
+
+namespace {
+
+double lu_residual_impl(const Matrix& pa, ConstMatrixView lu,
+                        double norm_a) {
+  const idx m = lu.rows();
+  const idx n = lu.cols();
+  const idx k = std::min(m, n);
+  Matrix l = extract_unit_lower(lu, k);
+  Matrix u = extract_upper(lu, k);
+  Matrix resid = pa;
+  blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, -1.0, l, u, 1.0,
+             resid.view());
+  if (norm_a == 0.0) return norm_fro(resid.view());
+  return norm_fro(resid.view()) /
+         (norm_a * static_cast<double>(std::max(m, n)) * kEps);
+}
+
+}  // namespace
+
+double lu_residual(ConstMatrixView a_orig, ConstMatrixView lu,
+                   const PivotVector& ipiv) {
+  const Permutation perm = ipiv_to_permutation(ipiv, a_orig.rows());
+  Matrix pa = permute_rows(perm, a_orig);
+  return lu_residual_impl(pa, lu, norm_fro(a_orig));
+}
+
+double lu_residual_perm(ConstMatrixView a_orig, ConstMatrixView lu,
+                        const Permutation& perm) {
+  Matrix pa = permute_rows(perm, a_orig);
+  return lu_residual_impl(pa, lu, norm_fro(a_orig));
+}
+
+double qr_residual(ConstMatrixView a_orig, ConstMatrixView qr,
+                   const std::vector<double>& tau) {
+  const idx m = qr.rows();
+  const idx n = qr.cols();
+  const idx k = std::min(m, n);
+  Matrix q(m, k);
+  orgqr(qr.cols_range(0, k), tau, q.view());
+  Matrix r = extract_upper(qr, k);
+  Matrix resid = Matrix::from(a_orig);
+  blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, -1.0, q, r, 1.0,
+             resid.view());
+  const double na = norm_fro(a_orig);
+  if (na == 0.0) return norm_fro(resid.view());
+  return norm_fro(resid.view()) /
+         (na * static_cast<double>(std::max(m, n)) * kEps);
+}
+
+double orthogonality_residual(ConstMatrixView q) {
+  const idx n = q.cols();
+  Matrix gram = Matrix::identity(n, n);
+  blas::gemm(blas::Trans::Trans, blas::Trans::NoTrans, 1.0, q, q, -1.0,
+             gram.view());
+  return norm_fro(gram.view()) / (static_cast<double>(n) * kEps);
+}
+
+double pivot_growth(ConstMatrixView a_orig, ConstMatrixView lu) {
+  const idx k = std::min(lu.rows(), lu.cols());
+  double max_u = 0.0;
+  for (idx j = 0; j < lu.cols(); ++j) {
+    const idx top = std::min(j + 1, k);
+    for (idx i = 0; i < top; ++i) max_u = std::max(max_u, std::abs(lu(i, j)));
+  }
+  const double max_a = norm_max(a_orig);
+  return max_a == 0.0 ? 0.0 : max_u / max_a;
+}
+
+}  // namespace camult::lapack

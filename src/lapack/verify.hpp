@@ -1,0 +1,40 @@
+// verify.hpp — factorization residual checks shared by tests, benches and
+// examples. All residuals are scaled so that "small" means O(machine epsilon
+// * a modest function of the problem size).
+#pragma once
+
+#include <vector>
+
+#include "matrix/matrix.hpp"
+#include "matrix/permutation.hpp"
+
+namespace camult::lapack {
+
+/// Unit-lower-trapezoidal L (m x k) from a factored LU matrix.
+Matrix extract_unit_lower(ConstMatrixView lu, idx k);
+
+/// Upper-trapezoidal U (k x n) from a factored LU matrix.
+Matrix extract_upper(ConstMatrixView lu, idx k);
+
+/// ||P*A - L*U||_F / (||A||_F * max(m,n) * eps) for an LAPACK-convention
+/// factorization (ipiv as produced by getf2/getrf).
+double lu_residual(ConstMatrixView a_orig, ConstMatrixView lu,
+                   const PivotVector& ipiv);
+
+/// Same, but with an explicit row permutation (perm[i] = source row of row i
+/// of P*A) instead of a swap sequence. Used by CALU.
+double lu_residual_perm(ConstMatrixView a_orig, ConstMatrixView lu,
+                        const Permutation& perm);
+
+/// ||A - Q*R||_F / (||A||_F * max(m,n) * eps) for a Householder QR held in
+/// (qr, tau).
+double qr_residual(ConstMatrixView a_orig, ConstMatrixView qr,
+                   const std::vector<double>& tau);
+
+/// ||I - Q^T Q||_F / (cols * eps).
+double orthogonality_residual(ConstMatrixView q);
+
+/// Element growth factor max|U| / max|A| of an LU factorization.
+double pivot_growth(ConstMatrixView a_orig, ConstMatrixView lu);
+
+}  // namespace camult::lapack

@@ -1,0 +1,114 @@
+#include "matrix/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace camult {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("matrix market: " + what);
+}
+
+}  // namespace
+
+void write_matrix_market(std::ostream& os, ConstMatrixView a) {
+  os << "%%MatrixMarket matrix array real general\n";
+  os << "% written by camult\n";
+  os << a.rows() << ' ' << a.cols() << '\n';
+  os.precision(17);
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) {
+      os << a(i, j) << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, ConstMatrixView a) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open " + path + " for writing");
+  write_matrix_market(out, a);
+}
+
+Matrix read_matrix_market(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) fail("empty input");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") fail("missing %%MatrixMarket banner");
+  object = lower(object);
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (object != "matrix") fail("unsupported object '" + object + "'");
+  if (field == "complex") fail("complex matrices are not supported");
+  const bool pattern = (field == "pattern");
+  const bool symmetric =
+      (symmetry == "symmetric" || symmetry == "skew-symmetric");
+  const double mirror_sign = (symmetry == "skew-symmetric") ? -1.0 : 1.0;
+  if (symmetry != "general" && !symmetric) {
+    fail("unsupported symmetry '" + symmetry + "'");
+  }
+
+  // Skip comments.
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream sizes(line);
+
+  if (format == "array") {
+    idx rows = 0, cols = 0;
+    if (!(sizes >> rows >> cols)) fail("bad array size line");
+    Matrix a(rows, cols);
+    for (idx j = 0; j < cols; ++j) {
+      for (idx i = 0; i < rows; ++i) {
+        double v;
+        if (!(is >> v)) fail("truncated array data");
+        a(i, j) = v;
+      }
+    }
+    if (symmetric) {
+      // Array symmetric stores the lower triangle only; not produced by us
+      // but accepted: mirror it. (Lower triangle was read as if dense; for
+      // simplicity we only support general array format.)
+      fail("symmetric array format is not supported");
+    }
+    return a;
+  }
+  if (format == "coordinate") {
+    idx rows = 0, cols = 0, nnz = 0;
+    if (!(sizes >> rows >> cols >> nnz)) fail("bad coordinate size line");
+    Matrix a = Matrix::zeros(rows, cols);
+    for (idx k = 0; k < nnz; ++k) {
+      idx i = 0, j = 0;
+      double v = 1.0;
+      if (!(is >> i >> j)) fail("truncated coordinate data");
+      if (!pattern && !(is >> v)) fail("truncated coordinate value");
+      if (i < 1 || i > rows || j < 1 || j > cols) {
+        fail("coordinate out of range");
+      }
+      a(i - 1, j - 1) = v;
+      if (symmetric && i != j) a(j - 1, i - 1) = mirror_sign * v;
+    }
+    return a;
+  }
+  fail("unsupported format '" + format + "'");
+}
+
+Matrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  return read_matrix_market(in);
+}
+
+}  // namespace camult

@@ -1,0 +1,28 @@
+// io.hpp — Matrix Market (array and coordinate) I/O, so examples and the
+// CLI can work with real matrices from the SuiteSparse collection and
+// results can be inspected with standard tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/matrix.hpp"
+
+namespace camult {
+
+/// Write in MatrixMarket dense "array real general" format.
+void write_matrix_market(std::ostream& os, ConstMatrixView a);
+void write_matrix_market_file(const std::string& path, ConstMatrixView a);
+
+/// Read a MatrixMarket file. Supports:
+///  * "matrix array real general" (dense, column-major order),
+///  * "matrix coordinate real general|symmetric" (sparse; densified, with
+///    symmetric entries mirrored),
+///  * "coordinate pattern" (entries become 1.0),
+///  * integer fields (read as doubles).
+/// Throws std::runtime_error on malformed input or unsupported headers
+/// (complex fields).
+Matrix read_matrix_market(std::istream& is);
+Matrix read_matrix_market_file(const std::string& path);
+
+}  // namespace camult

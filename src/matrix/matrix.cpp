@@ -1,0 +1,76 @@
+#include "matrix/matrix.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace camult {
+
+Matrix::Matrix(idx rows, idx cols) : rows_(rows), cols_(cols) {
+  if (rows < 0 || cols < 0) {
+    throw std::invalid_argument("Matrix: negative dimension");
+  }
+  const std::size_t n = static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  if (n > 0) {
+    data_.reset(static_cast<double*>(::operator new[](n * sizeof(double), kAlign)));
+  }
+}
+
+Matrix::Matrix(const Matrix& other) : Matrix(other.rows_, other.cols_) {
+  if (size() > 0) {
+    std::memcpy(data_.get(), other.data_.get(),
+                static_cast<std::size_t>(size()) * sizeof(double));
+  }
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this != &other) {
+    Matrix tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+Matrix Matrix::zeros(idx rows, idx cols) {
+  Matrix m(rows, cols);
+  if (m.size() > 0) {
+    std::memset(m.data(), 0, static_cast<std::size_t>(m.size()) * sizeof(double));
+  }
+  return m;
+}
+
+Matrix Matrix::identity(idx rows, idx cols) {
+  Matrix m = zeros(rows, cols);
+  const idx d = std::min(rows, cols);
+  for (idx i = 0; i < d; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from(ConstMatrixView v) {
+  Matrix m(v.rows(), v.cols());
+  copy_into(v, m.view());
+  return m;
+}
+
+void copy_into(ConstMatrixView src, MatrixView dst) {
+  assert(src.rows() == dst.rows() && src.cols() == dst.cols());
+  const idx r = src.rows();
+  for (idx j = 0; j < src.cols(); ++j) {
+    std::memcpy(dst.col_ptr(j), src.col_ptr(j),
+                static_cast<std::size_t>(r) * sizeof(double));
+  }
+}
+
+void fill(MatrixView a, double value) {
+  for (idx j = 0; j < a.cols(); ++j) {
+    double* c = a.col_ptr(j);
+    for (idx i = 0; i < a.rows(); ++i) c[i] = value;
+  }
+}
+
+void set_identity(MatrixView a) {
+  fill(a, 0.0);
+  const idx d = std::min(a.rows(), a.cols());
+  for (idx i = 0; i < d; ++i) a(i, i) = 1.0;
+}
+
+}  // namespace camult

@@ -1,0 +1,78 @@
+// matrix.hpp — owning, cache-line aligned, column-major matrix.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "matrix/view.hpp"
+
+namespace camult {
+
+/// Owning column-major matrix of doubles. Storage is 64-byte aligned and the
+/// leading dimension equals the row count (dense packing). All algorithms in
+/// the library operate on MatrixView, so a Matrix is just the allocation plus
+/// conveniences.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(idx rows, idx cols);
+
+  Matrix(const Matrix& other);
+  Matrix& operator=(const Matrix& other);
+  Matrix(Matrix&& other) noexcept = default;
+  Matrix& operator=(Matrix&& other) noexcept = default;
+
+  idx rows() const { return rows_; }
+  idx cols() const { return cols_; }
+  idx ld() const { return rows_; }
+  idx size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double* data() { return data_.get(); }
+  const double* data() const { return data_.get(); }
+
+  double& operator()(idx i, idx j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * rows_];
+  }
+  const double& operator()(idx i, idx j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * rows_];
+  }
+
+  MatrixView view() { return MatrixView(data_.get(), rows_, cols_, rows_); }
+  ConstMatrixView view() const {
+    return ConstMatrixView(data_.get(), rows_, cols_, rows_);
+  }
+  ConstMatrixView const_view() const { return view(); }
+
+  operator MatrixView() { return view(); }  // NOLINT
+  operator ConstMatrixView() const { return view(); }  // NOLINT
+
+  MatrixView block(idx i, idx j, idx r, idx c) {
+    return view().block(i, j, r, c);
+  }
+  ConstMatrixView block(idx i, idx j, idx r, idx c) const {
+    return view().block(i, j, r, c);
+  }
+
+  /// All-zero matrix.
+  static Matrix zeros(idx rows, idx cols);
+  /// Identity (rectangular allowed: ones on the main diagonal).
+  static Matrix identity(idx rows, idx cols);
+  /// Deep copy of an arbitrary view into a fresh dense matrix.
+  static Matrix from(ConstMatrixView v);
+
+ private:
+  struct AlignedDeleter {
+    void operator()(double* p) const { ::operator delete[](p, kAlign); }
+  };
+  static constexpr std::align_val_t kAlign{64};
+
+  std::unique_ptr<double[], AlignedDeleter> data_;
+  idx rows_ = 0;
+  idx cols_ = 0;
+};
+
+}  // namespace camult

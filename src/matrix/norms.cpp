@@ -1,0 +1,81 @@
+#include "matrix/norms.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace camult {
+
+double norm_one(ConstMatrixView a) {
+  double best = 0.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    double s = 0.0;
+    const double* c = a.col_ptr(j);
+    for (idx i = 0; i < a.rows(); ++i) s += std::abs(c[i]);
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double norm_inf(ConstMatrixView a) {
+  std::vector<double> row_sums(static_cast<std::size_t>(a.rows()), 0.0);
+  for (idx j = 0; j < a.cols(); ++j) {
+    const double* c = a.col_ptr(j);
+    for (idx i = 0; i < a.rows(); ++i) {
+      row_sums[static_cast<std::size_t>(i)] += std::abs(c[i]);
+    }
+  }
+  double best = 0.0;
+  for (double s : row_sums) best = std::max(best, s);
+  return best;
+}
+
+double norm_fro(ConstMatrixView a) {
+  // Two-pass scaled sum to avoid overflow on large, badly scaled inputs.
+  double scale = 0.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    const double* c = a.col_ptr(j);
+    for (idx i = 0; i < a.rows(); ++i) scale = std::max(scale, std::abs(c[i]));
+  }
+  if (scale == 0.0) return 0.0;
+  double sum = 0.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    const double* c = a.col_ptr(j);
+    for (idx i = 0; i < a.rows(); ++i) {
+      const double t = c[i] / scale;
+      sum += t * t;
+    }
+  }
+  return scale * std::sqrt(sum);
+}
+
+double norm_max(ConstMatrixView a) {
+  double best = 0.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    const double* c = a.col_ptr(j);
+    for (idx i = 0; i < a.rows(); ++i) best = std::max(best, std::abs(c[i]));
+  }
+  return best;
+}
+
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double best = 0.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) {
+      best = std::max(best, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return best;
+}
+
+bool has_non_finite(ConstMatrixView a) {
+  for (idx j = 0; j < a.cols(); ++j) {
+    const double* c = a.col_ptr(j);
+    for (idx i = 0; i < a.rows(); ++i) {
+      if (!std::isfinite(c[i])) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace camult

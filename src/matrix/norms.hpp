@@ -1,0 +1,23 @@
+// norms.hpp — matrix norms used by stability tests and residual checks.
+#pragma once
+
+#include "matrix/view.hpp"
+
+namespace camult {
+
+/// max column sum.
+double norm_one(ConstMatrixView a);
+/// max row sum.
+double norm_inf(ConstMatrixView a);
+/// Frobenius norm.
+double norm_fro(ConstMatrixView a);
+/// max |a_ij|.
+double norm_max(ConstMatrixView a);
+
+/// max |a_ij - b_ij| over matching shapes.
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b);
+
+/// True if any element is NaN or infinite.
+bool has_non_finite(ConstMatrixView a);
+
+}  // namespace camult

@@ -1,0 +1,70 @@
+#include "matrix/permutation.hpp"
+
+#include <numeric>
+
+namespace camult {
+
+Permutation ipiv_to_permutation(const PivotVector& ipiv, idx rows) {
+  Permutation perm = identity_permutation(rows);
+  for (std::size_t k = 0; k < ipiv.size(); ++k) {
+    const idx p = ipiv[k];
+    assert(p >= 0 && p < rows);
+    std::swap(perm[k], perm[static_cast<std::size_t>(p)]);
+  }
+  return perm;
+}
+
+Permutation identity_permutation(idx rows) {
+  Permutation perm(static_cast<std::size_t>(rows));
+  std::iota(perm.begin(), perm.end(), idx{0});
+  return perm;
+}
+
+Permutation invert_permutation(const Permutation& perm) {
+  Permutation inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<idx>(i);
+  }
+  return inv;
+}
+
+Permutation compose_permutations(const Permutation& outer,
+                                 const Permutation& inner) {
+  assert(outer.size() == inner.size());
+  Permutation out(outer.size());
+  for (std::size_t i = 0; i < outer.size(); ++i) {
+    out[i] = inner[static_cast<std::size_t>(outer[i])];
+  }
+  return out;
+}
+
+bool is_valid_permutation(const Permutation& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (idx p : perm) {
+    if (p < 0 || p >= static_cast<idx>(perm.size())) return false;
+    if (seen[static_cast<std::size_t>(p)]) return false;
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  return true;
+}
+
+void apply_row_permutation(const Permutation& perm, ConstMatrixView a,
+                           MatrixView out) {
+  assert(static_cast<idx>(perm.size()) == a.rows());
+  assert(a.rows() == out.rows() && a.cols() == out.cols());
+  for (idx j = 0; j < a.cols(); ++j) {
+    const double* src = a.col_ptr(j);
+    double* dst = out.col_ptr(j);
+    for (idx i = 0; i < a.rows(); ++i) {
+      dst[i] = src[perm[static_cast<std::size_t>(i)]];
+    }
+  }
+}
+
+Matrix permute_rows(const Permutation& perm, ConstMatrixView a) {
+  Matrix out(a.rows(), a.cols());
+  apply_row_permutation(perm, a, out.view());
+  return out;
+}
+
+}  // namespace camult

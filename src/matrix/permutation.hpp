@@ -1,0 +1,44 @@
+// permutation.hpp — row-permutation bookkeeping shared by LU variants.
+//
+// Two representations are used:
+//  * LAPACK-style pivot sequence `ipiv`: step k swapped rows k and ipiv[k]
+//    (0-based). This is what getf2/getrf/TSLU produce.
+//  * explicit permutation vector `perm`: output row i of P*A is input row
+//    perm[i].
+#pragma once
+
+#include <vector>
+
+#include "matrix/matrix.hpp"
+
+namespace camult {
+
+using PivotVector = std::vector<idx>;
+using Permutation = std::vector<idx>;
+
+/// Convert a pivot sequence over `rows` rows into the explicit permutation it
+/// induces: applying the swaps ipiv[0..k) to the identity ordering.
+Permutation ipiv_to_permutation(const PivotVector& ipiv, idx rows);
+
+/// perm_out[i] = i.
+Permutation identity_permutation(idx rows);
+
+/// inverse[perm[i]] = i.
+Permutation invert_permutation(const Permutation& perm);
+
+/// Compose: result[i] = inner[outer[i]] — applying `inner` first, then
+/// `outer` (both as row-gather maps).
+Permutation compose_permutations(const Permutation& outer,
+                                 const Permutation& inner);
+
+/// True if perm is a bijection over [0, perm.size()).
+bool is_valid_permutation(const Permutation& perm);
+
+/// Out-of-place gather: out.row(i) = a.row(perm[i]). Shapes must match.
+void apply_row_permutation(const Permutation& perm, ConstMatrixView a,
+                           MatrixView out);
+
+/// Fresh matrix P*A for explicit-permutation tests.
+Matrix permute_rows(const Permutation& perm, ConstMatrixView a);
+
+}  // namespace camult

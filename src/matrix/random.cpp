@@ -1,0 +1,97 @@
+#include "matrix/random.hpp"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace camult {
+
+void fill_uniform(MatrixView a, std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (idx j = 0; j < a.cols(); ++j) {
+    double* c = a.col_ptr(j);
+    for (idx i = 0; i < a.rows(); ++i) c[i] = dist(gen);
+  }
+}
+
+void fill_normal(MatrixView a, std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (idx j = 0; j < a.cols(); ++j) {
+    double* c = a.col_ptr(j);
+    for (idx i = 0; i < a.rows(); ++i) c[i] = dist(gen);
+  }
+}
+
+Matrix random_matrix(idx rows, idx cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  fill_uniform(m.view(), seed);
+  return m;
+}
+
+Matrix random_normal_matrix(idx rows, idx cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  fill_normal(m.view(), seed);
+  return m;
+}
+
+Matrix random_distinct_magnitude_matrix(idx rows, idx cols,
+                                        std::uint64_t seed) {
+  Matrix m(rows, cols);
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> jitter(0.0, 0.25);
+  std::bernoulli_distribution sign(0.5);
+  // Base magnitudes are a strictly increasing sequence shuffled over all
+  // entries, so no two entries share a magnitude even after the small jitter.
+  const idx n = rows * cols;
+  std::vector<double> mags(static_cast<std::size_t>(n));
+  for (idx k = 0; k < n; ++k) {
+    mags[static_cast<std::size_t>(k)] =
+        1.0 + static_cast<double>(k) + jitter(gen);
+  }
+  std::shuffle(mags.begin(), mags.end(), gen);
+  idx k = 0;
+  for (idx j = 0; j < cols; ++j) {
+    for (idx i = 0; i < rows; ++i, ++k) {
+      const double s = sign(gen) ? 1.0 : -1.0;
+      m(i, j) = s * mags[static_cast<std::size_t>(k)];
+    }
+  }
+  return m;
+}
+
+Matrix random_diagonally_dominant_matrix(idx n, std::uint64_t seed) {
+  Matrix m = random_matrix(n, n, seed);
+  for (idx i = 0; i < n; ++i) {
+    m(i, i) += static_cast<double>(2 * n);
+  }
+  return m;
+}
+
+Matrix gepp_growth_matrix(idx n) {
+  Matrix m = Matrix::zeros(n, n);
+  for (idx i = 0; i < n; ++i) {
+    m(i, i) = 1.0;
+    for (idx j = 0; j < i; ++j) m(i, j) = -1.0;
+    m(i, n - 1) = 1.0;
+  }
+  return m;
+}
+
+Matrix random_rank_deficient_matrix(idx rows, idx cols, idx rank,
+                                    std::uint64_t seed) {
+  assert(rank <= std::min(rows, cols));
+  Matrix left = random_matrix(rows, rank, seed);
+  Matrix right = random_matrix(rank, cols, seed + 1);
+  Matrix out = Matrix::zeros(rows, cols);
+  for (idx j = 0; j < cols; ++j) {
+    for (idx k = 0; k < rank; ++k) {
+      const double r = right(k, j);
+      for (idx i = 0; i < rows; ++i) out(i, j) += left(i, k) * r;
+    }
+  }
+  return out;
+}
+
+}  // namespace camult

@@ -1,0 +1,39 @@
+// random.hpp — deterministic random matrix generation for tests and benches.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+
+namespace camult {
+
+/// Fill with i.i.d. uniform values in [-1, 1]; deterministic in `seed`.
+void fill_uniform(MatrixView a, std::uint64_t seed);
+
+/// Fill with i.i.d. standard normal values; deterministic in `seed`.
+void fill_normal(MatrixView a, std::uint64_t seed);
+
+/// Fresh uniform [-1,1] matrix.
+Matrix random_matrix(idx rows, idx cols, std::uint64_t seed);
+
+/// Fresh standard-normal matrix.
+Matrix random_normal_matrix(idx rows, idx cols, std::uint64_t seed);
+
+/// Matrix whose entries all have distinct magnitudes (useful for tests that
+/// compare pivot choices between algorithms: ties never occur).
+Matrix random_distinct_magnitude_matrix(idx rows, idx cols, std::uint64_t seed);
+
+/// Well-conditioned random matrix: uniform noise plus a strong diagonal.
+/// Suitable for no-pivoting sanity checks.
+Matrix random_diagonally_dominant_matrix(idx n, std::uint64_t seed);
+
+/// The Wilkinson-style growth matrix that exhibits 2^(n-1) pivot growth under
+/// partial pivoting: lower triangle -1, unit diagonal, last column 1.
+Matrix gepp_growth_matrix(idx n);
+
+/// Rank-deficient matrix: product of (rows x rank) and (rank x cols) uniform
+/// factors.
+Matrix random_rank_deficient_matrix(idx rows, idx cols, idx rank,
+                                    std::uint64_t seed);
+
+}  // namespace camult

@@ -1,0 +1,138 @@
+// view.hpp — non-owning column-major matrix views.
+//
+// The whole library works on LAPACK-convention column-major storage with an
+// explicit leading dimension, so that panels, trailing submatrices and tiles
+// are zero-copy slices of one allocation.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <algorithm>
+
+namespace camult {
+
+using idx = std::int64_t;
+
+/// Mutable view over a column-major matrix block: element (i,j) lives at
+/// data[i + j*ld]. A view never owns memory.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, idx rows, idx cols, idx ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    assert(rows >= 0 && cols >= 0);
+    assert(ld >= std::max<idx>(rows, 1));
+  }
+
+  double* data() const { return data_; }
+  idx rows() const { return rows_; }
+  idx cols() const { return cols_; }
+  idx ld() const { return ld_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(idx i, idx j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * ld_];
+  }
+
+  /// Pointer to the top of column j.
+  double* col_ptr(idx j) const {
+    assert(j >= 0 && j <= cols_);
+    return data_ + j * ld_;
+  }
+
+  /// Sub-block starting at (i,j) with extent (r,c). Extents are clamped by
+  /// assertion, not silently.
+  MatrixView block(idx i, idx j, idx r, idx c) const {
+    assert(i >= 0 && j >= 0 && r >= 0 && c >= 0);
+    assert(i + r <= rows_ && j + c <= cols_);
+    return MatrixView(data_ + i + j * ld_, r, c, ld_);
+  }
+
+  /// Rows [i, rows) of columns [j, cols): the "trailing" block.
+  MatrixView trailing(idx i, idx j) const {
+    return block(i, j, rows_ - i, cols_ - j);
+  }
+
+  MatrixView cols_range(idx j, idx c) const { return block(0, j, rows_, c); }
+  MatrixView rows_range(idx i, idx r) const { return block(i, 0, r, cols_); }
+  MatrixView col(idx j) const { return block(0, j, rows_, 1); }
+  MatrixView row(idx i) const { return block(i, 0, 1, cols_); }
+
+ private:
+  double* data_ = nullptr;
+  idx rows_ = 0;
+  idx cols_ = 0;
+  idx ld_ = 1;
+};
+
+/// Read-only view, implicitly constructible from MatrixView.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, idx rows, idx cols, idx ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    assert(rows >= 0 && cols >= 0);
+    assert(ld >= std::max<idx>(rows, 1));
+  }
+  ConstMatrixView(const MatrixView& v)  // NOLINT(google-explicit-constructor)
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()), ld_(v.ld()) {}
+
+  const double* data() const { return data_; }
+  idx rows() const { return rows_; }
+  idx cols() const { return cols_; }
+  idx ld() const { return ld_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  const double& operator()(idx i, idx j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * ld_];
+  }
+
+  const double* col_ptr(idx j) const {
+    assert(j >= 0 && j <= cols_);
+    return data_ + j * ld_;
+  }
+
+  ConstMatrixView block(idx i, idx j, idx r, idx c) const {
+    assert(i >= 0 && j >= 0 && r >= 0 && c >= 0);
+    assert(i + r <= rows_ && j + c <= cols_);
+    return ConstMatrixView(data_ + i + j * ld_, r, c, ld_);
+  }
+
+  ConstMatrixView trailing(idx i, idx j) const {
+    return block(i, j, rows_ - i, cols_ - j);
+  }
+
+  ConstMatrixView cols_range(idx j, idx c) const {
+    return block(0, j, rows_, c);
+  }
+  ConstMatrixView rows_range(idx i, idx r) const {
+    return block(i, 0, r, cols_);
+  }
+  ConstMatrixView col(idx j) const { return block(0, j, rows_, 1); }
+  ConstMatrixView row(idx i) const { return block(i, 0, 1, cols_); }
+
+ private:
+  const double* data_ = nullptr;
+  idx rows_ = 0;
+  idx cols_ = 0;
+  idx ld_ = 1;
+};
+
+/// Copy src into dst; shapes must match.
+void copy_into(ConstMatrixView src, MatrixView dst);
+
+/// Set every element of the view to value.
+void fill(MatrixView a, double value);
+
+/// Set a to the identity (1 on the main diagonal, 0 elsewhere).
+void set_identity(MatrixView a);
+
+/// True if the two views alias the exact same block (same data/ld/shape).
+inline bool same_view(ConstMatrixView a, ConstMatrixView b) {
+  return a.data() == b.data() && a.rows() == b.rows() && a.cols() == b.cols() &&
+         a.ld() == b.ld();
+}
+
+}  // namespace camult

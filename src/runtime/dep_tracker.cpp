@@ -1,0 +1,38 @@
+#include "runtime/dep_tracker.hpp"
+
+#include <algorithm>
+
+namespace camult::rt {
+
+std::vector<TaskId> DepTracker::depends(
+    TaskId task, const std::vector<BlockAccess>& accesses) {
+  std::vector<TaskId> deps;
+  for (const BlockAccess& a : accesses) {
+    BlockState& st = state_[a.key];
+    const bool reads =
+        a.mode == AccessMode::Read || a.mode == AccessMode::ReadWrite;
+    const bool writes =
+        a.mode == AccessMode::Write || a.mode == AccessMode::ReadWrite;
+
+    if (reads && st.last_writer != kNoTask && st.last_writer != task) {
+      deps.push_back(st.last_writer);  // RAW
+    }
+    if (writes) {
+      if (st.last_writer != kNoTask && st.last_writer != task) {
+        deps.push_back(st.last_writer);  // WAW
+      }
+      for (TaskId r : st.readers_since_write) {
+        if (r != task) deps.push_back(r);  // WAR
+      }
+      st.readers_since_write.clear();
+      st.last_writer = task;
+    } else {
+      st.readers_since_write.push_back(task);
+    }
+  }
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  return deps;
+}
+
+}  // namespace camult::rt

@@ -1,0 +1,50 @@
+// dep_tracker.hpp — superscalar-style automatic dependency inference.
+//
+// Algorithms register, for each task, which logical blocks it reads and
+// writes. The tracker derives the dependency edges (RAW, WAR, WAW) exactly
+// like an out-of-order processor's register renaming stage — this is the
+// mechanism behind "the task dependency graph is constructed on the fly"
+// in the paper.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/task.hpp"
+
+namespace camult::rt {
+
+enum class AccessMode : std::uint8_t { Read, Write, ReadWrite };
+
+/// A logical block key. Algorithms typically pack (block row, block col);
+/// any scheme works as long as overlapping accesses share a key.
+using BlockKey = std::int64_t;
+
+inline BlockKey block_key(idx block_row, idx block_col) {
+  return (block_row << 24) ^ block_col;
+}
+
+struct BlockAccess {
+  BlockKey key;
+  AccessMode mode;
+};
+
+class DepTracker {
+ public:
+  /// Compute the dependencies of a task performing `accesses`, then record
+  /// the task as the new reader/writer of those blocks. Returns the
+  /// deduplicated dependency list.
+  std::vector<TaskId> depends(TaskId task,
+                              const std::vector<BlockAccess>& accesses);
+
+  void clear() { state_.clear(); }
+
+ private:
+  struct BlockState {
+    TaskId last_writer = kNoTask;
+    std::vector<TaskId> readers_since_write;
+  };
+  std::unordered_map<BlockKey, BlockState> state_;
+};
+
+}  // namespace camult::rt

@@ -1,0 +1,51 @@
+// task.hpp — task metadata shared by the dynamic scheduler, the tracer and
+// the simulated-multicore replayer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "matrix/view.hpp"
+
+namespace camult::rt {
+
+using TaskId = idx;
+inline constexpr TaskId kNoTask = -1;
+
+/// The paper's task taxonomy (Section III): P = panel/tournament step,
+/// L = block column of L, U = block row of U, S = trailing update.
+enum class TaskKind : std::uint8_t {
+  Panel,    ///< "P": TSLU/TSQR reduction-tree node
+  LFactor,  ///< "L": block of the panel's L factor (CALU only)
+  UFactor,  ///< "U": permute + compute a block of the U block row
+  Update,   ///< "S": trailing matrix update
+  Generic,
+};
+
+const char* task_kind_name(TaskKind k);
+/// Single-letter tag used in Gantt renderings (P/L/U/S/G).
+char task_kind_letter(TaskKind k);
+
+struct TaskOptions {
+  int priority = 0;   ///< higher runs first among ready tasks
+  TaskKind kind = TaskKind::Generic;
+  int iteration = 0;  ///< panel index K the task belongs to
+  std::string label;  ///< free-form, for traces and DOT dumps
+};
+
+/// One executed task, as recorded by the tracer. Times are nanoseconds since
+/// the graph epoch (first task start).
+struct TaskRecord {
+  TaskId id = kNoTask;
+  TaskKind kind = TaskKind::Generic;
+  int iteration = 0;
+  int priority = 0;
+  int worker = -1;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  std::string label;
+
+  std::int64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+}  // namespace camult::rt

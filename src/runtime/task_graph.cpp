@@ -1,0 +1,236 @@
+#include "runtime/task_graph.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace camult::rt {
+
+const char* task_kind_name(TaskKind k) {
+  switch (k) {
+    case TaskKind::Panel: return "P";
+    case TaskKind::LFactor: return "L";
+    case TaskKind::UFactor: return "U";
+    case TaskKind::Update: return "S";
+    case TaskKind::Generic: return "G";
+  }
+  return "?";
+}
+
+char task_kind_letter(TaskKind k) { return task_kind_name(k)[0]; }
+
+TaskGraph::TaskGraph(const Config& config) : config_(config) {
+  if (config_.num_threads < 0) {
+    throw std::invalid_argument("TaskGraph: negative thread count");
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  local_ready_.resize(static_cast<std::size_t>(std::max(config_.num_threads, 1)));
+  workers_.reserve(static_cast<std::size_t>(config_.num_threads));
+  for (int t = 0; t < config_.num_threads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+TaskGraph::~TaskGraph() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  ready_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+TaskId TaskGraph::submit(const std::vector<TaskId>& deps, TaskOptions opts,
+                         std::function<void()> fn) {
+  TaskId id;
+  bool ready_now = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    id = static_cast<TaskId>(tasks_.size());
+    tasks_.emplace_back();
+    Task& task = tasks_.back();
+    task.fn = std::move(fn);
+    task.opts = std::move(opts);
+    task.record.id = id;
+    task.record.kind = task.opts.kind;
+    task.record.iteration = task.opts.iteration;
+    task.record.priority = task.opts.priority;
+    task.record.label = task.opts.label;
+
+    for (TaskId d : deps) {
+      if (d == kNoTask) continue;
+      assert(d >= 0 && d < id);
+      Task& dep = tasks_[static_cast<std::size_t>(d)];
+      edges_.push_back({d, id});
+      if (!dep.finished) {
+        dep.successors.push_back(id);
+        ++task.unresolved;
+      }
+    }
+    ++unfinished_;
+    if (task.unresolved == 0) {
+      if (config_.num_threads == 0) {
+        ready_now = true;
+      } else {
+        // Submission thread is not a worker: scatter round-robin.
+        push_ready_locked(id, static_cast<int>(id));
+      }
+    } else if (config_.num_threads == 0) {
+      throw std::logic_error(
+          "TaskGraph(inline): task submitted before its dependencies "
+          "finished — submission order must be topological");
+    }
+  }
+  if (config_.num_threads > 0) {
+    ready_cv_.notify_one();
+  } else if (ready_now) {
+    // Inline mode: run this task and, iteratively, everything it unblocks.
+    std::vector<TaskId> stack = {id};
+    while (!stack.empty()) {
+      const TaskId next = stack.back();
+      stack.pop_back();
+      run_task(next, 0, &stack);
+    }
+  }
+  return id;
+}
+
+void TaskGraph::push_ready_locked(TaskId id, int worker_hint) {
+  if (config_.policy == Policy::WorkStealing) {
+    const std::size_t w =
+        static_cast<std::size_t>(worker_hint) % local_ready_.size();
+    local_ready_[w].push_back(id);
+  } else {
+    ready_.push({tasks_[static_cast<std::size_t>(id)].opts.priority, id});
+  }
+}
+
+TaskId TaskGraph::pop_ready_locked(int worker_id) {
+  if (config_.policy == Policy::WorkStealing) {
+    auto& own = local_ready_[static_cast<std::size_t>(worker_id)];
+    if (!own.empty()) {
+      const TaskId id = own.back();  // LIFO: freshest (hot) task
+      own.pop_back();
+      return id;
+    }
+    for (std::size_t off = 1; off < local_ready_.size(); ++off) {
+      auto& victim = local_ready_[(static_cast<std::size_t>(worker_id) + off) %
+                                  local_ready_.size()];
+      if (!victim.empty()) {
+        const TaskId id = victim.front();  // FIFO steal: coldest task
+        victim.pop_front();
+        return id;
+      }
+    }
+    return kNoTask;
+  }
+  if (ready_.empty()) return kNoTask;
+  const TaskId id = ready_.top().second;
+  ready_.pop();
+  return id;
+}
+
+bool TaskGraph::any_ready_locked() const {
+  if (config_.policy == Policy::WorkStealing) {
+    for (const auto& d : local_ready_) {
+      if (!d.empty()) return true;
+    }
+    return false;
+  }
+  return !ready_.empty();
+}
+
+void TaskGraph::run_task(TaskId id, int worker_id,
+                         std::vector<TaskId>* inline_stack) {
+  Task* task = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    task = &tasks_[static_cast<std::size_t>(id)];
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::exception_ptr error;
+  try {
+    task->fn();
+  } catch (...) {
+    // Dependents still run (they may touch unrelated state); the first
+    // failure is rethrown from wait(). Matches how a worker must never die.
+    error = std::current_exception();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    task->finished = true;
+    task->error = error;
+    task->fn = nullptr;  // release captures eagerly
+    if (config_.record_trace) {
+      task->record.worker = worker_id;
+      task->record.start_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t0 - epoch_)
+              .count();
+      task->record.end_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - epoch_)
+              .count();
+    }
+    for (TaskId s : task->successors) {
+      Task& succ = tasks_[static_cast<std::size_t>(s)];
+      if (--succ.unresolved == 0) {
+        if (inline_stack != nullptr) {
+          inline_stack->push_back(s);
+        } else {
+          // Successors run where their producer finished (locality under
+          // work stealing; irrelevant for the central queue).
+          push_ready_locked(s, worker_id);
+        }
+      }
+    }
+    --unfinished_;
+    if (unfinished_ == 0) done_cv_.notify_all();
+  }
+  if (config_.num_threads > 0) ready_cv_.notify_all();
+}
+
+void TaskGraph::worker_loop(int worker_id) {
+  for (;;) {
+    TaskId id = kNoTask;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_cv_.wait(lock,
+                     [this] { return shutdown_ || any_ready_locked(); });
+      id = pop_ready_locked(worker_id);
+      if (id == kNoTask) {
+        if (shutdown_) return;
+        continue;
+      }
+    }
+    run_task(id, worker_id);
+  }
+}
+
+void TaskGraph::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (config_.num_threads == 0) {
+    if (unfinished_ != 0) {
+      throw std::logic_error("TaskGraph(inline): unfinished tasks at wait()");
+    }
+  } else {
+    done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  }
+  for (const Task& t : tasks_) {
+    if (t.error) std::rethrow_exception(t.error);
+  }
+}
+
+std::vector<TaskRecord> TaskGraph::trace() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<TaskRecord> out;
+  out.reserve(tasks_.size());
+  for (const Task& t : tasks_) out.push_back(t.record);
+  return out;
+}
+
+std::vector<TaskGraph::Edge> TaskGraph::edges() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return edges_;
+}
+
+}  // namespace camult::rt

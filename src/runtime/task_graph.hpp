@@ -1,0 +1,125 @@
+// task_graph.hpp — dynamic task-DAG executor.
+//
+// This is the "dynamic scheduling" substrate of the paper (Section III):
+// tasks are submitted on the fly with explicit dependencies, enter a ready
+// queue once all predecessors finish, and a pool of worker threads executes
+// them highest-priority-first. Priorities implement the look-ahead policy.
+//
+// Modes:
+//  * num_threads >= 1 — real std::thread workers.
+//  * num_threads == 0 — inline: each task runs immediately on the submitting
+//    thread (submission order must be a topological order, which holds for
+//    all algorithms in this library). This is the serial record mode used to
+//    measure per-task durations for the simulated-multicore replayer.
+//
+// After wait(), the executed trace and the dependency edges can be exported.
+#pragma once
+
+#include <chrono>
+#include <exception>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "runtime/task.hpp"
+
+namespace camult::rt {
+
+class TaskGraph {
+ public:
+  /// How ready tasks are handed to workers.
+  enum class Policy {
+    /// One global priority queue: strict highest-priority-first (the
+    /// look-ahead policy relies on this). Default.
+    CentralPriority,
+    /// Per-worker deques with LIFO self-pop and FIFO stealing: better
+    /// locality (a task's successors run where it finished) at the cost of
+    /// only approximate priority order.
+    WorkStealing,
+  };
+
+  struct Config {
+    int num_threads = 1;  ///< 0 = inline serial mode
+    bool record_trace = true;
+    Policy policy = Policy::CentralPriority;
+  };
+
+  struct Edge {
+    TaskId from;
+    TaskId to;
+  };
+
+  explicit TaskGraph(const Config& config);
+  ~TaskGraph();
+
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Submit a task depending on `deps` (finished deps are allowed and
+  /// skipped). Returns the task id. Thread-compatible: call from one
+  /// submission thread.
+  TaskId submit(const std::vector<TaskId>& deps, TaskOptions opts,
+                std::function<void()> fn);
+
+  /// Block until every submitted task has executed. If any task threw, the
+  /// first exception (by task id) is rethrown here (the graph still drains
+  /// completely first).
+  void wait();
+
+  int num_threads() const { return config_.num_threads; }
+
+  /// Executed tasks, sorted by id. Valid after wait().
+  std::vector<TaskRecord> trace() const;
+
+  /// All dependency edges actually registered. Valid after wait().
+  std::vector<Edge> edges() const;
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    TaskOptions opts;
+    int unresolved = 0;
+    bool finished = false;
+    std::vector<TaskId> successors;
+    TaskRecord record;
+    std::exception_ptr error;
+  };
+
+  // Max-heap entry: higher priority first, lower id breaks ties (FIFO-ish,
+  // and deterministic).
+  struct ReadyOrder {
+    bool operator()(const std::pair<int, TaskId>& a,
+                    const std::pair<int, TaskId>& b) const {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second > b.second;
+    }
+  };
+
+  void worker_loop(int worker_id);
+  void run_task(TaskId id, int worker_id,
+                std::vector<TaskId>* inline_stack = nullptr);
+  void push_ready_locked(TaskId id, int worker_hint);
+  TaskId pop_ready_locked(int worker_id);
+  bool any_ready_locked() const;
+
+  Config config_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::condition_variable done_cv_;
+  std::deque<Task> tasks_;
+  std::priority_queue<std::pair<int, TaskId>, std::vector<std::pair<int, TaskId>>,
+                      ReadyOrder>
+      ready_;
+  std::vector<std::deque<TaskId>> local_ready_;  ///< WorkStealing deques
+  std::vector<Edge> edges_;
+  idx unfinished_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace camult::rt

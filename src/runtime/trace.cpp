@@ -1,0 +1,87 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace camult::rt {
+
+TraceStats compute_stats(const std::vector<TaskRecord>& records,
+                         int num_workers) {
+  TraceStats st;
+  st.num_workers = num_workers;
+  if (records.empty() || num_workers <= 0) return st;
+  std::int64_t t_min = records.front().start_ns;
+  std::int64_t t_max = records.front().end_ns;
+  for (const TaskRecord& r : records) {
+    t_min = std::min(t_min, r.start_ns);
+    t_max = std::max(t_max, r.end_ns);
+    st.busy_ns += r.duration_ns();
+    st.busy_by_kind_ns[r.kind] += r.duration_ns();
+  }
+  st.makespan_ns = t_max - t_min;
+  if (st.makespan_ns > 0) {
+    st.idle_fraction = 1.0 - static_cast<double>(st.busy_ns) /
+                                 (static_cast<double>(st.makespan_ns) *
+                                  static_cast<double>(num_workers));
+  }
+  return st;
+}
+
+void write_trace_csv(std::ostream& os,
+                     const std::vector<TaskRecord>& records) {
+  os << "id,kind,iteration,worker,start_ns,end_ns,label\n";
+  for (const TaskRecord& r : records) {
+    os << r.id << ',' << task_kind_name(r.kind) << ',' << r.iteration << ','
+       << r.worker << ',' << r.start_ns << ',' << r.end_ns << ',' << r.label
+       << '\n';
+  }
+}
+
+std::string render_gantt(const std::vector<TaskRecord>& records,
+                         int num_workers, int width) {
+  if (records.empty() || num_workers <= 0 || width <= 0) return "";
+  std::int64_t t_min = records.front().start_ns;
+  std::int64_t t_max = records.front().end_ns;
+  for (const TaskRecord& r : records) {
+    t_min = std::min(t_min, r.start_ns);
+    t_max = std::max(t_max, r.end_ns);
+  }
+  const double span = static_cast<double>(std::max<std::int64_t>(t_max - t_min, 1));
+
+  std::vector<std::string> rows(static_cast<std::size_t>(num_workers),
+                                std::string(static_cast<std::size_t>(width), '.'));
+  for (const TaskRecord& r : records) {
+    if (r.worker < 0 || r.worker >= num_workers) continue;
+    auto to_col = [&](std::int64_t t) {
+      const double f = static_cast<double>(t - t_min) / span;
+      return std::min<idx>(width - 1, static_cast<idx>(f * width));
+    };
+    const idx c0 = to_col(r.start_ns);
+    const idx c1 = std::max(c0, to_col(r.end_ns - 1));
+    for (idx c = c0; c <= c1; ++c) {
+      rows[static_cast<std::size_t>(r.worker)][static_cast<std::size_t>(c)] =
+          task_kind_letter(r.kind);
+    }
+  }
+  std::ostringstream os;
+  for (int w = 0; w < num_workers; ++w) {
+    os << "core " << w << " |" << rows[static_cast<std::size_t>(w)] << "|\n";
+  }
+  return os.str();
+}
+
+void write_dot(std::ostream& os, const std::vector<TaskRecord>& records,
+               const std::vector<TaskGraph::Edge>& edges) {
+  os << "digraph tasks {\n  rankdir=TB;\n  node [shape=circle];\n";
+  for (const TaskRecord& r : records) {
+    os << "  t" << r.id << " [label=\"" << task_kind_name(r.kind) << r.iteration;
+    if (!r.label.empty()) os << "\\n" << r.label;
+    os << "\"];\n";
+  }
+  for (const auto& e : edges) {
+    os << "  t" << e.from << " -> t" << e.to << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace camult::rt

@@ -1,0 +1,46 @@
+// trace.hpp — execution-trace analysis and rendering.
+//
+// Reproduces the paper's Figures 1-4 artifacts: DOT dumps of the task DAG,
+// per-core Gantt charts of an execution (ASCII and CSV), and idle-time
+// statistics that quantify the "panel factorization creates idle time"
+// effect.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runtime/task.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace camult::rt {
+
+struct TraceStats {
+  std::int64_t makespan_ns = 0;           ///< last end - first start
+  std::int64_t busy_ns = 0;               ///< sum of task durations
+  int num_workers = 0;
+  double idle_fraction = 0.0;             ///< 1 - busy/(makespan*workers)
+  std::map<TaskKind, std::int64_t> busy_by_kind_ns;
+};
+
+/// Aggregate statistics over an executed (or simulated) trace.
+TraceStats compute_stats(const std::vector<TaskRecord>& records,
+                         int num_workers);
+
+/// CSV: id,kind,iteration,worker,start_ns,end_ns,label.
+void write_trace_csv(std::ostream& os, const std::vector<TaskRecord>& records);
+
+/// ASCII Gantt chart: one row per worker, `width` character columns spanning
+/// the makespan; each cell shows the kind letter of the task occupying that
+/// worker at that time ('.' = idle). This is the textual analogue of the
+/// paper's Figures 3 and 4.
+std::string render_gantt(const std::vector<TaskRecord>& records,
+                         int num_workers, int width = 100);
+
+/// GraphViz DOT of the task DAG with nodes labelled by kind/iteration
+/// (Figure 1 analogue).
+void write_dot(std::ostream& os, const std::vector<TaskRecord>& records,
+               const std::vector<TaskGraph::Edge>& edges);
+
+}  // namespace camult::rt

@@ -1,0 +1,88 @@
+#include "runtime/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace camult::rt {
+namespace {
+
+constexpr const char* kMagic = "camult-dag v1";
+
+TaskKind kind_from_letter(char c) {
+  switch (c) {
+    case 'P': return TaskKind::Panel;
+    case 'L': return TaskKind::LFactor;
+    case 'U': return TaskKind::UFactor;
+    case 'S': return TaskKind::Update;
+    default: return TaskKind::Generic;
+  }
+}
+
+}  // namespace
+
+void save_dag(std::ostream& os, const std::vector<TaskRecord>& tasks,
+              const std::vector<TaskGraph::Edge>& edges) {
+  os << kMagic << '\n';
+  os << "tasks " << tasks.size() << '\n';
+  for (const TaskRecord& t : tasks) {
+    os << t.id << ' ' << task_kind_letter(t.kind) << ' ' << t.iteration << ' '
+       << t.priority << ' ' << t.worker << ' ' << t.start_ns << ' '
+       << t.end_ns << ' ' << t.label << '\n';
+  }
+  os << "edges " << edges.size() << '\n';
+  for (const auto& e : edges) {
+    os << e.from << ' ' << e.to << '\n';
+  }
+}
+
+void save_dag_file(const std::string& path,
+                   const std::vector<TaskRecord>& tasks,
+                   const std::vector<TaskGraph::Edge>& edges) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_dag_file: cannot open " + path);
+  save_dag(out, tasks, edges);
+}
+
+RecordedDag load_dag(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    throw std::runtime_error("load_dag: bad magic line");
+  }
+  std::string word;
+  std::size_t count = 0;
+  if (!(is >> word >> count) || word != "tasks") {
+    throw std::runtime_error("load_dag: expected 'tasks <n>'");
+  }
+  RecordedDag dag;
+  dag.tasks.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    TaskRecord& t = dag.tasks[i];
+    char kind_letter = 'G';
+    if (!(is >> t.id >> kind_letter >> t.iteration >> t.priority >> t.worker >>
+          t.start_ns >> t.end_ns)) {
+      throw std::runtime_error("load_dag: truncated task line");
+    }
+    t.kind = kind_from_letter(kind_letter);
+    std::getline(is, t.label);
+    if (!t.label.empty() && t.label.front() == ' ') t.label.erase(0, 1);
+  }
+  if (!(is >> word >> count) || word != "edges") {
+    throw std::runtime_error("load_dag: expected 'edges <n>'");
+  }
+  dag.edges.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(is >> dag.edges[i].from >> dag.edges[i].to)) {
+      throw std::runtime_error("load_dag: truncated edge line");
+    }
+  }
+  return dag;
+}
+
+RecordedDag load_dag_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_dag_file: cannot open " + path);
+  return load_dag(in);
+}
+
+}  // namespace camult::rt

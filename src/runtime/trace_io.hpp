@@ -1,0 +1,35 @@
+// trace_io.hpp — save/load recorded task DAGs.
+//
+// A recorded DAG (task metadata with measured durations + dependency edges)
+// fully determines a simulation, so persisting it decouples the expensive
+// record pass from what-if scheduling studies: record once, replay on any
+// virtual core count (see examples/replay_dag).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/task.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace camult::rt {
+
+struct RecordedDag {
+  std::vector<TaskRecord> tasks;
+  std::vector<TaskGraph::Edge> edges;
+};
+
+/// Plain-text format, one task/edge per line; labels go last on the line so
+/// they may contain spaces.
+void save_dag(std::ostream& os, const std::vector<TaskRecord>& tasks,
+              const std::vector<TaskGraph::Edge>& edges);
+void save_dag_file(const std::string& path,
+                   const std::vector<TaskRecord>& tasks,
+                   const std::vector<TaskGraph::Edge>& edges);
+
+/// Throws std::runtime_error on malformed input.
+RecordedDag load_dag(std::istream& is);
+RecordedDag load_dag_file(const std::string& path);
+
+}  // namespace camult::rt

@@ -1,0 +1,125 @@
+#include "sim/sim_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+namespace camult::sim {
+
+SimResult simulate(const std::vector<rt::TaskRecord>& measured,
+                   const std::vector<rt::TaskGraph::Edge>& edges,
+                   int num_cores) {
+  if (num_cores <= 0) {
+    throw std::invalid_argument("simulate: need at least one core");
+  }
+  const std::size_t n = measured.size();
+  SimResult result;
+  result.schedule = measured;
+  if (n == 0) return result;
+
+  // Task ids are assumed dense 0..n-1 (as produced by TaskGraph).
+  std::vector<int> indeg(n, 0);
+  std::vector<std::vector<rt::TaskId>> succ(n);
+  for (const auto& e : edges) {
+    assert(e.from >= 0 && static_cast<std::size_t>(e.from) < n);
+    assert(e.to >= 0 && static_cast<std::size_t>(e.to) < n);
+    succ[static_cast<std::size_t>(e.from)].push_back(e.to);
+    ++indeg[static_cast<std::size_t>(e.to)];
+  }
+
+  // Critical path and total work (bounds for reporting).
+  {
+    std::vector<std::int64_t> dist(n, 0);
+    // Process in topological order; ids are already topological because the
+    // runtime only allows dependencies on earlier ids.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t done = dist[i] + measured[i].duration_ns();
+      result.critical_path_ns = std::max(result.critical_path_ns, done);
+      for (rt::TaskId s : succ[i]) {
+        dist[static_cast<std::size_t>(s)] =
+            std::max(dist[static_cast<std::size_t>(s)], done);
+      }
+      result.total_work_ns += measured[i].duration_ns();
+    }
+  }
+
+  // Ready queue: higher priority first, then lower id.
+  struct ReadyOrder {
+    const std::vector<rt::TaskRecord>* recs;
+    bool operator()(rt::TaskId a, rt::TaskId b) const {
+      const int pa = (*recs)[static_cast<std::size_t>(a)].priority;
+      const int pb = (*recs)[static_cast<std::size_t>(b)].priority;
+      if (pa != pb) return pa < pb;
+      return a > b;
+    }
+  };
+  std::priority_queue<rt::TaskId, std::vector<rt::TaskId>, ReadyOrder> ready(
+      ReadyOrder{&measured});
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) ready.push(static_cast<rt::TaskId>(i));
+  }
+
+  // Running events: (end_time, core, task); earliest end first, core breaks
+  // ties deterministically.
+  struct Event {
+    std::int64_t end;
+    int core;
+    rt::TaskId task;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.end != b.end) return a.end > b.end;
+      return a.core > b.core;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, EventOrder> running;
+
+  // Idle cores, smallest id first.
+  std::priority_queue<int, std::vector<int>, std::greater<int>> idle;
+  for (int c = 0; c < num_cores; ++c) idle.push(c);
+
+  std::int64_t now = 0;
+  std::size_t completed = 0;
+  while (completed < n) {
+    // Greedily start ready tasks on idle cores at the current time.
+    while (!idle.empty() && !ready.empty()) {
+      const int core = idle.top();
+      idle.pop();
+      const rt::TaskId t = ready.top();
+      ready.pop();
+      auto& rec = result.schedule[static_cast<std::size_t>(t)];
+      rec.worker = core;
+      rec.start_ns = now;
+      rec.end_ns = now + measured[static_cast<std::size_t>(t)].duration_ns();
+      running.push({rec.end_ns, core, t});
+    }
+    if (running.empty()) {
+      throw std::logic_error("simulate: deadlock — cyclic dependencies?");
+    }
+    // Advance to the next completion.
+    const Event ev = running.top();
+    running.pop();
+    now = ev.end;
+    idle.push(ev.core);
+    ++completed;
+    for (rt::TaskId s : succ[static_cast<std::size_t>(ev.task)]) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push(s);
+    }
+    // Drain all events finishing at the same instant so their successors
+    // compete fairly for cores.
+    while (!running.empty() && running.top().end == now) {
+      const Event ev2 = running.top();
+      running.pop();
+      idle.push(ev2.core);
+      ++completed;
+      for (rt::TaskId s : succ[static_cast<std::size_t>(ev2.task)]) {
+        if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push(s);
+      }
+    }
+  }
+  result.makespan_ns = now;
+  return result;
+}
+
+}  // namespace camult::sim

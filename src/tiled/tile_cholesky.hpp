@@ -1,0 +1,31 @@
+// tile_cholesky.hpp — PLASMA-style tiled Cholesky (lower), the third member
+// of the tiled one-sided factorization family of Buttari et al. (the
+// paper's baseline reference [5]). Included as an extension: it exercises
+// the same runtime with the widest, most regular tile DAG
+// (POTRF -> TRSM* -> SYRK/GEMM*).
+#pragma once
+
+#include "matrix/view.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace camult::tiled {
+
+struct TileCholeskyOptions {
+  idx b = 100;          ///< tile size
+  int num_threads = 4;  ///< 0 = inline serial (record mode)
+  bool record_trace = true;
+};
+
+struct TileCholeskyResult {
+  idx n = 0, b = 0;
+  idx info = 0;  ///< 0, or 1-based index of the first non-positive pivot
+  std::vector<rt::TaskRecord> trace;
+  std::vector<rt::TaskGraph::Edge> edges;
+};
+
+/// Factor A = L L^T in place (lower triangle). Same numerical contract as
+/// lapack::potrf, task-parallel.
+TileCholeskyResult tile_cholesky_factor(MatrixView a,
+                                        const TileCholeskyOptions& opts = {});
+
+}  // namespace camult::tiled

@@ -1,0 +1,97 @@
+#include "tiled/tile_kernels.hpp"
+
+#include <cassert>
+
+#include "blas/blas.hpp"
+#include "lapack/geqrf.hpp"
+#include "lapack/getrf.hpp"
+#include "lapack/laswp.hpp"
+
+namespace camult::tiled {
+
+TsqrtFactors tsqrt(MatrixView r_tile, ConstMatrixView full_tile) {
+  const idx cb = r_tile.rows();   // triangle size
+  const idx rb = full_tile.rows();
+  assert(r_tile.cols() == cb);
+  assert(full_tile.cols() == cb);
+
+  TsqrtFactors f;
+  f.vt = Matrix::zeros(cb + rb, cb);
+  for (idx j = 0; j < cb; ++j) {
+    for (idx i = 0; i <= j; ++i) f.vt(i, j) = r_tile(i, j);
+    for (idx i = 0; i < rb; ++i) f.vt(cb + i, j) = full_tile(i, j);
+  }
+  f.t = Matrix::zeros(cb, cb);
+  std::vector<double> tau;
+  lapack::geqr3(f.vt.view(), tau, f.t.view());
+  for (idx j = 0; j < cb; ++j) {
+    for (idx i = 0; i <= j; ++i) r_tile(i, j) = f.vt(i, j);
+  }
+  return f;
+}
+
+void tsmqr(blas::Trans trans, const TsqrtFactors& f, MatrixView c_top,
+           MatrixView c_bot) {
+  const idx cb = f.t.rows();
+  const idx rb = f.vt.rows() - cb;
+  assert(c_top.rows() == cb && c_bot.rows() == rb);
+  assert(c_top.cols() == c_bot.cols());
+  Matrix stacked(cb + rb, c_top.cols());
+  copy_into(c_top, stacked.view().rows_range(0, cb));
+  copy_into(c_bot, stacked.view().rows_range(cb, rb));
+  lapack::larfb_left(trans, f.vt.view(), f.t.view(), stacked.view());
+  copy_into(stacked.view().rows_range(0, cb), c_top);
+  copy_into(stacked.view().rows_range(cb, rb), c_bot);
+}
+
+TstrfFactors tstrf(MatrixView u_tile, MatrixView full_tile) {
+  const idx cb = u_tile.rows();
+  const idx rb = full_tile.rows();
+  assert(u_tile.cols() == cb);
+  assert(full_tile.cols() == cb);
+
+  Matrix stack = Matrix::zeros(cb + rb, cb);
+  for (idx j = 0; j < cb; ++j) {
+    for (idx i = 0; i <= j; ++i) stack(i, j) = u_tile(i, j);
+    for (idx i = 0; i < rb; ++i) stack(cb + i, j) = full_tile(i, j);
+  }
+  TstrfFactors f;
+  f.info = lapack::rgetf2(stack.view(), f.ipiv);
+
+  // New U back into the triangle; L kept in the factors (unit diagonal
+  // explicit) and the tile's slice mirrored into the full tile for
+  // inspection.
+  f.l = Matrix::zeros(cb + rb, cb);
+  for (idx j = 0; j < cb; ++j) {
+    for (idx i = 0; i <= j; ++i) u_tile(i, j) = stack(i, j);
+    for (idx i = j + 1; i < cb + rb; ++i) f.l(i, j) = stack(i, j);
+    f.l(j, j) = 1.0;
+  }
+  for (idx j = 0; j < cb; ++j) {
+    for (idx i = 0; i < rb; ++i) full_tile(i, j) = f.l(cb + i, j);
+  }
+  return f;
+}
+
+void ssssm(const TstrfFactors& f, MatrixView c_top, MatrixView c_bot) {
+  const idx cb = static_cast<idx>(f.ipiv.size());
+  const idx rb = f.l.rows() - cb;
+  assert(c_top.rows() == cb && c_bot.rows() == rb);
+  assert(c_top.cols() == c_bot.cols());
+  const idx w = c_top.cols();
+
+  Matrix stacked(cb + rb, w);
+  copy_into(c_top, stacked.view().rows_range(0, cb));
+  copy_into(c_bot, stacked.view().rows_range(cb, rb));
+  lapack::laswp(stacked.view(), 0, cb, f.ipiv);
+  blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::NoTrans,
+             blas::Diag::Unit, 1.0, f.l.view().block(0, 0, cb, cb),
+             stacked.view().rows_range(0, cb));
+  blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, -1.0,
+             f.l.view().block(cb, 0, rb, cb), stacked.view().rows_range(0, cb),
+             1.0, stacked.view().rows_range(cb, rb));
+  copy_into(stacked.view().rows_range(0, cb), c_top);
+  copy_into(stacked.view().rows_range(cb, rb), c_bot);
+}
+
+}  // namespace camult::tiled

@@ -1,0 +1,58 @@
+// tile_lu.hpp — PLASMA-style tiled LU with incremental (pairwise) pivoting,
+// the "PLASMA_dgetrf" baseline of the paper's experiments.
+//
+// Flat incremental scheme: factor the diagonal tile with partial pivoting
+// (GETRF), then absorb each tile below it (TSTRF = GEPP of [U; tile]),
+// updating trailing tiles as the chain advances (GESSM/SSSSM). Pivoting is
+// local to each two-tile stack — less stable than partial pivoting or
+// ca-pivoting, but exposes the wide tile DAG.
+//
+// The factorization is an op-log (not a LAPACK-layout P*A=LU): use
+// tile_lu_solve to solve linear systems, which is also how correctness is
+// verified.
+#pragma once
+
+#include "matrix/permutation.hpp"
+#include "runtime/task_graph.hpp"
+#include "tiled/tile_kernels.hpp"
+
+namespace camult::tiled {
+
+struct TileLuOptions {
+  idx b = 100;          ///< tile size
+  int num_threads = 4;  ///< 0 = inline serial (record mode)
+  bool record_trace = true;
+};
+
+struct TileLuStep {
+  idx row0 = 0;  ///< diagonal tile top row (== left column)
+  idx rk = 0;    ///< diagonal tile rows
+  idx jb = 0;    ///< factored columns
+  PivotVector leaf_ipiv;            ///< GETRF pivots within the tile
+  Matrix leaf_l;                    ///< rk x jb unit-lower L of the tile
+  std::vector<idx> chain_row;       ///< top row of each absorbed tile
+  std::vector<TstrfFactors> chain;  ///< TSTRF factors, in order
+};
+
+struct TileLuResult {
+  idx m = 0, n = 0, b = 0;
+  idx info = 0;  ///< 0, or 1-based column of the first zero pivot
+  std::vector<TileLuStep> steps;
+  std::vector<rt::TaskRecord> trace;
+  std::vector<rt::TaskGraph::Edge> edges;
+};
+
+/// Factor A in place: on exit the upper triangle holds U; the returned
+/// op-log holds the L factors and pivots of every step.
+TileLuResult tile_lu_factor(MatrixView a, const TileLuOptions& opts = {});
+
+/// Apply the factorization's forward transformations to a block of
+/// right-hand sides (rhs has m rows), i.e. rhs := "L^{-1} P" rhs.
+void tile_lu_forward(const TileLuResult& f, MatrixView rhs);
+
+/// Solve A x = rhs in place using the op-log and the U stored in
+/// a_factored. rhs has m rows (m == n required).
+void tile_lu_solve(const TileLuResult& f, ConstMatrixView a_factored,
+                   MatrixView rhs);
+
+}  // namespace camult::tiled

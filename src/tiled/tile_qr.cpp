@@ -1,0 +1,240 @@
+#include "tiled/tile_qr.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "matrix/norms.hpp"
+#include "runtime/dep_tracker.hpp"
+
+namespace camult::tiled {
+namespace {
+
+using rt::AccessMode;
+using rt::BlockAccess;
+using rt::TaskId;
+using rt::TaskKind;
+
+rt::BlockKey tile_key(idx i, idx j) { return rt::block_key(i, j); }
+rt::BlockKey leaf_key(idx k) { return (idx{1} << 60) + k; }
+rt::BlockKey node_key(idx k, idx i) { return (idx{1} << 61) + k * 65536 + i; }
+
+struct ColSegment {
+  idx col0, cols, jblk;
+};
+
+std::vector<ColSegment> trailing_segments(idx row0, idx jb, idx b, idx n,
+                                          idx kb) {
+  std::vector<ColSegment> segments;
+  if (row0 + jb < std::min(n, (kb + 1) * b)) {
+    segments.push_back(
+        {row0 + jb, std::min(n, (kb + 1) * b) - (row0 + jb), kb});
+  }
+  const idx n_blocks = (n + b - 1) / b;
+  for (idx jblk = kb + 1; jblk < n_blocks; ++jblk) {
+    segments.push_back({jblk * b, std::min(b, n - jblk * b), jblk});
+  }
+  return segments;
+}
+
+}  // namespace
+
+TileQrResult tile_qr_factor(MatrixView a, const TileQrOptions& opts) {
+  const idx m = a.rows();
+  const idx n = a.cols();
+  const idx k_total = std::min(m, n);
+  const idx b = std::max<idx>(1, std::min(opts.b, k_total));
+  const idx n_steps = (k_total + b - 1) / b;
+  const idx m_tiles = (m + b - 1) / b;
+
+  TileQrResult result;
+  result.m = m;
+  result.n = n;
+  result.b = b;
+  result.steps.resize(static_cast<std::size_t>(n_steps));
+
+  rt::TaskGraph graph({opts.num_threads, opts.record_trace});
+  rt::DepTracker tracker;
+
+  TaskId next_id = 0;
+  auto add_task = [&](const std::vector<BlockAccess>& acc,
+                      rt::TaskOptions topts,
+                      std::function<void()> fn) -> TaskId {
+    const std::vector<TaskId> deps = tracker.depends(next_id, acc);
+    const TaskId id = graph.submit(deps, std::move(topts), std::move(fn));
+    assert(id == next_id);
+    ++next_id;
+    return id;
+  };
+  // Panel-chain tasks (the critical path) on the top priority band;
+  // trailing updates below, ordered by iteration then column.
+  auto panel_prio = [](idx k) {
+    return 2000000000 - static_cast<int>(k) * 4;
+  };
+  auto update_prio = [](idx k, idx jblk) {
+    return 1000000 - static_cast<int>(k * 1000 + (jblk - k));
+  };
+
+  for (idx k = 0; k < n_steps; ++k) {
+    const idx row0 = k * b;
+    const idx jb = std::min(b, k_total - row0);
+    const idx rk = std::min(b, m - row0);
+    TileQrStep& S = result.steps[static_cast<std::size_t>(k)];
+    S.row0 = row0;
+    S.rk = rk;
+    S.jb = jb;
+    const idx n_below = m_tiles - (k + 1);
+    S.chain_row.resize(static_cast<std::size_t>(std::max<idx>(n_below, 0)));
+    S.chain.resize(static_cast<std::size_t>(std::max<idx>(n_below, 0)));
+
+    const auto segments = trailing_segments(row0, jb, b, n, k);
+
+    // GEQRT: QR of the diagonal tile.
+    {
+      std::vector<BlockAccess> acc = {{tile_key(k, k), AccessMode::ReadWrite},
+                                      {leaf_key(k), AccessMode::Write}};
+      rt::TaskOptions topts;
+      topts.kind = TaskKind::Panel;
+      topts.iteration = static_cast<int>(k);
+      topts.priority = panel_prio(k);
+      topts.label = "geqrt";
+      TileQrStep* Sp = &S;
+      MatrixView tile = a.block(row0, row0, rk, jb);
+      add_task(acc, std::move(topts), [Sp, tile]() {
+        Sp->leaf = core::tsqr_leaf_kernel(tile, 0);
+      });
+    }
+
+    // UNMQR: apply the diagonal tile's reflectors to the trailing segments.
+    for (const ColSegment& seg : segments) {
+      std::vector<BlockAccess> acc = {{leaf_key(k), AccessMode::Read},
+                                      {tile_key(k, k), AccessMode::Read},
+                                      {tile_key(k, seg.jblk),
+                                       AccessMode::ReadWrite}};
+      rt::TaskOptions topts;
+      topts.kind = TaskKind::Update;
+      topts.iteration = static_cast<int>(k);
+      topts.priority = update_prio(k, seg.jblk);
+      topts.label = "unmqr j" + std::to_string(seg.jblk);
+      TileQrStep* Sp = &S;
+      ConstMatrixView tile = a.block(row0, row0, rk, jb);
+      MatrixView c = a.block(row0, seg.col0, rk, seg.cols);
+      add_task(acc, std::move(topts), [Sp, tile, c]() {
+        core::tsqr_leaf_apply(blas::Trans::Trans, tile, Sp->leaf, c);
+      });
+    }
+
+    // TSQRT chain + TSMQR updates.
+    for (idx ti = k + 1; ti < m_tiles; ++ti) {
+      const idx ri = std::min(b, m - ti * b);
+      const idx slot = ti - (k + 1);
+      S.chain_row[static_cast<std::size_t>(slot)] = ti * b;
+      {
+        std::vector<BlockAccess> acc = {
+            {tile_key(k, k), AccessMode::ReadWrite},
+            {tile_key(ti, k), AccessMode::ReadWrite},
+            {node_key(k, ti), AccessMode::Write}};
+        rt::TaskOptions topts;
+        topts.kind = TaskKind::Panel;
+        topts.iteration = static_cast<int>(k);
+        topts.priority = panel_prio(k);
+        topts.label = "tsqrt i" + std::to_string(ti);
+        TileQrStep* Sp = &S;
+        MatrixView r_tile = a.block(row0, row0, jb, jb);
+        MatrixView full = a.block(ti * b, row0, ri, jb);
+        add_task(acc, std::move(topts), [Sp, r_tile, full, slot]() {
+          Sp->chain[static_cast<std::size_t>(slot)] = tsqrt(r_tile, full);
+        });
+      }
+      for (const ColSegment& seg : segments) {
+        std::vector<BlockAccess> acc = {
+            {node_key(k, ti), AccessMode::Read},
+            {tile_key(k, seg.jblk), AccessMode::ReadWrite},
+            {tile_key(ti, seg.jblk), AccessMode::ReadWrite}};
+        rt::TaskOptions topts;
+        topts.kind = TaskKind::Update;
+        topts.iteration = static_cast<int>(k);
+        topts.priority = update_prio(k, seg.jblk);
+        topts.label =
+            "tsmqr i" + std::to_string(ti) + " j" + std::to_string(seg.jblk);
+        TileQrStep* Sp = &S;
+        MatrixView c_top = a.block(row0, seg.col0, jb, seg.cols);
+        MatrixView c_bot = a.block(ti * b, seg.col0, ri, seg.cols);
+        add_task(acc, std::move(topts), [Sp, c_top, c_bot, slot]() {
+          tsmqr(blas::Trans::Trans, Sp->chain[static_cast<std::size_t>(slot)],
+                c_top, c_bot);
+        });
+      }
+    }
+  }
+
+  graph.wait();
+  if (opts.record_trace) {
+    result.trace = graph.trace();
+    result.edges = graph.edges();
+  }
+  return result;
+}
+
+void tile_qr_apply_q(blas::Trans trans, ConstMatrixView a,
+                     const TileQrResult& f, MatrixView c) {
+  assert(c.rows() == f.m);
+  auto apply_step = [&](const TileQrStep& S, blas::Trans dir) {
+    ConstMatrixView tile = a.block(S.row0, S.row0, S.rk, S.jb);
+    if (dir == blas::Trans::Trans) {
+      core::tsqr_leaf_apply(blas::Trans::Trans, tile, S.leaf,
+                            c.rows_range(S.row0, S.rk));
+      for (std::size_t s = 0; s < S.chain.size(); ++s) {
+        tsmqr(blas::Trans::Trans, S.chain[s],
+              c.block(S.row0, 0, S.jb, c.cols()),
+              c.block(S.chain_row[s], 0,
+                      S.chain[s].vt.rows() - S.jb, c.cols()));
+      }
+    } else {
+      for (std::size_t s = S.chain.size(); s-- > 0;) {
+        tsmqr(blas::Trans::NoTrans, S.chain[s],
+              c.block(S.row0, 0, S.jb, c.cols()),
+              c.block(S.chain_row[s], 0,
+                      S.chain[s].vt.rows() - S.jb, c.cols()));
+      }
+      core::tsqr_leaf_apply(blas::Trans::NoTrans, tile, S.leaf,
+                            c.rows_range(S.row0, S.rk));
+    }
+  };
+  if (trans == blas::Trans::Trans) {
+    for (const TileQrStep& S : f.steps) apply_step(S, blas::Trans::Trans);
+  } else {
+    for (auto it = f.steps.rbegin(); it != f.steps.rend(); ++it) {
+      apply_step(*it, blas::Trans::NoTrans);
+    }
+  }
+}
+
+double tile_qr_residual(ConstMatrixView a_orig, ConstMatrixView a_factored,
+                        const TileQrResult& f) {
+  const idx m = f.m;
+  const idx n = f.n;
+  const idx k = std::min(m, n);
+  Matrix qr = Matrix::zeros(m, n);
+  for (idx j = 0; j < n; ++j) {
+    const idx top = std::min(j + 1, k);
+    for (idx i = 0; i < top; ++i) qr(i, j) = a_factored(i, j);
+  }
+  tile_qr_apply_q(blas::Trans::NoTrans, a_factored, f, qr.view());
+  double diff2 = 0.0;
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      const double d = qr(i, j) - a_orig(i, j);
+      diff2 += d * d;
+    }
+  }
+  const double na = norm_fro(a_orig);
+  if (na == 0.0) return std::sqrt(diff2);
+  return std::sqrt(diff2) /
+         (na * static_cast<double>(std::max(m, n)) *
+          std::numeric_limits<double>::epsilon());
+}
+
+}  // namespace camult::tiled

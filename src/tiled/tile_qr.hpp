@@ -1,0 +1,53 @@
+// tile_qr.hpp — PLASMA-style tiled QR (Buttari et al.), the "PLASMA_dgeqrf"
+// baseline of the paper's experiments.
+//
+// Flat incremental scheme: factor the diagonal tile (GEQRT), then absorb
+// each tile below it one at a time (TSQRT), updating the trailing tiles as
+// the chain advances (UNMQR/TSMQR). The panel chain is sequential but the
+// per-tile updates pipeline across columns — the defining DAG shape that
+// lets tiled algorithms win on matrices with many columns and lose badly on
+// very tall-skinny ones.
+#pragma once
+
+#include "core/tsqr.hpp"
+#include "runtime/task_graph.hpp"
+#include "tiled/tile_kernels.hpp"
+
+namespace camult::tiled {
+
+struct TileQrOptions {
+  idx b = 100;          ///< tile size
+  int num_threads = 4;  ///< 0 = inline serial (record mode)
+  bool record_trace = true;
+};
+
+/// One panel step of the factorization op-log.
+struct TileQrStep {
+  idx row0 = 0;  ///< diagonal tile top row (== left column)
+  idx rk = 0;    ///< diagonal tile rows
+  idx jb = 0;    ///< factored columns
+  core::TsqrLeaf leaf;              ///< GEQRT factors (V in the tile)
+  std::vector<idx> chain_row;      ///< top row of each absorbed tile
+  std::vector<TsqrtFactors> chain;  ///< TSQRT factors, in order
+};
+
+struct TileQrResult {
+  idx m = 0, n = 0, b = 0;
+  std::vector<TileQrStep> steps;
+  std::vector<rt::TaskRecord> trace;
+  std::vector<rt::TaskGraph::Edge> edges;
+};
+
+/// Factor A = Q R in place (R in the upper triangle; V tails in tiles and
+/// in the returned op-log).
+TileQrResult tile_qr_factor(MatrixView a, const TileQrOptions& opts = {});
+
+/// C := Q C or Q^T C; C has m rows.
+void tile_qr_apply_q(blas::Trans trans, ConstMatrixView a,
+                     const TileQrResult& f, MatrixView c);
+
+/// Scaled residual ||A_orig - Q R|| (same normalization as caqr_residual).
+double tile_qr_residual(ConstMatrixView a_orig, ConstMatrixView a_factored,
+                        const TileQrResult& f);
+
+}  // namespace camult::tiled

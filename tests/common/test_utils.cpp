@@ -1,0 +1,138 @@
+#include "common/test_utils.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace camult::test {
+
+namespace {
+double op_elem(ConstMatrixView a, blas::Trans t, idx i, idx j) {
+  return t == blas::Trans::NoTrans ? a(i, j) : a(j, i);
+}
+}  // namespace
+
+void reference_gemm(blas::Trans transa, blas::Trans transb, double alpha,
+                    ConstMatrixView a, ConstMatrixView b, double beta,
+                    MatrixView c) {
+  const idx m = c.rows();
+  const idx n = c.cols();
+  const idx k = (transa == blas::Trans::NoTrans) ? a.cols() : a.rows();
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (idx p = 0; p < k; ++p) {
+        s += op_elem(a, transa, i, p) * op_elem(b, transb, p, j);
+      }
+      c(i, j) = alpha * s + beta * c(i, j);
+    }
+  }
+}
+
+Matrix reference_triangle(ConstMatrixView a, blas::Uplo uplo,
+                          blas::Diag diag) {
+  const idx n = a.rows();
+  Matrix t = Matrix::zeros(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      const bool in_tri = (uplo == blas::Uplo::Lower) ? (i >= j) : (i <= j);
+      if (in_tri) t(i, j) = a(i, j);
+    }
+    if (diag == blas::Diag::Unit) t(j, j) = 1.0;
+  }
+  return t;
+}
+
+Matrix reference_trsm(blas::Side side, blas::Uplo uplo, blas::Trans trans,
+                      blas::Diag diag, double alpha, ConstMatrixView a,
+                      ConstMatrixView b) {
+  Matrix t = reference_triangle(a, uplo, diag);
+  // Explicit op(T).
+  const idx n_tri = t.rows();
+  Matrix op_t(n_tri, n_tri);
+  for (idx j = 0; j < n_tri; ++j) {
+    for (idx i = 0; i < n_tri; ++i) {
+      op_t(i, j) = (trans == blas::Trans::NoTrans) ? t(i, j) : t(j, i);
+    }
+  }
+  Matrix x = Matrix::from(b);
+  for (idx j = 0; j < x.cols(); ++j) {
+    for (idx i = 0; i < x.rows(); ++i) x(i, j) *= alpha;
+  }
+  if (side == blas::Side::Left) {
+    // Solve op_t * X = alpha*B by Gaussian substitution column by column.
+    // op_t is triangular (either orientation); detect orientation by uplo
+    // and trans.
+    const bool lower =
+        (uplo == blas::Uplo::Lower) == (trans == blas::Trans::NoTrans);
+    for (idx col = 0; col < x.cols(); ++col) {
+      if (lower) {
+        for (idx i = 0; i < n_tri; ++i) {
+          double s = x(i, col);
+          for (idx p = 0; p < i; ++p) s -= op_t(i, p) * x(p, col);
+          x(i, col) = s / op_t(i, i);
+        }
+      } else {
+        for (idx i = n_tri - 1; i >= 0; --i) {
+          double s = x(i, col);
+          for (idx p = i + 1; p < n_tri; ++p) s -= op_t(i, p) * x(p, col);
+          x(i, col) = s / op_t(i, i);
+        }
+      }
+    }
+  } else {
+    // X * op_t = alpha*B  <=>  op_t^T X^T = alpha*B^T.
+    const bool lower_tr =
+        (uplo == blas::Uplo::Lower) == (trans == blas::Trans::NoTrans);
+    // op_t^T is upper when op_t is lower.
+    const bool lower = !lower_tr;
+    for (idx row = 0; row < x.rows(); ++row) {
+      if (lower) {
+        for (idx i = 0; i < n_tri; ++i) {
+          double s = x(row, i);
+          for (idx p = 0; p < i; ++p) s -= op_t(p, i) * x(row, p);
+          x(row, i) = s / op_t(i, i);
+        }
+      } else {
+        for (idx i = n_tri - 1; i >= 0; --i) {
+          double s = x(row, i);
+          for (idx p = i + 1; p < n_tri; ++p) s -= op_t(p, i) * x(row, p);
+          x(row, i) = s / op_t(i, i);
+        }
+      }
+    }
+  }
+  return x;
+}
+
+double max_diff(ConstMatrixView a, ConstMatrixView b) {
+  double best = 0.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) {
+      best = std::max(best, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return best;
+}
+
+::testing::AssertionResult matrices_near(ConstMatrixView a, ConstMatrixView b,
+                                         double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << a.rows() << "x" << a.cols() << " vs "
+           << b.rows() << "x" << b.cols();
+  }
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) {
+      const double d = std::abs(a(i, j) - b(i, j));
+      if (!(d <= tol)) {
+        return ::testing::AssertionFailure()
+               << "mismatch at (" << i << "," << j << "): " << a(i, j)
+               << " vs " << b(i, j) << " (|diff| = " << d << ", tol = " << tol
+               << ")";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace camult::test

@@ -1,0 +1,42 @@
+// test_utils.hpp — shared helpers for the gtest suites: naive reference
+// kernels and comparison utilities. Reference implementations are
+// deliberately simple (triple loops) so they are obviously correct.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blas/types.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/permutation.hpp"
+
+namespace camult::test {
+
+/// C = alpha * op(A) * op(B) + beta * C, naive triple loop.
+void reference_gemm(blas::Trans transa, blas::Trans transb, double alpha,
+                    ConstMatrixView a, ConstMatrixView b, double beta,
+                    MatrixView c);
+
+/// Dense triangular matrix from the referenced triangle of a.
+Matrix reference_triangle(ConstMatrixView a, blas::Uplo uplo, blas::Diag diag);
+
+/// Reference solve op(T) * X = B or X * op(T) = B via explicit triangle and
+/// column-wise substitution.
+Matrix reference_trsm(blas::Side side, blas::Uplo uplo, blas::Trans trans,
+                      blas::Diag diag, double alpha, ConstMatrixView a,
+                      ConstMatrixView b);
+
+/// Maximum elementwise |a - b|.
+double max_diff(ConstMatrixView a, ConstMatrixView b);
+
+/// gtest assertion: matrices equal within tol (absolute, on max diff scaled
+/// by max magnitude).
+::testing::AssertionResult matrices_near(ConstMatrixView a, ConstMatrixView b,
+                                         double tol);
+
+/// Residual thresholds: scaled residuals from lapack/verify.hpp are measured
+/// in units of (size * eps); anything below this is a pass.
+inline constexpr double kResidualThreshold = 50.0;
+
+}  // namespace camult::test

@@ -1,0 +1,150 @@
+// Tests for the vendor-style blocked baselines: correctness (residuals,
+// agreement with the sequential LAPACK drivers), DAG shape (serial panel on
+// the critical path).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baseline/blocked.hpp"
+#include "common/test_utils.hpp"
+#include "lapack/lapack.hpp"
+#include "matrix/norms.hpp"
+#include "matrix/random.hpp"
+
+namespace camult::baseline {
+namespace {
+
+using camult::test::kResidualThreshold;
+
+struct Shape {
+  idx m, n, nb;
+  int threads;
+};
+
+class BlockedLuSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(BlockedLuSweep, ResidualSmall) {
+  const auto& p = GetParam();
+  Matrix a = random_matrix(p.m, p.n, 401);
+  Matrix lu = a;
+  BlockedOptions o;
+  o.nb = p.nb;
+  o.num_threads = p.threads;
+  o.strips = 4;
+  BlockedLuResult r = blocked_getrf(lu.view(), o);
+  EXPECT_EQ(r.info, 0);
+  EXPECT_LT(lapack::lu_residual(a, lu, r.ipiv), kResidualThreshold)
+      << "m=" << p.m << " n=" << p.n << " nb=" << p.nb;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockedLuSweep,
+    ::testing::Values(Shape{64, 64, 16, 2}, Shape{100, 100, 32, 4},
+                      Shape{130, 130, 32, 2}, Shape{400, 40, 20, 4},
+                      Shape{60, 200, 20, 2}, Shape{300, 300, 100, 3},
+                      Shape{128, 128, 16, 0}));
+
+TEST(BlockedLu, MatchesSequentialGetrf) {
+  Matrix a = random_distinct_magnitude_matrix(120, 120, 403);
+  Matrix lu1 = a, lu2 = a;
+  BlockedOptions o;
+  o.nb = 30;
+  o.num_threads = 4;
+  BlockedLuResult r = blocked_getrf(lu1.view(), o);
+
+  PivotVector ipiv2;
+  lapack::GetrfOptions g;
+  g.nb = 30;
+  lapack::getrf(lu2.view(), ipiv2, g);
+  EXPECT_EQ(r.ipiv, ipiv2);
+  EXPECT_TRUE(test::matrices_near(
+      lu1, lu2, 1e-12 * std::max(1.0, norm_max(lu2))));
+}
+
+TEST(BlockedLu, PanelTasksAreSerialized) {
+  Matrix a = random_matrix(200, 200, 405);
+  BlockedOptions o;
+  o.nb = 25;
+  o.num_threads = 4;
+  BlockedLuResult r = blocked_getrf(a.view(), o);
+  std::vector<const rt::TaskRecord*> panels;
+  for (const auto& t : r.trace) {
+    if (t.kind == rt::TaskKind::Panel) panels.push_back(&t);
+  }
+  ASSERT_GT(panels.size(), 2u);
+  for (std::size_t i = 1; i < panels.size(); ++i) {
+    EXPECT_GE(panels[i]->start_ns, panels[i - 1]->end_ns)
+        << "panel " << i << " overlapped its predecessor";
+  }
+}
+
+class BlockedQrSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(BlockedQrSweep, ResidualAndOrthogonality) {
+  const auto& p = GetParam();
+  Matrix a = random_matrix(p.m, p.n, 407);
+  Matrix qr = a;
+  BlockedOptions o;
+  o.nb = p.nb;
+  o.num_threads = p.threads;
+  BlockedQrResult r = blocked_geqrf(qr.view(), o);
+  EXPECT_LT(lapack::qr_residual(a, qr, r.tau), kResidualThreshold);
+  const idx k = std::min(p.m, p.n);
+  Matrix q(p.m, k);
+  lapack::orgqr(qr.view().cols_range(0, k), r.tau, q.view());
+  EXPECT_LT(lapack::orthogonality_residual(q), kResidualThreshold);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockedQrSweep,
+    ::testing::Values(Shape{64, 64, 16, 2}, Shape{100, 100, 32, 4},
+                      Shape{130, 130, 32, 2}, Shape{400, 40, 20, 4},
+                      Shape{60, 200, 20, 2}, Shape{256, 128, 64, 3},
+                      Shape{128, 128, 16, 0}));
+
+TEST(BlockedQr, MatchesSequentialGeqrf) {
+  Matrix a = random_matrix(150, 90, 409);
+  Matrix q1 = a, q2 = a;
+  BlockedOptions o;
+  o.nb = 30;
+  o.num_threads = 2;
+  BlockedQrResult r = blocked_geqrf(q1.view(), o);
+
+  std::vector<double> tau2;
+  lapack::GeqrfOptions g;
+  g.nb = 30;
+  g.recursive_panel = true;
+  lapack::geqrf(q2.view(), tau2, g);
+  EXPECT_TRUE(test::matrices_near(
+      q1, q2, 1e-12 * std::max(1.0, norm_max(q2))));
+  for (std::size_t i = 0; i < tau2.size(); ++i) {
+    EXPECT_NEAR(r.tau[i], tau2[i], 1e-13);
+  }
+}
+
+TEST(BlockedLu, SingularReportsGlobalInfo) {
+  Matrix a = random_matrix(60, 60, 411);
+  for (idx i = 0; i < 60; ++i) a(i, 45) = 0.0;
+  BlockedOptions o;
+  o.nb = 20;
+  o.num_threads = 2;
+  BlockedLuResult r = blocked_getrf(a.view(), o);
+  EXPECT_EQ(r.info, 46);
+}
+
+TEST(BlockedLu, DeterministicAcrossThreads) {
+  Matrix a = random_matrix(150, 150, 413);
+  Matrix l0 = a, l4 = a;
+  BlockedOptions o;
+  o.nb = 25;
+  o.num_threads = 0;
+  BlockedLuResult r0 = blocked_getrf(l0.view(), o);
+  o.num_threads = 4;
+  BlockedLuResult r4 = blocked_getrf(l4.view(), o);
+  EXPECT_EQ(r0.ipiv, r4.ipiv);
+  EXPECT_EQ(test::max_diff(l0, l4), 0.0);
+}
+
+}  // namespace
+}  // namespace camult::baseline

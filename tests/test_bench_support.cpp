@@ -1,0 +1,111 @@
+// Tests for the benchmark support library: flop formulas, env parsing,
+// the measurement protocol, and the table printer's CSV mirror.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "bench_support/flops.hpp"
+#include "bench_support/runner.hpp"
+#include "bench_support/table.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace camult::bench {
+namespace {
+
+TEST(Flops, SquareLuIsTwoThirdsCubed) {
+  EXPECT_NEAR(lu_flops(300, 300), 2.0 / 3.0 * 300.0 * 300.0 * 300.0, 1.0);
+}
+
+TEST(Flops, TallLuMatchesFormula) {
+  // m >> n (k = n): reduces to m n^2 - n^3/3 ~ 1e8 here.
+  const double f = lu_flops(10000, 100);
+  EXPECT_NEAR(f, 10000.0 * 100.0 * 100.0 - 1e6 / 3.0, 1e3);
+}
+
+TEST(Flops, QrTallAndWideSymmetry) {
+  EXPECT_NEAR(qr_flops(100, 100), qr_flops(100, 100), 0.0);
+  EXPECT_NEAR(qr_flops(500, 100), 2.0 * 100.0 * 100.0 * (500.0 - 100.0 / 3.0),
+              1.0);
+  // Wide uses the transposed formula.
+  EXPECT_NEAR(qr_flops(100, 500), qr_flops(500, 100), 1e-6);
+}
+
+TEST(Flops, GflopsGuardsZeroTime) {
+  EXPECT_EQ(gflops(1e9, 0.0), 0.0);
+  EXPECT_NEAR(gflops(2e9, 1.0), 2.0, 1e-12);
+}
+
+TEST(EnvParsing, DefaultsWhenUnset) {
+  unsetenv("CAMULT_TEST_ENV_X");
+  EXPECT_EQ(env_idx("CAMULT_TEST_ENV_X", 42), 42);
+  const auto v = env_idx_list("CAMULT_TEST_ENV_X", {1, 2});
+  EXPECT_EQ(v, (std::vector<idx>{1, 2}));
+}
+
+TEST(EnvParsing, ParsesValues) {
+  setenv("CAMULT_TEST_ENV_X", "123", 1);
+  EXPECT_EQ(env_idx("CAMULT_TEST_ENV_X", 42), 123);
+  setenv("CAMULT_TEST_ENV_X", "10,20,30", 1);
+  const auto v = env_idx_list("CAMULT_TEST_ENV_X", {1});
+  EXPECT_EQ(v, (std::vector<idx>{10, 20, 30}));
+  unsetenv("CAMULT_TEST_ENV_X");
+}
+
+TEST(Measure, SimulatedModeUsesRecordedDurations) {
+  unsetenv("CAMULT_BENCH_REAL");
+  // A competitor that produces 4 equal independent tasks.
+  auto run = [](int threads) {
+    rt::TaskGraph g({threads, true});
+    for (int i = 0; i < 4; ++i) {
+      g.submit({}, {}, [] {
+        volatile double s = 0;
+        for (int k = 0; k < 200000; ++k) s += k * 0.5;
+      });
+    }
+    g.wait();
+    return RunArtifacts{g.trace(), g.edges()};
+  };
+  const Measurement m1 = measure(run, 1e6, 1);
+  const Measurement m4 = measure(run, 1e6, 4);
+  EXPECT_GT(m1.seconds, 0.0);
+  // 4 independent equal tasks: 4 cores ≈ 4x faster than 1 core (exact in
+  // the simulator up to per-run duration noise; allow a wide band).
+  EXPECT_GT(m1.seconds / m4.seconds, 2.0);
+  EXPECT_LT(m1.seconds / m4.seconds, 6.0);
+  EXPECT_GT(m4.gflops, m1.gflops);
+  // Bounds reported.
+  EXPECT_GT(m1.total_work_s, 0.0);
+  EXPECT_GE(m1.seconds + 1e-12, m1.critical_path_s);
+}
+
+TEST(Table, CsvMirrorMatchesCells) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell(1.5, 1);
+  t.row().cell(static_cast<long long>(7)).cell("y");
+  const std::string path = "/tmp/camult_table_test.csv";
+  // print() writes CSV when given a path; stdout output is not captured.
+  t.print("", path);
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "a,b");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "x,1.5");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "7,y");
+  std::remove(path.c_str());
+}
+
+TEST(CsvPath, EmptyWithoutEnv) {
+  unsetenv("CAMULT_BENCH_CSV");
+  EXPECT_TRUE(csv_path("foo").empty());
+  setenv("CAMULT_BENCH_CSV", "/tmp", 1);
+  EXPECT_EQ(csv_path("foo"), "/tmp/foo.csv");
+  unsetenv("CAMULT_BENCH_CSV");
+}
+
+}  // namespace
+}  // namespace camult::bench

@@ -1,0 +1,144 @@
+// gemm correctness: all transpose combinations, strided views, edge shapes,
+// blocking boundaries, and alpha/beta handling — against the naive reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "common/test_utils.hpp"
+#include "matrix/random.hpp"
+
+namespace camult::blas {
+namespace {
+
+using camult::test::matrices_near;
+using camult::test::reference_gemm;
+
+Matrix make_operand(Trans t, idx rows_op, idx cols_op, std::uint64_t seed) {
+  // Storage shape depends on whether the operand is transposed.
+  return t == Trans::NoTrans ? random_matrix(rows_op, cols_op, seed)
+                             : random_matrix(cols_op, rows_op, seed);
+}
+
+void check_gemm(Trans ta, Trans tb, idx m, idx n, idx k, double alpha,
+                double beta, std::uint64_t seed) {
+  Matrix a = make_operand(ta, m, k, seed);
+  Matrix b = make_operand(tb, k, n, seed + 1);
+  Matrix c = random_matrix(m, n, seed + 2);
+  Matrix c_ref = c;
+
+  gemm(ta, tb, alpha, a, b, beta, c.view());
+  reference_gemm(ta, tb, alpha, a, b, beta, c_ref.view());
+
+  const double tol = 1e-12 * static_cast<double>(std::max<idx>(k, 1));
+  EXPECT_TRUE(matrices_near(c, c_ref, tol))
+      << "m=" << m << " n=" << n << " k=" << k << " ta="
+      << (ta == Trans::Trans) << " tb=" << (tb == Trans::Trans);
+}
+
+using ShapeParam = std::tuple<idx, idx, idx>;
+
+class GemmShapes : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(GemmShapes, AllTransCombos) {
+  auto [m, n, k] = GetParam();
+  int s = 0;
+  for (Trans ta : {Trans::NoTrans, Trans::Trans}) {
+    for (Trans tb : {Trans::NoTrans, Trans::Trans}) {
+      check_gemm(ta, tb, m, n, k, 1.0, 0.0, 100 + s);
+      check_gemm(ta, tb, m, n, k, -0.5, 2.0, 200 + s);
+      ++s;
+    }
+  }
+}
+
+// Shapes chosen to hit microkernel edges (MR=8, NR=6), cache-block edges
+// (MC=192, KC=256, NC=768) and degenerate sizes.
+INSTANTIATE_TEST_SUITE_P(
+    EdgeShapes, GemmShapes,
+    ::testing::Values(
+        ShapeParam{1, 1, 1}, ShapeParam{2, 3, 4}, ShapeParam{8, 6, 8},
+        ShapeParam{7, 5, 9}, ShapeParam{9, 7, 3}, ShapeParam{16, 12, 16},
+        ShapeParam{17, 13, 19}, ShapeParam{1, 50, 1}, ShapeParam{50, 1, 7},
+        ShapeParam{33, 1, 1}, ShapeParam{64, 64, 64}, ShapeParam{100, 100, 100},
+        ShapeParam{193, 10, 257}, ShapeParam{10, 769, 5},
+        ShapeParam{200, 60, 300}));
+
+TEST(Gemm, ZeroKScalesCOnly) {
+  Matrix a(5, 0);
+  Matrix b(0, 4);
+  Matrix c = random_matrix(5, 4, 7);
+  Matrix c0 = c;
+  gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a, b, 2.0, c.view());
+  for (idx j = 0; j < 4; ++j) {
+    for (idx i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(c(i, j), 2.0 * c0(i, j));
+  }
+}
+
+TEST(Gemm, AlphaZeroOnlyScales) {
+  Matrix a = random_matrix(6, 7, 1);
+  Matrix b = random_matrix(7, 5, 2);
+  Matrix c = random_matrix(6, 5, 3);
+  Matrix c0 = c;
+  gemm(Trans::NoTrans, Trans::NoTrans, 0.0, a, b, 0.5, c.view());
+  for (idx j = 0; j < 5; ++j) {
+    for (idx i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(c(i, j), 0.5 * c0(i, j));
+  }
+}
+
+TEST(Gemm, BetaZeroOverwritesNaN) {
+  Matrix a = random_matrix(4, 4, 1);
+  Matrix b = random_matrix(4, 4, 2);
+  Matrix c(4, 4);
+  fill(c.view(), std::numeric_limits<double>::quiet_NaN());
+  gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a, b, 0.0, c.view());
+  for (idx j = 0; j < 4; ++j) {
+    for (idx i = 0; i < 4; ++i) EXPECT_FALSE(std::isnan(c(i, j)));
+  }
+}
+
+TEST(Gemm, WorksOnStridedSubviews) {
+  // Operate on interior blocks of larger allocations (ld > rows).
+  Matrix big_a = random_matrix(40, 40, 11);
+  Matrix big_b = random_matrix(40, 40, 12);
+  Matrix big_c = random_matrix(40, 40, 13);
+  Matrix big_c_ref = big_c;
+
+  auto a = big_a.view().block(3, 5, 20, 15);
+  auto b = big_b.view().block(1, 2, 15, 18);
+  auto c = big_c.view().block(7, 9, 20, 18);
+  auto c_ref = big_c_ref.view().block(7, 9, 20, 18);
+
+  gemm(Trans::NoTrans, Trans::NoTrans, 1.5, a, b, -1.0, c);
+  reference_gemm(Trans::NoTrans, Trans::NoTrans, 1.5, a, b, -1.0, c_ref);
+  EXPECT_TRUE(matrices_near(big_c, big_c_ref, 1e-11));
+  // Elements outside the C block are untouched: compare the full matrices
+  // (the reference only modified the same block).
+}
+
+TEST(Gemm, LargeCrossesAllCacheBlocks) {
+  // One shape larger than MC/KC/NC in every dimension.
+  const idx m = 250, n = 800, k = 300;
+  Matrix a = random_matrix(m, k, 21);
+  Matrix b = random_matrix(k, n, 22);
+  Matrix c = Matrix::zeros(m, n);
+  Matrix c_ref = Matrix::zeros(m, n);
+  gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a, b, 0.0, c.view());
+  reference_gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a, b, 0.0,
+                 c_ref.view());
+  EXPECT_TRUE(matrices_near(c, c_ref, 1e-10));
+}
+
+TEST(Gemm, BlockingParametersExposed) {
+  const GemmBlocking blk = gemm_blocking();
+  EXPECT_GT(blk.mr, 0);
+  EXPECT_GT(blk.nr, 0);
+  EXPECT_GE(blk.mc, blk.mr);
+  EXPECT_GE(blk.nc, blk.nr);
+}
+
+}  // namespace
+}  // namespace camult::blas

@@ -1,0 +1,101 @@
+// Tests for BLAS level-1 kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/level1.hpp"
+#include "matrix/random.hpp"
+
+namespace camult::blas {
+namespace {
+
+TEST(Iamax, FindsLargestMagnitude) {
+  std::vector<double> x = {1.0, -5.0, 3.0, 4.0};
+  EXPECT_EQ(iamax(4, x.data(), 1), 1);
+}
+
+TEST(Iamax, FirstOnTies) {
+  std::vector<double> x = {2.0, -2.0, 2.0};
+  EXPECT_EQ(iamax(3, x.data(), 1), 0);
+}
+
+TEST(Iamax, EmptyReturnsMinusOne) {
+  EXPECT_EQ(iamax(0, nullptr, 1), -1);
+}
+
+TEST(Iamax, Strided) {
+  std::vector<double> x = {1.0, 99.0, 2.0, 99.0, -7.0, 99.0};
+  EXPECT_EQ(iamax(3, x.data(), 2), 2);
+}
+
+TEST(Swap, ExchangesStridedVectors) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {5, 6, 7, 8};
+  swap(2, x.data(), 2, y.data(), 1);
+  EXPECT_EQ(x, (std::vector<double>{5, 2, 6, 4}));
+  EXPECT_EQ(y, (std::vector<double>{1, 3, 7, 8}));
+}
+
+TEST(Scal, ScalesInPlace) {
+  std::vector<double> x = {1, 2, 3};
+  scal(3, -2.0, x.data(), 1);
+  EXPECT_EQ(x, (std::vector<double>{-2, -4, -6}));
+}
+
+TEST(Axpy, Accumulates) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {10, 20, 30};
+  axpy(3, 2.0, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{12, 24, 36}));
+}
+
+TEST(Axpy, AlphaZeroIsNoop) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {10, 20, 30};
+  axpy(3, 0.0, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{10, 20, 30}));
+}
+
+TEST(Dot, Computes) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(3, x.data(), 1, y.data(), 1), 32.0);
+}
+
+TEST(Nrm2, PythagoreanTriple) {
+  std::vector<double> x = {3, 4};
+  EXPECT_DOUBLE_EQ(nrm2(2, x.data(), 1), 5.0);
+}
+
+TEST(Nrm2, AvoidsOverflow) {
+  std::vector<double> x = {1e300, 1e300};
+  EXPECT_TRUE(std::isfinite(nrm2(2, x.data(), 1)));
+  EXPECT_NEAR(nrm2(2, x.data(), 1) / 1e300, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Nrm2, AvoidsUnderflow) {
+  std::vector<double> x = {1e-300, 1e-300};
+  EXPECT_GT(nrm2(2, x.data(), 1), 0.0);
+  EXPECT_NEAR(nrm2(2, x.data(), 1) / 1e-300, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Nrm2, ZeroVector) {
+  std::vector<double> x = {0.0, 0.0, 0.0};
+  EXPECT_EQ(nrm2(3, x.data(), 1), 0.0);
+}
+
+TEST(Copy, CopiesStrided) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y(2, 0.0);
+  copy(2, x.data(), 2, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{1, 3}));
+}
+
+TEST(Asum, SumsMagnitudes) {
+  std::vector<double> x = {1, -2, 3};
+  EXPECT_DOUBLE_EQ(asum(3, x.data(), 1), 6.0);
+}
+
+}  // namespace
+}  // namespace camult::blas

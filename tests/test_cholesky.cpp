@@ -1,0 +1,187 @@
+// Cholesky tests: unblocked/blocked/tiled factorization residuals, solve
+// correctness, non-SPD detection, tile/blocked agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "blas/blas.hpp"
+#include "common/test_utils.hpp"
+#include "lapack/potrf.hpp"
+#include "matrix/norms.hpp"
+#include "matrix/random.hpp"
+#include "tiled/tile_cholesky.hpp"
+
+namespace camult {
+namespace {
+
+constexpr double kTol = 100.0;
+
+// SPD matrix: B B^T + n I.
+Matrix make_spd(idx n, std::uint64_t seed) {
+  Matrix b = random_matrix(n, n, seed);
+  Matrix a = Matrix::identity(n, n);
+  for (idx i = 0; i < n; ++i) a(i, i) = static_cast<double>(n);
+  blas::gemm(blas::Trans::NoTrans, blas::Trans::Trans, 1.0, b, b, 1.0,
+             a.view());
+  return a;
+}
+
+class Potf2Shapes : public ::testing::TestWithParam<idx> {};
+
+TEST_P(Potf2Shapes, ResidualSmall) {
+  const idx n = GetParam();
+  Matrix a = make_spd(n, 51);
+  Matrix chol = a;
+  ASSERT_EQ(lapack::potf2(chol.view()), 0);
+  EXPECT_LT(lapack::cholesky_residual(a, chol), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Potf2Shapes,
+                         ::testing::Values(1, 2, 5, 16, 33, 64));
+
+struct PotrfParam {
+  idx n, nb;
+};
+
+class PotrfSweep : public ::testing::TestWithParam<PotrfParam> {};
+
+TEST_P(PotrfSweep, ResidualSmall) {
+  const auto& p = GetParam();
+  Matrix a = make_spd(p.n, 53);
+  Matrix chol = a;
+  lapack::PotrfOptions o;
+  o.nb = p.nb;
+  ASSERT_EQ(lapack::potrf(chol.view(), o), 0);
+  EXPECT_LT(lapack::cholesky_residual(a, chol), kTol)
+      << "n=" << p.n << " nb=" << p.nb;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PotrfSweep,
+                         ::testing::Values(PotrfParam{64, 16},
+                                           PotrfParam{100, 32},
+                                           PotrfParam{127, 32},
+                                           PotrfParam{128, 128},
+                                           PotrfParam{200, 64},
+                                           PotrfParam{97, 13}));
+
+TEST(Potrf, SolveRecoversSolution) {
+  const idx n = 120;
+  Matrix a = make_spd(n, 55);
+  Matrix x_true = random_matrix(n, 3, 56);
+  Matrix b = Matrix::zeros(n, 3);
+  blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, 1.0, a, x_true, 0.0,
+             b.view());
+  Matrix chol = a;
+  ASSERT_EQ(lapack::potrf(chol.view()), 0);
+  lapack::potrs(chol, b.view());
+  EXPECT_LT(test::max_diff(b, x_true),
+            1e-9 * std::max(1.0, norm_max(x_true)) * n);
+}
+
+TEST(Potrf, NonSpdDetected) {
+  Matrix a = make_spd(20, 57);
+  a(10, 10) = -5.0;  // break positive definiteness
+  Matrix chol = a;
+  const idx info = lapack::potrf(chol.view());
+  EXPECT_GT(info, 0);
+  EXPECT_LE(info, 11);
+}
+
+TEST(Potf2, IndefiniteMatrixInfoPosition) {
+  Matrix a = Matrix::identity(5, 5);
+  a(2, 2) = 0.0;
+  EXPECT_EQ(lapack::potf2(a.view()), 3);
+}
+
+TEST(Potrf, UpperTriangleNotReferenced) {
+  const idx n = 48;
+  Matrix a = make_spd(n, 59);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < j; ++i) {
+      a(i, j) = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  Matrix chol = a;
+  ASSERT_EQ(lapack::potrf(chol.view()), 0);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = j; i < n; ++i) EXPECT_FALSE(std::isnan(chol(i, j)));
+  }
+}
+
+struct TileCholParam {
+  idx n, b;
+  int threads;
+};
+
+class TileCholSweep : public ::testing::TestWithParam<TileCholParam> {};
+
+TEST_P(TileCholSweep, ResidualSmall) {
+  const auto& p = GetParam();
+  Matrix a = make_spd(p.n, 61);
+  Matrix chol = a;
+  tiled::TileCholeskyOptions o;
+  o.b = p.b;
+  o.num_threads = p.threads;
+  tiled::TileCholeskyResult r = tiled::tile_cholesky_factor(chol.view(), o);
+  ASSERT_EQ(r.info, 0);
+  EXPECT_LT(lapack::cholesky_residual(a, chol), kTol)
+      << "n=" << p.n << " b=" << p.b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TileCholSweep,
+                         ::testing::Values(TileCholParam{64, 16, 2},
+                                           TileCholParam{100, 32, 4},
+                                           TileCholParam{130, 32, 2},
+                                           TileCholParam{50, 50, 2},
+                                           TileCholParam{96, 24, 0},
+                                           TileCholParam{200, 64, 3}));
+
+TEST(TileCholesky, MatchesBlockedExactly) {
+  // Same arithmetic graph per tile column: results agree to rounding.
+  const idx n = 120, b = 30;
+  Matrix a = make_spd(n, 63);
+  Matrix c1 = a, c2 = a;
+  lapack::PotrfOptions po;
+  po.nb = b;
+  ASSERT_EQ(lapack::potrf(c1.view(), po), 0);
+  tiled::TileCholeskyOptions to;
+  to.b = b;
+  to.num_threads = 2;
+  ASSERT_EQ(tiled::tile_cholesky_factor(c2.view(), to).info, 0);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = j; i < n; ++i) {
+      EXPECT_NEAR(c1(i, j), c2(i, j), 1e-9 * std::max(1.0, std::abs(c1(i, j))))
+          << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(TileCholesky, NonSpdReportsGlobalIndex) {
+  Matrix a = make_spd(60, 65);
+  a(45, 45) = -1.0;
+  tiled::TileCholeskyOptions o;
+  o.b = 20;
+  o.num_threads = 2;
+  tiled::TileCholeskyResult r = tiled::tile_cholesky_factor(a.view(), o);
+  EXPECT_GT(r.info, 40);
+  EXPECT_LE(r.info, 46);
+}
+
+TEST(TileCholesky, DeterministicAcrossThreads) {
+  Matrix a = make_spd(150, 67);
+  Matrix c0 = a, c4 = a;
+  tiled::TileCholeskyOptions o;
+  o.b = 25;
+  o.num_threads = 0;
+  tiled::tile_cholesky_factor(c0.view(), o);
+  o.num_threads = 4;
+  tiled::tile_cholesky_factor(c4.view(), o);
+  // Compare lower triangles (upper is untouched input).
+  for (idx j = 0; j < 150; ++j) {
+    for (idx i = j; i < 150; ++i) EXPECT_EQ(c0(i, j), c4(i, j));
+  }
+}
+
+}  // namespace
+}  // namespace camult

@@ -1,0 +1,299 @@
+// Multithreaded CALU tests: residual across shapes / Tr / trees / thread
+// counts, agreement with getrf pivots for Tr=1, trace/DAG sanity, look-ahead
+// policy, failure injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/test_utils.hpp"
+#include "blas/blas.hpp"
+#include "core/calu.hpp"
+#include "core/tslu.hpp"
+#include "lapack/lapack.hpp"
+#include "matrix/norms.hpp"
+#include "matrix/random.hpp"
+#include "runtime/trace.hpp"
+
+namespace camult::core {
+namespace {
+
+using camult::test::kResidualThreshold;
+
+struct CaluParam {
+  idx m, n, b, tr;
+  int threads;
+  ReductionTree tree;
+};
+
+class CaluSweep : public ::testing::TestWithParam<CaluParam> {};
+
+TEST_P(CaluSweep, ResidualSmall) {
+  const auto& p = GetParam();
+  Matrix a = random_matrix(p.m, p.n, 71);
+  Matrix lu = a;
+  CaluOptions opts;
+  opts.b = p.b;
+  opts.tr = p.tr;
+  opts.tree = p.tree;
+  opts.num_threads = p.threads;
+  CaluResult res = calu_factor(lu.view(), opts);
+  EXPECT_EQ(res.info, 0);
+  EXPECT_LT(lapack::lu_residual(a, lu, res.ipiv), kResidualThreshold)
+      << "m=" << p.m << " n=" << p.n << " b=" << p.b << " tr=" << p.tr
+      << " threads=" << p.threads;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CaluSweep,
+    ::testing::Values(
+        // Square, varying b/tr/threads.
+        CaluParam{64, 64, 16, 2, 0, ReductionTree::Binary},
+        CaluParam{64, 64, 16, 2, 2, ReductionTree::Binary},
+        CaluParam{100, 100, 25, 4, 4, ReductionTree::Binary},
+        CaluParam{100, 100, 25, 4, 4, ReductionTree::Flat},
+        CaluParam{128, 128, 32, 4, 3, ReductionTree::Binary},
+        CaluParam{130, 130, 32, 4, 2, ReductionTree::Binary},  // ragged
+        // Tall and skinny (the paper's focus).
+        CaluParam{400, 40, 20, 4, 4, ReductionTree::Binary},
+        CaluParam{400, 40, 20, 8, 2, ReductionTree::Flat},
+        CaluParam{1000, 30, 10, 8, 4, ReductionTree::Binary},
+        CaluParam{513, 64, 16, 4, 2, ReductionTree::Binary},
+        // Wide.
+        CaluParam{60, 200, 20, 2, 2, ReductionTree::Binary},
+        CaluParam{50, 128, 16, 4, 4, ReductionTree::Flat},
+        // Single panel / b >= n.
+        CaluParam{150, 20, 20, 4, 2, ReductionTree::Binary},
+        CaluParam{150, 20, 64, 4, 2, ReductionTree::Binary},
+        // b = 1 edge (every column a panel).
+        CaluParam{20, 20, 1, 2, 2, ReductionTree::Binary},
+        // Inline serial record mode on a tall case.
+        CaluParam{600, 50, 25, 4, 0, ReductionTree::Binary}));
+
+TEST(Calu, Tr1MatchesGetrfPivots) {
+  // With a single panel task CALU is plain GEPP-based blocked LU: identical
+  // pivot choices on distinct-magnitude inputs.
+  Matrix a = random_distinct_magnitude_matrix(96, 96, 73);
+  Matrix lu1 = a, lu2 = a;
+  CaluOptions opts;
+  opts.b = 16;
+  opts.tr = 1;
+  opts.num_threads = 2;
+  CaluResult res = calu_factor(lu1.view(), opts);
+
+  PivotVector ipiv2;
+  lapack::GetrfOptions gopts;
+  gopts.nb = 16;
+  lapack::getrf(lu2.view(), ipiv2, gopts);
+  EXPECT_EQ(res.ipiv, ipiv2);
+  // Distinct-magnitude inputs have large entries; compare relative to the
+  // factor magnitude.
+  EXPECT_TRUE(
+      test::matrices_near(lu1, lu2, 1e-13 * std::max(1.0, norm_max(lu2))));
+}
+
+TEST(Calu, DeterministicAcrossThreadCounts) {
+  // The factorization output must not depend on the worker count (tasks are
+  // the same; only the schedule differs).
+  Matrix a = random_matrix(200, 80, 79);
+  Matrix lu1 = a, lu2 = a, lu4 = a;
+  CaluOptions o;
+  o.b = 20;
+  o.tr = 4;
+  o.num_threads = 0;
+  CaluResult r1 = calu_factor(lu1.view(), o);
+  o.num_threads = 2;
+  CaluResult r2 = calu_factor(lu2.view(), o);
+  o.num_threads = 4;
+  CaluResult r4 = calu_factor(lu4.view(), o);
+  EXPECT_EQ(r1.ipiv, r2.ipiv);
+  EXPECT_EQ(r1.ipiv, r4.ipiv);
+  EXPECT_EQ(test::max_diff(lu1, lu2), 0.0);
+  EXPECT_EQ(test::max_diff(lu1, lu4), 0.0);
+}
+
+TEST(Calu, TraceContainsAllTaskKinds) {
+  Matrix a = random_matrix(160, 80, 83);
+  CaluOptions o;
+  o.b = 20;
+  o.tr = 2;
+  o.num_threads = 2;
+  CaluResult r = calu_factor(a.view(), o);
+  std::set<rt::TaskKind> kinds;
+  for (const auto& t : r.trace) kinds.insert(t.kind);
+  EXPECT_TRUE(kinds.count(rt::TaskKind::Panel));
+  EXPECT_TRUE(kinds.count(rt::TaskKind::LFactor));
+  EXPECT_TRUE(kinds.count(rt::TaskKind::UFactor));
+  EXPECT_TRUE(kinds.count(rt::TaskKind::Update));
+  EXPECT_FALSE(r.edges.empty());
+}
+
+TEST(Calu, TraceTimesRespectDependencies) {
+  Matrix a = random_matrix(200, 100, 89);
+  CaluOptions o;
+  o.b = 25;
+  o.tr = 2;
+  o.num_threads = 3;
+  CaluResult r = calu_factor(a.view(), o);
+  // Every edge (u, v): v starts after u ends.
+  for (const auto& e : r.edges) {
+    const auto& from = r.trace[static_cast<std::size_t>(e.from)];
+    const auto& to = r.trace[static_cast<std::size_t>(e.to)];
+    EXPECT_GE(to.start_ns, from.end_ns)
+        << "edge " << e.from << "->" << e.to << " violated";
+  }
+}
+
+TEST(Calu, SingularMatrixReportsInfo) {
+  Matrix a = random_matrix(60, 60, 91);
+  for (idx i = 0; i < 60; ++i) a(i, 30) = 0.0;
+  CaluOptions o;
+  o.b = 15;
+  o.tr = 2;
+  o.num_threads = 2;
+  CaluResult r = calu_factor(a.view(), o);
+  EXPECT_EQ(r.info, 31);
+}
+
+TEST(Calu, GrowthModestOnRandom) {
+  Matrix a = random_matrix(300, 300, 97);
+  Matrix lu = a;
+  CaluOptions o;
+  o.b = 50;
+  o.tr = 4;
+  o.num_threads = 4;
+  calu_factor(lu.view(), o);
+  EXPECT_LT(lapack::pivot_growth(a, lu), 100.0);
+}
+
+TEST(Calu, SolvesLinearSystem) {
+  const idx n = 120;
+  Matrix a = random_matrix(n, n, 101);
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) {
+    x_true[static_cast<std::size_t>(i)] = std::cos(static_cast<double>(i));
+  }
+  std::vector<double> bvec(static_cast<std::size_t>(n), 0.0);
+  blas::gemv(blas::Trans::NoTrans, 1.0, a, x_true.data(), 1, 0.0, bvec.data(),
+             1);
+
+  Matrix lu = a;
+  CaluOptions o;
+  o.b = 30;
+  o.tr = 4;
+  o.num_threads = 2;
+  CaluResult r = calu_factor(lu.view(), o);
+  ASSERT_EQ(r.info, 0);
+
+  MatrixView bv(bvec.data(), n, 1, n);
+  lapack::laswp(bv, 0, n, r.ipiv);
+  blas::trsv(blas::Uplo::Lower, blas::Trans::NoTrans, blas::Diag::Unit, lu,
+             bvec.data(), 1);
+  blas::trsv(blas::Uplo::Upper, blas::Trans::NoTrans, blas::Diag::NonUnit, lu,
+             bvec.data(), 1);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(bvec[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-8);
+  }
+}
+
+TEST(Calu, LookaheadPrioritizesNextPanelPath) {
+  Matrix a = random_matrix(160, 160, 103);
+  CaluOptions o;
+  o.b = 20;
+  o.tr = 2;
+  o.num_threads = 0;  // record mode: deterministic ids
+  o.lookahead = true;
+  CaluResult r = calu_factor(a.view(), o);
+  // Find the U task of column k+1 at iteration k and check its priority
+  // exceeds every other-U-column priority of the same iteration.
+  int prio_next = -1, prio_other = -1;
+  for (const auto& t : r.trace) {
+    if (t.kind == rt::TaskKind::UFactor && t.iteration == 0) {
+      if (t.label.find("j1") != std::string::npos && prio_next < 0) {
+        prio_next = t.priority;
+      }
+      if (t.label.find("j3") != std::string::npos) prio_other = t.priority;
+    }
+  }
+  ASSERT_GE(prio_next, 0);
+  ASSERT_GE(prio_other, 0);
+  EXPECT_GT(prio_next, prio_other);
+}
+
+TEST(Calu, MatchesSequentialTsluFactorsOnOnePanel) {
+  // A single-panel CALU is exactly sequential TSLU.
+  Matrix a = random_matrix(256, 32, 107);
+  Matrix lu1 = a, lu2 = a;
+  CaluOptions o;
+  o.b = 32;
+  o.tr = 4;
+  o.num_threads = 2;
+  o.tree = ReductionTree::Binary;
+  CaluResult r = calu_factor(lu1.view(), o);
+
+  PivotVector ipiv2;
+  TsluOptions topts;
+  topts.tr = 4;
+  topts.tree = ReductionTree::Binary;
+  tslu_factor(lu2.view(), ipiv2, topts);
+  EXPECT_EQ(r.ipiv, ipiv2);
+  EXPECT_EQ(test::max_diff(lu1, lu2), 0.0);
+}
+
+TEST(Calu, UpdateColumnBlockingMatchesBase) {
+  // The Section V "B > b" extension changes task granularity, not results.
+  Matrix a = random_matrix(160, 160, 111);
+  Matrix lu1 = a, lu2 = a, lu3 = a;
+  CaluOptions o;
+  o.b = 20;
+  o.tr = 2;
+  o.num_threads = 2;
+  o.update_cols_per_task = 1;
+  CaluResult r1 = calu_factor(lu1.view(), o);
+  o.update_cols_per_task = 3;
+  CaluResult r2 = calu_factor(lu2.view(), o);
+  o.update_cols_per_task = 100;  // all columns in one task
+  CaluResult r3 = calu_factor(lu3.view(), o);
+  EXPECT_EQ(r1.ipiv, r2.ipiv);
+  EXPECT_EQ(r1.ipiv, r3.ipiv);
+  EXPECT_EQ(test::max_diff(lu1, lu2), 0.0);
+  EXPECT_EQ(test::max_diff(lu1, lu3), 0.0);
+  // Fewer update tasks with larger B.
+  EXPECT_LT(r2.trace.size(), r1.trace.size());
+  EXPECT_LT(r3.trace.size(), r2.trace.size());
+}
+
+
+TEST(Calu, WorkStealingSchedulerSameResult) {
+  Matrix a = random_matrix(180, 90, 113);
+  Matrix lu1 = a, lu2 = a;
+  CaluOptions o;
+  o.b = 20;
+  o.tr = 4;
+  o.num_threads = 4;
+  o.scheduler = rt::TaskGraph::Policy::CentralPriority;
+  CaluResult r1 = calu_factor(lu1.view(), o);
+  o.scheduler = rt::TaskGraph::Policy::WorkStealing;
+  CaluResult r2 = calu_factor(lu2.view(), o);
+  EXPECT_EQ(r1.ipiv, r2.ipiv);
+  EXPECT_EQ(test::max_diff(lu1, lu2), 0.0);
+}
+
+TEST(Calu, EmptyishSmallestCases) {
+  for (idx n : {1, 2, 3}) {
+    Matrix a = random_matrix(n, n, 109 + n);
+    Matrix lu = a;
+    CaluOptions o;
+    o.b = 1;
+    o.tr = 2;
+    o.num_threads = 1;
+    CaluResult r = calu_factor(lu.view(), o);
+    EXPECT_EQ(r.info, 0);
+    EXPECT_LT(lapack::lu_residual(a, lu, r.ipiv), kResidualThreshold);
+  }
+}
+
+}  // namespace
+}  // namespace camult::core

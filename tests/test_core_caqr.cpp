@@ -1,0 +1,225 @@
+// Multithreaded CAQR tests: residual/orthogonality across shapes, trees and
+// thread counts, R agreement with geqrf, implicit-Q application,
+// determinism, trace sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "common/test_utils.hpp"
+#include "core/caqr.hpp"
+#include "lapack/lapack.hpp"
+#include "matrix/norms.hpp"
+#include "matrix/random.hpp"
+
+namespace camult::core {
+namespace {
+
+using camult::test::kResidualThreshold;
+
+struct CaqrParam {
+  idx m, n, b, tr;
+  int threads;
+  ReductionTree tree;
+};
+
+class CaqrSweep : public ::testing::TestWithParam<CaqrParam> {};
+
+TEST_P(CaqrSweep, ResidualAndOrthogonality) {
+  const auto& p = GetParam();
+  Matrix a = random_matrix(p.m, p.n, 201);
+  Matrix fact = a;
+  CaqrOptions opts;
+  opts.b = p.b;
+  opts.tr = p.tr;
+  opts.tree = p.tree;
+  opts.num_threads = p.threads;
+  CaqrResult res = caqr_factor(fact.view(), opts);
+
+  EXPECT_LT(caqr_residual(a, fact, res), kResidualThreshold)
+      << "m=" << p.m << " n=" << p.n << " b=" << p.b << " tr=" << p.tr;
+  Matrix q = caqr_explicit_q(fact.view(), res);
+  EXPECT_LT(lapack::orthogonality_residual(q), kResidualThreshold);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CaqrSweep,
+    ::testing::Values(
+        CaqrParam{64, 64, 16, 2, 0, ReductionTree::Flat},
+        CaqrParam{64, 64, 16, 2, 2, ReductionTree::Flat},
+        CaqrParam{100, 100, 25, 4, 4, ReductionTree::Flat},
+        CaqrParam{100, 100, 25, 4, 4, ReductionTree::Binary},
+        CaqrParam{130, 130, 32, 4, 2, ReductionTree::Binary},  // ragged
+        CaqrParam{400, 40, 20, 4, 4, ReductionTree::Flat},
+        CaqrParam{400, 40, 20, 8, 2, ReductionTree::Binary},
+        CaqrParam{1000, 30, 10, 8, 4, ReductionTree::Binary},
+        CaqrParam{513, 64, 16, 4, 2, ReductionTree::Flat},
+        // Wide: only min(m, n) panel columns are factored.
+        CaqrParam{60, 200, 20, 2, 2, ReductionTree::Flat},
+        CaqrParam{50, 128, 16, 4, 4, ReductionTree::Binary},
+        // Single panel (pure multithreaded TSQR).
+        CaqrParam{256, 32, 32, 4, 4, ReductionTree::Binary},
+        CaqrParam{256, 32, 64, 4, 4, ReductionTree::Flat},
+        CaqrParam{20, 20, 1, 2, 2, ReductionTree::Flat},
+        CaqrParam{600, 50, 25, 4, 0, ReductionTree::Flat}));
+
+TEST(Caqr, RMatchesGeqrfUpToSigns) {
+  Matrix a = random_matrix(120, 60, 203);
+  Matrix f1 = a, f2 = a;
+  CaqrOptions o;
+  o.b = 20;
+  o.tr = 4;
+  o.num_threads = 2;
+  CaqrResult res = caqr_factor(f1.view(), o);
+  Matrix r1 = caqr_extract_r(f1.view(), res);
+
+  std::vector<double> tau;
+  lapack::geqrf(f2.view(), tau);
+  Matrix r2 = lapack::extract_upper(f2, 60);
+  for (idx i = 0; i < 60; ++i) {
+    const double s = (r1(i, i) >= 0) == (r2(i, i) >= 0) ? 1.0 : -1.0;
+    for (idx j = i; j < 60; ++j) {
+      EXPECT_NEAR(r1(i, j), s * r2(i, j),
+                  1e-9 * std::max(1.0, std::abs(r2(i, j))))
+          << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Caqr, DeterministicAcrossThreadCounts) {
+  Matrix a = random_matrix(200, 80, 207);
+  Matrix f0 = a, f2 = a, f4 = a;
+  CaqrOptions o;
+  o.b = 20;
+  o.tr = 4;
+  o.num_threads = 0;
+  caqr_factor(f0.view(), o);
+  o.num_threads = 2;
+  caqr_factor(f2.view(), o);
+  o.num_threads = 4;
+  caqr_factor(f4.view(), o);
+  EXPECT_EQ(test::max_diff(f0, f2), 0.0);
+  EXPECT_EQ(test::max_diff(f0, f4), 0.0);
+}
+
+TEST(Caqr, ApplyQRoundTrip) {
+  Matrix a = random_matrix(150, 60, 209);
+  Matrix fact = a;
+  CaqrOptions o;
+  o.b = 15;
+  o.tr = 2;
+  o.num_threads = 2;
+  CaqrResult res = caqr_factor(fact.view(), o);
+
+  Matrix c = random_matrix(150, 7, 211);
+  Matrix c0 = c;
+  caqr_apply_q(blas::Trans::Trans, fact.view(), res, c.view());
+  caqr_apply_q(blas::Trans::NoTrans, fact.view(), res, c.view());
+  EXPECT_TRUE(test::matrices_near(c, c0, 1e-10));
+}
+
+TEST(Caqr, QtAGivesR) {
+  Matrix a = random_matrix(90, 45, 213);
+  Matrix fact = a;
+  CaqrOptions o;
+  o.b = 15;
+  o.tr = 2;
+  o.num_threads = 2;
+  CaqrResult res = caqr_factor(fact.view(), o);
+
+  Matrix qta = a;
+  caqr_apply_q(blas::Trans::Trans, fact.view(), res, qta.view());
+  Matrix r = caqr_extract_r(fact.view(), res);
+  for (idx j = 0; j < 45; ++j) {
+    for (idx i = 0; i < 45; ++i) {
+      EXPECT_NEAR(qta(i, j), r(i, j), 1e-9);
+    }
+    for (idx i = 45; i < 90; ++i) EXPECT_NEAR(qta(i, j), 0.0, 1e-9);
+  }
+}
+
+TEST(Caqr, TraceHasPanelAndUpdateTasks) {
+  Matrix a = random_matrix(160, 80, 215);
+  CaqrOptions o;
+  o.b = 20;
+  o.tr = 2;
+  o.num_threads = 2;
+  CaqrResult r = caqr_factor(a.view(), o);
+  std::set<rt::TaskKind> kinds;
+  for (const auto& t : r.trace) kinds.insert(t.kind);
+  EXPECT_TRUE(kinds.count(rt::TaskKind::Panel));
+  EXPECT_TRUE(kinds.count(rt::TaskKind::Update));
+  for (const auto& e : r.edges) {
+    EXPECT_GE(r.trace[static_cast<std::size_t>(e.to)].start_ns,
+              r.trace[static_cast<std::size_t>(e.from)].end_ns);
+  }
+}
+
+TEST(Caqr, LeastSquaresSolve) {
+  // Solve min ||Ax - b|| via CAQR: x = R^{-1} (Q^T b)(1:n).
+  const idx m = 200, n = 30;
+  Matrix a = random_matrix(m, n, 217);
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) {
+    x_true[static_cast<std::size_t>(i)] = 1.0 / (1.0 + static_cast<double>(i));
+  }
+  Matrix bvec = Matrix::zeros(m, 1);
+  blas::gemv(blas::Trans::NoTrans, 1.0, a, x_true.data(), 1, 0.0,
+             bvec.data(), 1);
+
+  Matrix fact = a;
+  CaqrOptions o;
+  o.b = 10;
+  o.tr = 4;
+  o.num_threads = 2;
+  CaqrResult res = caqr_factor(fact.view(), o);
+  caqr_apply_q(blas::Trans::Trans, fact.view(), res, bvec.view());
+  blas::trsv(blas::Uplo::Upper, blas::Trans::NoTrans, blas::Diag::NonUnit,
+             fact.view().block(0, 0, n, n), bvec.data(), 1);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(bvec(i, 0), x_true[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(Caqr, ZeroMatrix) {
+  Matrix a = Matrix::zeros(50, 20);
+  Matrix fact = a;
+  CaqrOptions o;
+  o.b = 10;
+  o.tr = 2;
+  o.num_threads = 1;
+  CaqrResult res = caqr_factor(fact.view(), o);
+  Matrix r = caqr_extract_r(fact.view(), res);
+  EXPECT_EQ(norm_max(r), 0.0);
+}
+
+TEST(Caqr, TinyMatrices) {
+  for (idx n : {1, 2, 3}) {
+    Matrix a = random_matrix(n + 2, n, 219 + n);
+    Matrix fact = a;
+    CaqrOptions o;
+    o.b = 1;
+    o.tr = 2;
+    o.num_threads = 1;
+    CaqrResult res = caqr_factor(fact.view(), o);
+    EXPECT_LT(caqr_residual(a, fact, res), kResidualThreshold);
+  }
+}
+
+
+TEST(Caqr, HybridTreeEndToEnd) {
+  Matrix a = random_matrix(400, 100, 444);
+  Matrix fact = a;
+  CaqrOptions o;
+  o.b = 25;
+  o.tr = 8;
+  o.tree = ReductionTree::Hybrid;
+  o.num_threads = 3;
+  CaqrResult res = caqr_factor(fact.view(), o);
+  EXPECT_LT(caqr_residual(a, fact, res), kResidualThreshold);
+}
+
+}  // namespace
+}  // namespace camult::core

@@ -1,0 +1,325 @@
+// TSLU and tournament pivoting tests: partition/tree helpers, candidate
+// election, and the key CALU stability properties (|L| <= 1 under the
+// tournament, equivalence with GEPP for Tr=1, residual smallness).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/test_utils.hpp"
+#include "core/partition.hpp"
+#include "core/tournament.hpp"
+#include "core/tslu.hpp"
+#include "lapack/lapack.hpp"
+#include "matrix/norms.hpp"
+#include "matrix/random.hpp"
+
+namespace camult::core {
+namespace {
+
+using camult::test::kResidualThreshold;
+using camult::test::matrices_near;
+
+TEST(Partition, EvenSplit) {
+  auto p = partition_panel_rows(800, 100, 4, 100);
+  ASSERT_EQ(p.count(), 4);
+  for (idx i = 0; i < 4; ++i) {
+    EXPECT_EQ(p.start[static_cast<std::size_t>(i)], i * 200);
+    EXPECT_EQ(p.rows[static_cast<std::size_t>(i)], 200);
+  }
+}
+
+TEST(Partition, BoundariesAreBlockAligned) {
+  auto p = partition_panel_rows(1050, 100, 4, 100);
+  for (std::size_t i = 0; i < p.start.size(); ++i) {
+    EXPECT_EQ(p.start[i] % 100, 0);
+  }
+  // Covers all rows exactly.
+  idx total = 0;
+  for (idx r : p.rows) total += r;
+  EXPECT_EQ(total, 1050);
+}
+
+TEST(Partition, ShortPanelReducesLeafCount) {
+  auto p = partition_panel_rows(150, 100, 8, 100);
+  // Only one leaf can have >= 100 rows out of 150.
+  EXPECT_EQ(p.count(), 1);
+  EXPECT_EQ(p.rows[0], 150);
+}
+
+TEST(Partition, RaggedTailMeetsMinimum) {
+  // 310 rows, b=100, tr=3: leaves of 200/110 or fewer — the last leaf must
+  // keep >= 100 rows.
+  auto p = partition_panel_rows(310, 100, 3, 100);
+  for (idx r : p.rows) EXPECT_GE(r, 100);
+  idx total = 0;
+  for (idx r : p.rows) total += r;
+  EXPECT_EQ(total, 310);
+}
+
+TEST(Partition, SingleRowPanel) {
+  auto p = partition_panel_rows(1, 100, 4, 1);
+  EXPECT_EQ(p.count(), 1);
+  EXPECT_EQ(p.rows[0], 1);
+}
+
+TEST(ReductionSchedule, BinaryFourLeaves) {
+  auto s = reduction_schedule(4, ReductionTree::Binary);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].sources, (std::vector<int>{0, 1}));
+  EXPECT_EQ(s[0].level, 1);
+  EXPECT_EQ(s[1].sources, (std::vector<int>{2, 3}));
+  EXPECT_EQ(s[1].level, 1);
+  EXPECT_EQ(s[2].sources, (std::vector<int>{0, 2}));
+  EXPECT_EQ(s[2].level, 2);
+}
+
+TEST(ReductionSchedule, BinaryNonPowerOfTwo) {
+  auto s = reduction_schedule(5, ReductionTree::Binary);
+  // 5 leaves: (0,1) (2,3) at level 1; (0,2) level 2; (0,4) level 3.
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[3].sources, (std::vector<int>{0, 4}));
+}
+
+TEST(ReductionSchedule, FlatIsOneStep) {
+  auto s = reduction_schedule(6, ReductionTree::Flat);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].sources.size(), 6u);
+}
+
+TEST(ReductionSchedule, SingleLeafNoSteps) {
+  EXPECT_TRUE(reduction_schedule(1, ReductionTree::Binary).empty());
+  EXPECT_TRUE(reduction_schedule(1, ReductionTree::Flat).empty());
+}
+
+TEST(Tournament, LeafElectsGeppPivotRows) {
+  const idx rows = 20, b = 4;
+  Matrix block = random_distinct_magnitude_matrix(rows, b, 3);
+  Candidates c = tournament_leaf(block, 100, b);
+  ASSERT_EQ(c.values.rows(), b);
+  ASSERT_EQ(c.row_index.size(), static_cast<std::size_t>(b));
+
+  // Reference: GEPP and collect the first b rows of the permuted block.
+  Matrix lu = block;
+  PivotVector ipiv;
+  lapack::getf2(lu.view(), ipiv);
+  Permutation perm = ipiv_to_permutation(ipiv, rows);
+  for (idx r = 0; r < b; ++r) {
+    EXPECT_EQ(c.row_index[static_cast<std::size_t>(r)],
+              100 + perm[static_cast<std::size_t>(r)]);
+    for (idx j = 0; j < b; ++j) {
+      EXPECT_EQ(c.values(r, j), block(perm[static_cast<std::size_t>(r)], j));
+    }
+  }
+}
+
+TEST(Tournament, ShortLeafContributesAllRows) {
+  Matrix block = random_matrix(3, 5, 4);
+  Candidates c = tournament_leaf(block, 0, 5);
+  EXPECT_EQ(c.values.rows(), 3);
+}
+
+TEST(Tournament, CombinePicksFromBothSides) {
+  // Side A has tiny entries, side B huge: all winners must come from B.
+  const idx b = 3;
+  Matrix small_m = random_matrix(b, b, 5);
+  Matrix big = random_matrix(b, b, 6);
+  for (idx j = 0; j < b; ++j) {
+    for (idx i = 0; i < b; ++i) {
+      small_m(i, j) *= 1e-6;
+      big(i, j) = big(i, j) * 100.0 + ((i == j) ? 500.0 : 0.0);
+    }
+  }
+  Candidates ca = tournament_leaf(small_m, 0, b);
+  Candidates cb = tournament_leaf(big, 10, b);
+  Candidates root = tournament_combine({&ca, &cb}, b);
+  for (idx r = 0; r < b; ++r) {
+    EXPECT_GE(root.row_index[static_cast<std::size_t>(r)], 10)
+        << "winner " << r << " should come from the large block";
+  }
+}
+
+TEST(Tournament, WinnersToPivotsRoundTrip) {
+  // Applying the generated swap sequence must place the winners on top, in
+  // order.
+  const idx m = 12;
+  Matrix a(m, 1);
+  for (idx i = 0; i < m; ++i) a(i, 0) = static_cast<double>(i);
+  std::vector<idx> winners = {7, 2, 9, 0};
+  PivotVector piv = winners_to_pivots(winners, m);
+  lapack::laswp(a.view(), 0, static_cast<idx>(winners.size()), piv);
+  for (std::size_t k = 0; k < winners.size(); ++k) {
+    EXPECT_EQ(a(static_cast<idx>(k), 0), static_cast<double>(winners[k]));
+  }
+}
+
+TEST(Tournament, WinnersToPivotsWithInterdependentSwaps) {
+  // Winners whose positions are displaced by earlier swaps.
+  const idx m = 8;
+  Matrix a(m, 1);
+  for (idx i = 0; i < m; ++i) a(i, 0) = static_cast<double>(i);
+  std::vector<idx> winners = {5, 0, 1, 2};  // 0,1,2 get displaced by step 0
+  PivotVector piv = winners_to_pivots(winners, m);
+  lapack::laswp(a.view(), 0, 4, piv);
+  for (std::size_t k = 0; k < winners.size(); ++k) {
+    EXPECT_EQ(a(static_cast<idx>(k), 0), static_cast<double>(winners[k]));
+  }
+}
+
+struct TsluParam {
+  idx m, b, tr;
+  ReductionTree tree;
+};
+
+class TsluSweep : public ::testing::TestWithParam<TsluParam> {};
+
+TEST_P(TsluSweep, ResidualSmallAndLBounded) {
+  const auto& p = GetParam();
+  Matrix a = random_matrix(p.m, p.b, 11);
+  Matrix lu = a;
+  PivotVector ipiv;
+  TsluOptions opts;
+  opts.tr = p.tr;
+  opts.tree = p.tree;
+  const idx info = tslu_factor(lu.view(), ipiv, opts);
+  EXPECT_EQ(info, 0);
+  EXPECT_LT(lapack::lu_residual(a, lu, ipiv), kResidualThreshold);
+  // Unlike GEPP, tournament pivoting does not guarantee |L| <= 1, but on
+  // random matrices the multipliers stay modest (the paper's stability
+  // claim). A blow-up here would indicate a broken pivot selection.
+  for (idx j = 0; j < p.b; ++j) {
+    for (idx i = j + 1; i < p.m; ++i) {
+      EXPECT_LE(std::abs(lu(i, j)), 50.0) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TsluSweep,
+    ::testing::Values(TsluParam{64, 8, 1, ReductionTree::Binary},
+                      TsluParam{64, 8, 2, ReductionTree::Binary},
+                      TsluParam{64, 8, 4, ReductionTree::Binary},
+                      TsluParam{64, 8, 4, ReductionTree::Flat},
+                      TsluParam{128, 16, 8, ReductionTree::Binary},
+                      TsluParam{128, 16, 8, ReductionTree::Flat},
+                      TsluParam{200, 25, 3, ReductionTree::Binary},
+                      TsluParam{333, 32, 5, ReductionTree::Flat},
+                      TsluParam{1000, 100, 4, ReductionTree::Binary},
+                      TsluParam{97, 13, 7, ReductionTree::Binary},
+                      TsluParam{16, 16, 4, ReductionTree::Binary},
+                      TsluParam{17, 16, 4, ReductionTree::Binary}));
+
+TEST(Tslu, Tr1IsExactlyGepp) {
+  Matrix a = random_distinct_magnitude_matrix(80, 10, 13);
+  Matrix lu1 = a, lu2 = a;
+  PivotVector p1, p2;
+  TsluOptions opts;
+  opts.tr = 1;
+  EXPECT_EQ(tslu_factor(lu1.view(), p1, opts), 0);
+  EXPECT_EQ(lapack::rgetf2(lu2.view(), p2), 0);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(test::max_diff(lu1, lu2), 0.0);
+}
+
+TEST(Tslu, SameWinnersRegardlessOfTree) {
+  // On distinct-magnitude inputs the set of selected pivot ROWS may differ
+  // between trees in exotic cases, but for a fixed tree the factorization
+  // must be deterministic; and both trees must produce valid factorizations
+  // of the same matrix.
+  Matrix a = random_distinct_magnitude_matrix(120, 12, 17);
+  for (ReductionTree tree : {ReductionTree::Binary, ReductionTree::Flat}) {
+    Matrix lu1 = a, lu2 = a;
+    PivotVector p1, p2;
+    TsluOptions opts;
+    opts.tr = 4;
+    opts.tree = tree;
+    tslu_factor(lu1.view(), p1, opts);
+    tslu_factor(lu2.view(), p2, opts);
+    EXPECT_EQ(p1, p2);
+    EXPECT_EQ(test::max_diff(lu1, lu2), 0.0);
+  }
+}
+
+TEST(Tslu, GrowthBoundedOnAdversarialMatrix) {
+  // The GEPP worst-case growth matrix: tournament pivoting's growth stays
+  // modest relative to the 2^(n-1) bound at this size because the panel is
+  // narrow.
+  const idx m = 64, b = 16;
+  Matrix a = random_matrix(m, b, 19);
+  Matrix lu = a;
+  PivotVector ipiv;
+  TsluOptions opts;
+  opts.tr = 4;
+  tslu_factor(lu.view(), ipiv, opts);
+  const double growth = lapack::pivot_growth(a, lu);
+  EXPECT_LT(growth, 1e4);  // far below catastrophic
+}
+
+TEST(Tslu, SingularPanelReportsInfo) {
+  Matrix a = random_matrix(40, 6, 21);
+  for (idx i = 0; i < 40; ++i) a(i, 3) = 0.0;  // zero column
+  PivotVector ipiv;
+  TsluOptions opts;
+  opts.tr = 4;
+  const idx info = tslu_factor(a.view(), ipiv, opts);
+  EXPECT_EQ(info, 4);  // 1-based
+}
+
+TEST(Tslu, WideMatrixThrows) {
+  Matrix a = random_matrix(4, 8, 23);
+  PivotVector ipiv;
+  EXPECT_THROW(tslu_factor(a.view(), ipiv), std::invalid_argument);
+}
+
+TEST(Tslu, PivotRowsAreRowsOfOriginal) {
+  // U's top row must be a row of the original panel (tournament returns
+  // original rows, not eliminated values).
+  Matrix a = random_matrix(60, 8, 29);
+  Matrix lu = a;
+  PivotVector ipiv;
+  TsluOptions opts;
+  opts.tr = 4;
+  tslu_factor(lu.view(), ipiv, opts);
+  // Row 0 of U = row ipiv[0] of A (first pivot row, unchanged by
+  // elimination).
+  for (idx j = 0; j < 8; ++j) {
+    EXPECT_DOUBLE_EQ(lu(0, j), a(ipiv[0], j));
+  }
+}
+
+
+TEST(ReductionSchedule, HybridGroupsThenBinary) {
+  // 8 leaves, group 4: two flat steps (0..3), (4..7), then binary (0,4).
+  auto s = reduction_schedule(8, ReductionTree::Hybrid, 4);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].sources, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(s[1].sources, (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_EQ(s[2].sources, (std::vector<int>{0, 4}));
+  EXPECT_EQ(s[2].level, 2);
+}
+
+TEST(ReductionSchedule, HybridRaggedGroups) {
+  // 7 leaves, group 3: flat (0,1,2), (3,4,5), single (6) skipped, binary
+  // over roots {0,3,6}: (0,3), (0,6).
+  auto s = reduction_schedule(7, ReductionTree::Hybrid, 3);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0].sources, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(s[1].sources, (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(s[2].sources, (std::vector<int>{0, 3}));
+  EXPECT_EQ(s[3].sources, (std::vector<int>{0, 6}));
+}
+
+TEST(Tslu, HybridTreeResidualSmall) {
+  Matrix a = random_matrix(640, 32, 222);
+  Matrix lu = a;
+  PivotVector ipiv;
+  TsluOptions opts;
+  opts.tr = 8;
+  opts.tree = ReductionTree::Hybrid;
+  EXPECT_EQ(tslu_factor(lu.view(), ipiv, opts), 0);
+  EXPECT_LT(lapack::lu_residual(a, lu, ipiv), kResidualThreshold);
+}
+
+}  // namespace
+}  // namespace camult::core

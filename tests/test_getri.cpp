@@ -1,0 +1,93 @@
+// Matrix inverse and condition-number estimation tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "common/test_utils.hpp"
+#include "lapack/lapack.hpp"
+#include "matrix/norms.hpp"
+#include "matrix/random.hpp"
+
+namespace camult::lapack {
+namespace {
+
+TEST(Getri, InverseTimesASmallResidual) {
+  for (idx n : {1, 2, 10, 64, 127}) {
+    Matrix a = random_diagonally_dominant_matrix(n, 100 + n);
+    Matrix lu = a;
+    PivotVector ipiv;
+    ASSERT_EQ(getrf(lu.view(), ipiv), 0);
+    ASSERT_EQ(getri(lu.view(), ipiv), 0);
+
+    // A * A^{-1} == I.
+    Matrix prod = Matrix::identity(n, n);
+    blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, 1.0, a, lu, -1.0,
+               prod.view());
+    EXPECT_LT(norm_max(prod.view()), 1e-11 * static_cast<double>(n))
+        << "n=" << n;
+  }
+}
+
+TEST(Getri, SingularReturnsInfo) {
+  Matrix a = Matrix::zeros(6, 6);
+  PivotVector ipiv;
+  getrf(a.view(), ipiv);  // produces zero pivots
+  EXPECT_GT(getri(a.view(), ipiv), 0);
+}
+
+TEST(Gecon, IdentityHasConditionOne) {
+  const idx n = 30;
+  Matrix a = Matrix::identity(n, n);
+  const double anorm = norm_one(a);
+  Matrix lu = a;
+  PivotVector ipiv;
+  ASSERT_EQ(getrf(lu.view(), ipiv), 0);
+  const double kappa = gecon(lu, ipiv, anorm);
+  EXPECT_NEAR(kappa, 1.0, 1e-10);
+}
+
+TEST(Gecon, DiagonalMatrixExact) {
+  // diag(1, ..., 1, 1e-6): kappa_1 = 1e6.
+  const idx n = 20;
+  Matrix a = Matrix::identity(n, n);
+  a(n - 1, n - 1) = 1e-6;
+  const double anorm = norm_one(a);
+  Matrix lu = a;
+  PivotVector ipiv;
+  ASSERT_EQ(getrf(lu.view(), ipiv), 0);
+  const double kappa = gecon(lu, ipiv, anorm);
+  EXPECT_GT(kappa, 1e5);  // estimator is a lower bound; must reach ~1e6
+  EXPECT_LT(kappa, 2e6);
+}
+
+TEST(Gecon, TracksTrueConditionWithinSmallFactor) {
+  // Compare against the exact kappa_1 computed from the explicit inverse.
+  for (idx n : {15, 40, 90}) {
+    Matrix a = random_matrix(n, n, 200 + n);
+    const double anorm = norm_one(a);
+    Matrix lu = a;
+    PivotVector ipiv;
+    ASSERT_EQ(getrf(lu.view(), ipiv), 0);
+    const double est = gecon(lu, ipiv, anorm);
+
+    Matrix inv = a;
+    PivotVector ipiv2;
+    ASSERT_EQ(getrf(inv.view(), ipiv2), 0);
+    ASSERT_EQ(getri(inv.view(), ipiv2), 0);
+    const double exact = anorm * norm_one(inv.view());
+
+    EXPECT_LE(est, exact * 1.001) << "n=" << n;   // never exceeds the truth
+    EXPECT_GE(est, exact * 0.1) << "n=" << n;     // within 10x below
+  }
+}
+
+TEST(Gecon, SingularGivesInfinity) {
+  Matrix a = Matrix::zeros(5, 5);
+  PivotVector ipiv;
+  getrf(a.view(), ipiv);
+  EXPECT_TRUE(std::isinf(gecon(a.view(), ipiv, 0.0)));
+}
+
+}  // namespace
+}  // namespace camult::lapack

@@ -1,0 +1,266 @@
+// LU factorization tests: getf2, rgetf2, blocked getrf, laswp. Invariants:
+// small scaled residual ||PA - LU||, exact agreement of pivot choices between
+// the variants on distinct-magnitude matrices, correct handling of singular
+// and rank-deficient inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "common/test_utils.hpp"
+#include "lapack/lapack.hpp"
+#include "matrix/norms.hpp"
+#include "matrix/random.hpp"
+
+namespace camult::lapack {
+namespace {
+
+using camult::test::kResidualThreshold;
+using camult::test::matrices_near;
+
+TEST(Laswp, AppliesSwapSequence) {
+  Matrix a = random_matrix(5, 3, 1);
+  Matrix orig = a;
+  PivotVector ipiv = {3, 2, 4};
+  laswp(a.view(), 0, 3, ipiv);
+  Permutation perm = ipiv_to_permutation(ipiv, 5);
+  Matrix expect = permute_rows(perm, orig);
+  EXPECT_EQ(test::max_diff(a, expect), 0.0);
+}
+
+TEST(Laswp, InverseUndoes) {
+  Matrix a = random_matrix(7, 4, 2);
+  Matrix orig = a;
+  PivotVector ipiv = {6, 5, 2, 3};
+  laswp(a.view(), 0, 4, ipiv);
+  laswp_inverse(a.view(), 0, 4, ipiv);
+  EXPECT_EQ(test::max_diff(a, orig), 0.0);
+}
+
+TEST(Laswp, PartialRange) {
+  Matrix a = random_matrix(6, 2, 3);
+  Matrix b = a;
+  PivotVector ipiv = {5, 4, 3};
+  laswp(a.view(), 1, 3, ipiv);
+  // Same as applying only swaps 1 and 2 by hand.
+  blas::swap(2, b.data() + 1, b.ld(), b.data() + 4, b.ld());
+  blas::swap(2, b.data() + 2, b.ld(), b.data() + 3, b.ld());
+  EXPECT_EQ(test::max_diff(a, b), 0.0);
+}
+
+using LuShape = std::tuple<idx, idx>;
+
+class Getf2Shapes : public ::testing::TestWithParam<LuShape> {};
+
+TEST_P(Getf2Shapes, ResidualSmall) {
+  auto [m, n] = GetParam();
+  Matrix a = random_matrix(m, n, 7);
+  Matrix lu = a;
+  PivotVector ipiv;
+  const idx info = getf2(lu.view(), ipiv);
+  EXPECT_EQ(info, 0);
+  EXPECT_LT(lu_residual(a, lu, ipiv), kResidualThreshold);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Getf2Shapes,
+                         ::testing::Values(LuShape{1, 1}, LuShape{4, 4},
+                                           LuShape{10, 10}, LuShape{13, 7},
+                                           LuShape{7, 13}, LuShape{100, 20},
+                                           LuShape{64, 64}, LuShape{33, 50}));
+
+class Rgetf2Shapes : public ::testing::TestWithParam<LuShape> {};
+
+TEST_P(Rgetf2Shapes, ResidualSmall) {
+  auto [m, n] = GetParam();
+  Matrix a = random_matrix(m, n, 8);
+  Matrix lu = a;
+  PivotVector ipiv;
+  const idx info = rgetf2(lu.view(), ipiv);
+  EXPECT_EQ(info, 0);
+  EXPECT_LT(lu_residual(a, lu, ipiv), kResidualThreshold);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Rgetf2Shapes,
+                         ::testing::Values(LuShape{1, 1}, LuShape{2, 2},
+                                           LuShape{5, 5}, LuShape{16, 16},
+                                           LuShape{100, 30}, LuShape{31, 17},
+                                           LuShape{17, 31}, LuShape{257, 64},
+                                           LuShape{1000, 100}));
+
+TEST(Rgetf2, MatchesGetf2Exactly) {
+  // Partial pivoting is deterministic on distinct-magnitude inputs, and
+  // recursive LU performs the same pivot choices. The factors can differ in
+  // rounding (different operation order), so compare pivots exactly and
+  // factors loosely.
+  for (auto [m, n] : {LuShape{40, 40}, LuShape{60, 24}, LuShape{128, 32}}) {
+    Matrix a = random_distinct_magnitude_matrix(m, n, 17);
+    Matrix lu1 = a, lu2 = a;
+    PivotVector p1, p2;
+    EXPECT_EQ(getf2(lu1.view(), p1), 0);
+    EXPECT_EQ(rgetf2(lu2.view(), p2), 0);
+    EXPECT_EQ(p1, p2) << "pivot sequences differ at m=" << m << " n=" << n;
+    EXPECT_TRUE(matrices_near(lu1, lu2, 1e-8));
+  }
+}
+
+struct GetrfParam {
+  idx m, n, nb;
+  LuPanelKernel panel;
+};
+
+class GetrfSweep : public ::testing::TestWithParam<GetrfParam> {};
+
+TEST_P(GetrfSweep, ResidualSmall) {
+  const auto& p = GetParam();
+  Matrix a = random_matrix(p.m, p.n, 9);
+  Matrix lu = a;
+  PivotVector ipiv;
+  GetrfOptions opts;
+  opts.nb = p.nb;
+  opts.panel = p.panel;
+  const idx info = getrf(lu.view(), ipiv, opts);
+  EXPECT_EQ(info, 0);
+  EXPECT_LT(lu_residual(a, lu, ipiv), kResidualThreshold);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GetrfSweep,
+    ::testing::Values(
+        GetrfParam{64, 64, 16, LuPanelKernel::Getf2},
+        GetrfParam{64, 64, 16, LuPanelKernel::Recursive},
+        GetrfParam{100, 100, 32, LuPanelKernel::Recursive},
+        GetrfParam{127, 127, 32, LuPanelKernel::Recursive},
+        GetrfParam{128, 128, 128, LuPanelKernel::Recursive},  // single panel
+        GetrfParam{128, 128, 200, LuPanelKernel::Recursive},  // nb > n
+        GetrfParam{200, 120, 32, LuPanelKernel::Recursive},   // tall
+        GetrfParam{120, 200, 32, LuPanelKernel::Recursive},   // wide
+        GetrfParam{97, 61, 13, LuPanelKernel::Getf2},         // odd everything
+        GetrfParam{300, 300, 64, LuPanelKernel::Recursive}));
+
+TEST(Getrf, MatchesUnblockedPivots) {
+  Matrix a = random_distinct_magnitude_matrix(90, 90, 23);
+  Matrix lu1 = a, lu2 = a;
+  PivotVector p1, p2;
+  EXPECT_EQ(getf2(lu1.view(), p1), 0);
+  GetrfOptions opts;
+  opts.nb = 24;
+  EXPECT_EQ(getrf(lu2.view(), p2, opts), 0);
+  EXPECT_EQ(p1, p2);
+  EXPECT_TRUE(matrices_near(lu1, lu2, 1e-8));
+}
+
+TEST(Getf2, SingularMatrixReportsInfo) {
+  // An exactly-zero third column gives an exact zero pivot at step 2; the
+  // factorization must still complete and report the 1-based column index.
+  Matrix a = random_matrix(4, 4, 5);
+  for (idx i = 0; i < 4; ++i) a(i, 2) = 0.0;
+  PivotVector ipiv;
+  const idx info = getf2(a.view(), ipiv);
+  EXPECT_EQ(info, 3);  // 1-based index of the zero pivot column
+  EXPECT_EQ(ipiv.size(), 4u);
+}
+
+TEST(Getf2, ZeroMatrixInfoIsFirstColumn) {
+  Matrix a = Matrix::zeros(5, 5);
+  PivotVector ipiv;
+  EXPECT_EQ(getf2(a.view(), ipiv), 1);
+}
+
+TEST(Getf2, PivotsAreLargestInColumn) {
+  Matrix a = random_matrix(30, 10, 33);
+  Matrix lu = a;
+  PivotVector ipiv;
+  getf2(lu.view(), ipiv);
+  // After the factorization, |L| <= 1 everywhere (the partial pivoting
+  // invariant).
+  for (idx j = 0; j < 10; ++j) {
+    for (idx i = j + 1; i < 30; ++i) {
+      EXPECT_LE(std::abs(lu(i, j)), 1.0 + 1e-15);
+    }
+  }
+}
+
+TEST(Rgetf2, PartialPivotingInvariantHolds) {
+  Matrix a = random_matrix(200, 64, 35);
+  Matrix lu = a;
+  PivotVector ipiv;
+  rgetf2(lu.view(), ipiv);
+  for (idx j = 0; j < 64; ++j) {
+    for (idx i = j + 1; i < 200; ++i) {
+      EXPECT_LE(std::abs(lu(i, j)), 1.0 + 1e-15);
+    }
+  }
+}
+
+TEST(Getrf, GrowthMatrixExhibitsExpectedGrowth) {
+  // The classic worst case: growth factor 2^(n-1) under partial pivoting.
+  const idx n = 20;
+  Matrix a = gepp_growth_matrix(n);
+  Matrix lu = a;
+  PivotVector ipiv;
+  EXPECT_EQ(getrf(lu.view(), ipiv), 0);
+  const double growth = pivot_growth(a, lu);
+  EXPECT_NEAR(growth, std::pow(2.0, static_cast<double>(n - 1)), 1e-3);
+  // Residual is still fine in exact-ish arithmetic at this size.
+  EXPECT_LT(lu_residual(a, lu, ipiv), 1e6);
+}
+
+TEST(Getrf, DiagonallyDominantNoSwaps) {
+  Matrix a = random_diagonally_dominant_matrix(50, 77);
+  Matrix lu = a;
+  PivotVector ipiv;
+  EXPECT_EQ(getrf(lu.view(), ipiv), 0);
+  for (std::size_t k = 0; k < ipiv.size(); ++k) {
+    EXPECT_EQ(ipiv[k], static_cast<idx>(k));  // diagonal always wins
+  }
+}
+
+TEST(Getrf, SolveRecoversKnownSolution) {
+  // End-to-end: factor, then solve A x = b via the factors.
+  const idx n = 80;
+  Matrix a = random_matrix(n, n, 55);
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) {
+    x_true[static_cast<std::size_t>(i)] = std::sin(static_cast<double>(i));
+  }
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  blas::gemv(blas::Trans::NoTrans, 1.0, a, x_true.data(), 1, 0.0, b.data(), 1);
+
+  Matrix lu = a;
+  PivotVector ipiv;
+  ASSERT_EQ(getrf(lu.view(), ipiv), 0);
+  // Apply P to b, then L y = Pb, U x = y.
+  MatrixView bv(b.data(), n, 1, n);
+  laswp(bv, 0, n, ipiv);
+  blas::trsv(blas::Uplo::Lower, blas::Trans::NoTrans, blas::Diag::Unit, lu,
+             b.data(), 1);
+  blas::trsv(blas::Uplo::Upper, blas::Trans::NoTrans, blas::Diag::NonUnit, lu,
+             b.data(), 1);
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_NEAR(b[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(Getrf, RankDeficientReportsSingular) {
+  Matrix a = random_rank_deficient_matrix(30, 30, 10, 66);
+  Matrix lu = a;
+  PivotVector ipiv;
+  const idx info = getrf(lu.view(), ipiv);
+  // Exact zero pivots may be perturbed by rounding; either info > 10 or the
+  // trailing diagonal of U is tiny.
+  if (info == 0) {
+    double min_diag = 1e300;
+    for (idx i = 10; i < 30; ++i) {
+      min_diag = std::min(min_diag, std::abs(lu(i, i)));
+    }
+    EXPECT_LT(min_diag, 1e-10 * norm_max(a));
+  } else {
+    EXPECT_GT(info, 10);
+  }
+}
+
+}  // namespace
+}  // namespace camult::lapack

@@ -1,0 +1,259 @@
+// Tests for the matrix substrate: views, ownership, norms, permutations,
+// random generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/test_utils.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/norms.hpp"
+#include "matrix/permutation.hpp"
+#include "matrix/random.hpp"
+
+namespace camult {
+namespace {
+
+TEST(Matrix, ZerosAndIdentity) {
+  Matrix z = Matrix::zeros(3, 4);
+  for (idx j = 0; j < 4; ++j) {
+    for (idx i = 0; i < 3; ++i) EXPECT_EQ(z(i, j), 0.0);
+  }
+  Matrix e = Matrix::identity(4, 3);
+  for (idx j = 0; j < 3; ++j) {
+    for (idx i = 0; i < 4; ++i) EXPECT_EQ(e(i, j), i == j ? 1.0 : 0.0);
+  }
+}
+
+TEST(Matrix, EmptyMatrixIsSafe) {
+  Matrix m(0, 0);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0);
+  Matrix n(5, 0);
+  EXPECT_TRUE(n.empty());
+  Matrix c = n;  // copy of empty
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Matrix, CopyIsDeep) {
+  Matrix a = random_matrix(5, 6, 1);
+  Matrix b = a;
+  b(2, 3) = 99.0;
+  EXPECT_NE(a(2, 3), 99.0);
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(Matrix, MoveTransfersOwnership) {
+  Matrix a = random_matrix(5, 6, 1);
+  const double* p = a.data();
+  Matrix b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix a(3, 2);
+  a(0, 0) = 1;
+  a(1, 0) = 2;
+  a(2, 0) = 3;
+  a(0, 1) = 4;
+  EXPECT_EQ(a.data()[0], 1);
+  EXPECT_EQ(a.data()[1], 2);
+  EXPECT_EQ(a.data()[2], 3);
+  EXPECT_EQ(a.data()[3], 4);
+}
+
+TEST(Matrix, StorageIsAligned) {
+  for (idx n : {1, 3, 17, 64}) {
+    Matrix a(n, n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % 64, 0u);
+  }
+}
+
+TEST(MatrixView, BlockAddressesCorrectElements) {
+  Matrix a = random_matrix(8, 8, 42);
+  MatrixView blk = a.view().block(2, 3, 4, 5);
+  EXPECT_EQ(blk.rows(), 4);
+  EXPECT_EQ(blk.cols(), 5);
+  for (idx j = 0; j < 5; ++j) {
+    for (idx i = 0; i < 4; ++i) EXPECT_EQ(blk(i, j), a(2 + i, 3 + j));
+  }
+}
+
+TEST(MatrixView, NestedBlocksCompose) {
+  Matrix a = random_matrix(10, 10, 7);
+  MatrixView outer = a.view().block(1, 2, 8, 7);
+  MatrixView inner = outer.block(3, 1, 2, 2);
+  EXPECT_EQ(inner(0, 0), a(4, 3));
+  EXPECT_EQ(inner(1, 1), a(5, 4));
+}
+
+TEST(MatrixView, TrailingView) {
+  Matrix a = random_matrix(6, 6, 3);
+  MatrixView t = a.view().trailing(2, 3);
+  EXPECT_EQ(t.rows(), 4);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t(0, 0), a(2, 3));
+}
+
+TEST(MatrixView, WritesThroughView) {
+  Matrix a = Matrix::zeros(4, 4);
+  a.view().block(1, 1, 2, 2)(0, 1) = 5.0;
+  EXPECT_EQ(a(1, 2), 5.0);
+}
+
+TEST(MatrixView, ZeroExtentBlocksAllowed) {
+  Matrix a = random_matrix(4, 4, 9);
+  MatrixView v = a.view().block(2, 2, 0, 0);
+  EXPECT_TRUE(v.empty());
+  MatrixView w = a.view().block(4, 0, 0, 4);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(MatrixView, CopyInto) {
+  Matrix a = random_matrix(5, 4, 11);
+  Matrix b = Matrix::zeros(5, 4);
+  copy_into(a.view(), b.view());
+  EXPECT_EQ(test::max_diff(a, b), 0.0);
+}
+
+TEST(MatrixView, FillAndSetIdentity) {
+  Matrix a = random_matrix(4, 5, 13);
+  fill(a.view().block(1, 1, 2, 2), 7.0);
+  EXPECT_EQ(a(1, 1), 7.0);
+  EXPECT_EQ(a(2, 2), 7.0);
+  set_identity(a.view());
+  for (idx j = 0; j < 5; ++j) {
+    for (idx i = 0; i < 4; ++i) EXPECT_EQ(a(i, j), i == j ? 1.0 : 0.0);
+  }
+}
+
+TEST(Norms, KnownValues) {
+  Matrix a = Matrix::zeros(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 0) = -4.0;
+  a(0, 1) = 0.0;
+  a(1, 1) = 12.0;
+  EXPECT_DOUBLE_EQ(norm_one(a), 12.0);   // max column sum: |{-4,12}| col1=12? col0=7
+  EXPECT_DOUBLE_EQ(norm_inf(a), 16.0);   // row 1: 4 + 12
+  EXPECT_DOUBLE_EQ(norm_max(a), 12.0);
+  EXPECT_DOUBLE_EQ(norm_fro(a), 13.0);   // sqrt(9+16+144)
+}
+
+TEST(Norms, FrobeniusAvoidsOverflow) {
+  Matrix a(1, 2);
+  a(0, 0) = 1e300;
+  a(0, 1) = 1e300;
+  EXPECT_TRUE(std::isfinite(norm_fro(a)));
+  EXPECT_NEAR(norm_fro(a) / 1e300, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Norms, EmptyMatrix) {
+  Matrix a(0, 0);
+  EXPECT_EQ(norm_fro(a), 0.0);
+  EXPECT_EQ(norm_max(a), 0.0);
+}
+
+TEST(Norms, NonFiniteDetection) {
+  Matrix a = random_matrix(3, 3, 5);
+  EXPECT_FALSE(has_non_finite(a));
+  a(1, 2) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(has_non_finite(a));
+  a(1, 2) = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(has_non_finite(a));
+}
+
+TEST(Permutation, IpivRoundTrip) {
+  // ipiv from a known swap sequence: swap(0,2), swap(1,1), swap(2,3).
+  PivotVector ipiv = {2, 1, 3};
+  Permutation perm = ipiv_to_permutation(ipiv, 4);
+  EXPECT_TRUE(is_valid_permutation(perm));
+  // Trace the swaps by hand: [0123] -> [2103] -> [2103] -> [2130].
+  EXPECT_EQ(perm, (Permutation{2, 1, 3, 0}));
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  PivotVector ipiv = {4, 3, 2, 4, 4};
+  Permutation perm = ipiv_to_permutation(ipiv, 5);
+  Permutation inv = invert_permutation(perm);
+  Permutation id = compose_permutations(perm, inv);
+  EXPECT_EQ(id, identity_permutation(5));
+  Permutation id2 = compose_permutations(inv, perm);
+  EXPECT_EQ(id2, identity_permutation(5));
+}
+
+TEST(Permutation, ApplyRowPermutation) {
+  Matrix a = random_matrix(4, 3, 17);
+  Permutation perm = {2, 0, 3, 1};
+  Matrix pa = permute_rows(perm, a);
+  for (idx j = 0; j < 3; ++j) {
+    for (idx i = 0; i < 4; ++i) {
+      EXPECT_EQ(pa(i, j), a(perm[static_cast<std::size_t>(i)], j));
+    }
+  }
+}
+
+TEST(Permutation, Validation) {
+  EXPECT_TRUE(is_valid_permutation({0, 1, 2}));
+  EXPECT_FALSE(is_valid_permutation({0, 0, 2}));
+  EXPECT_FALSE(is_valid_permutation({0, 3, 1}));
+}
+
+TEST(Random, Deterministic) {
+  Matrix a = random_matrix(6, 6, 123);
+  Matrix b = random_matrix(6, 6, 123);
+  EXPECT_EQ(test::max_diff(a, b), 0.0);
+  Matrix c = random_matrix(6, 6, 124);
+  EXPECT_GT(test::max_diff(a, c), 0.0);
+}
+
+TEST(Random, UniformRange) {
+  Matrix a = random_matrix(50, 50, 99);
+  EXPECT_LE(norm_max(a), 1.0);
+  EXPECT_GT(norm_max(a), 0.5);  // overwhelmingly likely
+}
+
+TEST(Random, DistinctMagnitudes) {
+  Matrix a = random_distinct_magnitude_matrix(8, 8, 21);
+  std::vector<double> mags;
+  for (idx j = 0; j < 8; ++j) {
+    for (idx i = 0; i < 8; ++i) mags.push_back(std::abs(a(i, j)));
+  }
+  std::sort(mags.begin(), mags.end());
+  for (std::size_t i = 1; i < mags.size(); ++i) {
+    EXPECT_LT(mags[i - 1], mags[i]);
+  }
+}
+
+TEST(Random, GrowthMatrixShape) {
+  Matrix a = gepp_growth_matrix(5);
+  EXPECT_EQ(a(0, 0), 1.0);
+  EXPECT_EQ(a(4, 0), -1.0);
+  EXPECT_EQ(a(0, 4), 1.0);
+  EXPECT_EQ(a(2, 3), 0.0);
+}
+
+TEST(Random, RankDeficientHasGivenRank) {
+  Matrix a = random_rank_deficient_matrix(10, 8, 3, 5);
+  // Rank <= 3: any 4x4 determinant-ish check is overkill; instead verify
+  // that columns 3..8 are linear combinations by checking the matrix has
+  // small singular values — approximated via QR in the LU/QR test suites.
+  // Here just check shape and determinism.
+  EXPECT_EQ(a.rows(), 10);
+  EXPECT_EQ(a.cols(), 8);
+  Matrix b = random_rank_deficient_matrix(10, 8, 3, 5);
+  EXPECT_EQ(test::max_diff(a, b), 0.0);
+}
+
+
+TEST(Matrix, SelfAssignmentIsSafe) {
+  Matrix a = random_matrix(6, 6, 77);
+  Matrix b = a;
+  a = *&a;  // self-assignment through an alias
+  EXPECT_EQ(test::max_diff(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace camult

@@ -1,0 +1,105 @@
+// Matrix Market I/O tests: round trips, coordinate/pattern/symmetric
+// variants, malformed input rejection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/test_utils.hpp"
+#include "matrix/io.hpp"
+#include "matrix/random.hpp"
+
+namespace camult {
+namespace {
+
+TEST(MatrixMarket, DenseRoundTrip) {
+  Matrix a = random_matrix(7, 5, 1);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  Matrix b = read_matrix_market(ss);
+  ASSERT_EQ(b.rows(), 7);
+  ASSERT_EQ(b.cols(), 5);
+  EXPECT_EQ(test::max_diff(a, b), 0.0);  // 17 digits: exact round trip
+}
+
+TEST(MatrixMarket, CoordinateGeneral) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment line\n"
+      "3 4 3\n"
+      "1 1 2.5\n"
+      "3 2 -1.0\n"
+      "2 4 7\n");
+  Matrix a = read_matrix_market(ss);
+  ASSERT_EQ(a.rows(), 3);
+  ASSERT_EQ(a.cols(), 4);
+  EXPECT_EQ(a(0, 0), 2.5);
+  EXPECT_EQ(a(2, 1), -1.0);
+  EXPECT_EQ(a(1, 3), 7.0);
+  EXPECT_EQ(a(1, 1), 0.0);
+}
+
+TEST(MatrixMarket, CoordinateSymmetricMirrors) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 4.0\n"
+      "3 3 1.0\n");
+  Matrix a = read_matrix_market(ss);
+  EXPECT_EQ(a(1, 0), 4.0);
+  EXPECT_EQ(a(0, 1), 4.0);
+  EXPECT_EQ(a(2, 2), 1.0);
+}
+
+TEST(MatrixMarket, PatternEntriesBecomeOnes) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  Matrix a = read_matrix_market(ss);
+  EXPECT_EQ(a(0, 1), 1.0);
+  EXPECT_EQ(a(1, 0), 1.0);
+  EXPECT_EQ(a(0, 0), 0.0);
+}
+
+TEST(MatrixMarket, RejectsBadBanner) {
+  std::stringstream ss("not a matrix market file\n1 1\n0\n");
+  EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsComplex) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n");
+  EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeCoordinates) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedData) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix array real general\n3 3\n1.0 2.0\n");
+  EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  Matrix a = random_matrix(4, 4, 9);
+  const std::string path = "/tmp/camult_io_test.mtx";
+  write_matrix_market_file(path, a);
+  Matrix b = read_matrix_market_file(path);
+  EXPECT_EQ(test::max_diff(a, b), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/nope.mtx"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace camult

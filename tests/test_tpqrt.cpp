@@ -1,0 +1,166 @@
+// Structured triangle-triangle QR kernel (tpqrt) tests: agreement with the
+// dense stacked kernel, apply round trips, and end-to-end TSQR/CAQR with
+// structured nodes enabled.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "common/test_utils.hpp"
+#include "core/caqr.hpp"
+#include "core/tpqrt.hpp"
+#include "core/tsqr.hpp"
+#include "lapack/lapack.hpp"
+#include "matrix/norms.hpp"
+#include "matrix/random.hpp"
+
+namespace camult::core {
+namespace {
+
+using camult::test::kResidualThreshold;
+using camult::test::matrices_near;
+
+Matrix random_upper(idx b, std::uint64_t seed, double diag_boost = 0.0) {
+  Matrix r = random_matrix(b, b, seed);
+  for (idx j = 0; j < b; ++j) {
+    r(j, j) += diag_boost;
+    for (idx i = j + 1; i < b; ++i) r(i, j) = 0.0;
+  }
+  return r;
+}
+
+TEST(Tpqrt, RMatchesDenseKernel) {
+  for (idx b : {1, 2, 5, 16, 33, 100}) {
+    Matrix r1 = random_upper(b, 600 + b);
+    Matrix r2 = random_upper(b, 700 + b);
+
+    // Structured.
+    Matrix r1s = r1;
+    TriTriFactors f = tpqrt_tri(r1s.view(), r2.view());
+
+    // Dense reference: stack and geqr2.
+    Matrix stack = Matrix::zeros(2 * b, b);
+    copy_into(r1.view(), stack.view().rows_range(0, b));
+    copy_into(r2.view(), stack.view().rows_range(b, b));
+    std::vector<double> tau;
+    lapack::geqr2(stack.view(), tau);
+
+    for (idx j = 0; j < b; ++j) {
+      for (idx i = 0; i <= j; ++i) {
+        EXPECT_NEAR(r1s(i, j), stack(i, j),
+                    1e-12 * std::max(1.0, std::abs(stack(i, j))))
+            << "b=" << b << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(Tpqrt, StrictlyLowerOfR1NotTouched) {
+  const idx b = 12;
+  Matrix r1 = random_matrix(b, b, 801);  // junk below the diagonal
+  Matrix r1_before = r1;
+  Matrix r2 = random_upper(b, 802);
+  tpqrt_tri(r1.view(), r2.view());
+  for (idx j = 0; j < b; ++j) {
+    for (idx i = j + 1; i < b; ++i) {
+      EXPECT_EQ(r1(i, j), r1_before(i, j));
+    }
+  }
+}
+
+TEST(Tpqrt, ApplyRoundTrip) {
+  const idx b = 20;
+  Matrix r1 = random_upper(b, 803);
+  Matrix r2 = random_upper(b, 804);
+  TriTriFactors f = tpqrt_tri(r1.view(), r2.view());
+
+  Matrix c1 = random_matrix(b, 7, 805);
+  Matrix c2 = random_matrix(b, 7, 806);
+  Matrix c1o = c1, c2o = c2;
+  tpmqrt_tri(blas::Trans::Trans, f, c1.view(), c2.view());
+  tpmqrt_tri(blas::Trans::NoTrans, f, c1.view(), c2.view());
+  EXPECT_TRUE(matrices_near(c1, c1o, 1e-12));
+  EXPECT_TRUE(matrices_near(c2, c2o, 1e-12));
+}
+
+TEST(Tpqrt, ApplyMatchesDenseKernelApply) {
+  const idx b = 16;
+  Matrix r1 = random_upper(b, 807);
+  Matrix r2 = random_upper(b, 808);
+
+  // Embed the triangles in a 2b x b "matrix" and run both node kernels.
+  Matrix a_s = Matrix::zeros(2 * b, b);
+  copy_into(r1.view(), a_s.view().rows_range(0, b));
+  copy_into(r2.view(), a_s.view().rows_range(b, b));
+  Matrix a_d = a_s;
+
+  TsqrNode sn = tsqr_node_kernel_tri(a_s.view(), 0, b, b);
+  TsqrNode dn = tsqr_node_kernel(a_d.view(), {0, b}, b);
+
+  Matrix c_s = random_matrix(2 * b, 5, 809);
+  Matrix c_d = c_s;
+  tsqr_node_apply(blas::Trans::Trans, sn, c_s.view());
+  tsqr_node_apply(blas::Trans::Trans, dn, c_d.view());
+  EXPECT_TRUE(matrices_near(c_s, c_d, 1e-11 * std::max(1.0, norm_max(c_d))));
+}
+
+TEST(Tpqrt, TsqrStructuredMatchesDense) {
+  const idx m = 320, n = 24;
+  Matrix a = random_matrix(m, n, 811);
+  Matrix f1 = a, f2 = a;
+  TsqrOptions od;
+  od.tr = 8;
+  od.tree = ReductionTree::Binary;
+  od.structured_nodes = false;
+  TsqrOptions os = od;
+  os.structured_nodes = true;
+
+  TsqrFactors fd = tsqr_factor(f1.view(), od);
+  TsqrFactors fs = tsqr_factor(f2.view(), os);
+  Matrix rd = tsqr_extract_r(f1.view(), fd);
+  Matrix rs = tsqr_extract_r(f2.view(), fs);
+  EXPECT_TRUE(matrices_near(rd, rs, 1e-11 * std::max(1.0, norm_max(rd))));
+
+  // Both produce orthogonal Q and small residual.
+  Matrix qs = tsqr_explicit_q(f2.view(), fs);
+  EXPECT_LT(lapack::orthogonality_residual(qs), kResidualThreshold);
+}
+
+TEST(Tpqrt, CaqrStructuredEndToEnd) {
+  const idx m = 300, n = 120;
+  Matrix a = random_matrix(m, n, 813);
+  Matrix fact = a;
+  CaqrOptions o;
+  o.b = 30;
+  o.tr = 4;
+  o.tree = ReductionTree::Binary;
+  o.structured_nodes = true;
+  o.num_threads = 3;
+  CaqrResult res = caqr_factor(fact.view(), o);
+  EXPECT_LT(caqr_residual(a, fact, res), kResidualThreshold);
+  Matrix q = caqr_explicit_q(fact.view(), res);
+  EXPECT_LT(lapack::orthogonality_residual(q), kResidualThreshold);
+}
+
+TEST(Tpqrt, SingularTrianglesHandled) {
+  const idx b = 8;
+  Matrix r1 = Matrix::zeros(b, b);  // entirely zero triangle
+  Matrix r2 = random_upper(b, 815);
+  TriTriFactors f = tpqrt_tri(r1.view(), r2.view());
+  // R^T R == r2^T r2 must still hold.
+  Matrix rtr = Matrix::zeros(b, b);
+  Matrix ref = Matrix::zeros(b, b);
+  Matrix r_new = Matrix::zeros(b, b);
+  for (idx j = 0; j < b; ++j) {
+    for (idx i = 0; i <= j; ++i) r_new(i, j) = r1(i, j);
+  }
+  blas::gemm(blas::Trans::Trans, blas::Trans::NoTrans, 1.0, r_new, r_new, 0.0,
+             rtr.view());
+  blas::gemm(blas::Trans::Trans, blas::Trans::NoTrans, 1.0, r2, r2, 0.0,
+             ref.view());
+  EXPECT_TRUE(matrices_near(rtr, ref, 1e-10 * std::max(1.0, norm_max(ref))));
+}
+
+}  // namespace
+}  // namespace camult::core
