@@ -4,6 +4,11 @@
 // tasks through inline mode, the central priority queue, and the
 // work-stealing deques — for wide (independent) and deep (chained) DAGs,
 // plus the dependency-inference cost of the tracker.
+//
+// The per-task nanosecond table across 1/2/4/8 threads is the acceptance
+// gauge for the lock-sharded scheduler: on the wide DAG every worker hits
+// the ready structure at once, so it exposes queue contention; the chain
+// DAG exposes the wakeup (completion -> successor-ready) latency instead.
 #include <chrono>
 #include <cstdio>
 
@@ -59,19 +64,29 @@ int main() {
   std::printf("Scheduler overhead, %d empty tasks per configuration\n",
               n_tasks);
 
-  Table t({"configuration", "wide DAG (Mtask/s)", "chain DAG (Mtask/s)"});
+  Table t({"configuration", "wide ns/task", "chain ns/task",
+           "wide DAG (Mtask/s)", "chain DAG (Mtask/s)"});
   auto row = [&](const char* name, int threads,
                  rt::TaskGraph::Policy policy) {
     const double wide = run_graph(threads, policy, n_tasks, false);
     const double chain = run_graph(threads, policy, n_tasks, true);
     t.row().cell(name);
+    t.cell(wide / n_tasks * 1e9).cell(chain / n_tasks * 1e9);
     t.cell(n_tasks / wide * 1e-6).cell(n_tasks / chain * 1e-6);
   };
   row("inline (0 threads)", 0, rt::TaskGraph::Policy::CentralPriority);
-  row("central, 1 thread", 1, rt::TaskGraph::Policy::CentralPriority);
-  row("central, 4 threads", 4, rt::TaskGraph::Policy::CentralPriority);
-  row("stealing, 1 thread", 1, rt::TaskGraph::Policy::WorkStealing);
-  row("stealing, 4 threads", 4, rt::TaskGraph::Policy::WorkStealing);
+  for (int threads : {1, 2, 4, 8}) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "central, %d thread%s", threads,
+                  threads == 1 ? "" : "s");
+    row(name, threads, rt::TaskGraph::Policy::CentralPriority);
+  }
+  for (int threads : {1, 2, 4, 8}) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "stealing, %d thread%s", threads,
+                  threads == 1 ? "" : "s");
+    row(name, threads, rt::TaskGraph::Policy::WorkStealing);
+  }
   t.print("Task throughput", bench::csv_path("scheduler_overhead"));
 
   const double tracker_s = run_tracker(n_tasks);

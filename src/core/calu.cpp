@@ -6,6 +6,7 @@
 #include <string>
 
 #include "blas/blas.hpp"
+#include "core/lookahead.hpp"
 #include "core/partition.hpp"
 #include "core/tournament.hpp"
 #include "lapack/laswp.hpp"
@@ -35,34 +36,6 @@ struct IterState {
   idx jb = 0;
 };
 
-// Priority bands implementing the look-ahead-of-1 policy: the panel path
-// (P/L, then the U/S tasks of column k+1 that unblock panel k+1) always
-// outranks ordinary trailing updates of ANY iteration, so the next panel
-// races ahead as soon as its column is up to date. With lookahead off, all
-// tasks share one priority and the scheduler degenerates to dependency +
-// FIFO order (fork-join-like).
-struct Priorities {
-  idx n_panels;
-  bool lookahead;
-
-  int panel(idx k) const {
-    return lookahead ? 2000000000 - static_cast<int>(k) * 4 : 0;
-  }
-  int lfactor(idx k) const {
-    return lookahead ? 2000000000 - static_cast<int>(k) * 4 - 1 : 0;
-  }
-  int ufactor(idx k, idx j) const {
-    if (!lookahead) return 0;
-    if (j == k + 1) return 1000000000 - static_cast<int>(k) * 4;
-    return 1000000 - static_cast<int>(k * 1000 + (j - k));
-  }
-  int update(idx k, idx j) const {
-    if (!lookahead) return 0;
-    if (j == k + 1) return 1000000000 - static_cast<int>(k) * 4 - 1;
-    return 1000000 - static_cast<int>(k * 1000 + (j - k)) - 1;
-  }
-};
-
 void add_tile_range(std::vector<BlockAccess>& acc, idx i0, idx i1, idx j,
                     AccessMode mode) {
   for (idx i = i0; i < i1; ++i) acc.push_back({tile_key(i, j), mode});
@@ -85,7 +58,11 @@ CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
 
   rt::TaskGraph graph({opts.num_threads, opts.record_trace, opts.scheduler});
   rt::DepTracker tracker;
-  const Priorities prio{n_panels, opts.lookahead};
+  // Look-ahead priority bands (see lookahead.hpp): panel path on top, then
+  // the U/S tasks of column k+1 that unblock panel k+1, then ordinary
+  // trailing updates — so the next panel races ahead as soon as its column
+  // is up to date.
+  const LookaheadPriorities prio{n_panels, n_blocks, opts.lookahead};
 
   std::vector<std::unique_ptr<IterState>> iters;
   iters.reserve(static_cast<std::size_t>(n_panels));

@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "core/lookahead.hpp"
 #include "core/partition.hpp"
 #include "matrix/norms.hpp"
 #include "runtime/dep_tracker.hpp"
@@ -26,21 +27,6 @@ rt::BlockKey leaf_key(idx k, idx slot) {
 rt::BlockKey node_key(idx k, idx node) {
   return (idx{1} << 61) + k * 8192 + node;
 }
-
-// Same banded look-ahead scheme as CALU (see calu.cpp): panel path on top,
-// then the next panel's column updates, then ordinary updates.
-struct Priorities {
-  idx n_panels;
-  bool lookahead;
-  int panel(idx k) const {
-    return lookahead ? 2000000000 - static_cast<int>(k) * 4 : 0;
-  }
-  int update(idx k, idx j) const {
-    if (!lookahead) return 0;
-    if (j == k + 1) return 1000000000 - static_cast<int>(k) * 4;
-    return 1000000 - static_cast<int>(k * 1000 + (j - k));
-  }
-};
 
 void add_tile_range(std::vector<BlockAccess>& acc, idx i0, idx i1, idx j,
                     AccessMode mode) {
@@ -64,7 +50,9 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
 
   rt::TaskGraph graph({opts.num_threads, opts.record_trace, opts.scheduler});
   rt::DepTracker tracker;
-  const Priorities prio{n_panels, opts.lookahead};
+  // Same banded look-ahead scheme as CALU (see lookahead.hpp): panel path
+  // on top, then the next panel's column updates, then ordinary updates.
+  const LookaheadPriorities prio{n_panels, n_blocks, opts.lookahead};
 
   TaskId next_id = 0;
   auto add_task = [&](const std::vector<BlockAccess>& acc,

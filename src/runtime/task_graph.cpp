@@ -1,5 +1,6 @@
 #include "runtime/task_graph.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -18,12 +19,47 @@ const char* task_kind_name(TaskKind k) {
 
 char task_kind_letter(TaskKind k) { return task_kind_name(k)[0]; }
 
+TaskGraph::TaskStore::TaskStore()
+    : blocks_(new std::atomic<Task*>[kMaxBlocks]) {
+  for (std::size_t b = 0; b < kMaxBlocks; ++b) {
+    blocks_[b].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+TaskGraph::TaskStore::~TaskStore() {
+  for (std::size_t b = 0; b < kMaxBlocks; ++b) {
+    delete[] blocks_[b].load(std::memory_order_relaxed);
+  }
+}
+
+TaskGraph::Task& TaskGraph::TaskStore::append() {
+  const std::size_t i = size_.load(std::memory_order_relaxed);
+  const std::size_t b = i >> kBlockBits;
+  if (b >= kMaxBlocks) {
+    throw std::length_error("TaskGraph: task store capacity exceeded");
+  }
+  Task* blk = blocks_[b].load(std::memory_order_relaxed);
+  if (blk == nullptr) {
+    blk = new Task[kBlockSize];
+    // Release so any thread that later learns a TaskId in this block (all
+    // publication paths already carry acquire/release) sees the pointer.
+    blocks_[b].store(blk, std::memory_order_release);
+  }
+  size_.store(i + 1, std::memory_order_release);
+  return blk[i & (kBlockSize - 1)];
+}
+
 TaskGraph::TaskGraph(const Config& config) : config_(config) {
   if (config_.num_threads < 0) {
     throw std::invalid_argument("TaskGraph: negative thread count");
   }
   epoch_ = std::chrono::steady_clock::now();
-  local_ready_.resize(static_cast<std::size_t>(std::max(config_.num_threads, 1)));
+  const auto n_workers =
+      static_cast<std::size_t>(std::max(config_.num_threads, 1));
+  local_ready_.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    local_ready_.push_back(std::make_unique<WorkerDeque>());
+  }
   workers_.reserve(static_cast<std::size_t>(config_.num_threads));
   for (int t = 0; t < config_.num_threads; ++t) {
     workers_.emplace_back([this, t] { worker_loop(t); });
@@ -31,206 +67,389 @@ TaskGraph::TaskGraph(const Config& config) : config_(config) {
 }
 
 TaskGraph::~TaskGraph() {
+  // Publish shutdown under the sleep mutex so no worker can check the flag,
+  // miss it, and then sleep through the broadcast. Workers only exit once a
+  // refill finds everything drained, so pending tasks still run.
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    shutdown_ = true;
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    shutdown_.store(true, std::memory_order_release);
   }
-  ready_cv_.notify_all();
+  idle_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
 TaskId TaskGraph::submit(const std::vector<TaskId>& deps, TaskOptions opts,
                          std::function<void()> fn) {
-  TaskId id;
-  bool ready_now = false;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    id = static_cast<TaskId>(tasks_.size());
-    tasks_.emplace_back();
-    Task& task = tasks_.back();
+  if (config_.num_threads == 0) {
+    // Inline mode is single-threaded, so every previously submitted task has
+    // already run; validate BEFORE mutating anything, so a rejected
+    // submission leaves the graph exactly as it was (no half-registered
+    // task, no stray edges, no bumped unfinished count) and a caller that
+    // catches can continue.
+    for (TaskId d : deps) {
+      if (d == kNoTask) continue;
+      assert(d >= 0 && d < static_cast<TaskId>(store_.size()));
+      if (!store_[d].finished.load(std::memory_order_relaxed)) {
+        throw std::logic_error(
+            "TaskGraph(inline): task submitted before its dependencies "
+            "finished — submission order must be topological");
+      }
+    }
+    const TaskId id = static_cast<TaskId>(store_.size());
+    Task& task = store_.append();
     task.fn = std::move(fn);
     task.opts = std::move(opts);
+    if (config_.record_trace) {
+      task.record.id = id;
+      task.record.kind = task.opts.kind;
+      task.record.iteration = task.opts.iteration;
+      task.record.priority = task.opts.priority;
+      task.record.label = task.opts.label;
+    }
+    for (TaskId d : deps) {
+      if (d != kNoTask) edges_.push_back({d, id});
+    }
+    submitted_.store(submitted_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+    run_task(id, 0, /*inline_mode=*/true);
+    return id;
+  }
+
+  const TaskId id = static_cast<TaskId>(store_.size());
+  Task& task = store_.append();
+  task.fn = std::move(fn);
+  task.opts = std::move(opts);
+  if (config_.record_trace) {
     task.record.id = id;
     task.record.kind = task.opts.kind;
     task.record.iteration = task.opts.iteration;
     task.record.priority = task.opts.priority;
     task.record.label = task.opts.label;
+  }
+  // +1 sentinel: keeps the task from firing while deps are registered.
+  task.unresolved.store(1, std::memory_order_relaxed);
+  // Plain release store (not an RMW): only this thread writes submitted_.
+  submitted_.store(submitted_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
 
-    for (TaskId d : deps) {
-      if (d == kNoTask) continue;
-      assert(d >= 0 && d < id);
-      Task& dep = tasks_[static_cast<std::size_t>(d)];
-      edges_.push_back({d, id});
-      if (!dep.finished) {
-        dep.successors.push_back(id);
-        ++task.unresolved;
-      }
-    }
-    ++unfinished_;
-    if (task.unresolved == 0) {
-      if (config_.num_threads == 0) {
-        ready_now = true;
-      } else {
-        // Submission thread is not a worker: scatter round-robin.
-        push_ready_locked(id, static_cast<int>(id));
-      }
-    } else if (config_.num_threads == 0) {
-      throw std::logic_error(
-          "TaskGraph(inline): task submitted before its dependencies "
-          "finished — submission order must be topological");
+  for (TaskId d : deps) {
+    if (d == kNoTask) continue;
+    assert(d >= 0 && d < id);
+    edges_.push_back({d, id});
+    Task& dep = store_[d];
+    // Fast path: once finished is true the successor list is sealed, no
+    // registration is needed, and the acquire load pairs with the
+    // completer's release store so the dependency's side effects are
+    // already visible to everything we publish after this.
+    if (dep.finished.load(std::memory_order_acquire)) continue;
+    std::lock_guard<std::mutex> lock(dep.mu);
+    if (!dep.finished.load(std::memory_order_relaxed)) {
+      // Count before linking: the completer may traverse `successors` the
+      // moment we unlock, and must find the count already there.
+      task.unresolved.fetch_add(1, std::memory_order_relaxed);
+      dep.successors.push_back(id);
     }
   }
-  if (config_.num_threads > 0) {
-    ready_cv_.notify_one();
-  } else if (ready_now) {
-    // Inline mode: run this task and, iteratively, everything it unblocks.
-    std::vector<TaskId> stack = {id};
-    while (!stack.empty()) {
-      const TaskId next = stack.back();
-      stack.pop_back();
-      run_task(next, 0, &stack);
-    }
+
+  // Drop the sentinel; whoever reaches zero (us, or a completing worker
+  // that beat us to the last dependency) schedules the task. When nothing
+  // was registered nobody else can touch the counter, so skip the RMW.
+  if (task.unresolved.load(std::memory_order_relaxed) == 1 ||
+      task.unresolved.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    dispatch_ready(&id, 1, /*worker_hint=*/-1);
   }
   return id;
 }
 
-void TaskGraph::push_ready_locked(TaskId id, int worker_hint) {
-  if (config_.policy == Policy::WorkStealing) {
-    const std::size_t w =
-        static_cast<std::size_t>(worker_hint) % local_ready_.size();
-    local_ready_[w].push_back(id);
+void TaskGraph::dispatch_ready(const TaskId* ready, int n, int worker_hint) {
+  if (n <= 0) return;
+  if (worker_hint < 0) {
+    // Submission thread: stage in the inbox. Workers splice it in bulk at
+    // refill time, so the submitter never touches the hot worker-side
+    // locks.
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    inbox_.insert(inbox_.end(), ready, ready + n);
+  } else if (config_.policy == Policy::WorkStealing) {
+    // Completing worker: successors run where their producer finished
+    // (locality), and are exposed to stealers through this deque.
+    WorkerDeque& dq = *local_ready_[static_cast<std::size_t>(worker_hint) %
+                                    local_ready_.size()];
+    std::lock_guard<std::mutex> lock(dq.mu);
+    for (int i = 0; i < n; ++i) dq.q.push_back(ready[i]);
   } else {
-    ready_.push({tasks_[static_cast<std::size_t>(id)].opts.priority, id});
+    std::lock_guard<std::mutex> lock(central_mu_);
+    for (int i = 0; i < n; ++i) {
+      ready_[store_[ready[i]].opts.priority].push_back(ready[i]);
+    }
+    ready_count_ += static_cast<std::size_t>(n);
   }
+  // Wake only if someone may be sleeping, and only when no notify is
+  // already in flight: the woken worker re-arms the next wake itself when
+  // its refill still sees a backlog (relay wakeup), so a push burst costs
+  // one futex wake, not one per task. If a worker's final pre-sleep scan
+  // missed this push, its sleepers_ increment happened-before the load in
+  // maybe_wake_sleeper (both sides bracket the same queue mutex), so a
+  // stale zero cannot be read there.
+  maybe_wake_sleeper();
 }
 
-TaskId TaskGraph::pop_ready_locked(int worker_id) {
-  if (config_.policy == Policy::WorkStealing) {
-    auto& own = local_ready_[static_cast<std::size_t>(worker_id)];
-    if (!own.empty()) {
-      const TaskId id = own.back();  // LIFO: freshest (hot) task
-      own.pop_back();
-      return id;
-    }
-    for (std::size_t off = 1; off < local_ready_.size(); ++off) {
-      auto& victim = local_ready_[(static_cast<std::size_t>(worker_id) + off) %
-                                  local_ready_.size()];
-      if (!victim.empty()) {
-        const TaskId id = victim.front();  // FIFO steal: coldest task
-        victim.pop_front();
-        return id;
-      }
-    }
-    return kNoTask;
-  }
-  if (ready_.empty()) return kNoTask;
-  const TaskId id = ready_.top().second;
-  ready_.pop();
-  return id;
-}
-
-bool TaskGraph::any_ready_locked() const {
-  if (config_.policy == Policy::WorkStealing) {
-    for (const auto& d : local_ready_) {
-      if (!d.empty()) return true;
-    }
-    return false;
-  }
-  return !ready_.empty();
-}
-
-void TaskGraph::run_task(TaskId id, int worker_id,
-                         std::vector<TaskId>* inline_stack) {
-  Task* task = nullptr;
+void TaskGraph::maybe_wake_sleeper() {
+  if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
+  bool wake = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    task = &tasks_[static_cast<std::size_t>(id)];
+    // The worker's whole sleep handshake runs under idle_mu_, so this
+    // cannot interleave with a half-asleep worker.
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    if (idle_wakes_ == 0 && sleepers_.load(std::memory_order_relaxed) > 0) {
+      ++idle_wakes_;
+      wake = true;
+    }
   }
-  const auto t0 = std::chrono::steady_clock::now();
+  if (wake) idle_cv_.notify_one();
+}
+
+void TaskGraph::run_task(TaskId id, int worker_id, bool inline_mode) {
+  Task& task = store_[id];  // lock-free: slot address is stable, id was
+                            // published to us with acquire/release
+  std::chrono::steady_clock::time_point t0;
+  if (config_.record_trace) t0 = std::chrono::steady_clock::now();
   std::exception_ptr error;
   try {
-    task->fn();
+    task.fn();
   } catch (...) {
     // Dependents still run (they may touch unrelated state); the first
     // failure is rethrown from wait(). Matches how a worker must never die.
     error = std::current_exception();
   }
-  const auto t1 = std::chrono::steady_clock::now();
+  if (config_.record_trace) {
+    const auto t1 = std::chrono::steady_clock::now();
+    task.record.worker = worker_id;
+    task.record.start_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t0 - epoch_)
+            .count();
+    task.record.end_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - epoch_)
+            .count();
+  }
+  task.error = error;
+  task.fn = nullptr;  // release captures eagerly
 
+  if (inline_mode) {
+    // Single-threaded: no handshake needed, and nobody can be in wait().
+    task.finished.store(true, std::memory_order_relaxed);
+    completed_.store(completed_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+    return;
+  }
+
+  // Claim the successor list; from here on the submission thread sees
+  // `finished` (release store: pairs with the lock-free registration fast
+  // path) and will not link to us again.
+  std::vector<TaskId> succs;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    task->finished = true;
-    task->error = error;
-    task->fn = nullptr;  // release captures eagerly
-    if (config_.record_trace) {
-      task->record.worker = worker_id;
-      task->record.start_ns =
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t0 - epoch_)
-              .count();
-      task->record.end_ns =
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - epoch_)
-              .count();
-    }
-    for (TaskId s : task->successors) {
-      Task& succ = tasks_[static_cast<std::size_t>(s)];
-      if (--succ.unresolved == 0) {
-        if (inline_stack != nullptr) {
-          inline_stack->push_back(s);
-        } else {
-          // Successors run where their producer finished (locality under
-          // work stealing; irrelevant for the central queue).
-          push_ready_locked(s, worker_id);
-        }
+    std::lock_guard<std::mutex> lock(task.mu);
+    task.finished.store(true, std::memory_order_release);
+    succs.swap(task.successors);
+  }
+
+  // Collect the newly-ready successors, then hand them over in one batch:
+  // one deque lock (they run where their producer finished — locality
+  // under work stealing) or one central-queue lock, and counted wakeups.
+  TaskId newly[64];
+  int n = 0;
+  for (TaskId s : succs) {
+    if (store_[s].unresolved.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      newly[n++] = s;
+      if (n == 64) {
+        dispatch_ready(newly, n, worker_id);
+        n = 0;
       }
     }
-    --unfinished_;
-    if (unfinished_ == 0) done_cv_.notify_all();
   }
-  if (config_.num_threads > 0) ready_cv_.notify_all();
+  dispatch_ready(newly, n, worker_id);
+
+  // seq_cst pairs with wait()'s done_waiting_ store (Dekker): either we see
+  // the waiter's flag, or the waiter sees our count and never blocks. The
+  // increment also release-publishes every write above to wait(). If we are
+  // the last completion overall, the release sequence through completed_
+  // guarantees our acquire load of submitted_ observes its final value.
+  const idx done = completed_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (done_waiting_.load(std::memory_order_seq_cst) &&
+      done == submitted_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done_cv_.notify_all();
+  }
+}
+
+void TaskGraph::drain_inbox(std::vector<TaskId>& scratch) {
+  scratch.clear();
+  std::lock_guard<std::mutex> lock(inbox_mu_);
+  scratch.swap(inbox_);
+}
+
+bool TaskGraph::try_fill_stealing(int worker_id, std::vector<TaskId>& batch,
+                                  std::vector<TaskId>& scratch,
+                                  bool* backlog) {
+  *backlog = false;
+  WorkerDeque& own = *local_ready_[static_cast<std::size_t>(worker_id)];
+  {
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (own.q.empty()) {
+      // Adopt everything the submission thread staged. The inbox is
+      // swapped out in O(1) so the submitter never blocks behind this
+      // merge; later refills — and other workers' steals — drain the
+      // adopted tasks from this deque.
+      drain_inbox(scratch);
+      own.q.insert(own.q.end(), scratch.begin(), scratch.end());
+    }
+    if (!own.q.empty()) {
+      // Take half (at least one, at most kMaxBatch): one lock round-trip
+      // per ~16 tasks in the deep-queue regime, while always leaving the
+      // other half visible to stealers.
+      std::size_t take = own.q.size() / 2;
+      take = std::max<std::size_t>(1, std::min(take, kMaxBatch));
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(own.q.back());  // LIFO: freshest (hot) tasks first
+        own.q.pop_back();
+      }
+      *backlog = !own.q.empty();
+      return true;
+    }
+  }
+  const std::size_t n = local_ready_.size();
+  for (std::size_t off = 1; off < n; ++off) {
+    WorkerDeque& victim =
+        *local_ready_[(static_cast<std::size_t>(worker_id) + off) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.q.empty()) {
+      std::size_t take = victim.q.size() / 2;  // classic steal-half
+      take = std::max<std::size_t>(1, std::min(take, kMaxBatch));
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(victim.q.front());  // FIFO steal: coldest first
+        victim.q.pop_front();
+      }
+      *backlog = !victim.q.empty();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TaskGraph::try_fill_central(std::vector<TaskId>& batch,
+                                 std::vector<TaskId>& scratch, bool* backlog) {
+  *backlog = false;
+  std::lock_guard<std::mutex> lock(central_mu_);
+  // Splice everything the submission thread staged, so every refill
+  // decision sees every task submitted so far — strict priority order is
+  // preserved at batch granularity. The O(1) inbox swap keeps the
+  // submitter from ever blocking behind the heap pushes.
+  drain_inbox(scratch);
+  for (TaskId id : scratch) {
+    ready_[store_[id].opts.priority].push_back(id);
+  }
+  ready_count_ += scratch.size();
+  if (ready_count_ == 0) return false;
+  // Pop a batch in strict priority order. Scaling by queue/threads keeps
+  // the batch at 1 unless the queue is deep relative to the worker pool,
+  // so a late high-priority arrival (the look-ahead panel path) is never
+  // stuck behind more than its fair share of the backlog.
+  std::size_t take =
+      ready_count_ / static_cast<std::size_t>(config_.num_threads);
+  take = std::max<std::size_t>(1, std::min(take, kMaxBatch));
+  for (std::size_t i = 0; i < take; ++i) {
+    auto top = ready_.begin();  // highest-priority bucket
+    batch.push_back(top->second.front());
+    top->second.pop_front();
+    if (top->second.empty()) ready_.erase(top);
+  }
+  ready_count_ -= take;
+  *backlog = ready_count_ > 0;
+  return true;
 }
 
 void TaskGraph::worker_loop(int worker_id) {
+  const bool stealing = config_.policy == Policy::WorkStealing;
+  std::vector<TaskId> scratch;  // recycled inbox-drain buffer
+  auto fill = [&](std::vector<TaskId>& batch, bool* backlog) {
+    return stealing ? try_fill_stealing(worker_id, batch, scratch, backlog)
+                    : try_fill_central(batch, scratch, backlog);
+  };
+  std::vector<TaskId> batch;  // consumed front-to-back
+  batch.reserve(kMaxBatch);
+  std::size_t cursor = 0;
   for (;;) {
-    TaskId id = kNoTask;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      ready_cv_.wait(lock,
-                     [this] { return shutdown_ || any_ready_locked(); });
-      id = pop_ready_locked(worker_id);
-      if (id == kNoTask) {
-        if (shutdown_) return;
-        continue;
+    if (cursor == batch.size()) {
+      batch.clear();
+      cursor = 0;
+      bool backlog = false;
+      bool filled = fill(batch, &backlog);
+      // Back off with yields before the futex sleep: a worker that merely
+      // caught up with the producer hands the CPU over for whole scheduler
+      // slices instead of entering a sleep/wake-preemption cycle that
+      // resumes it after a handful of tasks (pathological when producer
+      // and workers share cores). Persistent idleness still reaches the
+      // condition variable below.
+      for (int spin = 0; spin < 4 && !filled; ++spin) {
+        std::this_thread::yield();
+        filled = fill(batch, &backlog);
       }
+      if (!filled) {
+        std::unique_lock<std::mutex> lock(idle_mu_);
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        // Re-scan while counted as a sleeper: any push this scan misses
+        // is guaranteed to see sleepers_ > 0 and take idle_mu_ to wake us.
+        bool got = fill(batch, &backlog);
+        while (!got && !shutdown_.load(std::memory_order_acquire)) {
+          idle_cv_.wait(lock);
+          if (idle_wakes_ > 0) --idle_wakes_;  // consume our notify
+          got = fill(batch, &backlog);
+        }
+        sleepers_.fetch_sub(1, std::memory_order_relaxed);
+        if (!got) return;  // shutdown and everything drained
+      }
+      // Relay: the source we refilled from still holds work, so re-arm the
+      // next wake before running (ramp-up propagates worker-to-worker).
+      if (backlog) maybe_wake_sleeper();
     }
-    run_task(id, worker_id);
+    run_task(batch[cursor++], worker_id);
   }
 }
 
 void TaskGraph::wait() {
-  std::unique_lock<std::mutex> lock(mu_);
   if (config_.num_threads == 0) {
-    if (unfinished_ != 0) {
+    if (completed_.load(std::memory_order_relaxed) !=
+        submitted_.load(std::memory_order_relaxed)) {
       throw std::logic_error("TaskGraph(inline): unfinished tasks at wait()");
     }
   } else {
-    done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+    // Only the submission thread calls wait(), so submitted_ is this
+    // thread's own final value.
+    const idx target = submitted_.load(std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_waiting_.store(true, std::memory_order_seq_cst);
+    done_cv_.wait(lock, [this, target] {
+      return completed_.load(std::memory_order_seq_cst) == target;
+    });
+    done_waiting_.store(false, std::memory_order_relaxed);
   }
-  for (const Task& t : tasks_) {
-    if (t.error) std::rethrow_exception(t.error);
+  const std::size_t n = store_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (store_[static_cast<TaskId>(i)].error) {
+      std::rethrow_exception(store_[static_cast<TaskId>(i)].error);
+    }
   }
 }
 
 std::vector<TaskRecord> TaskGraph::trace() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  const std::size_t n = store_.size();
   std::vector<TaskRecord> out;
-  out.reserve(tasks_.size());
-  for (const Task& t : tasks_) out.push_back(t.record);
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(store_[static_cast<TaskId>(i)].record);
+  }
   return out;
 }
 
-std::vector<TaskGraph::Edge> TaskGraph::edges() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  return edges_;
-}
+std::vector<TaskGraph::Edge> TaskGraph::edges() const { return edges_; }
 
 }  // namespace camult::rt

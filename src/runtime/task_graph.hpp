@@ -12,16 +12,43 @@
 //    all algorithms in this library). This is the serial record mode used to
 //    measure per-task durations for the simulated-multicore replayer.
 //
+// Concurrency structure (the hot path pop -> run -> resolve -> push touches
+// no global lock):
+//  * Task storage is an append-only two-level block directory written only
+//    by the single submission thread; workers index finished slots without
+//    any lock (publication happens-before via the ready queues).
+//  * Each task carries an atomic `unresolved` predecessor count. Submission
+//    holds a +1 sentinel while it registers dependencies so a racing
+//    completion cannot fire the task early; the last decrement (sentinel
+//    release or predecessor completion, whichever is later) makes it ready.
+//  * A small per-task mutex guards only {finished, successors} — the
+//    registration/completion handshake on one edge.
+//  * The submission thread stages ready tasks in an inbox under its own
+//    small lock; workers splice the inbox in bulk during batched refills,
+//    so producer and consumers never contend on the same hot lock.
+//  * Policy::CentralPriority keeps one priority queue under its own mutex,
+//    touched only by workers; Policy::WorkStealing keeps per-worker deques,
+//    each under its own small mutex (LIFO self-pop, FIFO steal).
+//  * Wakeups are relayed, not broadcast: a push notifies one sleeper only
+//    when no notify is already in flight, and the woken worker re-arms the
+//    next wake if its refill leaves a backlog — a burst of pushes costs one
+//    futex wake, and the common all-busy case costs none.
+//
 // After wait(), the executed trace and the dependency edges can be exported.
+// trace()/edges() are valid after wait() returns; submit() must be called
+// from a single submission thread.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
-#include <exception>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -72,7 +99,9 @@ class TaskGraph {
 
   int num_threads() const { return config_.num_threads; }
 
-  /// Executed tasks, sorted by id. Valid after wait().
+  /// Executed tasks, sorted by id. Valid after wait(). Records are only
+  /// filled in when Config::record_trace is set; otherwise they are
+  /// default-constructed placeholders.
   std::vector<TaskRecord> trace() const;
 
   /// All dependency edges actually registered. Valid after wait().
@@ -82,42 +111,138 @@ class TaskGraph {
   struct Task {
     std::function<void()> fn;
     TaskOptions opts;
-    int unresolved = 0;
-    bool finished = false;
+    /// Unfinished-predecessor count, +1 submission sentinel while deps are
+    /// being registered. The fetch_sub that reaches 0 owns the push-ready.
+    std::atomic<int> unresolved{0};
+    /// mu guards {finished, successors}: the only state shared between the
+    /// submission thread (registering an edge) and a completing worker
+    /// (claiming the successor list). `finished` is additionally readable
+    /// lock-free (load-acquire) as a registration fast path: once true, the
+    /// successor list is sealed and no edge needs registering.
+    std::mutex mu;
+    std::atomic<bool> finished{false};
     std::vector<TaskId> successors;
     TaskRecord record;
     std::exception_ptr error;
   };
 
-  // Max-heap entry: higher priority first, lower id breaks ties (FIFO-ish,
-  // and deterministic).
-  struct ReadyOrder {
-    bool operator()(const std::pair<int, TaskId>& a,
-                    const std::pair<int, TaskId>& b) const {
-      if (a.first != b.first) return a.first < b.first;
-      return a.second > b.second;
+  /// Append-only task arena: a fixed directory of lazily-allocated blocks.
+  /// Slot addresses are stable forever, so workers can dereference a TaskId
+  /// published to them (via a ready queue) without any lock — unlike
+  /// std::deque, whose push_back mutates internal structures that
+  /// operator[] traverses.
+  class TaskStore {
+   public:
+    static constexpr std::size_t kBlockBits = 12;  // 4096 tasks per block
+    static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockBits;
+    static constexpr std::size_t kMaxBlocks = std::size_t{1} << 14;  // ~67M
+
+    TaskStore();
+    ~TaskStore();
+    TaskStore(const TaskStore&) = delete;
+    TaskStore& operator=(const TaskStore&) = delete;
+
+    /// Single producer. The returned slot is default-constructed; the caller
+    /// fills it and only then publishes the id to other threads.
+    Task& append();
+
+    Task& operator[](TaskId id) {
+      const auto i = static_cast<std::size_t>(id);
+      return blocks_[i >> kBlockBits].load(std::memory_order_acquire)
+          [i & (kBlockSize - 1)];
     }
+    const Task& operator[](TaskId id) const {
+      const auto i = static_cast<std::size_t>(id);
+      return blocks_[i >> kBlockBits].load(std::memory_order_acquire)
+          [i & (kBlockSize - 1)];
+    }
+
+    std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+   private:
+    std::unique_ptr<std::atomic<Task*>[]> blocks_;
+    std::atomic<std::size_t> size_{0};
+  };
+
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<TaskId> q;
   };
 
   void worker_loop(int worker_id);
-  void run_task(TaskId id, int worker_id,
-                std::vector<TaskId>* inline_stack = nullptr);
-  void push_ready_locked(TaskId id, int worker_hint);
-  TaskId pop_ready_locked(int worker_id);
-  bool any_ready_locked() const;
+  void run_task(TaskId id, int worker_id, bool inline_mode = false);
+  /// Hand `ready` (which just hit unresolved == 0) to the scheduler and
+  /// issue at most one (relay) wake. `worker_hint < 0` means "called from
+  /// the submission thread": the tasks are staged in the inbox so the
+  /// submitter never contends on the worker-side queue locks.
+  void dispatch_ready(const TaskId* ready, int n, int worker_hint);
+  /// Issue a single relay wake to a sleeping worker if none is in flight.
+  void maybe_wake_sleeper();
+  /// Refill `batch` for `worker_id` (LIFO own deque — adopting the staged
+  /// inbox when the deque is empty — then FIFO steal), taking up to half
+  /// the source deque (max kMaxBatch) under one lock. Consume
+  /// front-to-back. `*backlog` is set when the source still holds work
+  /// (relay-wake signal). Returns false if everything was empty.
+  bool try_fill_stealing(int worker_id, std::vector<TaskId>& batch,
+                         std::vector<TaskId>& scratch, bool* backlog);
+  /// Same, for CentralPriority: splice the inbox into the heap, then pop a
+  /// batch in strict priority order.
+  bool try_fill_central(std::vector<TaskId>& batch,
+                        std::vector<TaskId>& scratch, bool* backlog);
+  /// O(1) inbox drain: swap its contents into `scratch` (a worker-owned
+  /// buffer that recycles its capacity), so inbox_mu_ is never held for a
+  /// bulk copy and the submission thread cannot block behind a splice.
+  void drain_inbox(std::vector<TaskId>& scratch);
+
+  /// Workers pop ready tasks in batches to amortize queue locks. Half-take
+  /// (stealing) and queue/threads scaling (central) keep batches at 1 when
+  /// queues are short, so steal balance and strict priority order degrade
+  /// only in the overhead-bound regime where the queue is deep anyway.
+  static constexpr std::size_t kMaxBatch = 16;
 
   Config config_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_cv_;
+  TaskStore store_;
+  /// Tasks submitted / completed. Monotonic; submitted_ is written (plain
+  /// release stores) by the submission thread only. wait() blocks until
+  /// they agree (Dekker pair with done_waiting_).
+  std::atomic<idx> submitted_{0};
+  std::atomic<idx> completed_{0};
+  std::atomic<bool> shutdown_{false};
+
+  // --- Submission-side staging, shared by both policies. The submitter
+  // appends ready task ids here under a lock nobody holds for long; worker
+  // refills splice it in bulk into the policy's own structures.
+  std::mutex inbox_mu_;
+  std::vector<TaskId> inbox_;
+
+  // --- Policy::CentralPriority state, touched by workers only. Priority
+  // buckets instead of one heap: DAG priorities cluster into a few bands
+  // (the look-ahead scheme produces O(n_panels) distinct values live at
+  // once), so push/pop are O(1) ring operations plus a lookup in a map
+  // whose hot node stays cached — a 100k-deep heap pays an O(log n)
+  // cache-missing sift per pop instead. Pop order: highest priority bucket
+  // first, FIFO (submission order) within a bucket.
+  std::mutex central_mu_;
+  std::map<int, std::deque<TaskId>, std::greater<int>>
+      ready_;                  ///< guarded by central_mu_
+  std::size_t ready_count_ = 0;  ///< total tasks across buckets, ditto
+
+  // --- Policy::WorkStealing state (one small lock per deque).
+  std::vector<std::unique_ptr<WorkerDeque>> local_ready_;
+
+  // --- Sleep/wake handshake, shared by both policies.
+  std::mutex idle_mu_;             ///< serializes the sleep/wake handshake
+  std::condition_variable idle_cv_;
+  std::atomic<int> sleepers_{0};   ///< workers inside the idle_mu_ section
+  int idle_wakes_ = 0;             ///< in-flight notifies, guarded by idle_mu_
+
+  // --- Completion signalling for wait().
+  std::mutex done_mu_;
   std::condition_variable done_cv_;
-  std::deque<Task> tasks_;
-  std::priority_queue<std::pair<int, TaskId>, std::vector<std::pair<int, TaskId>>,
-                      ReadyOrder>
-      ready_;
-  std::vector<std::deque<TaskId>> local_ready_;  ///< WorkStealing deques
-  std::vector<Edge> edges_;
-  idx unfinished_ = 0;
-  bool shutdown_ = false;
+  std::atomic<bool> done_waiting_{false};  ///< wait() is blocked (Dekker pair
+                                           ///< with unfinished_)
+
+  std::vector<Edge> edges_;  ///< submission thread only; read after wait()
   std::vector<std::thread> workers_;
   std::chrono::steady_clock::time_point epoch_;
 };

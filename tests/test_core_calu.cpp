@@ -10,6 +10,7 @@
 #include "common/test_utils.hpp"
 #include "blas/blas.hpp"
 #include "core/calu.hpp"
+#include "core/lookahead.hpp"
 #include "core/tslu.hpp"
 #include "lapack/lapack.hpp"
 #include "matrix/norms.hpp"
@@ -220,6 +221,61 @@ TEST(Calu, LookaheadPrioritizesNextPanelPath) {
   ASSERT_GE(prio_next, 0);
   ASSERT_GE(prio_other, 0);
   EXPECT_GT(prio_next, prio_other);
+}
+
+TEST(Calu, LookaheadPriorityBandsDisjointAndOrderedAtScale) {
+  // Regression for the fixed-constant scheme `1000000 - (k*1000 + (j-k))`,
+  // which went negative (scrambling band order) once k*1000 + (j-k)
+  // exceeded 1e6 — reachable within the paper's tall-skinny regime (e.g.
+  // m = 1e6, b = 100 gives 1e4 panels) — and collided between different
+  // (k, j) pairs once j - k >= 1000. The rescaled bands must stay positive,
+  // disjoint, and correctly ordered for ANY problem size.
+  for (const auto [n_panels, n_blocks] : {std::pair<idx, idx>{4, 8},
+                                          {100, 100},
+                                          {20000, 4},    // old overflow regime
+                                          {3, 4000}}) {  // old collision regime
+    const LookaheadPriorities prio{n_panels, n_blocks, true};
+    const idx k_probe[] = {0, n_panels / 2, n_panels - 1};
+    for (idx k : k_probe) {
+      // Top band: the panel path outranks everything, P above L, and both
+      // decrease with k (earlier iterations are more urgent).
+      EXPECT_GT(prio.panel(k), 0);
+      EXPECT_EQ(prio.lfactor(k), prio.panel(k) - 1);
+      if (k > 0) EXPECT_LT(prio.panel(k), prio.panel(k - 1));
+      EXPECT_GT(prio.lfactor(k), prio.ufactor(k, k + 1));
+
+      // Mid band: the look-ahead column k+1 outranks every trailing column
+      // of the same iteration.
+      if (k + 2 < n_blocks) {
+        EXPECT_GT(prio.update(k, k + 1), prio.ufactor(k, k + 2));
+        EXPECT_EQ(prio.update(k, k + 2), prio.ufactor(k, k + 2) - 1);
+      }
+
+      // Low band: strictly positive, each column's U above its S, ordered
+      // by column within the iteration.
+      const idx j0 = k + 2;
+      if (j0 < n_blocks) {
+        EXPECT_GT(prio.update(k, n_blocks - 1), 0);
+        EXPECT_GT(prio.ufactor(k, j0), prio.update(k, j0));
+        if (j0 + 1 < n_blocks) {
+          EXPECT_GT(prio.update(k, j0), prio.ufactor(k, j0 + 1));
+        }
+      }
+    }
+    // No collision between distinct iterations' trailing cells (the old
+    // scheme collided once j - k >= 1000).
+    if (n_panels >= 2 && n_blocks >= 4) {
+      EXPECT_NE(prio.ufactor(0, 3), prio.ufactor(1, 3));
+      EXPECT_GT(prio.ufactor(0, 3), prio.ufactor(1, 3) - 1);
+    }
+  }
+
+  // lookahead = false degenerates every priority to 0 (FIFO scheduling).
+  const LookaheadPriorities flat{16, 16, false};
+  EXPECT_EQ(flat.panel(3), 0);
+  EXPECT_EQ(flat.lfactor(3), 0);
+  EXPECT_EQ(flat.ufactor(3, 5), 0);
+  EXPECT_EQ(flat.update(3, 5), 0);
 }
 
 TEST(Calu, MatchesSequentialTsluFactorsOnOnePanel) {

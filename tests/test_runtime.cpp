@@ -85,6 +85,37 @@ TEST(TaskGraph, InlineModeExecutesEagerly) {
   EXPECT_EQ(x, 3);
 }
 
+TEST(TaskGraph, InlineModeNonTopologicalSubmitThrowsBeforeMutating) {
+  // Inline mode requires topological submission order. The only way to
+  // violate it is submitting from inside a running task (the task itself
+  // is not finished yet). The rejection must happen BEFORE any state is
+  // mutated: no phantom task, no stray edges, and the graph stays usable.
+  TaskGraph g({0, true});
+  bool threw = false;
+  TaskId self = kNoTask;
+  g.submit({}, {}, [&] {
+    // `self` is assigned after submit() returns, so depend on the id this
+    // task is about to get: store_.size() at submission time, i.e. 0.
+    try {
+      g.submit({static_cast<TaskId>(0)}, {}, [] {});
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  (void)self;
+  EXPECT_TRUE(threw);
+  // The rejected submission left nothing behind...
+  EXPECT_EQ(g.trace().size(), 1u);
+  EXPECT_TRUE(g.edges().empty());
+  // ...and the graph still works: wait() succeeds and new submissions run.
+  EXPECT_NO_THROW(g.wait());
+  int after = 0;
+  g.submit({}, {}, [&] { after = 1; });
+  g.wait();
+  EXPECT_EQ(after, 1);
+  EXPECT_EQ(g.trace().size(), 2u);
+}
+
 TEST(TaskGraph, InlineModeLongChainNoStackOverflow) {
   TaskGraph g({0, false});
   int counter = 0;

@@ -1,0 +1,203 @@
+// Scheduler stress tests: thousands of tiny tasks through randomized DAGs
+// with submission racing execution, across both policies and 1–8 worker
+// threads. Asserts the core scheduler contract: every task runs exactly
+// once, dependency edges are respected (a predecessor's end never follows
+// its successor's start in the recorded trace), exceptions drain the graph
+// and rethrow from wait(), and the graph object can be destroyed cleanly
+// right after wait().
+//
+// This file is the primary ThreadSanitizer target (tools/run_tsan.sh): the
+// random DAGs exercise every publication path — inbox staging, deque
+// self-pop and steal, central priority buckets, the registration/completion
+// handshake, and the sleep/wake relay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/task_graph.hpp"
+
+namespace camult::rt {
+namespace {
+
+struct StressParam {
+  int threads;
+  TaskGraph::Policy policy;
+};
+
+std::string param_name(const testing::TestParamInfo<StressParam>& info) {
+  const char* policy = info.param.policy == TaskGraph::Policy::CentralPriority
+                           ? "Central"
+                           : "Stealing";
+  return std::string(policy) + std::to_string(info.param.threads) + "T";
+}
+
+class SchedulerStress : public testing::TestWithParam<StressParam> {};
+
+// Every task runs exactly once, with up to 4 random backward dependencies
+// (some already finished by submission time, racing the workers) and random
+// priorities. Submission deliberately overlaps execution: no barriers.
+TEST_P(SchedulerStress, RandomDagRunsEveryTaskExactlyOnce) {
+  const auto [threads, policy] = GetParam();
+  const int n_tasks = 4000;
+  std::mt19937 rng(12345u + static_cast<unsigned>(threads));
+  std::uniform_int_distribution<int> n_deps_dist(0, 4);
+  std::uniform_int_distribution<int> prio_dist(-100, 100);
+
+  std::vector<std::atomic<int>> runs(n_tasks);
+  for (auto& r : runs) r.store(0, std::memory_order_relaxed);
+
+  {
+    TaskGraph g({threads, false, policy});
+    std::vector<TaskId> ids;
+    ids.reserve(n_tasks);
+    for (int i = 0; i < n_tasks; ++i) {
+      std::vector<TaskId> deps;
+      if (i > 0) {
+        std::uniform_int_distribution<int> pick(0, i - 1);
+        for (int d = n_deps_dist(rng); d > 0; --d) {
+          deps.push_back(ids[static_cast<std::size_t>(pick(rng))]);
+        }
+      }
+      TaskOptions opts;
+      opts.priority = prio_dist(rng);
+      const int self = i;
+      ids.push_back(g.submit(deps, opts, [&runs, self] {
+        runs[static_cast<std::size_t>(self)].fetch_add(
+            1, std::memory_order_relaxed);
+      }));
+    }
+    g.wait();
+    for (int i = 0; i < n_tasks; ++i) {
+      ASSERT_EQ(runs[static_cast<std::size_t>(i)].load(), 1)
+          << "task " << i << " did not run exactly once";
+    }
+  }  // destructor joins workers with no pending work
+}
+
+// With tracing on, every registered edge must be witnessed by the recorded
+// timestamps: the predecessor ends before (or when) the successor starts.
+TEST_P(SchedulerStress, TraceRespectsEveryEdge) {
+  const auto [threads, policy] = GetParam();
+  const int n_tasks = 2000;
+  std::mt19937 rng(777u + static_cast<unsigned>(threads));
+  std::uniform_int_distribution<int> n_deps_dist(0, 3);
+  std::uniform_int_distribution<int> prio_dist(0, 10);
+
+  TaskGraph g({threads, true, policy});
+  std::vector<TaskId> ids;
+  ids.reserve(n_tasks);
+  std::atomic<std::uint64_t> sink{0};
+  for (int i = 0; i < n_tasks; ++i) {
+    std::vector<TaskId> deps;
+    if (i > 0) {
+      std::uniform_int_distribution<int> pick(0, i - 1);
+      for (int d = n_deps_dist(rng); d > 0; --d) {
+        deps.push_back(ids[static_cast<std::size_t>(pick(rng))]);
+      }
+    }
+    TaskOptions opts;
+    opts.priority = prio_dist(rng);
+    ids.push_back(g.submit(deps, opts, [&sink] {
+      sink.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  g.wait();
+
+  const auto trace = g.trace();
+  ASSERT_EQ(trace.size(), static_cast<std::size_t>(n_tasks));
+  for (int i = 0; i < n_tasks; ++i) {
+    EXPECT_EQ(trace[static_cast<std::size_t>(i)].id, ids[static_cast<std::size_t>(i)]);
+  }
+  const auto edges = g.edges();
+  EXPECT_FALSE(edges.empty());
+  for (const auto& e : edges) {
+    const auto& pred = trace[static_cast<std::size_t>(e.from)];
+    const auto& succ = trace[static_cast<std::size_t>(e.to)];
+    ASSERT_LE(pred.end_ns, succ.start_ns)
+        << "edge " << e.from << " -> " << e.to
+        << " violated: pred ran [" << pred.start_ns << ", " << pred.end_ns
+        << "], succ ran [" << succ.start_ns << ", " << succ.end_ns << "]";
+  }
+}
+
+// Deep chains interleaved with wide fans: completion-side dispatch (chains)
+// races submission-side dispatch (fans) on the same ready structures.
+TEST_P(SchedulerStress, ChainsInterleavedWithFans) {
+  const auto [threads, policy] = GetParam();
+  const int n_chains = 8;
+  const int chain_len = 250;
+  TaskGraph g({threads, false, policy});
+  std::vector<std::atomic<int>> progress(n_chains);
+  for (auto& p : progress) p.store(0, std::memory_order_relaxed);
+  std::atomic<int> fan_runs{0};
+
+  std::vector<TaskId> tail(n_chains, kNoTask);
+  for (int step = 0; step < chain_len; ++step) {
+    for (int c = 0; c < n_chains; ++c) {
+      std::vector<TaskId> deps;
+      if (tail[static_cast<std::size_t>(c)] != kNoTask) {
+        deps.push_back(tail[static_cast<std::size_t>(c)]);
+      }
+      const int chain = c;
+      const int expect = step;
+      tail[static_cast<std::size_t>(c)] =
+          g.submit(deps, {}, [&progress, chain, expect] {
+            // Chains must advance strictly in order.
+            auto& p = progress[static_cast<std::size_t>(chain)];
+            int seen = p.load(std::memory_order_relaxed);
+            if (seen == expect) p.store(seen + 1, std::memory_order_relaxed);
+          });
+    }
+    // A few independent fan tasks per step keep the queues churning.
+    for (int f = 0; f < 2; ++f) {
+      g.submit({}, {}, [&fan_runs] {
+        fan_runs.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }
+  g.wait();
+  for (int c = 0; c < n_chains; ++c) {
+    EXPECT_EQ(progress[static_cast<std::size_t>(c)].load(), chain_len)
+        << "chain " << c << " lost a step";
+  }
+  EXPECT_EQ(fan_runs.load(), chain_len * 2);
+}
+
+// A throwing task must not kill its worker: the rest of the graph drains,
+// and wait() rethrows the first failure by task id.
+TEST_P(SchedulerStress, ExceptionsDrainAndRethrow) {
+  const auto [threads, policy] = GetParam();
+  const int n_tasks = 1000;
+  TaskGraph g({threads, false, policy});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < n_tasks; ++i) {
+    g.submit({}, {}, [&ran, i] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i % 100 == 7) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(g.wait(), std::runtime_error);
+  // Every task still ran, including the ones after the failures.
+  EXPECT_EQ(ran.load(), n_tasks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SchedulerStress,
+    testing::Values(StressParam{1, TaskGraph::Policy::CentralPriority},
+                    StressParam{2, TaskGraph::Policy::CentralPriority},
+                    StressParam{4, TaskGraph::Policy::CentralPriority},
+                    StressParam{8, TaskGraph::Policy::CentralPriority},
+                    StressParam{1, TaskGraph::Policy::WorkStealing},
+                    StressParam{2, TaskGraph::Policy::WorkStealing},
+                    StressParam{4, TaskGraph::Policy::WorkStealing},
+                    StressParam{8, TaskGraph::Policy::WorkStealing}),
+    param_name);
+
+}  // namespace
+}  // namespace camult::rt

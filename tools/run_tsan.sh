@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Build the runtime tests under ThreadSanitizer and run the scheduler's
+# concurrency surface: test_runtime (API + wakeup paths) and
+# test_scheduler_stress (randomized DAGs, submission racing execution,
+# both policies, 1-8 threads). Any reported race fails the run.
+#
+# Usage: tools/run_tsan.sh [build-dir]        (default: build-tsan)
+# Run with CAMULT_SANITIZE=address instead via: SAN=address tools/run_tsan.sh
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+san=${SAN:-thread}
+build_dir=${1:-"$repo_root/build-$san"}
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCAMULT_SANITIZE="$san" \
+  -DCAMULT_NATIVE_ARCH=OFF \
+  -DCAMULT_BUILD_BENCH=OFF \
+  -DCAMULT_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" -j --target test_runtime test_scheduler_stress
+
+if [ "$san" = thread ]; then
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
+else
+  export ASAN_OPTIONS="detect_leaks=1${ASAN_OPTIONS:+ $ASAN_OPTIONS}"
+fi
+
+"$build_dir/tests/test_runtime"
+"$build_dir/tests/test_scheduler_stress"
+echo "[$san sanitizer] all scheduler tests passed"
