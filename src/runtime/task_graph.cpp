@@ -152,9 +152,12 @@ TaskId TaskGraph::submit(const std::vector<TaskId>& deps, TaskOptions opts,
   }
 
   // Drop the sentinel; whoever reaches zero (us, or a completing worker
-  // that beat us to the last dependency) schedules the task. When nothing
-  // was registered nobody else can touch the counter, so skip the RMW.
-  if (task.unresolved.load(std::memory_order_relaxed) == 1 ||
+  // that beat us to the last dependency) schedules the task. Reading 1 here
+  // does NOT mean the counter is untouched: a completer's fetch_sub may
+  // have just brought it 2 -> 1, so the load must be acquire — it reads the
+  // value written by that release RMW and synchronizes with it, making the
+  // dep's side effects visible before we dispatch the successor.
+  if (task.unresolved.load(std::memory_order_acquire) == 1 ||
       task.unresolved.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     dispatch_ready(&id, 1, /*worker_hint=*/-1);
   }

