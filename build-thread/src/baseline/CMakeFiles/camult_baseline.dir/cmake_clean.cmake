@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camult_baseline.dir/blocked.cpp.o"
+  "CMakeFiles/camult_baseline.dir/blocked.cpp.o.d"
+  "libcamult_baseline.a"
+  "libcamult_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camult_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_support/runner.cpp" "src/bench_support/CMakeFiles/camult_benchsupport.dir/runner.cpp.o" "gcc" "src/bench_support/CMakeFiles/camult_benchsupport.dir/runner.cpp.o.d"
+  "/root/repo/src/bench_support/table.cpp" "src/bench_support/CMakeFiles/camult_benchsupport.dir/table.cpp.o" "gcc" "src/bench_support/CMakeFiles/camult_benchsupport.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread/src/sim/CMakeFiles/camult_sim.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/runtime/CMakeFiles/camult_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/matrix/CMakeFiles/camult_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camult_benchsupport.dir/runner.cpp.o"
+  "CMakeFiles/camult_benchsupport.dir/runner.cpp.o.d"
+  "CMakeFiles/camult_benchsupport.dir/table.cpp.o"
+  "CMakeFiles/camult_benchsupport.dir/table.cpp.o.d"
+  "libcamult_benchsupport.a"
+  "libcamult_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camult_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for camult_benchsupport.
+# This may be replaced when dependencies are built.

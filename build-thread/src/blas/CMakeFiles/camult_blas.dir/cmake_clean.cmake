@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camult_blas.dir/gemm.cpp.o"
+  "CMakeFiles/camult_blas.dir/gemm.cpp.o.d"
+  "CMakeFiles/camult_blas.dir/level1.cpp.o"
+  "CMakeFiles/camult_blas.dir/level1.cpp.o.d"
+  "CMakeFiles/camult_blas.dir/level2.cpp.o"
+  "CMakeFiles/camult_blas.dir/level2.cpp.o.d"
+  "CMakeFiles/camult_blas.dir/syrk.cpp.o"
+  "CMakeFiles/camult_blas.dir/syrk.cpp.o.d"
+  "CMakeFiles/camult_blas.dir/trmm.cpp.o"
+  "CMakeFiles/camult_blas.dir/trmm.cpp.o.d"
+  "CMakeFiles/camult_blas.dir/trsm.cpp.o"
+  "CMakeFiles/camult_blas.dir/trsm.cpp.o.d"
+  "libcamult_blas.a"
+  "libcamult_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camult_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcamult_blas.a"
+)

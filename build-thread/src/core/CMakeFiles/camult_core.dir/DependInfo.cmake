@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calu.cpp" "src/core/CMakeFiles/camult_core.dir/calu.cpp.o" "gcc" "src/core/CMakeFiles/camult_core.dir/calu.cpp.o.d"
+  "/root/repo/src/core/caqr.cpp" "src/core/CMakeFiles/camult_core.dir/caqr.cpp.o" "gcc" "src/core/CMakeFiles/camult_core.dir/caqr.cpp.o.d"
+  "/root/repo/src/core/drivers.cpp" "src/core/CMakeFiles/camult_core.dir/drivers.cpp.o" "gcc" "src/core/CMakeFiles/camult_core.dir/drivers.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/camult_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/camult_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/tournament.cpp" "src/core/CMakeFiles/camult_core.dir/tournament.cpp.o" "gcc" "src/core/CMakeFiles/camult_core.dir/tournament.cpp.o.d"
+  "/root/repo/src/core/tpqrt.cpp" "src/core/CMakeFiles/camult_core.dir/tpqrt.cpp.o" "gcc" "src/core/CMakeFiles/camult_core.dir/tpqrt.cpp.o.d"
+  "/root/repo/src/core/tslu.cpp" "src/core/CMakeFiles/camult_core.dir/tslu.cpp.o" "gcc" "src/core/CMakeFiles/camult_core.dir/tslu.cpp.o.d"
+  "/root/repo/src/core/tsqr.cpp" "src/core/CMakeFiles/camult_core.dir/tsqr.cpp.o" "gcc" "src/core/CMakeFiles/camult_core.dir/tsqr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread/src/lapack/CMakeFiles/camult_lapack.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/blas/CMakeFiles/camult_blas.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/matrix/CMakeFiles/camult_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/runtime/CMakeFiles/camult_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

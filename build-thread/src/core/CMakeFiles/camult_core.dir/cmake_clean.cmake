@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camult_core.dir/calu.cpp.o"
+  "CMakeFiles/camult_core.dir/calu.cpp.o.d"
+  "CMakeFiles/camult_core.dir/caqr.cpp.o"
+  "CMakeFiles/camult_core.dir/caqr.cpp.o.d"
+  "CMakeFiles/camult_core.dir/drivers.cpp.o"
+  "CMakeFiles/camult_core.dir/drivers.cpp.o.d"
+  "CMakeFiles/camult_core.dir/partition.cpp.o"
+  "CMakeFiles/camult_core.dir/partition.cpp.o.d"
+  "CMakeFiles/camult_core.dir/tournament.cpp.o"
+  "CMakeFiles/camult_core.dir/tournament.cpp.o.d"
+  "CMakeFiles/camult_core.dir/tpqrt.cpp.o"
+  "CMakeFiles/camult_core.dir/tpqrt.cpp.o.d"
+  "CMakeFiles/camult_core.dir/tslu.cpp.o"
+  "CMakeFiles/camult_core.dir/tslu.cpp.o.d"
+  "CMakeFiles/camult_core.dir/tsqr.cpp.o"
+  "CMakeFiles/camult_core.dir/tsqr.cpp.o.d"
+  "libcamult_core.a"
+  "libcamult_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camult_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

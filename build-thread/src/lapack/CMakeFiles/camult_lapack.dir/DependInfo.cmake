@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lapack/geqrf.cpp" "src/lapack/CMakeFiles/camult_lapack.dir/geqrf.cpp.o" "gcc" "src/lapack/CMakeFiles/camult_lapack.dir/geqrf.cpp.o.d"
+  "/root/repo/src/lapack/getf2.cpp" "src/lapack/CMakeFiles/camult_lapack.dir/getf2.cpp.o" "gcc" "src/lapack/CMakeFiles/camult_lapack.dir/getf2.cpp.o.d"
+  "/root/repo/src/lapack/getrf.cpp" "src/lapack/CMakeFiles/camult_lapack.dir/getrf.cpp.o" "gcc" "src/lapack/CMakeFiles/camult_lapack.dir/getrf.cpp.o.d"
+  "/root/repo/src/lapack/getri.cpp" "src/lapack/CMakeFiles/camult_lapack.dir/getri.cpp.o" "gcc" "src/lapack/CMakeFiles/camult_lapack.dir/getri.cpp.o.d"
+  "/root/repo/src/lapack/householder.cpp" "src/lapack/CMakeFiles/camult_lapack.dir/householder.cpp.o" "gcc" "src/lapack/CMakeFiles/camult_lapack.dir/householder.cpp.o.d"
+  "/root/repo/src/lapack/laswp.cpp" "src/lapack/CMakeFiles/camult_lapack.dir/laswp.cpp.o" "gcc" "src/lapack/CMakeFiles/camult_lapack.dir/laswp.cpp.o.d"
+  "/root/repo/src/lapack/orgqr.cpp" "src/lapack/CMakeFiles/camult_lapack.dir/orgqr.cpp.o" "gcc" "src/lapack/CMakeFiles/camult_lapack.dir/orgqr.cpp.o.d"
+  "/root/repo/src/lapack/potrf.cpp" "src/lapack/CMakeFiles/camult_lapack.dir/potrf.cpp.o" "gcc" "src/lapack/CMakeFiles/camult_lapack.dir/potrf.cpp.o.d"
+  "/root/repo/src/lapack/solve.cpp" "src/lapack/CMakeFiles/camult_lapack.dir/solve.cpp.o" "gcc" "src/lapack/CMakeFiles/camult_lapack.dir/solve.cpp.o.d"
+  "/root/repo/src/lapack/verify.cpp" "src/lapack/CMakeFiles/camult_lapack.dir/verify.cpp.o" "gcc" "src/lapack/CMakeFiles/camult_lapack.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread/src/blas/CMakeFiles/camult_blas.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/matrix/CMakeFiles/camult_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

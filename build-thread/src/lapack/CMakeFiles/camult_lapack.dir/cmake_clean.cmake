@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camult_lapack.dir/geqrf.cpp.o"
+  "CMakeFiles/camult_lapack.dir/geqrf.cpp.o.d"
+  "CMakeFiles/camult_lapack.dir/getf2.cpp.o"
+  "CMakeFiles/camult_lapack.dir/getf2.cpp.o.d"
+  "CMakeFiles/camult_lapack.dir/getrf.cpp.o"
+  "CMakeFiles/camult_lapack.dir/getrf.cpp.o.d"
+  "CMakeFiles/camult_lapack.dir/getri.cpp.o"
+  "CMakeFiles/camult_lapack.dir/getri.cpp.o.d"
+  "CMakeFiles/camult_lapack.dir/householder.cpp.o"
+  "CMakeFiles/camult_lapack.dir/householder.cpp.o.d"
+  "CMakeFiles/camult_lapack.dir/laswp.cpp.o"
+  "CMakeFiles/camult_lapack.dir/laswp.cpp.o.d"
+  "CMakeFiles/camult_lapack.dir/orgqr.cpp.o"
+  "CMakeFiles/camult_lapack.dir/orgqr.cpp.o.d"
+  "CMakeFiles/camult_lapack.dir/potrf.cpp.o"
+  "CMakeFiles/camult_lapack.dir/potrf.cpp.o.d"
+  "CMakeFiles/camult_lapack.dir/solve.cpp.o"
+  "CMakeFiles/camult_lapack.dir/solve.cpp.o.d"
+  "CMakeFiles/camult_lapack.dir/verify.cpp.o"
+  "CMakeFiles/camult_lapack.dir/verify.cpp.o.d"
+  "libcamult_lapack.a"
+  "libcamult_lapack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camult_lapack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

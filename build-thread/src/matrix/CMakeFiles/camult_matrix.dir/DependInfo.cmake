@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/io.cpp" "src/matrix/CMakeFiles/camult_matrix.dir/io.cpp.o" "gcc" "src/matrix/CMakeFiles/camult_matrix.dir/io.cpp.o.d"
+  "/root/repo/src/matrix/matrix.cpp" "src/matrix/CMakeFiles/camult_matrix.dir/matrix.cpp.o" "gcc" "src/matrix/CMakeFiles/camult_matrix.dir/matrix.cpp.o.d"
+  "/root/repo/src/matrix/norms.cpp" "src/matrix/CMakeFiles/camult_matrix.dir/norms.cpp.o" "gcc" "src/matrix/CMakeFiles/camult_matrix.dir/norms.cpp.o.d"
+  "/root/repo/src/matrix/permutation.cpp" "src/matrix/CMakeFiles/camult_matrix.dir/permutation.cpp.o" "gcc" "src/matrix/CMakeFiles/camult_matrix.dir/permutation.cpp.o.d"
+  "/root/repo/src/matrix/random.cpp" "src/matrix/CMakeFiles/camult_matrix.dir/random.cpp.o" "gcc" "src/matrix/CMakeFiles/camult_matrix.dir/random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camult_matrix.dir/io.cpp.o"
+  "CMakeFiles/camult_matrix.dir/io.cpp.o.d"
+  "CMakeFiles/camult_matrix.dir/matrix.cpp.o"
+  "CMakeFiles/camult_matrix.dir/matrix.cpp.o.d"
+  "CMakeFiles/camult_matrix.dir/norms.cpp.o"
+  "CMakeFiles/camult_matrix.dir/norms.cpp.o.d"
+  "CMakeFiles/camult_matrix.dir/permutation.cpp.o"
+  "CMakeFiles/camult_matrix.dir/permutation.cpp.o.d"
+  "CMakeFiles/camult_matrix.dir/random.cpp.o"
+  "CMakeFiles/camult_matrix.dir/random.cpp.o.d"
+  "libcamult_matrix.a"
+  "libcamult_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camult_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

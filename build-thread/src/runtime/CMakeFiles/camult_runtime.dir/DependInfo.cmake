@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/dep_tracker.cpp" "src/runtime/CMakeFiles/camult_runtime.dir/dep_tracker.cpp.o" "gcc" "src/runtime/CMakeFiles/camult_runtime.dir/dep_tracker.cpp.o.d"
+  "/root/repo/src/runtime/task_graph.cpp" "src/runtime/CMakeFiles/camult_runtime.dir/task_graph.cpp.o" "gcc" "src/runtime/CMakeFiles/camult_runtime.dir/task_graph.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/runtime/CMakeFiles/camult_runtime.dir/trace.cpp.o" "gcc" "src/runtime/CMakeFiles/camult_runtime.dir/trace.cpp.o.d"
+  "/root/repo/src/runtime/trace_io.cpp" "src/runtime/CMakeFiles/camult_runtime.dir/trace_io.cpp.o" "gcc" "src/runtime/CMakeFiles/camult_runtime.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread/src/matrix/CMakeFiles/camult_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

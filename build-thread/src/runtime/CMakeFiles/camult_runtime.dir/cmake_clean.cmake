@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camult_runtime.dir/dep_tracker.cpp.o"
+  "CMakeFiles/camult_runtime.dir/dep_tracker.cpp.o.d"
+  "CMakeFiles/camult_runtime.dir/task_graph.cpp.o"
+  "CMakeFiles/camult_runtime.dir/task_graph.cpp.o.d"
+  "CMakeFiles/camult_runtime.dir/trace.cpp.o"
+  "CMakeFiles/camult_runtime.dir/trace.cpp.o.d"
+  "CMakeFiles/camult_runtime.dir/trace_io.cpp.o"
+  "CMakeFiles/camult_runtime.dir/trace_io.cpp.o.d"
+  "libcamult_runtime.a"
+  "libcamult_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camult_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camult_sim.dir/sim_scheduler.cpp.o"
+  "CMakeFiles/camult_sim.dir/sim_scheduler.cpp.o.d"
+  "libcamult_sim.a"
+  "libcamult_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camult_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tiled/tile_cholesky.cpp" "src/tiled/CMakeFiles/camult_tiled.dir/tile_cholesky.cpp.o" "gcc" "src/tiled/CMakeFiles/camult_tiled.dir/tile_cholesky.cpp.o.d"
+  "/root/repo/src/tiled/tile_kernels.cpp" "src/tiled/CMakeFiles/camult_tiled.dir/tile_kernels.cpp.o" "gcc" "src/tiled/CMakeFiles/camult_tiled.dir/tile_kernels.cpp.o.d"
+  "/root/repo/src/tiled/tile_lu.cpp" "src/tiled/CMakeFiles/camult_tiled.dir/tile_lu.cpp.o" "gcc" "src/tiled/CMakeFiles/camult_tiled.dir/tile_lu.cpp.o.d"
+  "/root/repo/src/tiled/tile_qr.cpp" "src/tiled/CMakeFiles/camult_tiled.dir/tile_qr.cpp.o" "gcc" "src/tiled/CMakeFiles/camult_tiled.dir/tile_qr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread/src/core/CMakeFiles/camult_core.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/lapack/CMakeFiles/camult_lapack.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/runtime/CMakeFiles/camult_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/blas/CMakeFiles/camult_blas.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/matrix/CMakeFiles/camult_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camult_tiled.dir/tile_cholesky.cpp.o"
+  "CMakeFiles/camult_tiled.dir/tile_cholesky.cpp.o.d"
+  "CMakeFiles/camult_tiled.dir/tile_kernels.cpp.o"
+  "CMakeFiles/camult_tiled.dir/tile_kernels.cpp.o.d"
+  "CMakeFiles/camult_tiled.dir/tile_lu.cpp.o"
+  "CMakeFiles/camult_tiled.dir/tile_lu.cpp.o.d"
+  "CMakeFiles/camult_tiled.dir/tile_qr.cpp.o"
+  "CMakeFiles/camult_tiled.dir/tile_qr.cpp.o.d"
+  "libcamult_tiled.a"
+  "libcamult_tiled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camult_tiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

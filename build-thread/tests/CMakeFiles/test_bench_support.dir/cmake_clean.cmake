@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_support.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_bench_support.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_bench_support.dir/test_bench_support.cpp.o"
+  "CMakeFiles/test_bench_support.dir/test_bench_support.cpp.o.d"
+  "test_bench_support"
+  "test_bench_support.pdb"
+  "test_bench_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas_gemm.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_blas_gemm.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_blas_gemm.dir/test_blas_gemm.cpp.o"
+  "CMakeFiles/test_blas_gemm.dir/test_blas_gemm.cpp.o.d"
+  "test_blas_gemm"
+  "test_blas_gemm.pdb"
+  "test_blas_gemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

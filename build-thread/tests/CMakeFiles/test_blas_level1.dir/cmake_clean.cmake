@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas_level1.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_blas_level1.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_blas_level1.dir/test_blas_level1.cpp.o"
+  "CMakeFiles/test_blas_level1.dir/test_blas_level1.cpp.o.d"
+  "test_blas_level1"
+  "test_blas_level1.pdb"
+  "test_blas_level1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas_level1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

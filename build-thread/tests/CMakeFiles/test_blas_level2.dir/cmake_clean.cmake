@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas_level2.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_blas_level2.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_blas_level2.dir/test_blas_level2.cpp.o"
+  "CMakeFiles/test_blas_level2.dir/test_blas_level2.cpp.o.d"
+  "test_blas_level2"
+  "test_blas_level2.pdb"
+  "test_blas_level2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas_level2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

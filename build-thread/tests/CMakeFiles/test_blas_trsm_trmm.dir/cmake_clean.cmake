@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas_trsm_trmm.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_blas_trsm_trmm.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_blas_trsm_trmm.dir/test_blas_trsm_trmm.cpp.o"
+  "CMakeFiles/test_blas_trsm_trmm.dir/test_blas_trsm_trmm.cpp.o.d"
+  "test_blas_trsm_trmm"
+  "test_blas_trsm_trmm.pdb"
+  "test_blas_trsm_trmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas_trsm_trmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_blas_trsm_trmm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_calu.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_core_calu.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_core_calu.dir/test_core_calu.cpp.o"
+  "CMakeFiles/test_core_calu.dir/test_core_calu.cpp.o.d"
+  "test_core_calu"
+  "test_core_calu.pdb"
+  "test_core_calu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_calu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_caqr.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_core_caqr.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_core_caqr.dir/test_core_caqr.cpp.o"
+  "CMakeFiles/test_core_caqr.dir/test_core_caqr.cpp.o.d"
+  "test_core_caqr"
+  "test_core_caqr.pdb"
+  "test_core_caqr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_caqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

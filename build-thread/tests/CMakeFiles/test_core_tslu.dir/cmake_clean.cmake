@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_tslu.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_core_tslu.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_core_tslu.dir/test_core_tslu.cpp.o"
+  "CMakeFiles/test_core_tslu.dir/test_core_tslu.cpp.o.d"
+  "test_core_tslu"
+  "test_core_tslu.pdb"
+  "test_core_tslu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_tslu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

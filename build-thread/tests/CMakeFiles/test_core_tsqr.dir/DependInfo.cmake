@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_utils.cpp" "tests/CMakeFiles/test_core_tsqr.dir/common/test_utils.cpp.o" "gcc" "tests/CMakeFiles/test_core_tsqr.dir/common/test_utils.cpp.o.d"
+  "/root/repo/tests/test_core_tsqr.cpp" "tests/CMakeFiles/test_core_tsqr.dir/test_core_tsqr.cpp.o" "gcc" "tests/CMakeFiles/test_core_tsqr.dir/test_core_tsqr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-thread/src/core/CMakeFiles/camult_core.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/lapack/CMakeFiles/camult_lapack.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/blas/CMakeFiles/camult_blas.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/runtime/CMakeFiles/camult_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-thread/src/matrix/CMakeFiles/camult_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_tsqr.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_core_tsqr.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_core_tsqr.dir/test_core_tsqr.cpp.o"
+  "CMakeFiles/test_core_tsqr.dir/test_core_tsqr.cpp.o.d"
+  "test_core_tsqr"
+  "test_core_tsqr.pdb"
+  "test_core_tsqr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_tsqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_getri.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_getri.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_getri.dir/test_getri.cpp.o"
+  "CMakeFiles/test_getri.dir/test_getri.cpp.o.d"
+  "test_getri"
+  "test_getri.pdb"
+  "test_getri[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_getri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

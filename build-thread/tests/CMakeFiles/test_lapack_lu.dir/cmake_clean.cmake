@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lapack_lu.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_lapack_lu.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_lapack_lu.dir/test_lapack_lu.cpp.o"
+  "CMakeFiles/test_lapack_lu.dir/test_lapack_lu.cpp.o.d"
+  "test_lapack_lu"
+  "test_lapack_lu.pdb"
+  "test_lapack_lu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lapack_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

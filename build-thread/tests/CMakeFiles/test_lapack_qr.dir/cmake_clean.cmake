@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lapack_qr.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_lapack_qr.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_lapack_qr.dir/test_lapack_qr.cpp.o"
+  "CMakeFiles/test_lapack_qr.dir/test_lapack_qr.cpp.o.d"
+  "test_lapack_qr"
+  "test_lapack_qr.pdb"
+  "test_lapack_qr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lapack_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

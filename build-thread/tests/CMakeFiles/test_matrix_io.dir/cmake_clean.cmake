@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_io.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_matrix_io.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_matrix_io.dir/test_matrix_io.cpp.o"
+  "CMakeFiles/test_matrix_io.dir/test_matrix_io.cpp.o.d"
+  "test_matrix_io"
+  "test_matrix_io.pdb"
+  "test_matrix_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

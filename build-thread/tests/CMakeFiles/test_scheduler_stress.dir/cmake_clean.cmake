@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_stress.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_scheduler_stress.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_scheduler_stress.dir/test_scheduler_stress.cpp.o"
+  "CMakeFiles/test_scheduler_stress.dir/test_scheduler_stress.cpp.o.d"
+  "test_scheduler_stress"
+  "test_scheduler_stress.pdb"
+  "test_scheduler_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solve.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_solve.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_solve.dir/test_solve.cpp.o"
+  "CMakeFiles/test_solve.dir/test_solve.cpp.o.d"
+  "test_solve"
+  "test_solve.pdb"
+  "test_solve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

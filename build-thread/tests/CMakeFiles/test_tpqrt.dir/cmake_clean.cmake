@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpqrt.dir/common/test_utils.cpp.o"
+  "CMakeFiles/test_tpqrt.dir/common/test_utils.cpp.o.d"
+  "CMakeFiles/test_tpqrt.dir/test_tpqrt.cpp.o"
+  "CMakeFiles/test_tpqrt.dir/test_tpqrt.cpp.o.d"
+  "test_tpqrt"
+  "test_tpqrt.pdb"
+  "test_tpqrt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpqrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-thread/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-thread/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_blas_level1[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_blas_level2[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_blas_gemm[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_blas_trsm_trmm[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_lapack_lu[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_lapack_qr[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_scheduler_stress[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_core_tslu[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_core_tsqr[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_core_calu[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_core_caqr[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_tiled[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_solve[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_tpqrt[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_cholesky[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_getri[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_bench_support[1]_include.cmake")
+include("/root/repo/build-thread/tests/test_matrix_io[1]_include.cmake")

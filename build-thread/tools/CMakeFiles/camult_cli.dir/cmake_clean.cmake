@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camult_cli.dir/camult_cli.cpp.o"
+  "CMakeFiles/camult_cli.dir/camult_cli.cpp.o.d"
+  "camult"
+  "camult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camult_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
