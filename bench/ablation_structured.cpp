@@ -19,7 +19,8 @@ camult::bench::Competitor caqr_variant(camult::idx b, camult::idx tr,
             o.num_threads = threads;
             auto r = core::caqr_factor(w.view(), o);
             return bench::RunArtifacts{std::move(r.trace),
-                                       std::move(r.edges)};
+                                       std::move(r.edges),
+                                       std::move(r.sched)};
           }};
 }
 
@@ -57,5 +58,8 @@ int main() {
   }
   t.print("Ablation: dense vs structured tree-node kernels (GFlop/s)",
           bench::csv_path("ablation_structured"));
+  bench::JsonReport rep("ablation_structured", 8);
+  rep.add_table(t);
+  rep.write();
   return 0;
 }

@@ -42,5 +42,8 @@ int main() {
   }
   t.print("Ablation: binary vs flat reduction tree (GFlop/s, 8 cores)",
           bench::csv_path("ablation_tree_shape"));
+  bench::JsonReport rep("ablation_tree_shape", 8);
+  rep.add_table(t);
+  rep.write();
   return 0;
 }

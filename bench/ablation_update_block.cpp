@@ -19,7 +19,8 @@ camult::bench::Competitor calu_variant(camult::idx b, camult::idx tr,
             o.lookahead = lookahead;
             auto r = core::calu_factor(w.view(), o);
             return bench::RunArtifacts{std::move(r.trace),
-                                       std::move(r.edges)};
+                                       std::move(r.edges),
+                                       std::move(r.sched)};
           }};
 }
 
@@ -53,5 +54,8 @@ int main() {
   }
   t.print("Ablation: trailing-update blocking and look-ahead (GFlop/s)",
           bench::csv_path("ablation_update_block"));
+  bench::JsonReport rep("ablation_update_block", 8);
+  rep.add_table(t);
+  rep.write();
   return 0;
 }

@@ -122,6 +122,21 @@ Measurement run_one(const Competitor& comp, const Matrix& a, double flops,
                  cores);
 }
 
+/// One report row per (competitor, problem) measurement — the common
+/// vocabulary tools/check_bench_json.cpp validates. tr = 0 for competitors
+/// without a tournament parameter.
+void emit_row(JsonReport& rep, const std::string& competitor, idx m, idx n,
+              idx b, idx tr, int cores, const Measurement& meas) {
+  JsonValue& row = rep.new_row();
+  row.set("competitor", JsonValue::make_string(competitor));
+  row.set("m", JsonValue::make_number(static_cast<double>(m)));
+  row.set("n", JsonValue::make_number(static_cast<double>(n)));
+  row.set("b", JsonValue::make_number(static_cast<double>(b)));
+  row.set("tr", JsonValue::make_number(static_cast<double>(tr)));
+  row.set("cores", JsonValue::make_number(cores));
+  JsonReport::fill_measurement(row, meas);
+}
+
 }  // namespace
 
 void run_lu_tall_figure(const std::string& title, const std::string& csv_name,
@@ -141,6 +156,7 @@ void run_lu_tall_figure(const std::string& title, const std::string& csv_name,
   headers.push_back("CALU/getf2");
   headers.push_back("CALU/tiled");
   Table t(headers);
+  JsonReport rep(csv_name, cores);
 
   for (idx n : ns) {
     if (n > m) continue;
@@ -158,6 +174,14 @@ void run_lu_tall_figure(const std::string& title, const std::string& csv_name,
     double best = 0;
     for (const auto& c : calu) best = std::max(best, c.gflops);
 
+    emit_row(rep, "dgetf2(BLAS2)", m, n, b, 0, cores, g2);
+    emit_row(rep, "blk_dgetrf", m, n, b, 0, cores, blk);
+    emit_row(rep, "tiledLU", m, n, b, 0, cores, til);
+    for (std::size_t i = 0; i < trs.size(); ++i) {
+      emit_row(rep, "CALU Tr=" + std::to_string(trs[i]), m, n, b, trs[i],
+               cores, calu[i]);
+    }
+
     t.row().cell(static_cast<long long>(n));
     t.cell(g2.gflops).cell(blk.gflops).cell(til.gflops);
     for (const auto& c : calu) t.cell(c.gflops);
@@ -166,6 +190,7 @@ void run_lu_tall_figure(const std::string& title, const std::string& csv_name,
         .cell(til.gflops > 0 ? best / til.gflops : 0.0);
   }
   t.print(title + " (GFlop/s)", csv_path(csv_name));
+  rep.write();
 }
 
 void run_qr_tall_figure(const std::string& title, const std::string& csv_name,
@@ -180,6 +205,7 @@ void run_qr_tall_figure(const std::string& title, const std::string& csv_name,
 
   Table t({"n", "dgeqr2", "blk_dgeqrf", "tiledQR", "CAQR Tr=4", "TSQR Tr=8",
            "TSQR/blk", "TSQR/tiled", "CAQR/blk"});
+  JsonReport rep(csv_name, cores);
   for (idx n : ns) {
     if (n > m) continue;
     const idx b = std::min<idx>(n, 100);
@@ -193,6 +219,12 @@ void run_qr_tall_figure(const std::string& title, const std::string& csv_name,
         run_one(qr_caqr(b, 4, core::ReductionTree::Flat), a, flops, cores);
     const Measurement tsqr = run_one(qr_tsqr(8), a, flops, cores);
 
+    emit_row(rep, "dgeqr2(BLAS2)", m, n, b, 0, cores, g2);
+    emit_row(rep, "blk_dgeqrf", m, n, b, 0, cores, blk);
+    emit_row(rep, "tiledQR", m, n, b, 0, cores, til);
+    emit_row(rep, "CAQR Tr=4", m, n, b, 4, cores, caqr);
+    emit_row(rep, "TSQR Tr=8", m, n, n, 8, cores, tsqr);
+
     t.row().cell(static_cast<long long>(n));
     t.cell(g2.gflops)
         .cell(blk.gflops)
@@ -204,6 +236,7 @@ void run_qr_tall_figure(const std::string& title, const std::string& csv_name,
         .cell(blk.gflops > 0 ? caqr.gflops / blk.gflops : 0.0);
   }
   t.print(title + " (GFlop/s)", csv_path(csv_name));
+  rep.write();
 }
 
 void run_lu_square_table(const std::string& title,
@@ -218,19 +251,27 @@ void run_lu_square_table(const std::string& title,
   std::vector<std::string> headers = {"m=n", "blk_dgetrf", "tiledLU"};
   for (idx tr : trs) headers.push_back("CALU Tr=" + std::to_string(tr));
   Table t(headers);
+  JsonReport rep(csv_name, cores);
 
   for (idx n : sizes) {
     const idx b = std::min<idx>(n, 100);
     Matrix a = random_matrix(n, n, 3000 + n);
     const double flops = lu_flops(n, n);
+    const Measurement blk = run_one(lu_blocked(b, cores), a, flops, cores);
+    const Measurement til = run_one(lu_tiled(b), a, flops, cores);
+    emit_row(rep, "blk_dgetrf", n, n, b, 0, cores, blk);
+    emit_row(rep, "tiledLU", n, n, b, 0, cores, til);
     t.row().cell(static_cast<long long>(n));
-    t.cell(run_one(lu_blocked(b, cores), a, flops, cores).gflops);
-    t.cell(run_one(lu_tiled(b), a, flops, cores).gflops);
+    t.cell(blk.gflops);
+    t.cell(til.gflops);
     for (idx tr : trs) {
-      t.cell(run_one(lu_calu(b, tr), a, flops, cores).gflops);
+      const Measurement c = run_one(lu_calu(b, tr), a, flops, cores);
+      emit_row(rep, "CALU Tr=" + std::to_string(tr), n, n, b, tr, cores, c);
+      t.cell(c.gflops);
     }
   }
   t.print(title + " (GFlop/s)", csv_path(csv_name));
+  rep.write();
 }
 
 void run_qr_square_table(const std::string& title,
@@ -245,21 +286,28 @@ void run_qr_square_table(const std::string& title,
   std::vector<std::string> headers = {"m=n", "blk_dgeqrf", "tiledQR"};
   for (idx tr : trs) headers.push_back("CAQR Tr=" + std::to_string(tr));
   Table t(headers);
+  JsonReport rep(csv_name, cores);
 
   for (idx n : sizes) {
     const idx b = std::min<idx>(n, 100);
     Matrix a = random_matrix(n, n, 3500 + n);
     const double flops = qr_flops(n, n);
+    const Measurement blk = run_one(qr_blocked(b), a, flops, cores);
+    const Measurement til = run_one(qr_tiled(b), a, flops, cores);
+    emit_row(rep, "blk_dgeqrf", n, n, b, 0, cores, blk);
+    emit_row(rep, "tiledQR", n, n, b, 0, cores, til);
     t.row().cell(static_cast<long long>(n));
-    t.cell(run_one(qr_blocked(b), a, flops, cores).gflops);
-    t.cell(run_one(qr_tiled(b), a, flops, cores).gflops);
+    t.cell(blk.gflops);
+    t.cell(til.gflops);
     for (idx tr : trs) {
-      t.cell(run_one(qr_caqr(b, tr, core::ReductionTree::Flat), a, flops,
-                     cores)
-                 .gflops);
+      const Measurement c =
+          run_one(qr_caqr(b, tr, core::ReductionTree::Flat), a, flops, cores);
+      emit_row(rep, "CAQR Tr=" + std::to_string(tr), n, n, b, tr, cores, c);
+      t.cell(c.gflops);
     }
   }
   t.print(title + " (GFlop/s)", csv_path(csv_name));
+  rep.write();
 }
 
 }  // namespace camult::bench

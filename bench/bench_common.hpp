@@ -13,6 +13,7 @@
 
 #include "baseline/blocked.hpp"
 #include "bench_support/flops.hpp"
+#include "bench_support/json_report.hpp"
 #include "bench_support/runner.hpp"
 #include "bench_support/table.hpp"
 #include "core/calu.hpp"
@@ -33,7 +34,7 @@ inline RunArtifacts one_task(const std::function<void()>& fn) {
   o.label = "serial";
   g.submit({}, std::move(o), fn);
   g.wait();
-  return {g.trace(), g.edges()};
+  return {g.trace(), g.edges(), g.stats()};
 }
 
 /// A named competitor: given the pristine input and a worker count, factor
@@ -63,7 +64,8 @@ inline Competitor lu_blocked(idx nb, idx strips) {
             o.strips = strips;
             o.num_threads = threads;
             auto r = baseline::blocked_getrf(w.view(), o);
-            return RunArtifacts{std::move(r.trace), std::move(r.edges)};
+            return RunArtifacts{std::move(r.trace), std::move(r.edges),
+                                std::move(r.sched)};
           }};
 }
 
@@ -74,7 +76,8 @@ inline Competitor lu_tiled(idx b) {
             o.b = b;
             o.num_threads = threads;
             auto r = tiled::tile_lu_factor(w.view(), o);
-            return RunArtifacts{std::move(r.trace), std::move(r.edges)};
+            return RunArtifacts{std::move(r.trace), std::move(r.edges),
+                                std::move(r.sched)};
           }};
 }
 
@@ -89,7 +92,8 @@ inline Competitor lu_calu(idx b, idx tr, core::ReductionTree tree =
             o.tree = tree;
             o.num_threads = threads;
             auto r = core::calu_factor(w.view(), o);
-            return RunArtifacts{std::move(r.trace), std::move(r.edges)};
+            return RunArtifacts{std::move(r.trace), std::move(r.edges),
+                                std::move(r.sched)};
           }};
 }
 
@@ -112,7 +116,8 @@ inline Competitor qr_blocked(idx nb) {
             o.nb = nb;
             o.num_threads = threads;
             auto r = baseline::blocked_geqrf(w.view(), o);
-            return RunArtifacts{std::move(r.trace), std::move(r.edges)};
+            return RunArtifacts{std::move(r.trace), std::move(r.edges),
+                                std::move(r.sched)};
           }};
 }
 
@@ -123,7 +128,8 @@ inline Competitor qr_tiled(idx b) {
             o.b = b;
             o.num_threads = threads;
             auto r = tiled::tile_qr_factor(w.view(), o);
-            return RunArtifacts{std::move(r.trace), std::move(r.edges)};
+            return RunArtifacts{std::move(r.trace), std::move(r.edges),
+                                std::move(r.sched)};
           }};
 }
 
@@ -139,7 +145,8 @@ inline Competitor qr_caqr(idx b, idx tr, core::ReductionTree tree =
             o.tree = tree;
             o.num_threads = threads;
             auto r = core::caqr_factor(w.view(), o);
-            return RunArtifacts{std::move(r.trace), std::move(r.edges)};
+            return RunArtifacts{std::move(r.trace), std::move(r.edges),
+                                std::move(r.sched)};
           }};
 }
 
@@ -154,7 +161,8 @@ inline Competitor qr_tsqr(idx tr) {
             o.tree = core::ReductionTree::Binary;
             o.num_threads = threads;
             auto r = core::caqr_factor(w.view(), o);
-            return RunArtifacts{std::move(r.trace), std::move(r.edges)};
+            return RunArtifacts{std::move(r.trace), std::move(r.edges),
+                                std::move(r.sched)};
           }};
 }
 

@@ -78,7 +78,8 @@ int main() {
           o.b = b;
           o.num_threads = threads;
           auto r = tiled::tile_cholesky_factor(w.view(), o);
-          return bench::RunArtifacts{std::move(r.trace), std::move(r.edges)};
+          return bench::RunArtifacts{std::move(r.trace), std::move(r.edges),
+                                     std::move(r.sched)};
         },
         flops, cores);
 
@@ -88,5 +89,8 @@ int main() {
   }
   t.print("Extension: Cholesky (GFlop/s, simulated 8 cores)",
           bench::csv_path("ext_cholesky"));
+  bench::JsonReport rep("ext_cholesky", 8);
+  rep.add_table(t);
+  rep.write();
   return 0;
 }

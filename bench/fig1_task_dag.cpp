@@ -51,5 +51,24 @@ int main() {
             << static_cast<double>(sr.critical_path_ns) * 1e-6
             << " ms, total work: "
             << static_cast<double>(sr.total_work_ns) * 1e-6 << " ms\n";
+
+  bench::JsonReport rep("fig1_task_dag", 4, "sim");
+  bench::JsonValue& row = rep.new_row();
+  row.set("competitor", bench::JsonValue::make_string("CALU Tr=2"));
+  row.set("m", bench::JsonValue::make_number(static_cast<double>(4 * b)));
+  row.set("n", bench::JsonValue::make_number(static_cast<double>(4 * b)));
+  row.set("b", bench::JsonValue::make_number(static_cast<double>(b)));
+  row.set("tr", bench::JsonValue::make_number(2));
+  row.set("cores", bench::JsonValue::make_number(4));
+  row.set("tasks", bench::JsonValue::make_number(
+                       static_cast<double>(r.trace.size())));
+  row.set("edges", bench::JsonValue::make_number(
+                       static_cast<double>(r.edges.size())));
+  row.set("seconds", bench::JsonValue::make_number(
+                         static_cast<double>(sr.makespan_ns) * 1e-9));
+  row.set("critical_path_s",
+          bench::JsonValue::make_number(
+              static_cast<double>(sr.critical_path_ns) * 1e-9));
+  rep.write();
   return 0;
 }

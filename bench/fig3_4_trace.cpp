@@ -4,9 +4,11 @@
 //
 // Prints an ASCII Gantt chart per configuration plus the idle-time
 // fraction, which is the quantitative content of the two figures.
+#include <cstdlib>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "runtime/chrome_trace.hpp"
 #include "sim/sim_scheduler.hpp"
 
 int main() {
@@ -19,6 +21,7 @@ int main() {
             << " b=100, simulated " << cores
             << " cores (P=panel, L, U, S=update, .=idle)\n";
 
+  bench::JsonReport rep("fig3_4_trace", cores, "sim");
   for (idx tr : {idx{1}, idx{8}}) {
     Matrix a = random_matrix(m, n, 7);
     core::CaluOptions o;
@@ -39,7 +42,29 @@ int main() {
       std::cout << "  " << rt::task_kind_name(kind) << ": "
                 << static_cast<double>(ns) * 1e-6 << " ms total\n";
     }
+
+    bench::JsonValue& row = rep.new_row();
+    row.set("competitor", bench::JsonValue::make_string(
+                              "CALU Tr=" + std::to_string(tr)));
+    row.set("m", bench::JsonValue::make_number(static_cast<double>(m)));
+    row.set("n", bench::JsonValue::make_number(static_cast<double>(n)));
+    row.set("b", bench::JsonValue::make_number(100));
+    row.set("tr", bench::JsonValue::make_number(static_cast<double>(tr)));
+    row.set("cores", bench::JsonValue::make_number(cores));
+    row.set("seconds", bench::JsonValue::make_number(
+                           static_cast<double>(st.makespan_ns) * 1e-9));
+    row.set("idle_fraction", bench::JsonValue::make_number(st.idle_fraction));
+
+    // Chrome/Perfetto trace of the simulated schedule, next to the report.
+    if (const char* dir = std::getenv("CAMULT_BENCH_JSON");
+        dir != nullptr && *dir != '\0') {
+      const std::string path = std::string(dir) + "/fig3_4_tr" +
+                               std::to_string(tr) + ".trace.json";
+      rt::write_chrome_trace_file(path, sr.schedule, r.edges);
+      std::cout << "Chrome trace written to " << path << "\n";
+    }
   }
+  rep.write();
   std::cout << "\nExpected shape: Tr=1 shows long idle stretches around the\n"
                "panel (P) tasks; Tr=8 keeps all cores busy except the very\n"
                "beginning and end (paper, Figures 3-4).\n";

@@ -55,7 +55,8 @@ int main() {
           o.tr = 8;
           o.num_threads = threads;
           auto r = core::calu_factor(w.view(), o);
-          return bench::RunArtifacts{std::move(r.trace), std::move(r.edges)};
+          return bench::RunArtifacts{std::move(r.trace), std::move(r.edges),
+                                     std::move(r.sched)};
         },
         flops, cores);
 
@@ -69,5 +70,8 @@ int main() {
   t.print("Panel kernels (GFlop/s); paper claim: parallel TSLU removes the "
           "panel bottleneck",
           bench::csv_path("panel_tslu"));
+  bench::JsonReport rep("panel_tslu", 8);
+  rep.add_table(t);
+  rep.write();
   return 0;
 }

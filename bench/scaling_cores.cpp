@@ -51,6 +51,9 @@ int main() {
   }
   t.print("Strong scaling (speedup vs own 1-core run)",
           bench::csv_path("scaling_cores"));
+  bench::JsonReport rep("scaling_cores", static_cast<int>(cores.back()));
+  rep.add_table(t);
+  rep.write();
   std::printf(
       "\nExpected shape: CALU Tr=1 saturates early (serial panel on the\n"
       "critical path); CALU Tr=P keeps scaling; the tiled pipeline scales\n"

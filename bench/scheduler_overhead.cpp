@@ -88,6 +88,9 @@ int main() {
     row(name, threads, rt::TaskGraph::Policy::WorkStealing);
   }
   t.print("Task throughput", bench::csv_path("scheduler_overhead"));
+  bench::JsonReport rep("scheduler_overhead", 8);
+  rep.add_table(t);
+  rep.write();
 
   const double tracker_s = run_tracker(n_tasks);
   std::printf("\nDepTracker: %.2f Mtask/s (5 accesses per task)\n",

@@ -125,6 +125,9 @@ int main() {
   }
   t.print("Stability: tournament pivoting vs partial vs incremental",
           bench::csv_path("stability_study"));
+  bench::JsonReport rep("stability_study", 8);
+  rep.add_table(t);
+  rep.write();
   std::printf(
       "\nExpected shape (paper + CALU literature): CALU growth/backward\n"
       "errors within a small factor of GEPP on random families; incremental\n"

@@ -208,6 +208,7 @@ BlockedLuResult blocked_getrf(MatrixView a, const BlockedOptions& opts) {
     result.trace = graph.trace();
     result.edges = graph.edges();
   }
+  result.sched = graph.stats();
   return result;
 }
 
@@ -292,6 +293,7 @@ BlockedQrResult blocked_geqrf(MatrixView a, const BlockedOptions& opts) {
     result.trace = graph.trace();
     result.edges = graph.edges();
   }
+  result.sched = graph.stats();
   return result;
 }
 

@@ -26,6 +26,7 @@ struct BlockedLuResult {
   idx info = 0;
   std::vector<rt::TaskRecord> trace;
   std::vector<rt::TaskGraph::Edge> edges;
+  rt::SchedulerStats sched;  ///< scheduler counters (always filled)
 };
 
 /// Blocked LU with partial pivoting (getrf layout), serial panel task.
@@ -35,6 +36,7 @@ struct BlockedQrResult {
   std::vector<double> tau;
   std::vector<rt::TaskRecord> trace;
   std::vector<rt::TaskGraph::Edge> edges;
+  rt::SchedulerStats sched;  ///< scheduler counters (always filled)
 };
 
 /// Blocked Householder QR (geqrf layout), serial panel task.

@@ -1,0 +1,59 @@
+// json.hpp — minimal JSON value, writer, and parser for the bench-report
+// pipeline (no third-party dependency). Shared by the JsonReport emitter,
+// the schema checker in tools/, and the tests that validate emitted output
+// (including the runtime's Chrome trace arrays).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace camult::bench {
+
+/// A JSON document node. Object member order is preserved (vector of pairs,
+/// not a map) so emitted reports are stable and diffable.
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  JsonValue() = default;
+  static JsonValue make_null() { return {}; }
+  static JsonValue make_bool(bool b);
+  /// Non-finite doubles become null (JSON has no NaN/Inf).
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array() { JsonValue v; v.type = Type::Array; return v; }
+  static JsonValue make_object() { JsonValue v; v.type = Type::Object; return v; }
+
+  bool is_null() const { return type == Type::Null; }
+  bool is_bool() const { return type == Type::Bool; }
+  bool is_number() const { return type == Type::Number; }
+  bool is_string() const { return type == Type::String; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_object() const { return type == Type::Object; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  JsonValue* find(const std::string& key);
+  /// Set (or overwrite) an object member; asserts this is an object.
+  JsonValue& set(const std::string& key, JsonValue v);
+
+  /// Serialize. indent < 0: compact single line; otherwise pretty-print
+  /// with that many spaces per level.
+  void write(std::ostream& os, int indent = -1) const;
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document (trailing non-whitespace is an error).
+  /// Throws std::runtime_error with an offset-annotated message.
+  static JsonValue parse(const std::string& text);
+};
+
+}  // namespace camult::bench

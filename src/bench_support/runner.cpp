@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "bench_support/flops.hpp"
+#include "runtime/trace.hpp"
 
 namespace camult::bench {
 
@@ -18,10 +19,15 @@ Measurement measure(const std::function<RunArtifacts(int)>& run, double flops,
   Measurement m;
   if (real_mode()) {
     const auto t0 = std::chrono::steady_clock::now();
-    (void)run(cores);
+    RunArtifacts art = run(cores);
     const auto t1 = std::chrono::steady_clock::now();
     m.seconds = std::chrono::duration<double>(t1 - t0).count();
     m.gflops = gflops(flops, m.seconds);
+    m.sched = std::move(art.sched);
+    if (!art.trace.empty()) {
+      m.idle_fraction =
+          rt::compute_stats(art.trace, cores).idle_fraction;
+    }
     return m;
   }
   RunArtifacts art = run(0);  // serial record mode
@@ -30,7 +36,12 @@ Measurement measure(const std::function<RunArtifacts(int)>& run, double flops,
   m.critical_path_s = static_cast<double>(sr.critical_path_ns) * 1e-9;
   m.total_work_s = static_cast<double>(sr.total_work_ns) * 1e-9;
   m.gflops = gflops(flops, m.seconds);
+  if (sr.makespan_ns > 0 && cores > 0) {
+    m.idle_fraction = 1.0 - static_cast<double>(sr.total_work_ns) /
+                                (static_cast<double>(sr.makespan_ns) * cores);
+  }
   m.schedule = std::move(sr.schedule);
+  m.sched = std::move(art.sched);
   return m;
 }
 

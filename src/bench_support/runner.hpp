@@ -23,6 +23,7 @@ namespace camult::bench {
 struct RunArtifacts {
   std::vector<rt::TaskRecord> trace;
   std::vector<rt::TaskGraph::Edge> edges;
+  rt::SchedulerStats sched;  ///< counters from the run's TaskGraph
 };
 
 struct Measurement {
@@ -30,7 +31,14 @@ struct Measurement {
   double gflops = 0.0;
   double critical_path_s = 0.0;  ///< sim mode only
   double total_work_s = 0.0;     ///< sim mode only
+  /// 1 - busy/(makespan*cores). Sim mode: from the simulated schedule; real
+  /// mode: from the recorded trace (0 when tracing was off).
+  double idle_fraction = 0.0;
   std::vector<rt::TaskRecord> schedule;  ///< sim mode: the simulated Gantt
+  /// Scheduler counters of the measured run. Real mode: the real worker
+  /// pool's counters (steals, wakeups, ...). Sim mode: the serial record
+  /// run's counters (execution telemetry like steals is not meaningful).
+  rt::SchedulerStats sched;
 };
 
 /// True when CAMULT_BENCH_REAL=1 is set.

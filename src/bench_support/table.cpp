@@ -1,9 +1,11 @@
 #include "bench_support/table.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <sstream>
+
+#include "runtime/trace.hpp"  // rt::csv_escape
 
 namespace camult::bench {
 
@@ -15,7 +17,9 @@ Table& Table::row() {
 }
 
 Table& Table::cell(const std::string& s) {
-  rows_.back().push_back(s);
+  Cell c;
+  c.text = s;
+  rows_.back().push_back(std::move(c));
   return *this;
 }
 
@@ -24,10 +28,22 @@ Table& Table::cell(const char* s) { return cell(std::string(s)); }
 Table& Table::cell(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-  return cell(std::string(buf));
+  Cell c;
+  c.type = CellType::Real;
+  c.text = buf;
+  c.real = v;
+  rows_.back().push_back(std::move(c));
+  return *this;
 }
 
-Table& Table::cell(long long v) { return cell(std::to_string(v)); }
+Table& Table::cell(long long v) {
+  Cell c;
+  c.type = CellType::Int;
+  c.text = std::to_string(v);
+  c.integer = v;
+  rows_.back().push_back(std::move(c));
+  return *this;
+}
 
 void Table::print(const std::string& title,
                   const std::string& csv_file) const {
@@ -37,19 +53,25 @@ void Table::print(const std::string& title,
   }
   for (const auto& r : rows_) {
     for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
-      widths[c] = std::max(widths[c], r[c].size());
+      widths[c] = std::max(widths[c], r[c].text.size());
     }
   }
   if (!title.empty()) std::cout << "\n== " << title << " ==\n";
-  auto print_row = [&](const std::vector<std::string>& cells) {
+  auto print_row = [&](const std::vector<Cell>& cells) {
     for (std::size_t c = 0; c < headers_.size(); ++c) {
-      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      const std::string& s = c < cells.size() ? cells[c].text : std::string();
       std::cout << "  " << s;
       for (std::size_t p = s.size(); p < widths[c]; ++p) std::cout << ' ';
     }
     std::cout << '\n';
   };
-  print_row(headers_);
+  std::vector<Cell> header_cells;
+  for (const std::string& h : headers_) {
+    Cell c;
+    c.text = h;
+    header_cells.push_back(std::move(c));
+  }
+  print_row(header_cells);
   std::size_t total = 2;
   for (std::size_t w : widths) total += w + 2;
   std::cout << "  " << std::string(total - 2, '-') << '\n';
@@ -58,14 +80,14 @@ void Table::print(const std::string& title,
 
   if (!csv_file.empty()) {
     std::ofstream out(csv_file);
-    auto csv_row = [&](const std::vector<std::string>& cells) {
+    auto csv_row = [&](const std::vector<Cell>& cells) {
       for (std::size_t c = 0; c < cells.size(); ++c) {
         if (c) out << ',';
-        out << cells[c];
+        out << rt::csv_escape(cells[c].text);
       }
       out << '\n';
     };
-    csv_row(headers_);
+    csv_row(header_cells);
     for (const auto& r : rows_) csv_row(r);
   }
 }

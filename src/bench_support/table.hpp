@@ -1,15 +1,27 @@
 // table.hpp — paper-style aligned table printing + optional CSV mirror.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 namespace camult::bench {
 
-/// Collects string cells and prints them as an aligned ASCII table, with an
-/// optional CSV mirror (see csv_path()).
+/// Collects typed cells and prints them as an aligned ASCII table, with an
+/// optional CSV mirror (see csv_path()). The typed values stay accessible so
+/// JsonReport::add_table can mirror a table into a machine-readable report
+/// without re-parsing the formatted text.
 class Table {
  public:
+  enum class CellType { Text, Real, Int };
+
+  struct Cell {
+    CellType type = CellType::Text;
+    std::string text;       ///< formatted, exactly as printed
+    double real = 0.0;      ///< valid when type == Real
+    long long integer = 0;  ///< valid when type == Int
+  };
+
   explicit Table(std::vector<std::string> headers);
 
   /// Start a new row.
@@ -20,13 +32,19 @@ class Table {
   Table& cell(double v, int precision = 2);
   Table& cell(long long v);
 
-  /// Print to stdout; if csv_file is non-empty also write CSV there.
+  /// Print to stdout; if csv_file is non-empty also write CSV there (fields
+  /// quoted per RFC 4180 when needed).
   void print(const std::string& title = "",
              const std::string& csv_file = "") const;
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  /// Cells of row r (may be shorter than headers() for ragged rows).
+  const std::vector<Cell>& row_cells(std::size_t r) const { return rows_[r]; }
+
  private:
   std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::vector<Cell>> rows_;
 };
 
 }  // namespace camult::bench

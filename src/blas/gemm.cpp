@@ -184,9 +184,7 @@ void gemm_small(Trans transa, Trans transb, double alpha, ConstMatrixView a,
         const double* ac = a.col_ptr(p);
         for (idx i = 0; i < m; ++i) cc[i] += ac[i] * bv;
       } else {
-        const double* ar = a.col_ptr(0) + p * a.ld();
         // op(A)(i, p) = a(p, i): row p of a, stride ld.
-        (void)ar;
         for (idx i = 0; i < m; ++i) cc[i] += a(p, i) * bv;
       }
     }

@@ -21,10 +21,13 @@ using rt::TaskId;
 using rt::TaskKind;
 
 // Key spaces for the dependency tracker: matrix tiles, tournament candidate
-// slots, and the per-iteration pivot decision.
+// slots, and the per-iteration pivot decision. The candidate-slot stride is
+// derived from the real per-iteration slot bound (see calu_factor) — a fixed
+// stride would silently alias iteration k's keys with iteration k+1's once a
+// panel produced more slots than the stride, corrupting the DAG.
 rt::BlockKey tile_key(idx i, idx j) { return rt::block_key(i, j); }
-rt::BlockKey cand_key(idx k, idx slot) {
-  return (idx{1} << 60) + k * 8192 + slot;
+rt::BlockKey cand_key(idx k, idx slot, idx stride) {
+  return (idx{1} << 60) + k * stride + slot;
 }
 rt::BlockKey piv_key(idx k) { return (idx{1} << 61) + k; }
 
@@ -55,6 +58,12 @@ CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
   CaluResult result;
   result.ipiv.assign(static_cast<std::size_t>(k_total), 0);
   std::vector<idx> panel_info(static_cast<std::size_t>(n_panels), 0);
+
+  // Candidate-slot key stride: partition_panel_rows returns at most
+  // min(tr, m_blocks) leaves (leaf boundaries are multiples of b), so this
+  // bound keeps every iteration's slot keys disjoint for any user-supplied
+  // tr — unbounded tr used to overflow a fixed stride of 8192.
+  const idx cand_stride = std::max<idx>(1, std::min(opts.tr, m_blocks)) + 1;
 
   rt::TaskGraph graph({opts.num_threads, opts.record_trace, opts.scheduler});
   rt::DepTracker tracker;
@@ -104,7 +113,7 @@ CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
       std::vector<BlockAccess> acc;
       add_tile_range(acc, kb + lstart / b, kb + (lstart + lrows + b - 1) / b,
                      kb, AccessMode::Read);
-      acc.push_back({cand_key(k, i), AccessMode::Write});
+      acc.push_back({cand_key(k, i, cand_stride), AccessMode::Write});
       rt::TaskOptions topts;
       topts.kind = TaskKind::Panel;
       topts.iteration = static_cast<int>(k);
@@ -121,10 +130,11 @@ CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
     for (const ReductionStep& step :
          reduction_schedule(static_cast<int>(leaves), opts.tree)) {
       std::vector<BlockAccess> acc;
-      acc.push_back(
-          {cand_key(k, step.sources.front()), AccessMode::ReadWrite});
+      acc.push_back({cand_key(k, step.sources.front(), cand_stride),
+                     AccessMode::ReadWrite});
       for (std::size_t s = 1; s < step.sources.size(); ++s) {
-        acc.push_back({cand_key(k, step.sources[s]), AccessMode::Read});
+        acc.push_back(
+            {cand_key(k, step.sources[s], cand_stride), AccessMode::Read});
       }
       rt::TaskOptions topts;
       topts.kind = TaskKind::Panel;
@@ -149,7 +159,7 @@ CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
     // rows, install the root's packed LU as the top jb x jb block.
     {
       std::vector<BlockAccess> acc;
-      acc.push_back({cand_key(k, 0), AccessMode::Read});
+      acc.push_back({cand_key(k, 0, cand_stride), AccessMode::Read});
       acc.push_back({piv_key(k), AccessMode::Write});
       add_tile_range(acc, kb, m_blocks, kb, AccessMode::ReadWrite);
       rt::TaskOptions topts;
@@ -329,6 +339,7 @@ CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
     result.trace = graph.trace();
     result.edges = graph.edges();
   }
+  result.sched = graph.stats();
   return result;
 }
 

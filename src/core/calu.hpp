@@ -46,6 +46,8 @@ struct CaluResult {
   /// simulated-multicore replayer). Empty if record_trace is false.
   std::vector<rt::TaskRecord> trace;
   std::vector<rt::TaskGraph::Edge> edges;
+  /// Scheduler counters for the run (always filled).
+  rt::SchedulerStats sched;
 };
 
 /// Factor A = P L U in place (same storage convention as getrf).

@@ -20,12 +20,16 @@ using rt::BlockAccess;
 using rt::TaskId;
 using rt::TaskKind;
 
+// The leaf/node key stride is derived from the real per-iteration slot
+// bound (see caqr_factor) — a fixed stride would silently alias iteration
+// k's keys with iteration k+1's once a panel produced more slots than the
+// stride, corrupting the DAG.
 rt::BlockKey tile_key(idx i, idx j) { return rt::block_key(i, j); }
-rt::BlockKey leaf_key(idx k, idx slot) {
-  return (idx{1} << 60) + k * 8192 + slot;
+rt::BlockKey leaf_key(idx k, idx slot, idx stride) {
+  return (idx{1} << 60) + k * stride + slot;
 }
-rt::BlockKey node_key(idx k, idx node) {
-  return (idx{1} << 61) + k * 8192 + node;
+rt::BlockKey node_key(idx k, idx node, idx stride) {
+  return (idx{1} << 61) + k * stride + node;
 }
 
 void add_tile_range(std::vector<BlockAccess>& acc, idx i0, idx i1, idx j,
@@ -42,6 +46,12 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
   const idx b = std::max<idx>(1, std::min(opts.b, k_total));
   const idx n_panels = (k_total + b - 1) / b;
   const idx n_blocks = (n + b - 1) / b;
+  const idx m_blocks = (m + b - 1) / b;
+  // Leaf/node key stride: partition_panel_rows returns at most
+  // min(tr, m_blocks) leaves (and the reduction schedule has fewer steps
+  // than leaves), so this bound keeps every iteration's keys disjoint for
+  // any user-supplied tr — unbounded tr used to overflow a fixed 8192.
+  const idx key_stride = std::max<idx>(1, std::min(opts.tr, m_blocks)) + 1;
 
   CaqrResult result;
   result.m = m;
@@ -90,7 +100,7 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
       std::vector<BlockAccess> acc;
       add_tile_range(acc, kb + lstart / b, kb + (lstart + lrows + b - 1) / b,
                      kb, AccessMode::ReadWrite);
-      acc.push_back({leaf_key(k, i), AccessMode::Write});
+      acc.push_back({leaf_key(k, i, key_stride), AccessMode::Write});
       rt::TaskOptions topts;
       topts.kind = TaskKind::Panel;
       topts.iteration = static_cast<int>(k);
@@ -127,7 +137,7 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
         const idx lstart = F.part.start[static_cast<std::size_t>(i)];
         const idx lrows = F.part.rows[static_cast<std::size_t>(i)];
         std::vector<BlockAccess> acc;
-        acc.push_back({leaf_key(k, i), AccessMode::Read});
+        acc.push_back({leaf_key(k, i, key_stride), AccessMode::Read});
         add_tile_range(acc, kb + lstart / b,
                        kb + (lstart + lrows + b - 1) / b, kb,
                        AccessMode::Read);  // leaf V tiles
@@ -169,7 +179,8 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
           acc.push_back(
               {tile_key(kb + src_start[s] / b, kb), AccessMode::Read});
         }
-        acc.push_back({node_key(k, static_cast<idx>(step_i)), AccessMode::Write});
+        acc.push_back({node_key(k, static_cast<idx>(step_i), key_stride),
+                       AccessMode::Write});
         rt::TaskOptions topts;
         topts.kind = TaskKind::Panel;
         topts.iteration = static_cast<int>(k);
@@ -196,7 +207,8 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
         const idx jcol0 = seg.col0;
         const idx jcols = seg.cols;
         std::vector<BlockAccess> acc;
-        acc.push_back({node_key(k, static_cast<idx>(step_i)), AccessMode::Read});
+        acc.push_back({node_key(k, static_cast<idx>(step_i), key_stride),
+                       AccessMode::Read});
         for (idx s : src_start) {
           acc.push_back({tile_key(kb + s / b, jblk), AccessMode::ReadWrite});
         }
@@ -221,6 +233,7 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
     result.trace = graph.trace();
     result.edges = graph.edges();
   }
+  result.sched = graph.stats();
   return result;
 }
 

@@ -46,6 +46,8 @@ struct CaqrResult {
   std::vector<CaqrIterationFactors> iterations;
   std::vector<rt::TaskRecord> trace;
   std::vector<rt::TaskGraph::Edge> edges;
+  /// Scheduler counters for the run (always filled).
+  rt::SchedulerStats sched;
 };
 
 /// Factor A = Q R in place: on exit the upper triangle holds R; the rest

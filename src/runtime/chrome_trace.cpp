@@ -1,0 +1,164 @@
+#include "runtime/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace camult::rt {
+namespace {
+
+/// Microsecond timestamp with ns resolution preserved in the fraction.
+std::string us(std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+int tid_of(const TaskRecord& r) { return std::max(r.worker, 0); }
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TaskRecord>& records,
+                        const std::vector<TaskGraph::Edge>& edges,
+                        const ChromeTraceOptions& opts) {
+  os << "[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    os << "\n";
+    first = false;
+  };
+
+  // Metadata: process name plus one thread name per tid in use.
+  sep();
+  os << R"({"ph":"M","pid":0,"name":"process_name","args":{"name":")"
+     << json_escape(opts.process_name) << R"("}})";
+  std::vector<int> tids;
+  for (const TaskRecord& r : records) tids.push_back(tid_of(r));
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  for (int t : tids) {
+    sep();
+    os << R"({"ph":"M","pid":0,"tid":)" << t
+       << R"(,"name":"thread_name","args":{"name":"worker )" << t << R"("}})";
+  }
+
+  // Duration events, one per task.
+  for (const TaskRecord& r : records) {
+    sep();
+    std::string name = task_kind_name(r.kind);
+    name += std::to_string(r.iteration);
+    if (!r.label.empty()) {
+      name += " ";
+      name += r.label;
+    }
+    os << R"({"ph":"X","pid":0,"tid":)" << tid_of(r) << R"(,"name":")"
+       << json_escape(name) << R"(","cat":")" << task_kind_name(r.kind)
+       << R"(","ts":)" << us(r.start_ns) << R"(,"dur":)"
+       << us(r.duration_ns()) << R"(,"args":{"id":)" << r.id
+       << R"(,"iteration":)" << r.iteration << R"(,"priority":)" << r.priority
+       << R"(,"worker":)" << r.worker << "}}";
+  }
+
+  // Flow arrows: producer end -> consumer start. Skip edges whose endpoints
+  // are not in the record set (defensive against partial traces).
+  if (opts.flow_events) {
+    const auto n = static_cast<std::int64_t>(records.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const TaskGraph::Edge& e = edges[i];
+      if (e.from < 0 || e.from >= n || e.to < 0 || e.to >= n) continue;
+      const TaskRecord& a = records[static_cast<std::size_t>(e.from)];
+      const TaskRecord& b = records[static_cast<std::size_t>(e.to)];
+      sep();
+      os << R"({"ph":"s","pid":0,"tid":)" << tid_of(a)
+         << R"(,"name":"dep","cat":"dep","id":)" << i << R"(,"ts":)"
+         << us(a.end_ns) << "}";
+      sep();
+      os << R"({"ph":"f","bp":"e","pid":0,"tid":)" << tid_of(b)
+         << R"(,"name":"dep","cat":"dep","id":)" << i << R"(,"ts":)"
+         << us(b.start_ns) << "}";
+    }
+  }
+
+  // Derived ready-queue depth: a task is "ready" from its last predecessor's
+  // end until its own start. Tasks with no predecessors count from the trace
+  // start. Emitted as a counter series at each transition.
+  if (opts.counter_events && !records.empty()) {
+    std::int64_t t_min = records.front().start_ns;
+    for (const TaskRecord& r : records) t_min = std::min(t_min, r.start_ns);
+    std::vector<std::int64_t> ready_ns(records.size(), t_min);
+    const auto n = static_cast<std::int64_t>(records.size());
+    for (const TaskGraph::Edge& e : edges) {
+      if (e.from < 0 || e.from >= n || e.to < 0 || e.to >= n) continue;
+      auto& t = ready_ns[static_cast<std::size_t>(e.to)];
+      t = std::max(t, records[static_cast<std::size_t>(e.from)].end_ns);
+    }
+    // (time, delta) transitions; starts break ties after readies so the
+    // running sum never dips negative at an equal timestamp.
+    std::vector<std::pair<std::int64_t, int>> ev;
+    ev.reserve(records.size() * 2);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      ev.emplace_back(ready_ns[i], +1);
+      ev.emplace_back(records[i].start_ns, -1);
+    }
+    std::sort(ev.begin(), ev.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first < b.first
+                                          : a.second > b.second;
+              });
+    std::int64_t depth = 0;
+    for (std::size_t i = 0; i < ev.size(); ++i) {
+      depth += ev[i].second;
+      // Collapse runs at the same timestamp into one sample.
+      if (i + 1 < ev.size() && ev[i + 1].first == ev[i].first) continue;
+      sep();
+      os << R"({"ph":"C","pid":0,"name":"ready tasks","ts":)"
+         << us(ev[i].first) << R"(,"args":{"ready":)" << depth << "}}";
+    }
+  }
+
+  os << "\n]\n";
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<TaskRecord>& records,
+                             const std::vector<TaskGraph::Edge>& edges,
+                             const ChromeTraceOptions& opts) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("chrome_trace: cannot open " + path);
+  }
+  write_chrome_trace(out, records, edges, opts);
+  if (!out) {
+    throw std::runtime_error("chrome_trace: write failed for " + path);
+  }
+}
+
+}  // namespace camult::rt

@@ -1,0 +1,50 @@
+// chrome_trace.hpp — export executed/simulated traces in the Chrome
+// trace-event format (a JSON array of event objects), loadable by
+// chrome://tracing and https://ui.perfetto.dev.
+//
+// Mapping:
+//  * each TaskRecord becomes a complete duration event ("ph":"X") on
+//    pid 0 / tid = worker (serial records with worker == -1 land on tid 0),
+//    with ts/dur in microseconds (doubles, so ns resolution survives);
+//  * DAG edges become flow event pairs ("ph":"s"/"f") so Perfetto draws
+//    arrows between a producer's end and a consumer's start;
+//  * a derived "ready tasks" counter series ("ph":"C") approximates queue
+//    depth: a task counts as ready from the instant its last predecessor
+//    finished until it starts executing.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runtime/task.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace camult::rt {
+
+/// Escape a string for embedding inside a JSON string literal per RFC 8259
+/// (quote, backslash, and control characters; no outer quotes added).
+std::string json_escape(const std::string& s);
+
+struct ChromeTraceOptions {
+  bool flow_events = true;     ///< emit s/f arrows for DAG edges
+  bool counter_events = true;  ///< emit the derived ready-queue depth series
+  std::string process_name = "camult";
+};
+
+/// Write `records` (and optionally `edges`) as a Chrome trace-event JSON
+/// array. Records with zero-initialised timestamps (trace recording off) are
+/// still emitted as zero-duration events so the DAG structure is visible.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TaskRecord>& records,
+                        const std::vector<TaskGraph::Edge>& edges,
+                        const ChromeTraceOptions& opts = {});
+
+/// Convenience wrapper: open `path`, write, and throw std::runtime_error on
+/// I/O failure.
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<TaskRecord>& records,
+                             const std::vector<TaskGraph::Edge>& edges,
+                             const ChromeTraceOptions& opts = {});
+
+}  // namespace camult::rt

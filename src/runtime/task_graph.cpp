@@ -19,6 +19,28 @@ const char* task_kind_name(TaskKind k) {
 
 char task_kind_letter(TaskKind k) { return task_kind_name(k)[0]; }
 
+WorkerStats& WorkerStats::operator+=(const WorkerStats& o) {
+  tasks_executed += o.tasks_executed;
+  local_pops += o.local_pops;
+  steals += o.steals;
+  stolen_tasks += o.stolen_tasks;
+  steal_fails += o.steal_fails;
+  inbox_drains += o.inbox_drains;
+  wakeups_sent += o.wakeups_sent;
+  wakeups_received += o.wakeups_received;
+  idle_spins += o.idle_spins;
+  busy_ns += o.busy_ns;
+  idle_ns += o.idle_ns;
+  return *this;
+}
+
+WorkerStats SchedulerStats::totals() const {
+  WorkerStats t;
+  for (const WorkerStats& w : workers) t += w;
+  t.wakeups_sent += submit_wakeups;
+  return t;
+}
+
 TaskGraph::TaskStore::TaskStore()
     : blocks_(new std::atomic<Task*>[kMaxBlocks]) {
   for (std::size_t b = 0; b < kMaxBlocks; ++b) {
@@ -60,6 +82,7 @@ TaskGraph::TaskGraph(const Config& config) : config_(config) {
   for (std::size_t w = 0; w < n_workers; ++w) {
     local_ready_.push_back(std::make_unique<WorkerDeque>());
   }
+  counters_.reset(new Counters[n_workers]);
   workers_.reserve(static_cast<std::size_t>(config_.num_threads));
   for (int t = 0; t < config_.num_threads; ++t) {
     workers_.emplace_back([this, t] { worker_loop(t); });
@@ -193,10 +216,10 @@ void TaskGraph::dispatch_ready(const TaskId* ready, int n, int worker_hint) {
   // missed this push, its sleepers_ increment happened-before the load in
   // maybe_wake_sleeper (both sides bracket the same queue mutex), so a
   // stale zero cannot be read there.
-  maybe_wake_sleeper();
+  maybe_wake_sleeper(worker_hint);
 }
 
-void TaskGraph::maybe_wake_sleeper() {
+void TaskGraph::maybe_wake_sleeper(int caller) {
   if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
   bool wake = false;
   {
@@ -208,7 +231,15 @@ void TaskGraph::maybe_wake_sleeper() {
       wake = true;
     }
   }
-  if (wake) idle_cv_.notify_one();
+  if (wake) {
+    if (caller >= 0) {
+      bump(counters_[static_cast<std::size_t>(caller) % local_ready_.size()]
+               .wakeups_sent);
+    } else {
+      bump(submit_wakeups_);
+    }
+    idle_cv_.notify_one();
+  }
 }
 
 void TaskGraph::run_task(TaskId id, int worker_id, bool inline_mode) {
@@ -224,6 +255,7 @@ void TaskGraph::run_task(TaskId id, int worker_id, bool inline_mode) {
     // failure is rethrown from wait(). Matches how a worker must never die.
     error = std::current_exception();
   }
+  Counters& cnt = counters_[static_cast<std::size_t>(worker_id)];
   if (config_.record_trace) {
     const auto t1 = std::chrono::steady_clock::now();
     task.record.worker = worker_id;
@@ -233,7 +265,9 @@ void TaskGraph::run_task(TaskId id, int worker_id, bool inline_mode) {
     task.record.end_ns =
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - epoch_)
             .count();
+    bump(cnt.busy_ns, task.record.end_ns - task.record.start_ns);
   }
+  bump(cnt.tasks_executed);
   task.error = error;
   task.fn = nullptr;  // release captures eagerly
 
@@ -294,6 +328,7 @@ bool TaskGraph::try_fill_stealing(int worker_id, std::vector<TaskId>& batch,
                                   std::vector<TaskId>& scratch,
                                   bool* backlog) {
   *backlog = false;
+  Counters& cnt = counters_[static_cast<std::size_t>(worker_id)];
   WorkerDeque& own = *local_ready_[static_cast<std::size_t>(worker_id)];
   {
     std::lock_guard<std::mutex> lock(own.mu);
@@ -304,6 +339,7 @@ bool TaskGraph::try_fill_stealing(int worker_id, std::vector<TaskId>& batch,
       // adopted tasks from this deque.
       drain_inbox(scratch);
       own.q.insert(own.q.end(), scratch.begin(), scratch.end());
+      if (!scratch.empty()) bump(cnt.inbox_drains);
     }
     if (!own.q.empty()) {
       // Take half (at least one, at most kMaxBatch): one lock round-trip
@@ -315,6 +351,7 @@ bool TaskGraph::try_fill_stealing(int worker_id, std::vector<TaskId>& batch,
         batch.push_back(own.q.back());  // LIFO: freshest (hot) tasks first
         own.q.pop_back();
       }
+      bump(cnt.local_pops, static_cast<std::int64_t>(take));
       *backlog = !own.q.empty();
       return true;
     }
@@ -331,16 +368,20 @@ bool TaskGraph::try_fill_stealing(int worker_id, std::vector<TaskId>& batch,
         batch.push_back(victim.q.front());  // FIFO steal: coldest first
         victim.q.pop_front();
       }
+      bump(cnt.steals);
+      bump(cnt.stolen_tasks, static_cast<std::int64_t>(take));
       *backlog = !victim.q.empty();
       return true;
     }
+    bump(cnt.steal_fails);
   }
   return false;
 }
 
-bool TaskGraph::try_fill_central(std::vector<TaskId>& batch,
+bool TaskGraph::try_fill_central(int worker_id, std::vector<TaskId>& batch,
                                  std::vector<TaskId>& scratch, bool* backlog) {
   *backlog = false;
+  Counters& cnt = counters_[static_cast<std::size_t>(worker_id)];
   std::lock_guard<std::mutex> lock(central_mu_);
   // Splice everything the submission thread staged, so every refill
   // decision sees every task submitted so far — strict priority order is
@@ -351,6 +392,7 @@ bool TaskGraph::try_fill_central(std::vector<TaskId>& batch,
     ready_[store_[id].opts.priority].push_back(id);
   }
   ready_count_ += scratch.size();
+  if (!scratch.empty()) bump(cnt.inbox_drains);
   if (ready_count_ == 0) return false;
   // Pop a batch in strict priority order. Scaling by queue/threads keeps
   // the batch at 1 unless the queue is deep relative to the worker pool,
@@ -366,16 +408,18 @@ bool TaskGraph::try_fill_central(std::vector<TaskId>& batch,
     if (top->second.empty()) ready_.erase(top);
   }
   ready_count_ -= take;
+  bump(cnt.local_pops, static_cast<std::int64_t>(take));
   *backlog = ready_count_ > 0;
   return true;
 }
 
 void TaskGraph::worker_loop(int worker_id) {
   const bool stealing = config_.policy == Policy::WorkStealing;
+  Counters& cnt = counters_[static_cast<std::size_t>(worker_id)];
   std::vector<TaskId> scratch;  // recycled inbox-drain buffer
   auto fill = [&](std::vector<TaskId>& batch, bool* backlog) {
     return stealing ? try_fill_stealing(worker_id, batch, scratch, backlog)
-                    : try_fill_central(batch, scratch, backlog);
+                    : try_fill_central(worker_id, batch, scratch, backlog);
   };
   std::vector<TaskId> batch;  // consumed front-to-back
   batch.reserve(kMaxBatch);
@@ -394,9 +438,11 @@ void TaskGraph::worker_loop(int worker_id) {
       // condition variable below.
       for (int spin = 0; spin < 4 && !filled; ++spin) {
         std::this_thread::yield();
+        bump(cnt.idle_spins);
         filled = fill(batch, &backlog);
       }
       if (!filled) {
+        const auto idle0 = std::chrono::steady_clock::now();
         std::unique_lock<std::mutex> lock(idle_mu_);
         sleepers_.fetch_add(1, std::memory_order_seq_cst);
         // Re-scan while counted as a sleeper: any push this scan misses
@@ -404,15 +450,22 @@ void TaskGraph::worker_loop(int worker_id) {
         bool got = fill(batch, &backlog);
         while (!got && !shutdown_.load(std::memory_order_acquire)) {
           idle_cv_.wait(lock);
-          if (idle_wakes_ > 0) --idle_wakes_;  // consume our notify
+          if (idle_wakes_ > 0) {  // consume our notify
+            --idle_wakes_;
+            bump(cnt.wakeups_received);
+          }
           got = fill(batch, &backlog);
         }
         sleepers_.fetch_sub(1, std::memory_order_relaxed);
+        bump(cnt.idle_ns,
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - idle0)
+                 .count());
         if (!got) return;  // shutdown and everything drained
       }
       // Relay: the source we refilled from still holds work, so re-arm the
       // next wake before running (ramp-up propagates worker-to-worker).
-      if (backlog) maybe_wake_sleeper();
+      if (backlog) maybe_wake_sleeper(worker_id);
     }
     run_task(batch[cursor++], worker_id);
   }
@@ -454,5 +507,27 @@ std::vector<TaskRecord> TaskGraph::trace() const {
 }
 
 std::vector<TaskGraph::Edge> TaskGraph::edges() const { return edges_; }
+
+SchedulerStats TaskGraph::stats() const {
+  SchedulerStats s;
+  s.workers.resize(local_ready_.size());
+  for (std::size_t w = 0; w < local_ready_.size(); ++w) {
+    const Counters& c = counters_[w];
+    WorkerStats& out = s.workers[w];
+    out.tasks_executed = c.tasks_executed.load(std::memory_order_relaxed);
+    out.local_pops = c.local_pops.load(std::memory_order_relaxed);
+    out.steals = c.steals.load(std::memory_order_relaxed);
+    out.stolen_tasks = c.stolen_tasks.load(std::memory_order_relaxed);
+    out.steal_fails = c.steal_fails.load(std::memory_order_relaxed);
+    out.inbox_drains = c.inbox_drains.load(std::memory_order_relaxed);
+    out.wakeups_sent = c.wakeups_sent.load(std::memory_order_relaxed);
+    out.wakeups_received = c.wakeups_received.load(std::memory_order_relaxed);
+    out.idle_spins = c.idle_spins.load(std::memory_order_relaxed);
+    out.busy_ns = c.busy_ns.load(std::memory_order_relaxed);
+    out.idle_ns = c.idle_ns.load(std::memory_order_relaxed);
+  }
+  s.submit_wakeups = submit_wakeups_.load(std::memory_order_relaxed);
+  return s;
+}
 
 }  // namespace camult::rt

@@ -56,6 +56,34 @@
 
 namespace camult::rt {
 
+/// Per-worker scheduler counters, snapshotted by TaskGraph::stats().
+/// busy_ns is only accumulated when Config::record_trace is set (it reuses
+/// the trace timestamps; the counter-only path stays clock-free on the hot
+/// path). idle_ns covers time blocked in the sleep/wake handshake.
+struct WorkerStats {
+  std::int64_t tasks_executed = 0;
+  std::int64_t local_pops = 0;    ///< tasks popped from own deque / buckets
+  std::int64_t steals = 0;        ///< successful steal operations
+  std::int64_t stolen_tasks = 0;  ///< tasks taken by those steals
+  std::int64_t steal_fails = 0;   ///< victim probes that found nothing
+  std::int64_t inbox_drains = 0;  ///< inbox swaps that yielded >= 1 task
+  std::int64_t wakeups_sent = 0;  ///< relay notifies issued by this worker
+  std::int64_t wakeups_received = 0;  ///< notifies consumed after a sleep
+  std::int64_t idle_spins = 0;    ///< yield-backoff iterations before sleep
+  std::int64_t busy_ns = 0;       ///< inside task bodies (record_trace only)
+  std::int64_t idle_ns = 0;       ///< blocked in the sleep/wake handshake
+
+  WorkerStats& operator+=(const WorkerStats& o);
+};
+
+/// Aggregated scheduler telemetry for one TaskGraph run. Valid after
+/// wait(); counters keep accumulating if more tasks are submitted.
+struct SchedulerStats {
+  std::vector<WorkerStats> workers;  ///< one slot per worker (>= 1)
+  std::int64_t submit_wakeups = 0;   ///< wakeups issued by the submitter
+  WorkerStats totals() const;
+};
+
 class TaskGraph {
  public:
   /// How ready tasks are handed to workers.
@@ -106,6 +134,10 @@ class TaskGraph {
 
   /// All dependency edges actually registered. Valid after wait().
   std::vector<Edge> edges() const;
+
+  /// Snapshot of the per-worker scheduler counters. Valid after wait();
+  /// inline mode (num_threads == 0) accounts everything to worker 0.
+  SchedulerStats stats() const;
 
  private:
   struct Task {
@@ -169,6 +201,28 @@ class TaskGraph {
     std::deque<TaskId> q;
   };
 
+  /// One cache-line-padded counter slot per worker. Every field has exactly
+  /// one writer (its worker; the submission thread owns submit_wakeups_), so
+  /// updates are plain relaxed load/store pairs — no RMW, no contention —
+  /// and stats() reads them with relaxed loads.
+  struct alignas(64) Counters {
+    std::atomic<std::int64_t> tasks_executed{0};
+    std::atomic<std::int64_t> local_pops{0};
+    std::atomic<std::int64_t> steals{0};
+    std::atomic<std::int64_t> stolen_tasks{0};
+    std::atomic<std::int64_t> steal_fails{0};
+    std::atomic<std::int64_t> inbox_drains{0};
+    std::atomic<std::int64_t> wakeups_sent{0};
+    std::atomic<std::int64_t> wakeups_received{0};
+    std::atomic<std::int64_t> idle_spins{0};
+    std::atomic<std::int64_t> busy_ns{0};
+    std::atomic<std::int64_t> idle_ns{0};
+  };
+  static void bump(std::atomic<std::int64_t>& c, std::int64_t v = 1) {
+    c.store(c.load(std::memory_order_relaxed) + v,
+            std::memory_order_relaxed);
+  }
+
   void worker_loop(int worker_id);
   void run_task(TaskId id, int worker_id, bool inline_mode = false);
   /// Hand `ready` (which just hit unresolved == 0) to the scheduler and
@@ -177,7 +231,9 @@ class TaskGraph {
   /// submitter never contends on the worker-side queue locks.
   void dispatch_ready(const TaskId* ready, int n, int worker_hint);
   /// Issue a single relay wake to a sleeping worker if none is in flight.
-  void maybe_wake_sleeper();
+  /// `caller` is the worker issuing the wake, or -1 for the submitter
+  /// (counter attribution only).
+  void maybe_wake_sleeper(int caller);
   /// Refill `batch` for `worker_id` (LIFO own deque — adopting the staged
   /// inbox when the deque is empty — then FIFO steal), taking up to half
   /// the source deque (max kMaxBatch) under one lock. Consume
@@ -187,7 +243,7 @@ class TaskGraph {
                          std::vector<TaskId>& scratch, bool* backlog);
   /// Same, for CentralPriority: splice the inbox into the heap, then pop a
   /// batch in strict priority order.
-  bool try_fill_central(std::vector<TaskId>& batch,
+  bool try_fill_central(int worker_id, std::vector<TaskId>& batch,
                         std::vector<TaskId>& scratch, bool* backlog);
   /// O(1) inbox drain: swap its contents into `scratch` (a worker-owned
   /// buffer that recycles its capacity), so inbox_mu_ is never held for a
@@ -229,6 +285,10 @@ class TaskGraph {
 
   // --- Policy::WorkStealing state (one small lock per deque).
   std::vector<std::unique_ptr<WorkerDeque>> local_ready_;
+
+  // --- Per-worker counter slots (see Counters) + the submitter's wakeups.
+  std::unique_ptr<Counters[]> counters_;
+  std::atomic<std::int64_t> submit_wakeups_{0};
 
   // --- Sleep/wake handshake, shared by both policies.
   std::mutex idle_mu_;             ///< serializes the sleep/wake handshake

@@ -27,13 +27,48 @@ TraceStats compute_stats(const std::vector<TaskRecord>& records,
   return st;
 }
 
+TraceStats compute_stats(const std::vector<TaskRecord>& records,
+                         int num_workers, SchedulerStats sched) {
+  TraceStats st = compute_stats(records, num_workers);
+  st.sched = std::move(sched);
+  return st;
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');  // RFC 4180: double embedded quotes
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string dot_escape(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': break;  // DOT has no CR escape; drop it
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 void write_trace_csv(std::ostream& os,
                      const std::vector<TaskRecord>& records) {
   os << "id,kind,iteration,worker,start_ns,end_ns,label\n";
   for (const TaskRecord& r : records) {
     os << r.id << ',' << task_kind_name(r.kind) << ',' << r.iteration << ','
-       << r.worker << ',' << r.start_ns << ',' << r.end_ns << ',' << r.label
-       << '\n';
+       << r.worker << ',' << r.start_ns << ',' << r.end_ns << ','
+       << csv_escape(r.label) << '\n';
   }
 }
 
@@ -75,7 +110,7 @@ void write_dot(std::ostream& os, const std::vector<TaskRecord>& records,
   os << "digraph tasks {\n  rankdir=TB;\n  node [shape=circle];\n";
   for (const TaskRecord& r : records) {
     os << "  t" << r.id << " [label=\"" << task_kind_name(r.kind) << r.iteration;
-    if (!r.label.empty()) os << "\\n" << r.label;
+    if (!r.label.empty()) os << "\\n" << dot_escape(r.label);
     os << "\"];\n";
   }
   for (const auto& e : edges) {

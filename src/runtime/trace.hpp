@@ -22,13 +22,31 @@ struct TraceStats {
   int num_workers = 0;
   double idle_fraction = 0.0;             ///< 1 - busy/(makespan*workers)
   std::map<TaskKind, std::int64_t> busy_by_kind_ns;
+  /// Scheduler counters for the run that produced the trace (empty when the
+  /// trace came from a file or a simulation rather than a live TaskGraph).
+  SchedulerStats sched;
 };
 
 /// Aggregate statistics over an executed (or simulated) trace.
 TraceStats compute_stats(const std::vector<TaskRecord>& records,
                          int num_workers);
 
-/// CSV: id,kind,iteration,worker,start_ns,end_ns,label.
+/// Same, additionally folding in the scheduler counters snapshot from the
+/// TaskGraph that executed the trace (TaskGraph::stats()).
+TraceStats compute_stats(const std::vector<TaskRecord>& records,
+                         int num_workers, SchedulerStats sched);
+
+/// Quote a CSV field per RFC 4180: fields containing a comma, quote, CR or
+/// LF are wrapped in double quotes with embedded quotes doubled; anything
+/// else passes through unchanged.
+std::string csv_escape(const std::string& field);
+
+/// Escape a string for use inside a double-quoted GraphViz DOT label
+/// (backslash, double quote, and newlines).
+std::string dot_escape(const std::string& label);
+
+/// CSV: id,kind,iteration,worker,start_ns,end_ns,label. Labels are quoted
+/// per RFC 4180 when they contain a separator, quote, or newline.
 void write_trace_csv(std::ostream& os, const std::vector<TaskRecord>& records);
 
 /// ASCII Gantt chart: one row per worker, `width` character columns spanning

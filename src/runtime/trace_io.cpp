@@ -44,36 +44,76 @@ void save_dag_file(const std::string& path,
   save_dag(out, tasks, edges);
 }
 
+namespace {
+
+/// Upper bound on the task/edge counts a DAG file may declare. Far above any
+/// trace this library produces, but small enough that a corrupt count cannot
+/// drive a multi-GB resize before the first record fails to parse.
+constexpr long long kMaxDagCount = 100'000'000;
+
+/// Parse a "<word> <n>" section header, validating the count. Reading into
+/// a signed type first catches negative counts (which would otherwise wrap
+/// through the unsigned size_t extraction into an enormous resize).
+std::size_t read_count(std::istream& is, const char* word) {
+  std::string w;
+  long long n = 0;
+  if (!(is >> w >> n) || w != word) {
+    throw std::runtime_error(std::string("load_dag: expected '") + word +
+                             " <n>'");
+  }
+  if (n < 0 || n > kMaxDagCount) {
+    throw std::runtime_error(std::string("load_dag: implausible ") + word +
+                             " count " + std::to_string(n));
+  }
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
 RecordedDag load_dag(std::istream& is) {
   std::string line;
   if (!std::getline(is, line) || line != kMagic) {
     throw std::runtime_error("load_dag: bad magic line");
   }
-  std::string word;
-  std::size_t count = 0;
-  if (!(is >> word >> count) || word != "tasks") {
-    throw std::runtime_error("load_dag: expected 'tasks <n>'");
-  }
   RecordedDag dag;
-  dag.tasks.resize(count);
-  for (std::size_t i = 0; i < count; ++i) {
+  const std::size_t n_tasks = read_count(is, "tasks");
+  dag.tasks.resize(n_tasks);
+  for (std::size_t i = 0; i < n_tasks; ++i) {
     TaskRecord& t = dag.tasks[i];
     char kind_letter = 'G';
     if (!(is >> t.id >> kind_letter >> t.iteration >> t.priority >> t.worker >>
           t.start_ns >> t.end_ns)) {
-      throw std::runtime_error("load_dag: truncated task line");
+      throw std::runtime_error("load_dag: truncated task line " +
+                               std::to_string(i));
+    }
+    if (t.worker < -1) {
+      throw std::runtime_error("load_dag: task " + std::to_string(i) +
+                               " has invalid worker " +
+                               std::to_string(t.worker));
+    }
+    if (t.end_ns < t.start_ns) {
+      throw std::runtime_error("load_dag: task " + std::to_string(i) +
+                               " has end_ns < start_ns");
     }
     t.kind = kind_from_letter(kind_letter);
     std::getline(is, t.label);
     if (!t.label.empty() && t.label.front() == ' ') t.label.erase(0, 1);
   }
-  if (!(is >> word >> count) || word != "edges") {
-    throw std::runtime_error("load_dag: expected 'edges <n>'");
-  }
-  dag.edges.resize(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    if (!(is >> dag.edges[i].from >> dag.edges[i].to)) {
-      throw std::runtime_error("load_dag: truncated edge line");
+  const std::size_t n_edges = read_count(is, "edges");
+  dag.edges.resize(n_edges);
+  for (std::size_t i = 0; i < n_edges; ++i) {
+    TaskGraph::Edge& e = dag.edges[i];
+    if (!(is >> e.from >> e.to)) {
+      throw std::runtime_error("load_dag: truncated edge line " +
+                               std::to_string(i));
+    }
+    const auto n = static_cast<TaskId>(n_tasks);
+    if (e.from < 0 || e.from >= n || e.to < 0 || e.to >= n) {
+      throw std::runtime_error("load_dag: edge " + std::to_string(i) + " (" +
+                               std::to_string(e.from) + " -> " +
+                               std::to_string(e.to) +
+                               ") references a task outside [0, " +
+                               std::to_string(n_tasks) + ")");
     }
   }
   return dag;

@@ -137,6 +137,7 @@ TileCholeskyResult tile_cholesky_factor(MatrixView a,
     result.trace = graph.trace();
     result.edges = graph.edges();
   }
+  result.sched = graph.stats();
   return result;
 }
 

@@ -21,6 +21,7 @@ struct TileCholeskyResult {
   idx info = 0;  ///< 0, or 1-based index of the first non-positive pivot
   std::vector<rt::TaskRecord> trace;
   std::vector<rt::TaskGraph::Edge> edges;
+  rt::SchedulerStats sched;  ///< scheduler counters (always filled)
 };
 
 /// Factor A = L L^T in place (lower triangle). Same numerical contract as

@@ -202,6 +202,7 @@ TileLuResult tile_lu_factor(MatrixView a, const TileLuOptions& opts) {
     result.trace = graph.trace();
     result.edges = graph.edges();
   }
+  result.sched = graph.stats();
   return result;
 }
 

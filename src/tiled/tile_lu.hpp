@@ -40,6 +40,7 @@ struct TileLuResult {
   std::vector<TileLuStep> steps;
   std::vector<rt::TaskRecord> trace;
   std::vector<rt::TaskGraph::Edge> edges;
+  rt::SchedulerStats sched;  ///< scheduler counters (always filled)
 };
 
 /// Factor A in place: on exit the upper triangle holds U; the returned

@@ -175,6 +175,7 @@ TileQrResult tile_qr_factor(MatrixView a, const TileQrOptions& opts) {
     result.trace = graph.trace();
     result.edges = graph.edges();
   }
+  result.sched = graph.stats();
   return result;
 }
 

@@ -36,6 +36,7 @@ struct TileQrResult {
   std::vector<TileQrStep> steps;
   std::vector<rt::TaskRecord> trace;
   std::vector<rt::TaskGraph::Edge> edges;
+  rt::SchedulerStats sched;  ///< scheduler counters (always filled)
 };
 
 /// Factor A = Q R in place (R in the upper triangle; V tails in tiles and

@@ -2,12 +2,16 @@
 // the measurement protocol, and the table printer's CSV mirror.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 
 #include "bench_support/flops.hpp"
+#include "bench_support/json.hpp"
 #include "bench_support/runner.hpp"
 #include "bench_support/table.hpp"
 #include "runtime/task_graph.hpp"
@@ -68,7 +72,7 @@ TEST(Measure, SimulatedModeUsesRecordedDurations) {
       });
     }
     g.wait();
-    return RunArtifacts{g.trace(), g.edges()};
+    return RunArtifacts{g.trace(), g.edges(), g.stats()};
   };
   // 4 independent equal tasks: 4 cores ≈ 4x faster than 1 core (exact in
   // the simulator up to per-run duration noise). The recorded durations are
@@ -116,6 +120,93 @@ TEST(CsvPath, EmptyWithoutEnv) {
   setenv("CAMULT_BENCH_CSV", "/tmp", 1);
   EXPECT_EQ(csv_path("foo"), "/tmp/foo.csv");
   unsetenv("CAMULT_BENCH_CSV");
+}
+
+// --- minimal JSON library --------------------------------------------------
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").boolean);
+  EXPECT_FALSE(JsonValue::parse("false").boolean);
+  EXPECT_EQ(JsonValue::parse("42").number, 42.0);
+  EXPECT_EQ(JsonValue::parse("-1.5e2").number, -150.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").string, "hi");
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const JsonValue v =
+      JsonValue::parse("{\"a\": [1, 2, {\"b\": null}], \"c\": \"x\"}");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[1].number, 2.0);
+  EXPECT_TRUE(a->array[2].find("b")->is_null());
+  EXPECT_EQ(v.find("c")->string, "x");
+}
+
+TEST(Json, ParsesStringEscapes) {
+  EXPECT_EQ(JsonValue::parse("\"a\\\"b\\\\c\\nd\\t\"").string,
+            "a\"b\\c\nd\t");
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\\u00e9\"").string, "A\xc3\xa9");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  EXPECT_EQ(JsonValue::parse("\"\\ud83d\\ude00\"").string,
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("tru"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("1 2"), std::runtime_error);  // trailing
+  EXPECT_THROW(JsonValue::parse("\"\\ud83d\""), std::runtime_error);
+}
+
+TEST(Json, DumpRoundTripsThroughParse) {
+  JsonValue obj = JsonValue::make_object();
+  obj.set("name", JsonValue::make_string("quote \" slash \\ nl \n"));
+  obj.set("count", JsonValue::make_number(12345));
+  obj.set("ratio", JsonValue::make_number(0.5));
+  JsonValue arr = JsonValue::make_array();
+  arr.array.push_back(JsonValue::make_bool(true));
+  arr.array.push_back(JsonValue::make_null());
+  obj.set("flags", std::move(arr));
+
+  const JsonValue back = JsonValue::parse(obj.dump());
+  EXPECT_EQ(back.find("name")->string, "quote \" slash \\ nl \n");
+  EXPECT_EQ(back.find("count")->number, 12345.0);
+  EXPECT_EQ(back.find("ratio")->number, 0.5);
+  EXPECT_TRUE(back.find("flags")->array[0].boolean);
+  EXPECT_TRUE(back.find("flags")->array[1].is_null());
+}
+
+TEST(Json, IntegralNumbersPrintWithoutDecimalNoise) {
+  EXPECT_EQ(JsonValue::make_number(7).dump(), "7");
+  EXPECT_EQ(JsonValue::make_number(-3.0).dump(), "-3");
+  // Non-integral values keep full precision through a round-trip.
+  const double pi = 3.141592653589793;
+  EXPECT_EQ(JsonValue::parse(JsonValue::make_number(pi).dump()).number, pi);
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_TRUE(JsonValue::make_number(std::nan("")).is_null());
+  EXPECT_TRUE(
+      JsonValue::make_number(std::numeric_limits<double>::infinity())
+          .is_null());
+}
+
+TEST(Json, SetReplacesExistingKeyAndPreservesOrder) {
+  JsonValue obj = JsonValue::make_object();
+  obj.set("first", JsonValue::make_number(1));
+  obj.set("second", JsonValue::make_number(2));
+  obj.set("first", JsonValue::make_number(10));
+  ASSERT_EQ(obj.object.size(), 2u);
+  EXPECT_EQ(obj.object[0].first, "first");
+  EXPECT_EQ(obj.object[0].second.number, 10.0);
+  EXPECT_EQ(obj.object[1].first, "second");
 }
 
 }  // namespace

@@ -130,6 +130,37 @@ TEST(Calu, TraceContainsAllTaskKinds) {
   EXPECT_FALSE(r.edges.empty());
 }
 
+// Regression: the candidate-slot dependency keys were once computed with a
+// fixed per-iteration stride of 8192 slots, so a panel with more than 8192
+// tournament leaves aliased iteration k's keys with iteration k+1's. The
+// aliasing shows up as impossible Panel->Panel dependency edges that cross
+// iterations (a tournament task only ever touches its own iteration's
+// candidate slots, and no other key class is shared between Panel tasks of
+// different iterations). This configuration (one-row blocks, Tr above the
+// old stride) fails on the fixed-stride code.
+TEST(Calu, WideTournamentKeysDoNotAliasAcrossIterations) {
+  const idx m = 8400;
+  Matrix a = random_matrix(m, 2, 417);
+  Matrix lu = a;
+  CaluOptions o;
+  o.b = 1;
+  o.tr = m;  // one leaf per row: more slots than the old fixed stride
+  o.tree = ReductionTree::Flat;
+  o.num_threads = 0;
+  CaluResult r = calu_factor(lu.view(), o);
+  ASSERT_EQ(r.info, 0);
+  for (const auto& e : r.edges) {
+    const auto& from = r.trace[static_cast<std::size_t>(e.from)];
+    const auto& to = r.trace[static_cast<std::size_t>(e.to)];
+    if (from.kind == rt::TaskKind::Panel && to.kind == rt::TaskKind::Panel) {
+      EXPECT_EQ(from.iteration, to.iteration)
+          << "spurious cross-iteration Panel edge " << e.from << " ("
+          << from.label << ") -> " << e.to << " (" << to.label << ")";
+    }
+  }
+  EXPECT_LT(lapack::lu_residual(a, lu, r.ipiv), kResidualThreshold);
+}
+
 TEST(Calu, TraceTimesRespectDependencies) {
   Matrix a = random_matrix(200, 100, 89);
   CaluOptions o;
@@ -230,10 +261,10 @@ TEST(Calu, LookaheadPriorityBandsDisjointAndOrderedAtScale) {
   // m = 1e6, b = 100 gives 1e4 panels) — and collided between different
   // (k, j) pairs once j - k >= 1000. The rescaled bands must stay positive,
   // disjoint, and correctly ordered for ANY problem size.
-  for (const auto [n_panels, n_blocks] : {std::pair<idx, idx>{4, 8},
-                                          {100, 100},
-                                          {20000, 4},    // old overflow regime
-                                          {3, 4000}}) {  // old collision regime
+  for (const auto& [n_panels, n_blocks] : {std::pair<idx, idx>{4, 8},
+                                           {100, 100},
+                                           {20000, 4},   // old overflow regime
+                                           {3, 4000}}) {  // old collision regime
     const LookaheadPriorities prio{n_panels, n_blocks, true};
     const idx k_probe[] = {0, n_panels / 2, n_panels - 1};
     for (idx k : k_probe) {
@@ -241,7 +272,9 @@ TEST(Calu, LookaheadPriorityBandsDisjointAndOrderedAtScale) {
       // decrease with k (earlier iterations are more urgent).
       EXPECT_GT(prio.panel(k), 0);
       EXPECT_EQ(prio.lfactor(k), prio.panel(k) - 1);
-      if (k > 0) EXPECT_LT(prio.panel(k), prio.panel(k - 1));
+      if (k > 0) {
+        EXPECT_LT(prio.panel(k), prio.panel(k - 1));
+      }
       EXPECT_GT(prio.lfactor(k), prio.ufactor(k, k + 1));
 
       // Mid band: the look-ahead column k+1 outranks every trailing column

@@ -157,6 +157,34 @@ TEST(Caqr, TraceHasPanelAndUpdateTasks) {
   }
 }
 
+// Regression: like CALU's candidate slots, the TSQR leaf/node keys used a
+// fixed per-iteration stride of 8192, aliasing iteration k's keys with
+// iteration k+1's once a panel had more tournament slots than the stride and
+// producing impossible cross-iteration Panel->Panel dependency edges. The
+// stride is now derived from the per-iteration slot bound; this wide-panel
+// configuration fails on the fixed-stride code.
+TEST(Caqr, WideTournamentKeysDoNotAliasAcrossIterations) {
+  const idx m = 8400;
+  Matrix a = random_matrix(m, 2, 419);
+  Matrix fact = a;
+  CaqrOptions o;
+  o.b = 1;
+  o.tr = m;  // one leaf per row: more slots than the old fixed stride
+  o.tree = ReductionTree::Flat;
+  o.num_threads = 0;
+  CaqrResult r = caqr_factor(fact.view(), o);
+  for (const auto& e : r.edges) {
+    const auto& from = r.trace[static_cast<std::size_t>(e.from)];
+    const auto& to = r.trace[static_cast<std::size_t>(e.to)];
+    if (from.kind == rt::TaskKind::Panel && to.kind == rt::TaskKind::Panel) {
+      EXPECT_EQ(from.iteration, to.iteration)
+          << "spurious cross-iteration Panel edge " << e.from << " ("
+          << from.label << ") -> " << e.to << " (" << to.label << ")";
+    }
+  }
+  EXPECT_LT(caqr_residual(a, fact, r), kResidualThreshold);
+}
+
 TEST(Caqr, LeastSquaresSolve) {
   // Solve min ||Ax - b|| via CAQR: x = R^{-1} (Q^T b)(1:n).
   const idx m = 200, n = 30;

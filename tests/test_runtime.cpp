@@ -449,5 +449,133 @@ TEST(TraceIo, RejectsGarbage) {
   EXPECT_THROW(load_dag(ss), std::runtime_error);
 }
 
+// A corrupt header must fail with a descriptive error rather than driving a
+// multi-GB resize (huge count) or wrapping through size_t (negative count).
+TEST(TraceIo, RejectsNegativeTaskCount) {
+  std::stringstream ss("camult-dag v1\ntasks -5\nedges 0\n");
+  EXPECT_THROW(load_dag(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsImplausiblyHugeTaskCount) {
+  std::stringstream ss("camult-dag v1\ntasks 999999999999\nedges 0\n");
+  EXPECT_THROW(load_dag(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsNegativeEdgeCount) {
+  std::stringstream ss("camult-dag v1\ntasks 0\nedges -1\n");
+  EXPECT_THROW(load_dag(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsInvalidWorker) {
+  std::stringstream ss(
+      "camult-dag v1\ntasks 1\n0 P 0 0 -7 0 10 label\nedges 0\n");
+  EXPECT_THROW(load_dag(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsEndBeforeStart) {
+  std::stringstream ss(
+      "camult-dag v1\ntasks 1\n0 P 0 0 0 100 50 label\nedges 0\n");
+  EXPECT_THROW(load_dag(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsOutOfRangeEdge) {
+  std::stringstream ss(
+      "camult-dag v1\ntasks 2\n0 P 0 0 0 0 10 a\n1 S 0 0 0 10 20 b\n"
+      "edges 1\n0 5\n");
+  EXPECT_THROW(load_dag(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedTaskRecord) {
+  std::stringstream ss("camult-dag v1\ntasks 2\n0 P 0 0 0 0 10 only-one\n");
+  EXPECT_THROW(load_dag(ss), std::runtime_error);
+}
+
+TEST(TraceIo, AcceptsSimulatedWorkerMinusOne) {
+  std::stringstream ss(
+      "camult-dag v1\ntasks 1\n0 P 0 0 -1 0 10 recorded\nedges 0\n");
+  RecordedDag dag = load_dag(ss);
+  ASSERT_EQ(dag.tasks.size(), 1u);
+  EXPECT_EQ(dag.tasks[0].worker, -1);
+}
+
+// --- label escaping in the exporters ---------------------------------------
+
+TEST(Trace, CsvEscapeQuotesSpecialFields) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Trace, CsvWriterEscapesLabels) {
+  std::vector<TaskRecord> recs(1);
+  recs[0].id = 0;
+  recs[0].label = "leaf 0, \"quoted\"";
+  std::ostringstream os;
+  write_trace_csv(os, recs);
+  EXPECT_NE(os.str().find("\"leaf 0, \"\"quoted\"\"\""), std::string::npos);
+}
+
+TEST(Trace, DotEscapeHandlesQuotesBackslashesNewlines) {
+  EXPECT_EQ(dot_escape("plain"), "plain");
+  EXPECT_EQ(dot_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(dot_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(dot_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(dot_escape("a\rb"), "ab");
+}
+
+TEST(Trace, DotWriterEscapesLabels) {
+  std::vector<TaskRecord> recs(1);
+  recs[0].id = 0;
+  recs[0].label = "bad \"label\"";
+  std::ostringstream os;
+  write_dot(os, recs, {});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("bad \\\"label\\\""), std::string::npos);
+  // The raw unescaped quote sequence must not appear inside any DOT string.
+  EXPECT_EQ(s.find(" \"label\""), std::string::npos);
+}
+
+// --- stats/gantt edge cases ------------------------------------------------
+
+TEST(Trace, StatsEmptyTraceIsAllZero) {
+  const TraceStats st = compute_stats({}, 4);
+  EXPECT_EQ(st.makespan_ns, 0);
+  EXPECT_EQ(st.busy_ns, 0);
+  EXPECT_EQ(st.idle_fraction, 0.0);
+}
+
+TEST(Trace, StatsZeroDurationTasksGiveZeroMakespan) {
+  std::vector<TaskRecord> recs(2);
+  recs[0].worker = 0;
+  recs[0].start_ns = 50;
+  recs[0].end_ns = 50;
+  recs[1].worker = -1;  // unknown worker still counts toward busy time
+  recs[1].start_ns = 50;
+  recs[1].end_ns = 50;
+  const TraceStats st = compute_stats(recs, 2);
+  EXPECT_EQ(st.makespan_ns, 0);
+  EXPECT_EQ(st.busy_ns, 0);
+  EXPECT_EQ(st.idle_fraction, 0.0);  // makespan 0 must not divide by zero
+}
+
+TEST(Trace, GanttEmptyTraceRendersNothing) {
+  EXPECT_EQ(render_gantt({}, 4, 80), "");
+  EXPECT_EQ(render_gantt({}, 0, 80), "");
+}
+
+TEST(Trace, GanttZeroDurationAndUnknownWorkerAreSafe) {
+  std::vector<TaskRecord> recs(2);
+  recs[0].worker = 0;
+  recs[0].kind = TaskKind::Panel;
+  recs[0].start_ns = 10;
+  recs[0].end_ns = 10;  // zero duration
+  recs[1].worker = -1;  // simulated record without a worker: skipped
+  recs[1].start_ns = 0;
+  recs[1].end_ns = 10;
+  const std::string g = render_gantt(recs, 1, 20);
+  EXPECT_NE(g.find("core 0"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace camult::rt

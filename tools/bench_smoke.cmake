@@ -1,0 +1,46 @@
+# Bench smoke: run one LU figure bench, one QR figure bench and the trace
+# bench at tiny sizes, then validate every emitted JSON artifact with
+# check_bench_json. Driven by the bench_json_smoke ctest registered in
+# tools/CMakeLists.txt; expects FIG5_BIN, FIG8_BIN, FIG34_BIN, CLI_BIN,
+# CHECKER_BIN and OUT_DIR on the command line (-D...).
+foreach(var FIG5_BIN FIG8_BIN FIG34_BIN CLI_BIN CHECKER_BIN OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_smoke.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(ENV{CAMULT_BENCH_JSON} "${OUT_DIR}")
+set(ENV{CAMULT_BENCH_CSV} "${OUT_DIR}")
+# Tiny problem so the smoke stays in seconds; the schema does not depend on
+# the problem size.
+set(ENV{CAMULT_BENCH_M} 2000)
+set(ENV{CAMULT_BENCH_N} 200)
+set(ENV{CAMULT_BENCH_NS} 100)
+
+function(smoke_run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rv OUTPUT_QUIET)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: '${ARGV}' failed with status ${rv}")
+  endif()
+endfunction()
+
+smoke_run("${FIG5_BIN}")
+smoke_run("${FIG8_BIN}")
+smoke_run("${FIG34_BIN}")
+
+smoke_run("${CHECKER_BIN}"
+  "${OUT_DIR}/BENCH_fig5.json"
+  "${OUT_DIR}/BENCH_fig8.json"
+  "${OUT_DIR}/BENCH_fig3_4_trace.json")
+smoke_run("${CHECKER_BIN}" --chrome
+  "${OUT_DIR}/fig3_4_tr1.trace.json"
+  "${OUT_DIR}/fig3_4_tr8.trace.json")
+
+# CLI end-to-end: a real 2-thread run must produce a valid chrome trace.
+smoke_run("${CLI_BIN}" lu random:600x300 -b 100 -t 2 -p 2
+  --trace-json "${OUT_DIR}/cli_trace.json")
+smoke_run("${CHECKER_BIN}" --chrome "${OUT_DIR}/cli_trace.json")
+
+message(STATUS "bench smoke OK: artifacts in ${OUT_DIR}")

@@ -8,6 +8,7 @@
 //
 // Options: -b <block>  -t|--tr <Tr>  -p|--threads <N>
 //          --tree binary|flat|hybrid  -o <out.mtx>
+//          --trace-json <path>   write a chrome://tracing / Perfetto trace
 // Matrices are Matrix Market files; "random:MxN" generates a seeded
 // uniform matrix instead.
 #include <cstdio>
@@ -23,6 +24,7 @@
 #include "matrix/io.hpp"
 #include "matrix/norms.hpp"
 #include "matrix/random.hpp"
+#include "runtime/chrome_trace.hpp"
 #include "tiled/tile_cholesky.hpp"
 
 namespace {
@@ -37,6 +39,7 @@ struct Args {
   int threads = 4;
   core::ReductionTree tree = core::ReductionTree::Binary;
   std::string out;
+  std::string trace_json;
 };
 
 [[noreturn]] void usage() {
@@ -44,6 +47,7 @@ struct Args {
       stderr,
       "usage: camult <info|lu|qr|chol|solve> <inputs...> "
       "[-b N] [-t Tr] [-p threads] [--tree binary|flat|hybrid] [-o out.mtx]\n"
+      "       [--trace-json trace.json]\n"
       "inputs are MatrixMarket files or random:MxN\n");
   std::exit(2);
 }
@@ -66,6 +70,8 @@ Args parse(int argc, char** argv) {
       a.threads = std::atoi(next());
     } else if (s == "-o") {
       a.out = next();
+    } else if (s == "--trace-json") {
+      a.trace_json = next();
     } else if (s == "--tree") {
       const std::string t = next();
       if (t == "binary") a.tree = core::ReductionTree::Binary;
@@ -105,6 +111,27 @@ double now_run(const std::function<void()>& fn) {
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
+// Shared observability tail for lu/qr/chol: scheduler counter summary on
+// stdout, plus the chrome://tracing JSON when --trace-json was given.
+void report_run(const Args& args, const std::vector<rt::TaskRecord>& trace,
+                const std::vector<rt::TaskGraph::Edge>& edges,
+                const rt::SchedulerStats& sched) {
+  const rt::WorkerStats tot = sched.totals();
+  if (tot.tasks_executed > 0) {
+    std::printf(
+        "scheduler: %lld tasks, %lld steals (%lld failed), %lld wakeups\n",
+        static_cast<long long>(tot.tasks_executed),
+        static_cast<long long>(tot.steals),
+        static_cast<long long>(tot.steal_fails),
+        static_cast<long long>(tot.wakeups_sent));
+  }
+  if (!args.trace_json.empty()) {
+    rt::write_chrome_trace_file(args.trace_json, trace, edges);
+    std::printf("wrote chrome trace to %s (open in ui.perfetto.dev)\n",
+                args.trace_json.c_str());
+  }
+}
+
 int cmd_info(const Args& args) {
   Matrix a = load(args.inputs[0]);
   std::printf("%lld x %lld\n", static_cast<long long>(a.rows()),
@@ -136,6 +163,7 @@ int cmd_lu(const Args& args) {
   const double secs = now_run([&] { res = core::calu_factor(lu.view(), o); });
   std::printf("CALU: %zu tasks, %.3f s, info=%lld\n", res.trace.size(), secs,
               static_cast<long long>(res.info));
+  report_run(args, res.trace, res.edges, res.sched);
   if (res.info == 0) {
     std::printf("scaled residual ||PA-LU|| = %.2f, growth = %.3g\n",
                 lapack::lu_residual(a, lu, res.ipiv),
@@ -159,6 +187,7 @@ int cmd_qr(const Args& args) {
   core::CaqrResult res;
   const double secs = now_run([&] { res = core::caqr_factor(qr.view(), o); });
   std::printf("CAQR: %zu tasks, %.3f s\n", res.trace.size(), secs);
+  report_run(args, res.trace, res.edges, res.sched);
   std::printf("scaled residual ||A-QR|| = %.2f\n",
               core::caqr_residual(a, qr, res));
   if (!args.out.empty()) {
@@ -193,6 +222,7 @@ int cmd_chol(const Args& args) {
       now_run([&] { res = tiled::tile_cholesky_factor(chol.view(), o); });
   std::printf("tiled Cholesky: %zu tasks, %.3f s, info=%lld\n",
               res.trace.size(), secs, static_cast<long long>(res.info));
+  report_run(args, res.trace, res.edges, res.sched);
   if (res.info == 0) {
     std::printf("scaled residual ||A-LL^T|| = %.2f\n",
                 lapack::cholesky_residual(a, chol));

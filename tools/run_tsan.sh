@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # Build the runtime tests under ThreadSanitizer and run the scheduler's
-# concurrency surface: test_runtime (API + wakeup paths) and
+# concurrency surface: test_runtime (API + wakeup paths),
 # test_scheduler_stress (randomized DAGs, submission racing execution,
-# both policies, 1-8 threads). Any reported race fails the run.
+# both policies, 1-8 threads) and test_observability (the per-worker
+# counter instrumentation: single-writer slots racing the stats() reader,
+# steal accounting under contention). Any reported race fails the run.
 #
 # Usage: tools/run_tsan.sh [build-dir]        (default: build-tsan)
 # Run with CAMULT_SANITIZE=address instead via: SAN=address tools/run_tsan.sh
@@ -18,7 +20,8 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCAMULT_NATIVE_ARCH=OFF \
   -DCAMULT_BUILD_BENCH=OFF \
   -DCAMULT_BUILD_EXAMPLES=OFF
-cmake --build "$build_dir" -j --target test_runtime test_scheduler_stress
+cmake --build "$build_dir" -j --target test_runtime test_scheduler_stress \
+  test_observability
 
 if [ "$san" = thread ]; then
   export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
@@ -28,4 +31,5 @@ fi
 
 "$build_dir/tests/test_runtime"
 "$build_dir/tests/test_scheduler_stress"
+"$build_dir/tests/test_observability"
 echo "[$san sanitizer] all scheduler tests passed"
