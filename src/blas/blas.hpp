@@ -4,6 +4,7 @@
 #include "blas/gemm.hpp"    // IWYU pragma: export
 #include "blas/level1.hpp"  // IWYU pragma: export
 #include "blas/level2.hpp"  // IWYU pragma: export
+#include "blas/pack.hpp"    // IWYU pragma: export
 #include "blas/syrk.hpp"    // IWYU pragma: export
 #include "blas/trmm.hpp"    // IWYU pragma: export
 #include "blas/trsm.hpp"    // IWYU pragma: export

@@ -2,7 +2,8 @@
 
 #include <cassert>
 #include <cstring>
-#include <vector>
+
+#include "blas/pack.hpp"
 
 #if defined(__AVX2__) && defined(__FMA__)
 #include <immintrin.h>
@@ -11,70 +12,16 @@
 namespace camult::blas {
 namespace {
 
-// Microkernel register block. 8x6 keeps the accumulator within the AVX2
-// register budget when GCC vectorizes the row dimension.
-constexpr idx MR = 8;
-constexpr idx NR = 6;
-// Cache blocks: A panel (MC x KC) targets L2, B panel (KC x NC) targets L3.
-constexpr idx MC = 192;
-constexpr idx KC = 256;
-constexpr idx NC = 768;
+// Local aliases for the shared blocking constants (see pack.hpp). MR x NR is
+// the microkernel register tile; MC/KC target L2, NC targets L3.
+constexpr idx MR = kGemmMR;
+constexpr idx NR = kGemmNR;
+constexpr idx MC = kGemmMC;
+constexpr idx KC = kGemmKC;
+constexpr idx NC = kGemmNC;
 
 inline double op_elem(ConstMatrixView a, Trans trans, idx i, idx p) {
   return trans == Trans::NoTrans ? a(i, p) : a(p, i);
-}
-
-// Pack op(A)(i0:i0+mc, p0:p0+kc) into MR-row panels:
-// buf[panel][p * MR + r], zero padded in the row direction.
-void pack_a(ConstMatrixView a, Trans trans, idx i0, idx p0, idx mc, idx kc,
-            double* buf) {
-  const idx panels = (mc + MR - 1) / MR;
-  for (idx ip = 0; ip < panels; ++ip) {
-    const idx i_base = i0 + ip * MR;
-    const idx rows = std::min<idx>(MR, i0 + mc - i_base);
-    double* dst = buf + ip * (MR * kc);
-    if (trans == Trans::NoTrans) {
-      for (idx p = 0; p < kc; ++p) {
-        const double* src = a.col_ptr(p0 + p) + i_base;
-        for (idx r = 0; r < rows; ++r) dst[p * MR + r] = src[r];
-        for (idx r = rows; r < MR; ++r) dst[p * MR + r] = 0.0;
-      }
-    } else {
-      for (idx p = 0; p < kc; ++p) {
-        for (idx r = 0; r < rows; ++r) {
-          dst[p * MR + r] = a(p0 + p, i_base + r);
-        }
-        for (idx r = rows; r < MR; ++r) dst[p * MR + r] = 0.0;
-      }
-    }
-  }
-}
-
-// Pack op(B)(p0:p0+kc, j0:j0+nc) into NR-column panels:
-// buf[panel][p * NR + c], zero padded in the column direction.
-void pack_b(ConstMatrixView b, Trans trans, idx p0, idx j0, idx kc, idx nc,
-            double* buf) {
-  const idx panels = (nc + NR - 1) / NR;
-  for (idx jp = 0; jp < panels; ++jp) {
-    const idx j_base = j0 + jp * NR;
-    const idx cols = std::min<idx>(NR, j0 + nc - j_base);
-    double* dst = buf + jp * (NR * kc);
-    if (trans == Trans::NoTrans) {
-      for (idx p = 0; p < kc; ++p) {
-        for (idx c = 0; c < cols; ++c) dst[p * NR + c] = b(p0 + p, j_base + c);
-        for (idx c = cols; c < NR; ++c) dst[p * NR + c] = 0.0;
-      }
-    } else {
-      for (idx c = 0; c < cols; ++c) {
-        const double* src = b.col_ptr(p0) + (j_base + c);
-        // op(B)(p, j) = b(j, p): walk row j_base+c of b, stride ld.
-        for (idx p = 0; p < kc; ++p) dst[p * NR + c] = src[p * b.ld()];
-      }
-      for (idx c = cols; c < NR; ++c) {
-        for (idx p = 0; p < kc; ++p) dst[p * NR + c] = 0.0;
-      }
-    }
-  }
 }
 
 // C(0:mr_eff, 0:nr_eff) += alpha * Ap * Bp where Ap is MR x kc packed and
@@ -191,6 +138,39 @@ void gemm_small(Trans transa, Trans transb, double alpha, ConstMatrixView a,
   }
 }
 
+// Macro-block driver shared by gemm and both gemm_packed overloads: walks
+// the jc / pc / ic cache-block loops and feeds the microkernel. The getters
+// supply a packed (MC x KC) A block (get_a(ic, pc, mc, kc)) and a packed
+// (KC x NC) B block (get_b(pc, jc, kc, nc)) — either freshly packed into
+// per-call scratch or served from a pre-packed PackedPanel. Since the loop
+// structure and microkernel are shared, packed and unpacked runs produce
+// bit-identical results on this path.
+template <typename GetA, typename GetB>
+void gemm_blocked(idx m, idx n, idx k, double alpha, GetA&& get_a,
+                  GetB&& get_b, MatrixView c) {
+  for (idx jc = 0; jc < n; jc += NC) {
+    const idx nc = std::min<idx>(NC, n - jc);
+    for (idx pc = 0; pc < k; pc += KC) {
+      const idx kc = std::min<idx>(KC, k - pc);
+      const double* bblk = get_b(pc, jc, kc, nc);
+      for (idx ic = 0; ic < m; ic += MC) {
+        const idx mc = std::min<idx>(MC, m - ic);
+        const double* ablk = get_a(ic, pc, mc, kc);
+        for (idx jr = 0; jr < nc; jr += NR) {
+          const idx nr_eff = std::min<idx>(NR, nc - jr);
+          const double* bp = bblk + (jr / NR) * (NR * kc);
+          for (idx ir = 0; ir < mc; ir += MR) {
+            const idx mr_eff = std::min<idx>(MR, mc - ir);
+            const double* ap = ablk + (ir / MR) * (MR * kc);
+            double* cblk = c.data() + (ic + ir) + (jc + jr) * c.ld();
+            microkernel(kc, alpha, ap, bp, cblk, c.ld(), mr_eff, nr_eff);
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 GemmBlocking gemm_blocking() { return {MC, KC, NC, MR, NR}; }
@@ -212,34 +192,76 @@ void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
     return;
   }
 
-  // Packing workspaces are reused across calls on the same thread; workers in
-  // the task runtime each get their own copies.
-  thread_local std::vector<double> a_buf;
-  thread_local std::vector<double> b_buf;
-  a_buf.resize(static_cast<std::size_t>(((MC + MR - 1) / MR) * MR * KC));
-  b_buf.resize(static_cast<std::size_t>(((NC + NR - 1) / NR) * NR * KC));
+  // Packing workspaces come from the per-thread scratch pool: after the
+  // first call on a worker these are pointer swaps, not allocations.
+  ScratchBuffer a_buf(static_cast<std::size_t>(MC * KC));
+  ScratchBuffer b_buf(static_cast<std::size_t>(NC * KC));
 
-  for (idx jc = 0; jc < n; jc += NC) {
-    const idx nc = std::min<idx>(NC, n - jc);
-    for (idx pc = 0; pc < k; pc += KC) {
-      const idx kc = std::min<idx>(KC, k - pc);
-      pack_b(b, transb, pc, jc, kc, nc, b_buf.data());
-      for (idx ic = 0; ic < m; ic += MC) {
-        const idx mc = std::min<idx>(MC, m - ic);
-        pack_a(a, transa, ic, pc, mc, kc, a_buf.data());
-        for (idx jr = 0; jr < nc; jr += NR) {
-          const idx nr_eff = std::min<idx>(NR, nc - jr);
-          const double* bp = b_buf.data() + (jr / NR) * (NR * kc);
-          for (idx ir = 0; ir < mc; ir += MR) {
-            const idx mr_eff = std::min<idx>(MR, mc - ir);
-            const double* ap = a_buf.data() + (ir / MR) * (MR * kc);
-            double* cblk = c.data() + (ic + ir) + (jc + jr) * c.ld();
-            microkernel(kc, alpha, ap, bp, cblk, c.ld(), mr_eff, nr_eff);
-          }
-        }
-      }
-    }
-  }
+  gemm_blocked(
+      m, n, k, alpha,
+      [&](idx ic, idx pc, idx mc, idx kc) -> const double* {
+        pack_a_block(a, transa, ic, pc, mc, kc, a_buf.data());
+        return a_buf.data();
+      },
+      [&](idx pc, idx jc, idx kc, idx nc) -> const double* {
+        pack_b_block(b, transb, pc, jc, kc, nc, b_buf.data());
+        return b_buf.data();
+      },
+      c);
+}
+
+void gemm_packed(double alpha, const PackedPanel& a_packed, Trans transb,
+                 ConstMatrixView b, double beta, MatrixView c) {
+  assert(a_packed.operand() == PackOperand::A);
+  assert(a_packed.valid());
+  const idx m = c.rows();
+  const idx n = c.cols();
+  const idx k = a_packed.cols();
+  assert(a_packed.rows() == m);
+  assert(((transb == Trans::NoTrans) ? b.rows() : b.cols()) == k);
+  assert(((transb == Trans::NoTrans) ? b.cols() : b.rows()) == n);
+
+  scale_matrix(c, beta);
+  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+
+  ScratchBuffer b_buf(static_cast<std::size_t>(NC * KC));
+  gemm_blocked(
+      m, n, k, alpha,
+      [&](idx ic, idx pc, idx /*mc*/, idx /*kc*/) -> const double* {
+        return a_packed.a_block(ic, pc);
+      },
+      [&](idx pc, idx jc, idx kc, idx nc) -> const double* {
+        pack_b_block(b, transb, pc, jc, kc, nc, b_buf.data());
+        return b_buf.data();
+      },
+      c);
+}
+
+void gemm_packed(Trans transa, double alpha, ConstMatrixView a,
+                 const PackedPanel& b_packed, double beta, MatrixView c) {
+  assert(b_packed.operand() == PackOperand::B);
+  assert(b_packed.valid());
+  const idx m = c.rows();
+  const idx n = c.cols();
+  const idx k = b_packed.rows();
+  assert(b_packed.cols() == n);
+  assert(((transa == Trans::NoTrans) ? a.rows() : a.cols()) == m);
+  assert(((transa == Trans::NoTrans) ? a.cols() : a.rows()) == k);
+
+  scale_matrix(c, beta);
+  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+
+  ScratchBuffer a_buf(static_cast<std::size_t>(MC * KC));
+  gemm_blocked(
+      m, n, k, alpha,
+      [&](idx ic, idx pc, idx mc, idx kc) -> const double* {
+        pack_a_block(a, transa, ic, pc, mc, kc, a_buf.data());
+        return a_buf.data();
+      },
+      [&](idx pc, idx jc, idx /*kc*/, idx /*nc*/) -> const double* {
+        return b_packed.b_block(pc, jc);
+      },
+      c);
 }
 
 }  // namespace camult::blas

@@ -8,8 +8,13 @@
 // computed by a register-blocked MR x NR microkernel that the compiler
 // vectorizes. All four transpose combinations are supported; transposition
 // is absorbed by the packing routines.
+// The packing half of the pipeline (pack_a/pack_b/PackedPanel and the
+// per-thread scratch pool) lives in pack.hpp; gemm_packed below consumes a
+// pre-packed operand so repeated multiplies against the same panel — the
+// CALU/CAQR trailing-update pattern — pay for packing once.
 #pragma once
 
+#include "blas/pack.hpp"
 #include "blas/types.hpp"
 #include "matrix/view.hpp"
 
@@ -18,6 +23,18 @@ namespace camult::blas {
 /// Shape contract: op(A) is m x k, op(B) is k x n, C is m x n.
 void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
           ConstMatrixView b, double beta, MatrixView c);
+
+/// C = alpha * Ap * op(B) + beta * C, where Ap was built by pack_a().
+/// Always takes the blocked-microkernel path (no small-case shortcut), so
+/// results are bit-identical to the blocked path of gemm() and independent
+/// of how the trailing matrix is split into column segments along n.
+/// The panel is read-only: concurrent calls may share one PackedPanel.
+void gemm_packed(double alpha, const PackedPanel& a_packed, Trans transb,
+                 ConstMatrixView b, double beta, MatrixView c);
+
+/// C = alpha * op(A) * Bp + beta * C, where Bp was built by pack_b().
+void gemm_packed(Trans transa, double alpha, ConstMatrixView a,
+                 const PackedPanel& b_packed, double beta, MatrixView c);
 
 /// Cache blocking parameters, exposed for benchmarks/tests.
 struct GemmBlocking {

@@ -30,12 +30,21 @@ rt::BlockKey cand_key(idx k, idx slot, idx stride) {
   return (idx{1} << 60) + k * stride + slot;
 }
 rt::BlockKey piv_key(idx k) { return (idx{1} << 61) + k; }
+// One key per (iteration, leaf) packed L block; same stride bound as the
+// candidate slots, so the spaces stay disjoint across iterations.
+rt::BlockKey pack_key(idx k, idx slot, idx stride) {
+  return (idx{1} << 62) + k * stride + slot;
+}
 
 // Per-iteration shared state, kept alive until the graph drains.
 struct IterState {
   RowPartition part;             // panel row partition (panel-relative)
   std::vector<Candidates> slot;  // tournament slots
   PivotVector piv;               // panel-local swap sequence
+  // Packed L block per leaf, built by the iteration's pack tasks and read
+  // (concurrently) by its S tasks; an end-of-iteration task returns the
+  // slabs to the buffer pool so iteration k+1's packs reuse them.
+  std::vector<blas::PackedPanel> lpack;
   idx jb = 0;
 };
 
@@ -101,6 +110,7 @@ CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
     st->part = partition_panel_rows(panel_rows, b, opts.tr, jb);
     const idx leaves = st->part.count();
     st->slot.resize(static_cast<std::size_t>(leaves));
+    if (opts.pack_trailing) st->lpack.resize(static_cast<std::size_t>(leaves));
     IterState* S = st.get();
     iters.push_back(std::move(st));
 
@@ -230,6 +240,39 @@ CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
           {jcol0, std::min(n, jend * b) - jcol0, jblk, jend});
     }
 
+    // --- Pack tasks: copy each leaf's L block into microkernel panel
+    // layout ONCE; every S task of this iteration then consumes the shared
+    // read-only pack instead of repacking L per column segment. The pack
+    // reads the L tiles (ordering it after the L tasks and before the
+    // deferred left swaps, which see the tiles' post-update values) and
+    // publishes the pack_key the S tasks read.
+    const bool pack_here = opts.pack_trailing && !segments.empty();
+    if (pack_here) {
+      for (idx i = 0; i < leaves; ++i) {
+        idx lstart = S->part.start[static_cast<std::size_t>(i)];
+        idx lrows = S->part.rows[static_cast<std::size_t>(i)];
+        if (i == 0) {
+          lstart += jb;
+          lrows -= jb;
+        }
+        if (lrows <= 0) continue;
+        std::vector<BlockAccess> acc;
+        add_tile_range(acc, kb + lstart / b, kb + (lstart + lrows + b - 1) / b,
+                       kb, AccessMode::Read);
+        acc.push_back({pack_key(k, i, cand_stride), AccessMode::Write});
+        rt::TaskOptions topts;
+        topts.kind = TaskKind::Generic;
+        topts.iteration = static_cast<int>(k);
+        topts.priority = prio.lfactor(k);  // critical path ahead of the S's
+        topts.label = "pack i" + std::to_string(i);
+        MatrixView lblk = a.block(row0 + lstart, col0, lrows, jb);
+        add_task(acc, std::move(topts), [S, lblk, i]() {
+          S->lpack[static_cast<std::size_t>(i)] =
+              blas::pack_a(lblk, blas::Trans::NoTrans);
+        });
+      }
+    }
+
     // --- Task U per trailing column segment: permute, then triangular
     // solve.
     for (const ColSegment& seg : segments) {
@@ -270,9 +313,15 @@ CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
         }
         if (lrows <= 0) continue;
         std::vector<BlockAccess> acc;
-        add_tile_range(acc, kb + lstart / b,
-                       kb + (lstart + lrows + b - 1) / b, kb,
-                       AccessMode::Read);                    // L blocks
+        if (pack_here) {
+          // The packed copy replaces the L tiles as the data source; the
+          // Read on pack_key inherits the ordering the pack task set up.
+          acc.push_back({pack_key(k, i, cand_stride), AccessMode::Read});
+        } else {
+          add_tile_range(acc, kb + lstart / b,
+                         kb + (lstart + lrows + b - 1) / b, kb,
+                         AccessMode::Read);                  // L blocks
+        }
         for (idx j2 = seg.jblk0; j2 < seg.jblk1; ++j2) {
           acc.push_back({tile_key(kb, j2), AccessMode::Read});  // U row
           add_tile_range(acc, kb + lstart / b,
@@ -287,11 +336,37 @@ CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
         MatrixView lblk = a.block(row0 + lstart, col0, lrows, jb);
         MatrixView ublk = a.block(row0, jcol0, jb, jcols);
         MatrixView cblk = a.block(row0 + lstart, jcol0, lrows, jcols);
-        add_task(acc, std::move(topts), [lblk, ublk, cblk]() {
-          blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, -1.0, lblk,
-                     ublk, 1.0, cblk);
-        });
+        if (pack_here) {
+          add_task(acc, std::move(topts), [S, ublk, cblk, i]() {
+            blas::gemm_packed(-1.0, S->lpack[static_cast<std::size_t>(i)],
+                              blas::Trans::NoTrans, ublk, 1.0, cblk);
+          });
+        } else {
+          add_task(acc, std::move(topts), [lblk, ublk, cblk]() {
+            blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, -1.0, lblk,
+                       ublk, 1.0, cblk);
+          });
+        }
       }
+    }
+
+    // --- Pack release: once every S task of this iteration has consumed
+    // the packs (Write-after-Read on the pack keys), return the slabs to
+    // the buffer pool so the next iteration's pack tasks recycle them
+    // instead of growing resident memory by half the matrix.
+    if (pack_here) {
+      std::vector<BlockAccess> acc;
+      for (idx i = 0; i < leaves; ++i) {
+        acc.push_back({pack_key(k, i, cand_stride), AccessMode::Write});
+      }
+      rt::TaskOptions topts;
+      topts.kind = TaskKind::Generic;
+      topts.iteration = static_cast<int>(k);
+      topts.priority = 0;
+      topts.label = "packfree";
+      add_task(acc, std::move(topts), [S]() {
+        for (auto& p : S->lpack) p = blas::PackedPanel();
+      });
     }
   }
 

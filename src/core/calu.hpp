@@ -35,6 +35,11 @@ struct CaluOptions {
   /// this * b), reducing the task count and improving BLAS-3 granularity at
   /// the cost of available parallelism. 1 = the paper's base algorithm.
   idx update_cols_per_task = 1;
+  /// Pack each leaf's L block once per iteration (a dedicated pack task
+  /// ordered before the S tasks) and share the read-only PackedPanel across
+  /// every trailing column segment, instead of letting each S gemm repack
+  /// the same L block. false = pre-pack behaviour (the ablation baseline).
+  bool pack_trailing = true;
 };
 
 struct CaluResult {

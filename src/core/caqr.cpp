@@ -31,6 +31,23 @@ rt::BlockKey leaf_key(idx k, idx slot, idx stride) {
 rt::BlockKey node_key(idx k, idx node, idx stride) {
   return (idx{1} << 61) + k * stride + node;
 }
+// Packed-V keys: even slots for leaf packs, odd for node packs, so both
+// live in one (1 << 62) space without colliding.
+rt::BlockKey pack_leaf_key(idx k, idx slot, idx stride) {
+  return (idx{1} << 62) + 2 * (k * stride + slot);
+}
+rt::BlockKey pack_node_key(idx k, idx node, idx stride) {
+  return (idx{1} << 62) + 2 * (k * stride + node) + 1;
+}
+
+// Shared packed reflectors of one iteration (V2 of each leaf / dense
+// node), built by pack tasks, read concurrently by the S tasks, released
+// once the iteration's updates drain. Kept out of the public
+// CaqrIterationFactors: the packs are scratch, not part of the Q factor.
+struct IterPacks {
+  std::vector<lapack::LarfbPackedV> leaf;
+  std::vector<lapack::LarfbPackedV> node;
+};
 
 void add_tile_range(std::vector<BlockAccess>& acc, idx i0, idx i1, idx j,
                     AccessMode mode) {
@@ -64,6 +81,10 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
   // on top, then the next panel's column updates, then ordinary updates.
   const LookaheadPriorities prio{n_panels, n_blocks, opts.lookahead};
 
+  // Shared packed reflectors, alive until the graph drains.
+  std::vector<std::unique_ptr<IterPacks>> packs;
+  packs.reserve(static_cast<std::size_t>(n_panels));
+
   TaskId next_id = 0;
   auto add_task = [&](const std::vector<BlockAccess>& acc,
                       rt::TaskOptions topts,
@@ -90,6 +111,11 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
     const auto schedule =
         reduction_schedule(static_cast<int>(leaves), opts.tree);
     F.nodes.resize(schedule.size());
+
+    packs.push_back(std::make_unique<IterPacks>());
+    IterPacks* P = packs.back().get();
+    P->leaf.resize(static_cast<std::size_t>(leaves));
+    P->node.resize(schedule.size());
 
     MatrixView panel = a.block(row0, row0, panel_rows, jb);
 
@@ -127,6 +153,37 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
       segments.push_back({jblk * b, std::min(b, n - jblk * b), jblk});
     }
 
+    // --- Leaf pack tasks: pack each leaf's V2 into microkernel layout
+    // ONCE; every leaf S of this iteration shares the read-only pack. The
+    // V tile reads order the pack after the leaf QR; the S tasks read the
+    // pack key (plus the leaf's top tile, whose unit-lower V1 the larfb
+    // trmm consumes straight from the panel).
+    const bool pack_here = opts.pack_trailing && !segments.empty();
+    if (pack_here) {
+      for (idx i = 0; i < leaves; ++i) {
+        const idx lstart = F.part.start[static_cast<std::size_t>(i)];
+        const idx lrows = F.part.rows[static_cast<std::size_t>(i)];
+        if (lrows <= jb) continue;  // no V2: nothing gemm-shaped to pack
+        std::vector<BlockAccess> acc;
+        acc.push_back({leaf_key(k, i, key_stride), AccessMode::Read});
+        add_tile_range(acc, kb + lstart / b,
+                       kb + (lstart + lrows + b - 1) / b, kb,
+                       AccessMode::Read);
+        acc.push_back({pack_leaf_key(k, i, key_stride), AccessMode::Write});
+        rt::TaskOptions topts;
+        topts.kind = TaskKind::Generic;
+        topts.iteration = static_cast<int>(k);
+        topts.priority = prio.lfactor(k);  // critical path ahead of the S's
+        topts.label = "pack i" + std::to_string(i);
+        CaqrIterationFactors* Fp = &F;
+        ConstMatrixView panel_c = panel;
+        add_task(acc, std::move(topts), [P, Fp, panel_c, i]() {
+          P->leaf[static_cast<std::size_t>(i)] = tsqr_leaf_pack(
+              panel_c, Fp->leaves[static_cast<std::size_t>(i)]);
+        });
+      }
+    }
+
     // --- Task S (leaf updates): apply each leaf's reflector to its rows of
     // every trailing column segment.
     for (const ColSegment& seg : segments) {
@@ -136,11 +193,18 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
       for (idx i = 0; i < leaves; ++i) {
         const idx lstart = F.part.start[static_cast<std::size_t>(i)];
         const idx lrows = F.part.rows[static_cast<std::size_t>(i)];
+        const bool packed = pack_here && lrows > jb;
         std::vector<BlockAccess> acc;
         acc.push_back({leaf_key(k, i, key_stride), AccessMode::Read});
-        add_tile_range(acc, kb + lstart / b,
-                       kb + (lstart + lrows + b - 1) / b, kb,
-                       AccessMode::Read);  // leaf V tiles
+        if (packed) {
+          // V2 comes from the shared pack; V1 still reads the top tile.
+          acc.push_back({tile_key(kb + lstart / b, kb), AccessMode::Read});
+          acc.push_back({pack_leaf_key(k, i, key_stride), AccessMode::Read});
+        } else {
+          add_tile_range(acc, kb + lstart / b,
+                         kb + (lstart + lrows + b - 1) / b, kb,
+                         AccessMode::Read);  // leaf V tiles
+        }
         add_tile_range(acc, kb + lstart / b,
                        kb + (lstart + lrows + b - 1) / b, jblk,
                        AccessMode::ReadWrite);
@@ -153,10 +217,18 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
         CaqrIterationFactors* Fp = &F;
         ConstMatrixView panel_c = panel;
         MatrixView cpart = a.block(row0, jcol0, panel_rows, jcols);
-        add_task(acc, std::move(topts), [Fp, panel_c, cpart, i]() {
-          tsqr_leaf_apply(blas::Trans::Trans, panel_c,
-                          Fp->leaves[static_cast<std::size_t>(i)], cpart);
-        });
+        if (packed) {
+          add_task(acc, std::move(topts), [P, Fp, panel_c, cpart, i]() {
+            tsqr_leaf_apply(blas::Trans::Trans, panel_c,
+                            Fp->leaves[static_cast<std::size_t>(i)],
+                            P->leaf[static_cast<std::size_t>(i)], cpart);
+          });
+        } else {
+          add_task(acc, std::move(topts), [Fp, panel_c, cpart, i]() {
+            tsqr_leaf_apply(blas::Trans::Trans, panel_c,
+                            Fp->leaves[static_cast<std::size_t>(i)], cpart);
+          });
+        }
       }
     }
 
@@ -202,6 +274,29 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
         });
       }
 
+      // Node pack task: dense nodes only (structured tpqrt nodes have no
+      // larfb-shaped V2). The node.vt buffer is node-local, so the only
+      // ordering needed is after the node QR (via node_key).
+      const bool node_packed =
+          pack_here && !(opts.structured_nodes && src_start.size() == 2);
+      if (node_packed) {
+        std::vector<BlockAccess> acc;
+        acc.push_back({node_key(k, static_cast<idx>(step_i), key_stride),
+                       AccessMode::Read});
+        acc.push_back({pack_node_key(k, static_cast<idx>(step_i), key_stride),
+                       AccessMode::Write});
+        rt::TaskOptions topts;
+        topts.kind = TaskKind::Generic;
+        topts.iteration = static_cast<int>(k);
+        topts.priority = prio.lfactor(k);
+        topts.label = "pack l" + std::to_string(step.level);
+        CaqrIterationFactors* Fp = &F;
+        const std::size_t slot = step_i;
+        add_task(acc, std::move(topts), [P, Fp, slot]() {
+          P->node[slot] = tsqr_node_pack(Fp->nodes[slot]);
+        });
+      }
+
       for (const ColSegment& seg : segments) {
         const idx jblk = seg.jblk;
         const idx jcol0 = seg.col0;
@@ -209,6 +304,11 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
         std::vector<BlockAccess> acc;
         acc.push_back({node_key(k, static_cast<idx>(step_i), key_stride),
                        AccessMode::Read});
+        if (node_packed) {
+          acc.push_back({pack_node_key(k, static_cast<idx>(step_i),
+                                       key_stride),
+                         AccessMode::Read});
+        }
         for (idx s : src_start) {
           acc.push_back({tile_key(kb + s / b, jblk), AccessMode::ReadWrite});
         }
@@ -221,10 +321,40 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
         CaqrIterationFactors* Fp = &F;
         const std::size_t slot = step_i;
         MatrixView cpart = a.block(row0, jcol0, panel_rows, jcols);
-        add_task(acc, std::move(topts), [Fp, cpart, slot]() {
-          tsqr_node_apply(blas::Trans::Trans, Fp->nodes[slot], cpart);
-        });
+        if (node_packed) {
+          add_task(acc, std::move(topts), [P, Fp, cpart, slot]() {
+            tsqr_node_apply(blas::Trans::Trans, Fp->nodes[slot],
+                            P->node[slot], cpart);
+          });
+        } else {
+          add_task(acc, std::move(topts), [Fp, cpart, slot]() {
+            tsqr_node_apply(blas::Trans::Trans, Fp->nodes[slot], cpart);
+          });
+        }
       }
+    }
+
+    // --- Pack release: after every S task of the iteration has consumed
+    // the shared packs (Write-after-Read on the pack keys), hand the slabs
+    // back to the buffer pool for the next iteration's packs.
+    if (pack_here) {
+      std::vector<BlockAccess> acc;
+      for (idx i = 0; i < leaves; ++i) {
+        acc.push_back({pack_leaf_key(k, i, key_stride), AccessMode::Write});
+      }
+      for (std::size_t s = 0; s < schedule.size(); ++s) {
+        acc.push_back({pack_node_key(k, static_cast<idx>(s), key_stride),
+                       AccessMode::Write});
+      }
+      rt::TaskOptions topts;
+      topts.kind = TaskKind::Generic;
+      topts.iteration = static_cast<int>(k);
+      topts.priority = 0;
+      topts.label = "packfree";
+      add_task(acc, std::move(topts), [P]() {
+        for (auto& vp : P->leaf) vp = lapack::LarfbPackedV();
+        for (auto& vp : P->node) vp = lapack::LarfbPackedV();
+      });
     }
   }
 

@@ -28,6 +28,12 @@ struct CaqrOptions {
   rt::TaskGraph::Policy scheduler = rt::TaskGraph::Policy::CentralPriority;
   /// Structured tpqrt kernels for binary-tree nodes (see TsqrOptions).
   bool structured_nodes = false;
+  /// Pack each leaf's (and dense node's) reflector V2 once per iteration
+  /// (dedicated pack tasks ordered before the S tasks) and share the
+  /// read-only pack across every trailing column segment, instead of
+  /// letting each larfb gemm repack the same V block. Structured (tpqrt)
+  /// nodes have no larfb-shaped V2 and always run unpacked.
+  bool pack_trailing = true;
 };
 
 /// TSQR factors of one panel iteration; row offsets inside `part`, `leaves`

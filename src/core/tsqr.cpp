@@ -89,6 +89,47 @@ void tsqr_node_apply(blas::Trans trans, const TsqrNode& node, MatrixView c) {
   }
 }
 
+lapack::LarfbPackedV tsqr_leaf_pack(ConstMatrixView a, const TsqrLeaf& leaf) {
+  const idx n = leaf.t.rows();
+  return lapack::larfb_pack_v(a.block(leaf.start, 0, leaf.rows, n));
+}
+
+void tsqr_leaf_apply(blas::Trans trans, ConstMatrixView a,
+                     const TsqrLeaf& leaf, const lapack::LarfbPackedV& vp,
+                     MatrixView c) {
+  const idx n = leaf.t.rows();
+  lapack::larfb_left(trans, a.block(leaf.start, 0, leaf.rows, n),
+                     leaf.t.view(), vp, c.rows_range(leaf.start, leaf.rows));
+}
+
+lapack::LarfbPackedV tsqr_node_pack(const TsqrNode& node) {
+  if (node.structured) return {};
+  return lapack::larfb_pack_v(node.vt.view());
+}
+
+void tsqr_node_apply(blas::Trans trans, const TsqrNode& node,
+                     const lapack::LarfbPackedV& vp, MatrixView c) {
+  if (node.structured) {
+    tsqr_node_apply(trans, node, c);
+    return;
+  }
+  const idx n = node.t.rows();
+  const idx slices = static_cast<idx>(node.src_start.size());
+  Matrix stacked(slices * n, c.cols());
+  for (idx s = 0; s < slices; ++s) {
+    copy_into(c.block(node.src_start[static_cast<std::size_t>(s)], 0, n,
+                      c.cols()),
+              stacked.view().rows_range(s * n, n));
+  }
+  lapack::larfb_left(trans, node.vt.view(), node.t.view(), vp,
+                     stacked.view());
+  for (idx s = 0; s < slices; ++s) {
+    copy_into(stacked.view().rows_range(s * n, n),
+              c.block(node.src_start[static_cast<std::size_t>(s)], 0, n,
+                      c.cols()));
+  }
+}
+
 TsqrFactors tsqr_factor(MatrixView a, const TsqrOptions& opts) {
   const idx m = a.rows();
   const idx n = a.cols();

@@ -14,6 +14,7 @@
 #include "core/options.hpp"
 #include "core/partition.hpp"
 #include "core/tpqrt.hpp"
+#include "lapack/geqrf.hpp"
 #include "matrix/matrix.hpp"
 
 namespace camult::core {
@@ -84,6 +85,29 @@ void tsqr_leaf_apply(blas::Trans trans, ConstMatrixView a,
 /// Apply a node's block reflector to the stacked slices of C (gather,
 /// larfb, scatter).
 void tsqr_node_apply(blas::Trans trans, const TsqrNode& node, MatrixView c);
+
+/// Pack-once variants -------------------------------------------------
+///
+/// CAQR applies the same leaf/node reflectors to every trailing column
+/// segment. These pack the gemm-shaped V2 of the block reflector once (a
+/// scheduler pack task) and let all S tasks of the iteration share the
+/// read-only pack.
+
+/// Pack a leaf's V2 (rows n..leaf.rows of its reflector block).
+lapack::LarfbPackedV tsqr_leaf_pack(ConstMatrixView a, const TsqrLeaf& leaf);
+
+/// Leaf apply consuming the shared pack (vp from tsqr_leaf_pack).
+void tsqr_leaf_apply(blas::Trans trans, ConstMatrixView a,
+                     const TsqrLeaf& leaf, const lapack::LarfbPackedV& vp,
+                     MatrixView c);
+
+/// Pack a dense node's V2. Structured (tpqrt) nodes have no larfb-shaped
+/// V2 — the result is empty and the packed apply falls back to tpmqrt.
+lapack::LarfbPackedV tsqr_node_pack(const TsqrNode& node);
+
+/// Node apply consuming the shared pack (vp from tsqr_node_pack).
+void tsqr_node_apply(blas::Trans trans, const TsqrNode& node,
+                     const lapack::LarfbPackedV& vp, MatrixView c);
 
 /// Whole-Q application: C := Q^T C (Trans) or Q C (NoTrans). C has m rows.
 /// `a` is the factored matrix (holds the leaf V tails).

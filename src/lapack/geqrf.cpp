@@ -53,8 +53,12 @@ void larft(ConstMatrixView v, const double* tau, MatrixView t) {
   }
 }
 
-void larfb_left(blas::Trans trans, ConstMatrixView v, ConstMatrixView t,
-                MatrixView c) {
+namespace {
+
+// Shared larfb_left body; vp (when non-null) supplies pre-packed copies of
+// V2 for the two gemms, everything else is identical.
+void larfb_left_impl(blas::Trans trans, ConstMatrixView v, ConstMatrixView t,
+                     const LarfbPackedV* vp, MatrixView c) {
   const idx m = c.rows();
   const idx n = c.cols();
   const idx k = v.cols();
@@ -73,8 +77,14 @@ void larfb_left(blas::Trans trans, ConstMatrixView v, ConstMatrixView t,
   blas::trmm(blas::Side::Right, blas::Uplo::Lower, blas::Trans::NoTrans,
              blas::Diag::Unit, 1.0, v1, w.view());
   if (m > k) {
-    blas::gemm(blas::Trans::Trans, blas::Trans::NoTrans, 1.0,
-               c.rows_range(k, m - k), v.block(k, 0, m - k, k), 1.0, w.view());
+    if (vp != nullptr) {
+      blas::gemm_packed(blas::Trans::Trans, 1.0, c.rows_range(k, m - k),
+                        vp->v2_b, 1.0, w.view());
+    } else {
+      blas::gemm(blas::Trans::Trans, blas::Trans::NoTrans, 1.0,
+                 c.rows_range(k, m - k), v.block(k, 0, m - k, k), 1.0,
+                 w.view());
+    }
   }
 
   // W := W * T^T (apply Q) or W * T (apply Q^T).
@@ -85,8 +95,14 @@ void larfb_left(blas::Trans trans, ConstMatrixView v, ConstMatrixView t,
 
   // C2 -= V2 * W^T
   if (m > k) {
-    blas::gemm(blas::Trans::NoTrans, blas::Trans::Trans, -1.0,
-               v.block(k, 0, m - k, k), w.view(), 1.0, c.rows_range(k, m - k));
+    if (vp != nullptr) {
+      blas::gemm_packed(-1.0, vp->v2_a, blas::Trans::Trans, w.view(), 1.0,
+                        c.rows_range(k, m - k));
+    } else {
+      blas::gemm(blas::Trans::NoTrans, blas::Trans::Trans, -1.0,
+                 v.block(k, 0, m - k, k), w.view(), 1.0,
+                 c.rows_range(k, m - k));
+    }
   }
   // W := W * V1^T, then C1 -= W^T.
   blas::trmm(blas::Side::Right, blas::Uplo::Lower, blas::Trans::Trans,
@@ -94,6 +110,31 @@ void larfb_left(blas::Trans trans, ConstMatrixView v, ConstMatrixView t,
   for (idx j = 0; j < k; ++j) {
     for (idx i = 0; i < n; ++i) c1(j, i) -= w(i, j);
   }
+}
+
+}  // namespace
+
+void larfb_left(blas::Trans trans, ConstMatrixView v, ConstMatrixView t,
+                MatrixView c) {
+  larfb_left_impl(trans, v, t, nullptr, c);
+}
+
+LarfbPackedV larfb_pack_v(ConstMatrixView v) {
+  const idx m = v.rows();
+  const idx k = v.cols();
+  LarfbPackedV vp;
+  if (m > k) {
+    ConstMatrixView v2 = v.block(k, 0, m - k, k);
+    vp.v2_a = blas::pack_a(v2, blas::Trans::NoTrans);
+    vp.v2_b = blas::pack_b(v2, blas::Trans::NoTrans);
+  }
+  return vp;
+}
+
+void larfb_left(blas::Trans trans, ConstMatrixView v, ConstMatrixView t,
+                const LarfbPackedV& vp, MatrixView c) {
+  // A degenerate pack (m == k: no V2) falls back to the plain body.
+  larfb_left_impl(trans, v, t, vp.empty() ? nullptr : &vp, c);
 }
 
 void geqrf(MatrixView a, std::vector<double>& tau, const GeqrfOptions& opts) {

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "blas/pack.hpp"
 #include "blas/types.hpp"
 #include "matrix/view.hpp"
 
@@ -35,6 +36,27 @@ void larft(ConstMatrixView v, const double* tau, MatrixView t);
 /// V is m x k unit lower-trapezoidal (upper part ignored), C is m x n.
 void larfb_left(blas::Trans trans, ConstMatrixView v, ConstMatrixView t,
                 MatrixView c);
+
+/// Pre-packed rectangular part of a reflector block for larfb_left. V2
+/// (rows k..m of V) enters two gemms — once as the B operand (W += C2^T V2)
+/// and once as the A operand (C2 -= V2 W^T) — so both packings are kept.
+/// V1 (the unit lower triangle) is consumed by trmm straight from v.
+/// Build once per panel, then share read-only across every trailing column
+/// segment the reflector is applied to.
+struct LarfbPackedV {
+  blas::PackedPanel v2_a;  ///< pack_a(V2, NoTrans)
+  blas::PackedPanel v2_b;  ///< pack_b(V2, NoTrans)
+  bool empty() const { return v2_a.empty(); }
+};
+
+/// Pack V2 of an m x k reflector block for packed larfb_left application.
+LarfbPackedV larfb_pack_v(ConstMatrixView v);
+
+/// larfb_left consuming the pre-packed V2 (vp must come from larfb_pack_v
+/// on the same v). Safe to call concurrently with shared v/t/vp as long as
+/// the c blocks are disjoint.
+void larfb_left(blas::Trans trans, ConstMatrixView v, ConstMatrixView t,
+                const LarfbPackedV& vp, MatrixView c);
 
 struct GeqrfOptions {
   idx nb = 64;  ///< panel width

@@ -27,6 +27,7 @@ TsqrtFactors tsqrt(MatrixView r_tile, ConstMatrixView full_tile) {
   for (idx j = 0; j < cb; ++j) {
     for (idx i = 0; i <= j; ++i) r_tile(i, j) = f.vt(i, j);
   }
+  f.vpack = lapack::larfb_pack_v(f.vt.view());
   return f;
 }
 
@@ -39,7 +40,8 @@ void tsmqr(blas::Trans trans, const TsqrtFactors& f, MatrixView c_top,
   Matrix stacked(cb + rb, c_top.cols());
   copy_into(c_top, stacked.view().rows_range(0, cb));
   copy_into(c_bot, stacked.view().rows_range(cb, rb));
-  lapack::larfb_left(trans, f.vt.view(), f.t.view(), stacked.view());
+  lapack::larfb_left(trans, f.vt.view(), f.t.view(), f.vpack,
+                     stacked.view());
   copy_into(stacked.view().rows_range(0, cb), c_top);
   copy_into(stacked.view().rows_range(cb, rb), c_bot);
 }
@@ -70,6 +72,8 @@ TstrfFactors tstrf(MatrixView u_tile, MatrixView full_tile) {
   for (idx j = 0; j < cb; ++j) {
     for (idx i = 0; i < rb; ++i) full_tile(i, j) = f.l(cb + i, j);
   }
+  f.l2pack = blas::pack_a(f.l.view().block(cb, 0, rb, cb),
+                          blas::Trans::NoTrans);
   return f;
 }
 
@@ -87,9 +91,9 @@ void ssssm(const TstrfFactors& f, MatrixView c_top, MatrixView c_bot) {
   blas::trsm(blas::Side::Left, blas::Uplo::Lower, blas::Trans::NoTrans,
              blas::Diag::Unit, 1.0, f.l.view().block(0, 0, cb, cb),
              stacked.view().rows_range(0, cb));
-  blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, -1.0,
-             f.l.view().block(cb, 0, rb, cb), stacked.view().rows_range(0, cb),
-             1.0, stacked.view().rows_range(cb, rb));
+  blas::gemm_packed(-1.0, f.l2pack, blas::Trans::NoTrans,
+                    stacked.view().rows_range(0, cb), 1.0,
+                    stacked.view().rows_range(cb, rb));
   copy_into(stacked.view().rows_range(0, cb), c_top);
   copy_into(stacked.view().rows_range(cb, rb), c_bot);
 }

@@ -13,7 +13,9 @@
 
 #include <vector>
 
+#include "blas/pack.hpp"
 #include "blas/types.hpp"
+#include "lapack/geqrf.hpp"
 #include "matrix/matrix.hpp"
 #include "matrix/permutation.hpp"
 
@@ -23,9 +25,15 @@ namespace camult::tiled {
 
 /// Factors of a TSQRT step: QR of the 2b x b stack [R_top (triangle);
 /// full tile].
+///
+/// The factor step also packs the reflectors' gemm operands once (vpack /
+/// l2pack below): a tile-algorithm step is applied across an entire
+/// trailing tile row, and at replay time again per solve column, so the
+/// packing cost amortizes over every later tsmqr/ssssm on these factors.
 struct TsqrtFactors {
   Matrix vt;  ///< factored stack: new R on top, V tails below
   Matrix t;   ///< b x b T factor
+  lapack::LarfbPackedV vpack;  ///< packed V2 of vt, shared by all tsmqr
 };
 
 /// QR-factor [upper triangle of r_tile stacked on full_tile]; writes the new
@@ -44,6 +52,7 @@ struct TstrfFactors {
   Matrix l;          ///< 2b x b unit-lower-trapezoidal L of the stack
   PivotVector ipiv;  ///< swap sequence over the 2b stacked rows
   idx info = 0;
+  blas::PackedPanel l2pack;  ///< packed bottom block of l, shared by ssssm
 };
 
 /// LU-factor [upper triangle of u_tile stacked on full_tile] with partial

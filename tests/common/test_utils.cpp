@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "matrix/random.hpp"
+
 namespace camult::test {
 
 namespace {
@@ -133,6 +135,67 @@ double max_diff(ConstMatrixView a, ConstMatrixView b) {
     }
   }
   return ::testing::AssertionSuccess();
+}
+
+Matrix near_singular_matrix(idx m, idx n, double eps_scale,
+                            std::uint64_t seed) {
+  Matrix a = random_matrix(m, n, seed);
+  if (n < 2) return a;
+  const Matrix w = random_matrix(n - 1, 1, seed + 1);
+  const Matrix noise = random_matrix(m, 1, seed + 2);
+  for (idx i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (idx j = 0; j < n - 1; ++j) s += a(i, j) * w(j, 0);
+    a(i, n - 1) = s + eps_scale * noise(i, 0);
+  }
+  return a;
+}
+
+Matrix duplicate_rows_matrix(idx m, idx n, std::uint64_t seed) {
+  Matrix a = random_matrix(m, n, seed);
+  for (idx i = 0; i + 1 < m; i += 2) {
+    for (idx j = 0; j < n; ++j) a(i + 1, j) = a(i, j);
+  }
+  return a;
+}
+
+Matrix badly_scaled_matrix(idx m, idx n, int scale_pow, std::uint64_t seed) {
+  Matrix a = random_matrix(m, n, seed);
+  auto ramp = [scale_pow](idx i, idx count) {
+    if (count <= 1) return 0;
+    return -scale_pow +
+           static_cast<int>((2.0 * scale_pow * static_cast<double>(i)) /
+                            static_cast<double>(count - 1));
+  };
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      a(i, j) = std::ldexp(a(i, j), ramp(i, m) + ramp(j, n));
+    }
+  }
+  return a;
+}
+
+std::vector<AdversarialCase> adversarial_cases(idx m, idx n,
+                                               std::uint64_t seed) {
+  std::vector<AdversarialCase> cases;
+  if (m == n) {
+    // Exact 2^(k-1) pivot growth; order <= 40 keeps every intermediate an
+    // exactly representable integer, so residuals stay exact.
+    cases.push_back({"wilkinson", gepp_growth_matrix(std::min<idx>(n, 40)),
+                     false});
+  }
+  cases.push_back({"near_singular", near_singular_matrix(m, n, 1e-12, seed),
+                   false});
+  // Duplicate rows force pivot ties; a square matrix with duplicated rows
+  // is exactly singular, a tall one generically keeps full column rank.
+  cases.push_back({"duplicate_rows", duplicate_rows_matrix(m, n, seed + 10),
+                   m == n});
+  const idx rank = std::max<idx>(1, (std::min(m, n) * 3) / 4);
+  cases.push_back({"rank_deficient",
+                   random_rank_deficient_matrix(m, n, rank, seed + 20), true});
+  cases.push_back({"badly_scaled", badly_scaled_matrix(m, n, 20, seed + 30),
+                   false});
+  return cases;
 }
 
 }  // namespace camult::test

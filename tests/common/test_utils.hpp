@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "blas/types.hpp"
@@ -38,5 +40,40 @@ double max_diff(ConstMatrixView a, ConstMatrixView b);
 /// Residual thresholds: scaled residuals from lapack/verify.hpp are measured
 /// in units of (size * eps); anything below this is a pass.
 inline constexpr double kResidualThreshold = 50.0;
+
+// ---- Adversarial matrix ensembles --------------------------------------
+//
+// Inputs chosen to stress the numerics rather than the scheduling: pivot
+// growth, pivot ties, (near-)singularity, and wide dynamic range. Used by
+// test_adversarial.cpp to pin the CALU/CAQR backward-error bounds, and
+// available to any suite that wants hostile inputs.
+
+/// Nearly singular: the last column is a linear combination of the others
+/// plus `eps_scale` * noise (exactly singular for eps_scale == 0).
+Matrix near_singular_matrix(idx m, idx n, double eps_scale,
+                            std::uint64_t seed);
+
+/// Random matrix where consecutive row pairs are exact duplicates (pivot
+/// ties everywhere; square versions are exactly singular).
+Matrix duplicate_rows_matrix(idx m, idx n, std::uint64_t seed);
+
+/// Random matrix scaled by geometric row and column scalings spanning
+/// 2^[-scale_pow, +scale_pow].
+Matrix badly_scaled_matrix(idx m, idx n, int scale_pow, std::uint64_t seed);
+
+/// One named adversarial input.
+struct AdversarialCase {
+  std::string name;
+  Matrix a;
+  /// Exactly rank-deficient: LU factorizations may legitimately report
+  /// info != 0, but the backward-error bound must still hold.
+  bool singular = false;
+};
+
+/// The ensemble for an m x n problem (m >= n): Wilkinson growth (square
+/// cases only; kept at order <= 40 so the 2^(n-1) growth stays exact in
+/// doubles), near-singular, duplicate-row, rank-deficient, badly scaled.
+std::vector<AdversarialCase> adversarial_cases(idx m, idx n,
+                                               std::uint64_t seed);
 
 }  // namespace camult::test

@@ -1,9 +1,10 @@
-# Bench smoke: run one LU figure bench, one QR figure bench and the trace
-# bench at tiny sizes, then validate every emitted JSON artifact with
-# check_bench_json. Driven by the bench_json_smoke ctest registered in
-# tools/CMakeLists.txt; expects FIG5_BIN, FIG8_BIN, FIG34_BIN, CLI_BIN,
-# CHECKER_BIN and OUT_DIR on the command line (-D...).
-foreach(var FIG5_BIN FIG8_BIN FIG34_BIN CLI_BIN CHECKER_BIN OUT_DIR)
+# Bench smoke: run one LU figure bench, one QR figure bench, the trace
+# bench and the gemm_kernel microbench at tiny sizes, then validate every
+# emitted JSON artifact with check_bench_json. Driven by the
+# bench_json_smoke ctest registered in tools/CMakeLists.txt; expects
+# FIG5_BIN, FIG8_BIN, FIG34_BIN, GEMMK_BIN, CLI_BIN, CHECKER_BIN and
+# OUT_DIR on the command line (-D...).
+foreach(var FIG5_BIN FIG8_BIN FIG34_BIN GEMMK_BIN CLI_BIN CHECKER_BIN OUT_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "bench_smoke.cmake: missing -D${var}=...")
   endif()
@@ -30,10 +31,17 @@ smoke_run("${FIG5_BIN}")
 smoke_run("${FIG8_BIN}")
 smoke_run("${FIG34_BIN}")
 
+# gemm_kernel at one rep / minimal segments: the smoke validates the report
+# schema, not the speedup.
+set(ENV{CAMULT_BENCH_GEMM_SEGS} 8)
+set(ENV{CAMULT_BENCH_GEMM_REPS} 1)
+smoke_run("${GEMMK_BIN}")
+
 smoke_run("${CHECKER_BIN}"
   "${OUT_DIR}/BENCH_fig5.json"
   "${OUT_DIR}/BENCH_fig8.json"
-  "${OUT_DIR}/BENCH_fig3_4_trace.json")
+  "${OUT_DIR}/BENCH_fig3_4_trace.json"
+  "${OUT_DIR}/BENCH_gemm_kernel.json")
 smoke_run("${CHECKER_BIN}" --chrome
   "${OUT_DIR}/fig3_4_tr1.trace.json"
   "${OUT_DIR}/fig3_4_tr8.trace.json")

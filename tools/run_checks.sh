@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# run_checks.sh — the full check ladder, one command. Tiers, in order:
+#
+#   build   configure + compile the default (Release) tree
+#   test    the complete ctest suite (unit + integration + bench smoke;
+#           the bench smoke validates BENCH_*.json, including the
+#           gemm_kernel report, with tools/check_bench_json)
+#   tsan    the ThreadSanitizer concurrency suite (tools/run_tsan.sh):
+#           scheduler stress + the shared-PackedPanel pipeline
+#   bench   run bench/gemm_kernel at full size and schema-check its
+#           BENCH_gemm_kernel.json artifact
+#
+# Usage: tools/run_checks.sh [tier...]      (default: all tiers, in order)
+#   e.g. tools/run_checks.sh build test     # skip the sanitizer + bench
+# Environment: BUILD_DIR (default build-checks), JOBS (default nproc).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${BUILD_DIR:-"$repo_root/build-checks"}
+jobs=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+tiers=${*:-"build test tsan bench"}
+
+say() { printf '\n== run_checks: %s ==\n' "$*"; }
+
+for tier in $tiers; do
+  case "$tier" in
+    build)
+      say "configure + build ($build_dir)"
+      cmake -B "$build_dir" -S "$repo_root"
+      cmake --build "$build_dir" -j "$jobs"
+      ;;
+    test)
+      say "ctest suite"
+      ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+      ;;
+    tsan)
+      say "ThreadSanitizer suite"
+      "$repo_root/tools/run_tsan.sh"
+      ;;
+    bench)
+      say "gemm_kernel bench + JSON schema check"
+      out_dir="$build_dir/checks_bench"
+      rm -rf "$out_dir"
+      mkdir -p "$out_dir"
+      CAMULT_BENCH_JSON="$out_dir" "$build_dir/bench/gemm_kernel"
+      "$build_dir/tools/check_bench_json" "$out_dir/BENCH_gemm_kernel.json"
+      ;;
+    *)
+      echo "run_checks.sh: unknown tier '$tier'" >&2
+      exit 2
+      ;;
+  esac
+done
+
+say "all requested tiers passed ($tiers)"

@@ -2,9 +2,12 @@
 # Build the runtime tests under ThreadSanitizer and run the scheduler's
 # concurrency surface: test_runtime (API + wakeup paths),
 # test_scheduler_stress (randomized DAGs, submission racing execution,
-# both policies, 1-8 threads) and test_observability (the per-worker
+# both policies, 1-8 threads), test_observability (the per-worker
 # counter instrumentation: single-writer slots racing the stats() reader,
-# steal accounting under contention). Any reported race fails the run.
+# steal accounting under contention) and test_pack_concurrency (one shared
+# PackedPanel consumed read-only by many S tasks while other workers pack
+# the next panel — the only happens-before is the scheduler's dep edge).
+# Any reported race fails the run.
 #
 # Usage: tools/run_tsan.sh [build-dir]        (default: build-tsan)
 # Run with CAMULT_SANITIZE=address instead via: SAN=address tools/run_tsan.sh
@@ -21,7 +24,7 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCAMULT_BUILD_BENCH=OFF \
   -DCAMULT_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j --target test_runtime test_scheduler_stress \
-  test_observability
+  test_observability test_pack_concurrency
 
 if [ "$san" = thread ]; then
   export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
@@ -32,4 +35,5 @@ fi
 "$build_dir/tests/test_runtime"
 "$build_dir/tests/test_scheduler_stress"
 "$build_dir/tests/test_observability"
+"$build_dir/tests/test_pack_concurrency"
 echo "[$san sanitizer] all scheduler tests passed"
