@@ -11,13 +11,15 @@
 
 #include "matrix/permutation.hpp"
 #include "runtime/task_graph.hpp"
+#include "runtime/worker_pool.hpp"
 
 namespace camult::baseline {
 
 struct BlockedOptions {
-  idx nb = 100;         ///< panel width
-  idx strips = 8;       ///< row strips for the LU gemm update
-  int num_threads = 4;  ///< 0 = inline serial (record mode)
+  idx nb = 100;    ///< panel width
+  idx strips = 8;  ///< row strips for the LU gemm update
+  /// 0 = inline serial (record mode); defaults to rt::default_num_threads.
+  int num_threads = rt::default_num_threads();
   bool record_trace = true;
 };
 

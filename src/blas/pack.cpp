@@ -64,9 +64,33 @@ struct Pool {
 // keeps the pool off the TSAN radar and off the allocator lock. A buffer
 // released on a different thread than it was acquired on just migrates to
 // the releasing thread's pool — slabs are plain memory.
-Pool& pool() {
-  thread_local Pool p;
-  return p;
+//
+// Thread-exit hazard: a ScratchBuffer can legally outlive the releasing
+// thread's pool (e.g. a buffer stashed in another thread_local whose
+// destructor runs AFTER the pool's, or — before WorkerPool existed — a
+// buffer released while a TaskGraph worker was already unwinding its TLS).
+// `thread_local Pool` alone makes that a use-after-destroy. The pool is
+// therefore reached through two TRIVIALLY-destructible thread_locals (a
+// raw pointer and a flag), which stay readable for the whole teardown:
+// once PoolOwner's destructor has run, pool() returns nullptr and every
+// caller falls back to plain aligned new/delete.
+thread_local Pool* tl_pool = nullptr;
+thread_local bool tl_pool_dead = false;
+
+struct PoolOwner {
+  Pool pool;
+  PoolOwner() { tl_pool = &pool; }
+  ~PoolOwner() {
+    tl_pool = nullptr;
+    tl_pool_dead = true;
+  }
+};
+
+// The calling thread's pool, or nullptr once it has been destroyed.
+Pool* pool() {
+  if (tl_pool_dead) return nullptr;
+  thread_local PoolOwner owner;  // first call constructs; sets tl_pool
+  return tl_pool;
 }
 
 double* allocate_slab(std::size_t n_doubles) {
@@ -81,10 +105,24 @@ void free_slab(const Slab& s) {
 
 }  // namespace
 
-BufferPoolStats buffer_pool_stats() { return pool().stats; }
+BufferPoolStats& BufferPoolStats::operator+=(const BufferPoolStats& o) {
+  acquires += o.acquires;
+  pool_hits += o.pool_hits;
+  allocs += o.allocs;
+  releases += o.releases;
+  frees += o.frees;
+  return *this;
+}
+
+BufferPoolStats buffer_pool_stats() {
+  Pool* p = pool();
+  return p != nullptr ? p->stats : BufferPoolStats{};
+}
 
 void buffer_pool_trim() {
-  Pool& p = pool();
+  Pool* pp = pool();
+  if (pp == nullptr) return;
+  Pool& p = *pp;
   for (const Slab& s : p.free) {
     free_slab(s);
     ++p.stats.frees;
@@ -94,7 +132,14 @@ void buffer_pool_trim() {
 
 ScratchBuffer::ScratchBuffer(std::size_t n_doubles) : size_(n_doubles) {
   if (n_doubles == 0) return;
-  Pool& p = pool();
+  Pool* pp = pool();
+  if (pp == nullptr) {
+    // Pool already destroyed (thread unwinding its TLS): plain allocation.
+    capacity_ = (n_doubles + 511) & ~std::size_t{511};
+    ptr_ = allocate_slab(capacity_);
+    return;
+  }
+  Pool& p = *pp;
   ++p.stats.acquires;
   // Best fit: smallest cached slab that is large enough. The pool is tiny,
   // so a linear scan beats any cleverness.
@@ -123,12 +168,18 @@ ScratchBuffer::ScratchBuffer(std::size_t n_doubles) : size_(n_doubles) {
 
 void ScratchBuffer::release() {
   if (ptr_ == nullptr) return;
-  Pool& p = pool();
-  ++p.stats.releases;
   const Slab s{ptr_, capacity_};
   ptr_ = nullptr;
   size_ = 0;
   capacity_ = 0;
+  Pool* pp = pool();
+  if (pp == nullptr) {
+    // Pool already destroyed: do not park the slab in dead storage.
+    free_slab(s);
+    return;
+  }
+  Pool& p = *pp;
+  ++p.stats.releases;
   if (p.free.size() >= kMaxCachedSlabs) {
     // Keep the largest slabs: evict the smallest of (cached + incoming).
     std::size_t smallest = 0;

@@ -19,7 +19,11 @@
 //    per-call packing scratch inside gemm itself (and anywhere else a
 //    kernel wants temporary aligned storage without touching operator new
 //    on the hot path). Pools are thread-local: workers never contend, and
-//    a buffer released on a different thread simply migrates pools.
+//    a buffer released on a different thread simply migrates pools. A
+//    buffer that outlives its releasing thread's pool (TLS teardown order
+//    is unspecified) is safely freed directly — the dead pool is never
+//    touched. With a persistent rt::WorkerPool the pools survive across
+//    factorization calls, so steady-state slabs are reused call-to-call.
 //
 // Sanitizer behaviour: buffers parked in the pool are poisoned under
 // AddressSanitizer (CAMULT_SANITIZE=address) so stale reads through a
@@ -47,12 +51,16 @@ static_assert(kGemmMC % kGemmMR == 0, "packed A offsets assume MC % MR == 0");
 static_assert(kGemmNC % kGemmNR == 0, "packed B offsets assume NC % NR == 0");
 
 /// Counters for the calling thread's scratch pool (test/bench telemetry).
+/// Aggregable across threads with += (see core::pool_buffer_stats for the
+/// pool-wide collector).
 struct BufferPoolStats {
   std::int64_t acquires = 0;   ///< ScratchBuffer constructions (n > 0)
   std::int64_t pool_hits = 0;  ///< acquires served from a cached slab
   std::int64_t allocs = 0;     ///< acquires that hit operator new
   std::int64_t releases = 0;   ///< buffers returned to this thread's pool
   std::int64_t frees = 0;      ///< slabs evicted (pool full) or trimmed
+
+  BufferPoolStats& operator+=(const BufferPoolStats& o);
 };
 
 /// Snapshot of the calling thread's pool counters.

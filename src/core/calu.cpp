@@ -53,9 +53,21 @@ void add_tile_range(std::vector<BlockAccess>& acc, idx i0, idx i1, idx j,
   for (idx i = i0; i < i1; ++i) acc.push_back({tile_key(i, j), mode});
 }
 
-}  // namespace
+// Everything a submitted-but-not-yet-collected factorization keeps alive.
+// Task lambdas hold raw pointers into these members (result.ipiv,
+// panel_info slots, IterStates), so a CaluJob must not move between
+// submit and collect — the batch driver heap-allocates each job.
+struct CaluJob {
+  CaluResult result;
+  std::vector<idx> panel_info;
+  std::vector<std::unique_ptr<IterState>> iters;
+  std::unique_ptr<rt::TaskGraph> graph;
+};
 
-CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
+// Build the full DAG for one factorization and submit it to job.graph.
+// Returns immediately in real-thread/attached mode (workers execute in the
+// background); inline mode runs each task at submit, so it completes here.
+void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
   const idx m = a.rows();
   const idx n = a.cols();
   const idx k_total = std::min(m, n);
@@ -64,9 +76,8 @@ CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
   const idx n_blocks = (n + b - 1) / b;  // column blocks
   const idx m_blocks = (m + b - 1) / b;  // row blocks (tracker granularity)
 
-  CaluResult result;
-  result.ipiv.assign(static_cast<std::size_t>(k_total), 0);
-  std::vector<idx> panel_info(static_cast<std::size_t>(n_panels), 0);
+  job.result.ipiv.assign(static_cast<std::size_t>(k_total), 0);
+  job.panel_info.assign(static_cast<std::size_t>(n_panels), 0);
 
   // Candidate-slot key stride: partition_panel_rows returns at most
   // min(tr, m_blocks) leaves (leaf boundaries are multiples of b), so this
@@ -74,7 +85,9 @@ CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
   // tr — unbounded tr used to overflow a fixed stride of 8192.
   const idx cand_stride = std::max<idx>(1, std::min(opts.tr, m_blocks)) + 1;
 
-  rt::TaskGraph graph({opts.num_threads, opts.record_trace, opts.scheduler});
+  job.graph = std::make_unique<rt::TaskGraph>(rt::TaskGraph::Config{
+      opts.num_threads, opts.record_trace, opts.scheduler, opts.pool});
+  rt::TaskGraph& graph = *job.graph;
   rt::DepTracker tracker;
   // Look-ahead priority bands (see lookahead.hpp): panel path on top, then
   // the U/S tasks of column k+1 that unblock panel k+1, then ordinary
@@ -82,7 +95,7 @@ CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
   // is up to date.
   const LookaheadPriorities prio{n_panels, n_blocks, opts.lookahead};
 
-  std::vector<std::unique_ptr<IterState>> iters;
+  std::vector<std::unique_ptr<IterState>>& iters = job.iters;
   iters.reserve(static_cast<std::size_t>(n_panels));
 
   // Task ids are assigned densely in submission order, so the id can be
@@ -177,8 +190,8 @@ CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
       topts.iteration = static_cast<int>(k);
       topts.priority = prio.panel(k);
       topts.label = "pivot";
-      PivotVector* global_ipiv = &result.ipiv;
-      idx* info_slot = &panel_info[static_cast<std::size_t>(k)];
+      PivotVector* global_ipiv = &job.result.ipiv;
+      idx* info_slot = &job.panel_info[static_cast<std::size_t>(k)];
       add_task(acc, std::move(topts),
                [S, panel, row0, jb, global_ipiv, info_slot]() {
         const Candidates& root = S->slot[0];
@@ -402,20 +415,63 @@ CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
     });
   }
 
-  graph.wait();
+}
 
-  for (idx inf : panel_info) {
+// Drain the job's graph, fold panel infos, harvest trace/stats. The graph
+// itself is destroyed with the job (its destructor detaches from the pool).
+CaluResult calu_collect(CaluJob& job, bool record_trace) {
+  job.graph->wait();
+  for (idx inf : job.panel_info) {
     if (inf != 0) {
-      result.info = inf;
+      job.result.info = inf;
       break;
     }
   }
-  if (opts.record_trace) {
-    result.trace = graph.trace();
-    result.edges = graph.edges();
+  if (record_trace) {
+    job.result.trace = job.graph->trace();
+    job.result.edges = job.graph->edges();
   }
-  result.sched = graph.stats();
-  return result;
+  job.result.sched = job.graph->stats();
+  return std::move(job.result);
+}
+
+}  // namespace
+
+CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
+  CaluJob job;
+  calu_submit(a, opts, job);
+  return calu_collect(job, opts.record_trace);
+}
+
+std::vector<CaluResult> calu_factor_batch(const std::vector<MatrixView>& as,
+                                          const CaluOptions& opts) {
+  std::vector<CaluResult> out;
+  out.reserve(as.size());
+  // Inline mode executes tasks at submit time on this thread; batching
+  // would just interleave serial work. Keep it one problem at a time.
+  if (opts.num_threads == 0 || as.size() <= 1) {
+    for (MatrixView a : as) out.push_back(calu_factor(a, opts));
+    return out;
+  }
+  rt::WorkerPool* pool = opts.pool;
+  std::unique_ptr<rt::WorkerPool> owned;
+  if (pool == nullptr) {
+    owned = std::make_unique<rt::WorkerPool>(
+        rt::WorkerPoolConfig{opts.num_threads, false});
+    pool = owned.get();
+  }
+  CaluOptions batch_opts = opts;
+  batch_opts.pool = pool;
+  // Submit every DAG before collecting any: the pool's workers rotate
+  // between the attached graphs, so the whole batch runs concurrently.
+  std::vector<std::unique_ptr<CaluJob>> jobs;
+  jobs.reserve(as.size());
+  for (MatrixView a : as) {
+    jobs.push_back(std::make_unique<CaluJob>());
+    calu_submit(a, batch_opts, *jobs.back());
+  }
+  for (auto& job : jobs) out.push_back(calu_collect(*job, opts.record_trace));
+  return out;
 }
 
 }  // namespace camult::core

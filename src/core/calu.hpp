@@ -12,10 +12,13 @@
 // tasks at the end, exactly as in the paper (Algorithm 1, line 41).
 #pragma once
 
+#include <vector>
+
 #include "core/options.hpp"
 #include "lapack/getrf.hpp"
 #include "matrix/permutation.hpp"
 #include "runtime/task_graph.hpp"
+#include "runtime/worker_pool.hpp"
 
 namespace camult::core {
 
@@ -25,7 +28,14 @@ struct CaluOptions {
   ReductionTree tree = ReductionTree::Binary;
   /// GEPP kernel inside the tournament (see TsluOptions::leaf_kernel).
   lapack::LuPanelKernel leaf_kernel = lapack::LuPanelKernel::Recursive;
-  int num_threads = 4; ///< worker threads; 0 = inline serial (record mode)
+  /// Worker threads; 0 = inline serial (record mode). Defaults to the
+  /// hardware concurrency clamped to [1, 32] — see rt::default_num_threads.
+  int num_threads = rt::default_num_threads();
+  /// Execute on this persistent WorkerPool instead of spawning threads for
+  /// the call (pool->size() workers; num_threads only distinguishes the
+  /// 0 = inline case). The pool must outlive the call. nullptr = spawn
+  /// num_threads owned threads, today's behaviour.
+  rt::WorkerPool* pool = nullptr;
   bool lookahead = true;  ///< look-ahead-of-1 priorities (paper Section III)
   bool record_trace = true;
   /// Scheduler policy for real-thread mode (see rt::TaskGraph::Policy).
@@ -57,5 +67,14 @@ struct CaluResult {
 
 /// Factor A = P L U in place (same storage convention as getrf).
 CaluResult calu_factor(MatrixView a, const CaluOptions& opts = {});
+
+/// Factor every matrix in `as` (each in place, independent problems). All
+/// DAGs are submitted up front to ONE WorkerPool — opts.pool if set, else a
+/// pool of opts.num_threads workers created for the batch — so small
+/// factorizations share workers instead of serializing thread spawn/join
+/// per call. Results are positional. opts.num_threads == 0 runs the batch
+/// inline, one problem at a time.
+std::vector<CaluResult> calu_factor_batch(const std::vector<MatrixView>& as,
+                                          const CaluOptions& opts = {});
 
 }  // namespace camult::core

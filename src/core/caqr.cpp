@@ -54,9 +54,18 @@ void add_tile_range(std::vector<BlockAccess>& acc, idx i0, idx i1, idx j,
   for (idx i = i0; i < i1; ++i) acc.push_back({tile_key(i, j), mode});
 }
 
-}  // namespace
+// State a submitted-but-not-yet-collected factorization keeps alive. Task
+// lambdas point into result.iterations' heap array and the heap IterPacks,
+// both stable under moves of the job, but the batch driver heap-allocates
+// jobs anyway for symmetry with CALU.
+struct CaqrJob {
+  CaqrResult result;
+  std::vector<std::unique_ptr<IterPacks>> packs;
+  std::unique_ptr<rt::TaskGraph> graph;
+};
 
-CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
+// Build the full DAG for one factorization and submit it to job.graph.
+void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
   const idx m = a.rows();
   const idx n = a.cols();
   const idx k_total = std::min(m, n);
@@ -70,19 +79,21 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
   // any user-supplied tr — unbounded tr used to overflow a fixed 8192.
   const idx key_stride = std::max<idx>(1, std::min(opts.tr, m_blocks)) + 1;
 
-  CaqrResult result;
+  CaqrResult& result = job.result;
   result.m = m;
   result.n = n;
   result.iterations.resize(static_cast<std::size_t>(n_panels));
 
-  rt::TaskGraph graph({opts.num_threads, opts.record_trace, opts.scheduler});
+  job.graph = std::make_unique<rt::TaskGraph>(rt::TaskGraph::Config{
+      opts.num_threads, opts.record_trace, opts.scheduler, opts.pool});
+  rt::TaskGraph& graph = *job.graph;
   rt::DepTracker tracker;
   // Same banded look-ahead scheme as CALU (see lookahead.hpp): panel path
   // on top, then the next panel's column updates, then ordinary updates.
   const LookaheadPriorities prio{n_panels, n_blocks, opts.lookahead};
 
   // Shared packed reflectors, alive until the graph drains.
-  std::vector<std::unique_ptr<IterPacks>> packs;
+  std::vector<std::unique_ptr<IterPacks>>& packs = job.packs;
   packs.reserve(static_cast<std::size_t>(n_panels));
 
   TaskId next_id = 0;
@@ -358,13 +369,55 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
     }
   }
 
-  graph.wait();
-  if (opts.record_trace) {
-    result.trace = graph.trace();
-    result.edges = graph.edges();
+}
+
+// Drain the job's graph and harvest trace/stats. The graph is destroyed
+// with the job (its destructor detaches from the pool).
+CaqrResult caqr_collect(CaqrJob& job, bool record_trace) {
+  job.graph->wait();
+  if (record_trace) {
+    job.result.trace = job.graph->trace();
+    job.result.edges = job.graph->edges();
   }
-  result.sched = graph.stats();
-  return result;
+  job.result.sched = job.graph->stats();
+  return std::move(job.result);
+}
+
+}  // namespace
+
+CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
+  CaqrJob job;
+  caqr_submit(a, opts, job);
+  return caqr_collect(job, opts.record_trace);
+}
+
+std::vector<CaqrResult> caqr_factor_batch(const std::vector<MatrixView>& as,
+                                          const CaqrOptions& opts) {
+  std::vector<CaqrResult> out;
+  out.reserve(as.size());
+  if (opts.num_threads == 0 || as.size() <= 1) {
+    for (MatrixView a : as) out.push_back(caqr_factor(a, opts));
+    return out;
+  }
+  rt::WorkerPool* pool = opts.pool;
+  std::unique_ptr<rt::WorkerPool> owned;
+  if (pool == nullptr) {
+    owned = std::make_unique<rt::WorkerPool>(
+        rt::WorkerPoolConfig{opts.num_threads, false});
+    pool = owned.get();
+  }
+  CaqrOptions batch_opts = opts;
+  batch_opts.pool = pool;
+  // Submit every DAG before collecting any: the pool's workers rotate
+  // between the attached graphs, so the whole batch runs concurrently.
+  std::vector<std::unique_ptr<CaqrJob>> jobs;
+  jobs.reserve(as.size());
+  for (MatrixView a : as) {
+    jobs.push_back(std::make_unique<CaqrJob>());
+    caqr_submit(a, batch_opts, *jobs.back());
+  }
+  for (auto& job : jobs) out.push_back(caqr_collect(*job, opts.record_trace));
+  return out;
 }
 
 void caqr_apply_q(blas::Trans trans, ConstMatrixView a,

@@ -11,9 +11,12 @@
 // replays them.
 #pragma once
 
+#include <vector>
+
 #include "core/options.hpp"
 #include "core/tsqr.hpp"
 #include "runtime/task_graph.hpp"
+#include "runtime/worker_pool.hpp"
 
 namespace camult::core {
 
@@ -21,7 +24,12 @@ struct CaqrOptions {
   idx b = 100;         ///< panel width (block size)
   idx tr = 4;          ///< panel task count T_r
   ReductionTree tree = ReductionTree::Flat;  ///< paper's preferred CAQR tree
-  int num_threads = 4; ///< worker threads; 0 = inline serial (record mode)
+  /// Worker threads; 0 = inline serial (record mode). Defaults to the
+  /// hardware concurrency clamped to [1, 32] — see rt::default_num_threads.
+  int num_threads = rt::default_num_threads();
+  /// Execute on this persistent WorkerPool instead of spawning threads for
+  /// the call (see CaluOptions::pool for the exact semantics).
+  rt::WorkerPool* pool = nullptr;
   bool lookahead = true;
   bool record_trace = true;
   /// Scheduler policy for real-thread mode (see rt::TaskGraph::Policy).
@@ -59,6 +67,14 @@ struct CaqrResult {
 /// Factor A = Q R in place: on exit the upper triangle holds R; the rest
 /// holds leaf reflector tails referenced by the returned factors.
 CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts = {});
+
+/// Factor every matrix in `as` (each in place, independent problems),
+/// submitting all DAGs up front to one WorkerPool — opts.pool if set, else
+/// a pool of opts.num_threads workers created for the batch. Results are
+/// positional. opts.num_threads == 0 runs the batch inline, one problem at
+/// a time. See calu_factor_batch.
+std::vector<CaqrResult> caqr_factor_batch(const std::vector<MatrixView>& as,
+                                          const CaqrOptions& opts = {});
 
 /// C := Q C (NoTrans) or Q^T C (Trans); C has m rows. `a` is the factored
 /// matrix.

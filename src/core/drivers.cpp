@@ -1,6 +1,7 @@
 #include "core/drivers.hpp"
 
 #include <cassert>
+#include <mutex>
 #include <stdexcept>
 
 #include "blas/blas.hpp"
@@ -30,6 +31,21 @@ void caqr_least_squares(MatrixView a, MatrixView b, const CaqrOptions& opts) {
   blas::trsm(blas::Side::Left, blas::Uplo::Upper, blas::Trans::NoTrans,
              blas::Diag::NonUnit, 1.0, a.block(0, 0, n, n),
              b.rows_range(0, n));
+}
+
+blas::BufferPoolStats pool_buffer_stats(rt::WorkerPool& pool) {
+  blas::BufferPoolStats total;
+  std::mutex mu;  // workers run the control fn concurrently
+  pool.run_on_all_workers([&total, &mu] {
+    const blas::BufferPoolStats mine = blas::buffer_pool_stats();
+    std::lock_guard<std::mutex> lock(mu);
+    total += mine;
+  });
+  return total;
+}
+
+void pool_buffer_trim(rt::WorkerPool& pool) {
+  pool.run_on_all_workers([] { blas::buffer_pool_trim(); });
 }
 
 }  // namespace camult::core

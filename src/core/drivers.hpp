@@ -18,4 +18,16 @@ idx calu_gesv(MatrixView a, MatrixView b, const CaluOptions& opts = {});
 void caqr_least_squares(MatrixView a, MatrixView b,
                         const CaqrOptions& opts = {});
 
+/// Aggregate blas::buffer_pool_stats() over every worker thread of `pool`
+/// (the slab pools are thread-local, so the calling thread only ever sees
+/// its own counters). The pool must be otherwise idle enough to run a
+/// control task on each worker; do not call from a pool worker.
+blas::BufferPoolStats pool_buffer_stats(rt::WorkerPool& pool);
+
+/// blas::buffer_pool_trim() on every worker thread of `pool`: releases all
+/// cached slabs pool-wide (live ScratchBuffers unaffected). The thread-
+/// local trim only drops the calling thread's slabs; this is the hook for
+/// reclaiming a persistent pool's steady-state scratch memory.
+void pool_buffer_trim(rt::WorkerPool& pool);
+
 }  // namespace camult::core

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "runtime/worker_pool.hpp"
+
 namespace camult::rt {
 
 const char* task_kind_name(TaskKind k) {
@@ -75,14 +77,21 @@ TaskGraph::TaskGraph(const Config& config) : config_(config) {
   if (config_.num_threads < 0) {
     throw std::invalid_argument("TaskGraph: negative thread count");
   }
+  // Inline mode always stays inline (it is the serial record mode); a pool
+  // only takes over when real-thread execution was requested.
+  pool_ = (config_.num_threads != 0) ? config_.pool : nullptr;
   epoch_ = std::chrono::steady_clock::now();
-  const auto n_workers =
-      static_cast<std::size_t>(std::max(config_.num_threads, 1));
+  exec_width_ = pool_ ? pool_->size() : std::max(config_.num_threads, 1);
+  const auto n_workers = static_cast<std::size_t>(exec_width_);
   local_ready_.reserve(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) {
     local_ready_.push_back(std::make_unique<WorkerDeque>());
   }
   counters_.reset(new Counters[n_workers]);
+  if (pool_ != nullptr) {
+    pool_->attach(this);
+    return;
+  }
   workers_.reserve(static_cast<std::size_t>(config_.num_threads));
   for (int t = 0; t < config_.num_threads; ++t) {
     workers_.emplace_back([this, t] { worker_loop(t); });
@@ -90,6 +99,13 @@ TaskGraph::TaskGraph(const Config& config) : config_(config) {
 }
 
 TaskGraph::~TaskGraph() {
+  if (pool_ != nullptr) {
+    // Detach drains every pending task (the same guarantee owned mode
+    // gives via its worker shutdown protocol) and then waits until no pool
+    // worker is still inside this graph's structures.
+    pool_->detach(this);
+    return;
+  }
   // Publish shutdown under the sleep mutex so no worker can check the flag,
   // miss it, and then sleep through the broadcast. Workers only exit once a
   // refill finds everything drained, so pending tasks still run.
@@ -220,15 +236,21 @@ void TaskGraph::dispatch_ready(const TaskId* ready, int n, int worker_hint) {
 }
 
 void TaskGraph::maybe_wake_sleeper(int caller) {
-  if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
   bool wake = false;
-  {
-    // The worker's whole sleep handshake runs under idle_mu_, so this
-    // cannot interleave with a half-asleep worker.
-    std::lock_guard<std::mutex> lock(idle_mu_);
-    if (idle_wakes_ == 0 && sleepers_.load(std::memory_order_relaxed) > 0) {
-      ++idle_wakes_;
-      wake = true;
+  if (pool_ != nullptr) {
+    // Attached mode: the sleepers are the pool's, so the relay-wake
+    // bookkeeping lives there; only the counter attribution stays here.
+    wake = pool_->try_wake_one();
+  } else {
+    if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
+    {
+      // The worker's whole sleep handshake runs under idle_mu_, so this
+      // cannot interleave with a half-asleep worker.
+      std::lock_guard<std::mutex> lock(idle_mu_);
+      if (idle_wakes_ == 0 && sleepers_.load(std::memory_order_relaxed) > 0) {
+        ++idle_wakes_;
+        wake = true;
+      }
     }
   }
   if (wake) {
@@ -238,7 +260,7 @@ void TaskGraph::maybe_wake_sleeper(int caller) {
     } else {
       bump(submit_wakeups_);
     }
-    idle_cv_.notify_one();
+    if (pool_ == nullptr) idle_cv_.notify_one();
   }
 }
 
@@ -399,7 +421,7 @@ bool TaskGraph::try_fill_central(int worker_id, std::vector<TaskId>& batch,
   // so a late high-priority arrival (the look-ahead panel path) is never
   // stuck behind more than its fair share of the backlog.
   std::size_t take =
-      ready_count_ / static_cast<std::size_t>(config_.num_threads);
+      ready_count_ / static_cast<std::size_t>(exec_width_);
   take = std::max<std::size_t>(1, std::min(take, kMaxBatch));
   for (std::size_t i = 0; i < take; ++i) {
     auto top = ready_.begin();  // highest-priority bucket
@@ -471,6 +493,57 @@ void TaskGraph::worker_loop(int worker_id) {
   }
 }
 
+bool TaskGraph::pool_service(int worker_id) {
+  // Worker-owned refill buffers. thread_local (not per-graph) so a pool
+  // worker recycles one pair of allocations across every graph it serves.
+  thread_local std::vector<TaskId> batch;
+  thread_local std::vector<TaskId> scratch;
+  const bool stealing = config_.policy == Policy::WorkStealing;
+  bool any = false;
+  for (int round = 0; round < kServiceRounds; ++round) {
+    batch.clear();
+    bool backlog = false;
+    const bool filled =
+        stealing ? try_fill_stealing(worker_id, batch, scratch, &backlog)
+                 : try_fill_central(worker_id, batch, scratch, &backlog);
+    if (!filled) break;
+    any = true;
+    // Relay: more work remains after this batch — re-arm the next pool
+    // wake before running, so ramp-up propagates worker-to-worker.
+    if (backlog) maybe_wake_sleeper(worker_id);
+    for (TaskId id : batch) run_task(id, worker_id);
+  }
+  return any;
+}
+
+bool TaskGraph::has_ready_work() {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    if (!inbox_.empty()) return true;
+  }
+  if (config_.policy == Policy::CentralPriority) {
+    std::lock_guard<std::mutex> lock(central_mu_);
+    return ready_count_ > 0;
+  }
+  for (const auto& dq : local_ready_) {
+    std::lock_guard<std::mutex> lock(dq->mu);
+    if (!dq->q.empty()) return true;
+  }
+  return false;
+}
+
+void TaskGraph::drain_all() {
+  // Only the submission thread calls this, so submitted_ is this thread's
+  // own final value.
+  const idx target = submitted_.load(std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_waiting_.store(true, std::memory_order_seq_cst);
+  done_cv_.wait(lock, [this, target] {
+    return completed_.load(std::memory_order_seq_cst) == target;
+  });
+  done_waiting_.store(false, std::memory_order_relaxed);
+}
+
 void TaskGraph::wait() {
   if (config_.num_threads == 0) {
     if (completed_.load(std::memory_order_relaxed) !=
@@ -478,15 +551,7 @@ void TaskGraph::wait() {
       throw std::logic_error("TaskGraph(inline): unfinished tasks at wait()");
     }
   } else {
-    // Only the submission thread calls wait(), so submitted_ is this
-    // thread's own final value.
-    const idx target = submitted_.load(std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(done_mu_);
-    done_waiting_.store(true, std::memory_order_seq_cst);
-    done_cv_.wait(lock, [this, target] {
-      return completed_.load(std::memory_order_seq_cst) == target;
-    });
-    done_waiting_.store(false, std::memory_order_relaxed);
+    drain_all();
   }
   const std::size_t n = store_.size();
   for (std::size_t i = 0; i < n; ++i) {

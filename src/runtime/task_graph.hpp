@@ -56,6 +56,8 @@
 
 namespace camult::rt {
 
+class WorkerPool;
+
 /// Per-worker scheduler counters, snapshotted by TaskGraph::stats().
 /// busy_ns is only accumulated when Config::record_trace is set (it reuses
 /// the trace timestamps; the counter-only path stays clock-free on the hot
@@ -101,6 +103,12 @@ class TaskGraph {
     int num_threads = 1;  ///< 0 = inline serial mode
     bool record_trace = true;
     Policy policy = Policy::CentralPriority;
+    /// Attach to a persistent WorkerPool instead of spawning owned
+    /// threads: the pool's workers execute this graph (execution width =
+    /// pool->size(); num_threads is only consulted for the 0 = inline
+    /// case, which always stays inline). The pool must outlive the graph;
+    /// the graph's destructor drains pending tasks and detaches.
+    WorkerPool* pool = nullptr;
   };
 
   struct Edge {
@@ -126,6 +134,14 @@ class TaskGraph {
   void wait();
 
   int num_threads() const { return config_.num_threads; }
+
+  /// Worker slots actually executing this graph: the pool size in attached
+  /// mode, max(num_threads, 1) otherwise (inline mode accounts everything
+  /// to slot 0).
+  int execution_width() const { return exec_width_; }
+
+  /// Non-null when the graph is attached to a persistent pool.
+  WorkerPool* pool() const { return pool_; }
 
   /// Executed tasks, sorted by id. Valid after wait(). Records are only
   /// filled in when Config::record_trace is set; otherwise they are
@@ -223,7 +239,21 @@ class TaskGraph {
             std::memory_order_relaxed);
   }
 
+  friend class WorkerPool;
+
   void worker_loop(int worker_id);
+  /// Pool-worker entry point: run up to kServiceRounds batches of ready
+  /// tasks as pool worker `worker_id`. Returns whether at least one task
+  /// ran. Bounded so a worker revisits the pool between slices (control
+  /// hooks, fairness across attached graphs).
+  bool pool_service(int worker_id);
+  /// Any task staged/ready right now? (Takes the queue locks; used by the
+  /// pool's pre-park scan, so it participates in the same
+  /// mutex-bracketed handshake as dispatch_ready's wake check.)
+  bool has_ready_work();
+  /// Block until every submitted task completed (the wait() core, minus
+  /// the error rethrow — the detach path must drain unconditionally).
+  void drain_all();
   void run_task(TaskId id, int worker_id, bool inline_mode = false);
   /// Hand `ready` (which just hit unresolved == 0) to the scheduler and
   /// issue at most one (relay) wake. `worker_hint < 0` means "called from
@@ -255,8 +285,18 @@ class TaskGraph {
   /// queues are short, so steal balance and strict priority order degrade
   /// only in the overhead-bound regime where the queue is deep anyway.
   static constexpr std::size_t kMaxBatch = 16;
+  /// Batches a pool worker runs per service slice before rotating back
+  /// through the pool (control-hook latency / multi-graph fairness bound).
+  static constexpr int kServiceRounds = 8;
 
   Config config_;
+  WorkerPool* pool_ = nullptr;  ///< non-null = attached mode
+  int exec_width_ = 1;          ///< worker slots (see execution_width())
+  /// Pool workers currently inside pool_service (incremented under the
+  /// pool's registry lock, so detach's unregister-then-drain is race-free).
+  std::atomic<int> pool_active_{0};
+  std::mutex detach_mu_;
+  std::condition_variable detach_cv_;
   TaskStore store_;
   /// Tasks submitted / completed. Monotonic; submitted_ is written (plain
   /// release stores) by the submission thread only. wait() blocks until

@@ -1,0 +1,254 @@
+#include "runtime/worker_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace camult::rt {
+
+int default_num_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  if (hc == 0) return 4;
+  return static_cast<int>(std::min(hc, 32u));
+}
+
+namespace {
+
+// Best-effort pin of `t` to one CPU (the sched_setaffinity machinery).
+// Returns whether the kernel accepted the mask.
+bool pin_thread(std::thread& t, int cpu) {
+#ifdef __linux__
+  const unsigned hc = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu) % hc, &set);
+  return pthread_setaffinity_np(t.native_handle(), sizeof(set), &set) == 0;
+#else
+  (void)t;
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(const WorkerPoolConfig& config) : config_(config) {
+  if (config_.num_threads < 0) {
+    throw std::invalid_argument("WorkerPool: negative thread count");
+  }
+  n_workers_ =
+      config_.num_threads > 0 ? config_.num_threads : default_num_threads();
+  lifetime_workers_.resize(static_cast<std::size_t>(n_workers_));
+  workers_.reserve(static_cast<std::size_t>(n_workers_));
+  for (int t = 0; t < n_workers_; ++t) {
+    workers_.emplace_back([this, t] { worker_main(t); });
+    if (config_.pin_threads && pin_thread(workers_.back(), t)) ++pinned_ok_;
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  // Every graph must have detached (their destructors do); assert-grade
+  // invariant, but fail soft in release builds: workers simply never find
+  // a stale client because detach removed it before its graph died.
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    shutdown_.store(true, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+WorkerPool& WorkerPool::process_default() {
+  static WorkerPool pool{WorkerPoolConfig{}};
+  return pool;
+}
+
+void WorkerPool::attach(TaskGraph* g) {
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    clients_.push_back(g);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++graphs_attached_;
+  }
+}
+
+void WorkerPool::detach(TaskGraph* g) {
+  // 1. Drain: every submitted task runs (workers find the graph through
+  //    the registry until step 2). Mirrors owned mode's drain-at-shutdown.
+  g->drain_all();
+  // 2. Unregister: no worker can begin a new service slice on g. The
+  //    in-service refcount is bumped under this same lock, so after the
+  //    erase the refcount can only go down.
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    clients_.erase(std::remove(clients_.begin(), clients_.end(), g),
+                   clients_.end());
+  }
+  // 3. Quiesce: wait for workers still inside pool_service(g) to leave.
+  //    release_graph notifies under detach_mu_, so once the predicate
+  //    holds no worker touches g (or its mutex/cv) again.
+  {
+    std::unique_lock<std::mutex> lock(g->detach_mu_);
+    g->detach_cv_.wait(lock, [g] {
+      return g->pool_active_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // 4. Fold the run's counters into the pool lifetime stats (per worker
+  //    slot: graph worker w IS pool worker w).
+  const SchedulerStats run = g->stats();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  for (std::size_t w = 0;
+       w < run.workers.size() && w < lifetime_workers_.size(); ++w) {
+    lifetime_workers_[w] += run.workers[w];
+  }
+  lifetime_submit_wakeups_ += run.submit_wakeups;
+  ++graphs_detached_;
+}
+
+bool WorkerPool::try_wake_one() {
+  if (sleepers_.load(std::memory_order_seq_cst) == 0) return false;
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    if (idle_wakes_ == 0 && sleepers_.load(std::memory_order_relaxed) > 0) {
+      ++idle_wakes_;
+      wake = true;
+    }
+  }
+  if (wake) {
+    wakeups_issued_.fetch_add(1, std::memory_order_relaxed);
+    idle_cv_.notify_one();
+  }
+  return wake;
+}
+
+TaskGraph* WorkerPool::acquire_next_graph(std::size_t* rr) {
+  std::lock_guard<std::mutex> lock(clients_mu_);
+  if (clients_.empty()) return nullptr;
+  TaskGraph* g = clients_[*rr % clients_.size()];
+  ++*rr;
+  // Counted while the registry lock pins membership: detach unregisters
+  // under the same lock, then waits for this count to hit zero.
+  g->pool_active_.fetch_add(1, std::memory_order_acq_rel);
+  return g;
+}
+
+void WorkerPool::release_graph(TaskGraph* g) {
+  // Notify under the mutex: the detach waiter re-checks the predicate with
+  // detach_mu_ held, so it cannot observe zero and destroy the graph while
+  // this thread still holds (or is about to touch) the mutex/cv.
+  std::lock_guard<std::mutex> lock(g->detach_mu_);
+  if (g->pool_active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    g->detach_cv_.notify_all();
+  }
+}
+
+bool WorkerPool::any_ready() {
+  std::lock_guard<std::mutex> lock(clients_mu_);
+  for (TaskGraph* g : clients_) {
+    if (g->has_ready_work()) return true;
+  }
+  return false;
+}
+
+std::uint64_t WorkerPool::run_pending_control(std::uint64_t seen) {
+  const std::uint64_t e = ctl_epoch_.load(std::memory_order_acquire);
+  if (e == seen) return seen;
+  // The caller of run_on_all_workers holds ctl_mu_ for the whole
+  // operation (released only inside its cv wait), so ctl_fn_ is stable
+  // while any ack is still outstanding.
+  const std::function<void()>* fn = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(ctl_mu_);
+    fn = ctl_fn_;
+  }
+  if (fn != nullptr) (*fn)();
+  {
+    std::lock_guard<std::mutex> lock(ctl_mu_);
+    ++ctl_acks_;
+  }
+  ctl_cv_.notify_all();
+  return e;
+}
+
+void WorkerPool::run_on_all_workers(const std::function<void()>& fn) {
+  std::unique_lock<std::mutex> ctl(ctl_mu_);  // serializes callers
+  ctl_fn_ = &fn;
+  ctl_acks_ = 0;
+  ctl_epoch_.fetch_add(1, std::memory_order_release);
+  // Wake every parked worker; their park predicate watches ctl_epoch_.
+  // Busy workers pick the epoch up between service slices.
+  idle_cv_.notify_all();
+  ctl_cv_.wait(ctl, [this] { return ctl_acks_ == n_workers_; });
+  ctl_fn_ = nullptr;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++control_runs_;
+}
+
+void WorkerPool::worker_main(int w) {
+  std::uint64_t seen_ctl = 0;
+  std::size_t rr = static_cast<std::size_t>(w);  // stagger the rotation
+  int dry = 0;
+  for (;;) {
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    seen_ctl = run_pending_control(seen_ctl);
+    TaskGraph* g = acquire_next_graph(&rr);
+    bool did = false;
+    if (g != nullptr) {
+      did = g->pool_service(w);
+      release_graph(g);
+    }
+    if (did) {
+      dry = 0;
+      continue;
+    }
+    // Give every attached graph a probe before parking: a single quiet
+    // graph must not put the worker to sleep while a sibling has work.
+    std::size_t n_clients;
+    {
+      std::lock_guard<std::mutex> lock(clients_mu_);
+      n_clients = clients_.size();
+    }
+    if (static_cast<std::size_t>(++dry) <= n_clients) continue;
+    dry = 0;
+    // Park. Same missed-wake-free handshake as TaskGraph's owned mode:
+    // count ourselves as a sleeper (seq_cst), re-scan with the queue locks
+    // (any push this scan misses sees sleepers_ > 0 and takes idle_mu_ to
+    // wake us), then wait.
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    bool got = any_ready();
+    while (!got && !shutdown_.load(std::memory_order_acquire) &&
+           ctl_epoch_.load(std::memory_order_acquire) == seen_ctl) {
+      idle_cv_.wait(lock);
+      if (idle_wakes_ > 0) --idle_wakes_;  // consume our notify
+      got = any_ready();
+    }
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    lock.unlock();
+    parks_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+WorkerPoolStats WorkerPool::stats() const {
+  WorkerPoolStats s;
+  s.size = n_workers_;
+  s.pinned = pinned_ok_;
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.wakeups_issued = wakeups_issued_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  s.graphs_attached = graphs_attached_;
+  s.graphs_detached = graphs_detached_;
+  s.control_runs = control_runs_;
+  s.lifetime.workers = lifetime_workers_;
+  s.lifetime.submit_wakeups = lifetime_submit_wakeups_;
+  return s;
+}
+
+}  // namespace camult::rt

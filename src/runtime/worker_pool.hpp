@@ -1,0 +1,160 @@
+// worker_pool.hpp — a persistent, reusable pool of worker threads.
+//
+// The paper's runtime model (and the PLASMA baseline it compares against)
+// keeps ONE long-lived set of workers for the whole process; TaskGraph used
+// to spawn its own std::threads per factorization call and join them at
+// wait(), so repeated or small-problem workloads paid thread create/teardown
+// (plus cold futex sleep/wake and re-warmed thread_local slab pools) on
+// every call. A WorkerPool amortizes all of that:
+//
+//  * Spawn once. Workers are created in the pool constructor and park on a
+//    condition variable whenever no attached graph has ready work; attaching
+//    a TaskGraph costs a registry insert and (at most) one futex wake.
+//  * Many graphs, one pool. Several TaskGraphs may be attached at once;
+//    workers rotate between them in bounded slices, so a batch of small
+//    independent DAGs (see core::calu_factor_batch) shares the workers
+//    instead of serializing pool construction.
+//  * Optional CPU pinning. With `pin_threads`, worker t is bound to CPU
+//    t % hardware_concurrency via the sched_setaffinity machinery
+//    (pthread_setaffinity_np); a best-effort operation — failures are
+//    recorded in stats().pinned, never fatal.
+//  * Thread-local caches persist. Because the threads survive across runs,
+//    per-thread state such as the blas scratch-slab pool (blas/pack.hpp)
+//    genuinely persists call-to-call; run_on_all_workers() is the generic
+//    hook for pool-wide maintenance of such caches (trim, stats snapshot).
+//
+// Lifetime rules: a pool must outlive every TaskGraph attached to it, and
+// every attached graph must be destroyed (which drains + detaches it)
+// before the pool. run_on_all_workers must not be called from a pool
+// worker. WorkerPool is thread-safe for attach/detach/notify; construction
+// and destruction belong to one owning thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/task_graph.hpp"
+
+namespace camult::rt {
+
+/// Worker count used when a caller does not specify one: the hardware
+/// concurrency clamped to [1, 32] (4 when the runtime cannot tell). Keeps
+/// the out-of-the-box configuration from undersubscribing a 16-core box or
+/// oversubscribing a 2-core CI runner the way a hardcoded constant did.
+int default_num_threads();
+
+struct WorkerPoolConfig {
+  int num_threads = 0;      ///< 0 = default_num_threads()
+  bool pin_threads = false; ///< bind worker t to CPU t % ncpu (best effort)
+};
+
+/// Pool-lifetime telemetry. `lifetime` folds the per-run SchedulerStats of
+/// every detached graph per worker slot (graph worker w IS pool worker w),
+/// so the existing observability layer (SchedulerStats::totals,
+/// compute_stats) consumes it unchanged. Counters for graphs still attached
+/// are not included until they detach.
+struct WorkerPoolStats {
+  int size = 0;                       ///< worker threads in the pool
+  int pinned = 0;                     ///< workers successfully pinned
+  std::int64_t graphs_attached = 0;   ///< attach() calls so far
+  std::int64_t graphs_detached = 0;   ///< graphs fully drained + detached
+  std::int64_t parks = 0;             ///< worker sleep episodes
+  std::int64_t wakeups_issued = 0;    ///< futex wakes issued by the pool
+  std::int64_t control_runs = 0;      ///< run_on_all_workers invocations
+  SchedulerStats lifetime;            ///< folded per-run stats, per slot
+};
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(const WorkerPoolConfig& config = {});
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return n_workers_; }
+
+  /// Run `fn` once on every worker thread and block until all have run it.
+  /// Workers interleave the run between task batches, so this completes
+  /// even while graphs are executing (bounded by the longest single task).
+  /// The pool-wide analogue of thread-local maintenance like
+  /// blas::buffer_pool_trim — see core::pool_buffer_trim. Must not be
+  /// called from a pool worker (it would wait on itself).
+  void run_on_all_workers(const std::function<void()>& fn);
+
+  /// Snapshot of the pool-lifetime counters (see WorkerPoolStats).
+  WorkerPoolStats stats() const;
+
+  /// Lazily created process-wide pool (default_num_threads() workers, no
+  /// pinning). Lives until process exit; never destroyed while a static
+  /// user could still attach.
+  static WorkerPool& process_default();
+
+ private:
+  friend class TaskGraph;
+
+  // --- TaskGraph handshake.
+  void attach(TaskGraph* g);
+  /// Drain g (all submitted tasks run), unregister it, then wait until no
+  /// worker is still inside its structures. After detach the graph can be
+  /// destroyed.
+  void detach(TaskGraph* g);
+  /// Issue one relay wake if a worker is parked and none is in flight.
+  /// Returns whether a wake was issued (counter attribution is the
+  /// caller's).
+  bool try_wake_one();
+
+  // --- Worker internals.
+  void worker_main(int w);
+  TaskGraph* acquire_next_graph(std::size_t* rr);
+  static void release_graph(TaskGraph* g);
+  bool any_ready();
+  std::uint64_t run_pending_control(std::uint64_t seen);
+
+  WorkerPoolConfig config_;
+  int n_workers_ = 0;
+  std::atomic<bool> shutdown_{false};
+
+  // Attached graphs. Workers hold this lock only to pick a graph (and to
+  // bump its in-service refcount atomically with membership); the pick is
+  // amortized over a whole service slice of task batches.
+  mutable std::mutex clients_mu_;
+  std::vector<TaskGraph*> clients_;
+
+  // Sleep/wake handshake: same relay scheme as TaskGraph's owned mode (one
+  // in-flight notify, re-armed by the woken worker when a backlog remains).
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<int> sleepers_{0};
+  int idle_wakes_ = 0;  ///< in-flight notifies, guarded by idle_mu_
+
+  // run_on_all_workers control slot. The caller holds ctl_mu_ (released
+  // while waiting on ctl_cv_) for the whole operation, so epochs are fully
+  // serialized and ctl_fn_ is stable whenever a worker observes a new
+  // epoch.
+  std::mutex ctl_mu_;
+  std::condition_variable ctl_cv_;
+  const std::function<void()>* ctl_fn_ = nullptr;  ///< guarded by ctl_mu_
+  int ctl_acks_ = 0;                               ///< guarded by ctl_mu_
+  std::atomic<std::uint64_t> ctl_epoch_{0};
+
+  // Lifetime stats (see WorkerPoolStats).
+  mutable std::mutex stats_mu_;
+  std::vector<WorkerStats> lifetime_workers_;  ///< guarded by stats_mu_
+  std::int64_t lifetime_submit_wakeups_ = 0;   ///< guarded by stats_mu_
+  std::int64_t graphs_attached_ = 0;           ///< guarded by stats_mu_
+  std::int64_t graphs_detached_ = 0;           ///< guarded by stats_mu_
+  std::int64_t control_runs_ = 0;              ///< guarded by stats_mu_
+  std::atomic<std::int64_t> parks_{0};
+  std::atomic<std::int64_t> wakeups_issued_{0};
+  int pinned_ok_ = 0;  ///< written before workers run, const after
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace camult::rt

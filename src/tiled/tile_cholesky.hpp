@@ -7,12 +7,14 @@
 
 #include "matrix/view.hpp"
 #include "runtime/task_graph.hpp"
+#include "runtime/worker_pool.hpp"
 
 namespace camult::tiled {
 
 struct TileCholeskyOptions {
-  idx b = 100;          ///< tile size
-  int num_threads = 4;  ///< 0 = inline serial (record mode)
+  idx b = 100;  ///< tile size
+  /// 0 = inline serial (record mode); defaults to rt::default_num_threads.
+  int num_threads = rt::default_num_threads();
   bool record_trace = true;
 };
 

@@ -14,13 +14,15 @@
 
 #include "matrix/permutation.hpp"
 #include "runtime/task_graph.hpp"
+#include "runtime/worker_pool.hpp"
 #include "tiled/tile_kernels.hpp"
 
 namespace camult::tiled {
 
 struct TileLuOptions {
-  idx b = 100;          ///< tile size
-  int num_threads = 4;  ///< 0 = inline serial (record mode)
+  idx b = 100;  ///< tile size
+  /// 0 = inline serial (record mode); defaults to rt::default_num_threads.
+  int num_threads = rt::default_num_threads();
   bool record_trace = true;
 };
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "blas/blas.hpp"
@@ -317,6 +318,52 @@ TEST(BufferPool, ZeroSizeIsEmpty) {
   blas::ScratchBuffer b(0);
   EXPECT_TRUE(b.empty());
   EXPECT_EQ(b.data(), nullptr);
+}
+
+namespace {
+
+// Regression: ScratchBuffer used from a thread_local destructor AFTER the
+// thread's slab pool has itself been destroyed. thread_local objects are
+// destroyed in reverse construction order, so an object constructed BEFORE
+// the pool outlives it — if its destructor releases a ScratchBuffer (or
+// builds a new one), the old code re-entered the dead pool: heap
+// use-after-free under ASAN, corruption otherwise. The fix makes pool()
+// return nullptr once the owning TLS object is gone; acquire/release then
+// fall back to direct aligned new/delete.
+struct LateHolder {
+  blas::ScratchBuffer stashed;  // released in ~LateHolder, after pool death
+  bool* ok = nullptr;
+  ~LateHolder() {
+    stashed = blas::ScratchBuffer();  // release into the (dead) pool
+    blas::ScratchBuffer fresh(256);   // acquire with no pool at all
+    *ok = fresh.data() != nullptr;
+    fresh.data()[0] = 1.0;
+    // Stats/trim must be inert, not crash, once the pool is gone.
+    const auto st = blas::buffer_pool_stats();
+    (void)st;
+    blas::buffer_pool_trim();
+  }
+};
+
+}  // namespace
+
+TEST(BufferPool, SafeAfterThreadLocalPoolDestroyed) {
+  bool late_alloc_ok = false;
+  std::thread t([&late_alloc_ok] {
+    // Construct the holder FIRST so it is destroyed LAST — i.e. after the
+    // pool's own thread_local owner has already run its destructor.
+    static thread_local LateHolder holder;
+    holder.ok = &late_alloc_ok;
+    // Now touch the pool so its thread_local owner is constructed (after
+    // holder) and destroyed (before holder) on thread exit.
+    blas::ScratchBuffer warm(1024);
+    ASSERT_NE(warm.data(), nullptr);
+    warm.data()[0] = 2.0;
+    holder.stashed = blas::ScratchBuffer(512);
+    ASSERT_NE(holder.stashed.data(), nullptr);
+  });
+  t.join();
+  EXPECT_TRUE(late_alloc_ok);
 }
 
 }  // namespace

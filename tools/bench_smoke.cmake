@@ -4,7 +4,8 @@
 # bench_json_smoke ctest registered in tools/CMakeLists.txt; expects
 # FIG5_BIN, FIG8_BIN, FIG34_BIN, GEMMK_BIN, CLI_BIN, CHECKER_BIN and
 # OUT_DIR on the command line (-D...).
-foreach(var FIG5_BIN FIG8_BIN FIG34_BIN GEMMK_BIN CLI_BIN CHECKER_BIN OUT_DIR)
+foreach(var FIG5_BIN FIG8_BIN FIG34_BIN GEMMK_BIN REPCALL_BIN CLI_BIN
+            CHECKER_BIN OUT_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "bench_smoke.cmake: missing -D${var}=...")
   endif()
@@ -37,11 +38,18 @@ set(ENV{CAMULT_BENCH_GEMM_SEGS} 8)
 set(ENV{CAMULT_BENCH_GEMM_REPS} 1)
 smoke_run("${GEMMK_BIN}")
 
+# repeated_calls at a handful of reps: validates the persistent-pool report
+# schema (and exercises attach/detach + the batch driver end to end).
+set(ENV{CAMULT_BENCH_REPS} 6)
+set(ENV{CAMULT_BENCH_BATCH} 3)
+smoke_run("${REPCALL_BIN}")
+
 smoke_run("${CHECKER_BIN}"
   "${OUT_DIR}/BENCH_fig5.json"
   "${OUT_DIR}/BENCH_fig8.json"
   "${OUT_DIR}/BENCH_fig3_4_trace.json"
-  "${OUT_DIR}/BENCH_gemm_kernel.json")
+  "${OUT_DIR}/BENCH_gemm_kernel.json"
+  "${OUT_DIR}/BENCH_repeated_calls.json")
 smoke_run("${CHECKER_BIN}" --chrome
   "${OUT_DIR}/fig3_4_tr1.trace.json"
   "${OUT_DIR}/fig3_4_tr8.trace.json")
@@ -50,5 +58,18 @@ smoke_run("${CHECKER_BIN}" --chrome
 smoke_run("${CLI_BIN}" lu random:600x300 -b 100 -t 2 -p 2
   --trace-json "${OUT_DIR}/cli_trace.json")
 smoke_run("${CHECKER_BIN}" --chrome "${OUT_DIR}/cli_trace.json")
+
+# --pool runs on the process-wide persistent WorkerPool; and the strict
+# option parser must reject non-numeric / negative values with a usage
+# error instead of silently factoring with atoi's 0.
+smoke_run("${CLI_BIN}" lu random:300 -b 64 -t 2 -p 2 --pool)
+foreach(bad "-p nonsense" "-p -3" "-b 0" "-t 12x")
+  separate_arguments(bad_args UNIX_COMMAND "${bad}")
+  execute_process(COMMAND "${CLI_BIN}" lu random:100 ${bad_args}
+    RESULT_VARIABLE rv OUTPUT_QUIET ERROR_QUIET)
+  if(rv EQUAL 0)
+    message(FATAL_ERROR "bench_smoke: CLI accepted invalid option '${bad}'")
+  endif()
+endforeach()
 
 message(STATUS "bench smoke OK: artifacts in ${OUT_DIR}")

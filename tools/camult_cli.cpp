@@ -6,12 +6,14 @@
 //   camult chol  <A.mtx|random:N>   [options]      tiled Cholesky
 //   camult solve <A.mtx> <b.mtx> [-o x.mtx] [options]
 //
-// Options: -b <block>  -t|--tr <Tr>  -p|--threads <N>
+// Options: -b <block>  -t|--tr <Tr>  -p|--threads <N>  --pool
 //          --tree binary|flat|hybrid  -o <out.mtx>
 //          --trace-json <path>   write a chrome://tracing / Perfetto trace
 // Matrices are Matrix Market files; "random:MxN" generates a seeded
 // uniform matrix instead.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <chrono>
 #include <functional>
@@ -25,6 +27,7 @@
 #include "matrix/norms.hpp"
 #include "matrix/random.hpp"
 #include "runtime/chrome_trace.hpp"
+#include "runtime/worker_pool.hpp"
 #include "tiled/tile_cholesky.hpp"
 
 namespace {
@@ -36,7 +39,8 @@ struct Args {
   std::vector<std::string> inputs;
   idx b = 100;
   idx tr = 4;
-  int threads = 4;
+  int threads = rt::default_num_threads();
+  bool use_pool = false;  ///< run on the process-wide persistent WorkerPool
   core::ReductionTree tree = core::ReductionTree::Binary;
   std::string out;
   std::string trace_json;
@@ -46,10 +50,26 @@ struct Args {
   std::fprintf(
       stderr,
       "usage: camult <info|lu|qr|chol|solve> <inputs...> "
-      "[-b N] [-t Tr] [-p threads] [--tree binary|flat|hybrid] [-o out.mtx]\n"
-      "       [--trace-json trace.json]\n"
+      "[-b N] [-t Tr] [-p threads] [--pool] [--tree binary|flat|hybrid]\n"
+      "       [-o out.mtx] [--trace-json trace.json]\n"
       "inputs are MatrixMarket files or random:MxN\n");
   std::exit(2);
+}
+
+// Strict numeric option parsing. atoi/atoll silently turned
+// "--threads garbage" into 0 (inline serial mode!) and let negative values
+// surface as std::invalid_argument from deep inside TaskGraph; reject both
+// here with a proper usage error instead.
+long long parse_num(const char* opt, const char* s, long long min_value) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || v < min_value) {
+    std::fprintf(stderr, "camult: invalid value '%s' for %s (expect integer "
+                 ">= %lld)\n", s, opt, min_value);
+    usage();
+  }
+  return v;
 }
 
 Args parse(int argc, char** argv) {
@@ -63,11 +83,14 @@ Args parse(int argc, char** argv) {
       return argv[++i];
     };
     if (s == "-b") {
-      a.b = std::atoll(next());
+      a.b = parse_num("-b", next(), 1);
     } else if (s == "-t" || s == "--tr") {
-      a.tr = std::atoll(next());
+      a.tr = parse_num("-t/--tr", next(), 1);
     } else if (s == "-p" || s == "--threads") {
-      a.threads = std::atoi(next());
+      // 0 is legal: inline serial (record) mode.
+      a.threads = static_cast<int>(parse_num("-p/--threads", next(), 0));
+    } else if (s == "--pool") {
+      a.use_pool = true;
     } else if (s == "-o") {
       a.out = next();
     } else if (s == "--trace-json") {
@@ -92,11 +115,11 @@ Matrix load(const std::string& spec) {
   if (spec.rfind("random:", 0) == 0) {
     const std::string dims = spec.substr(7);
     const auto x = dims.find('x');
-    const idx m = std::atoll(dims.c_str());
+    const std::string mstr = dims.substr(0, x);
+    const idx m = parse_num("random:MxN rows", mstr.c_str(), 1);
     const idx n = (x == std::string::npos)
                       ? m
-                      : std::atoll(dims.c_str() + x + 1);
-    if (m <= 0 || n <= 0) usage();
+                      : parse_num("random:MxN cols", dims.c_str() + x + 1, 1);
     std::printf("generating random %lld x %lld matrix (seed 1)\n",
                 static_cast<long long>(m), static_cast<long long>(n));
     return random_matrix(m, n, 1);
@@ -159,6 +182,7 @@ int cmd_lu(const Args& args) {
   o.tr = args.tr;
   o.tree = args.tree;
   o.num_threads = args.threads;
+  if (args.use_pool) o.pool = &rt::WorkerPool::process_default();
   core::CaluResult res;
   const double secs = now_run([&] { res = core::calu_factor(lu.view(), o); });
   std::printf("CALU: %zu tasks, %.3f s, info=%lld\n", res.trace.size(), secs,
@@ -184,6 +208,7 @@ int cmd_qr(const Args& args) {
   o.tr = args.tr;
   o.tree = args.tree;
   o.num_threads = args.threads;
+  if (args.use_pool) o.pool = &rt::WorkerPool::process_default();
   core::CaqrResult res;
   const double secs = now_run([&] { res = core::caqr_factor(qr.view(), o); });
   std::printf("CAQR: %zu tasks, %.3f s\n", res.trace.size(), secs);
@@ -245,6 +270,7 @@ int cmd_solve(const Args& args) {
   o.tr = args.tr;
   o.tree = args.tree;
   o.num_threads = args.threads;
+  if (args.use_pool) o.pool = &rt::WorkerPool::process_default();
   idx info = 0;
   const double secs =
       now_run([&] { info = core::calu_gesv(a.view(), x.view(), o); });

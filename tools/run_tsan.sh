@@ -4,13 +4,18 @@
 # test_scheduler_stress (randomized DAGs, submission racing execution,
 # both policies, 1-8 threads), test_observability (the per-worker
 # counter instrumentation: single-writer slots racing the stats() reader,
-# steal accounting under contention) and test_pack_concurrency (one shared
+# steal accounting under contention), test_pack_concurrency (one shared
 # PackedPanel consumed read-only by many S tasks while other workers pack
-# the next panel — the only happens-before is the scheduler's dep edge).
-# Any reported race fails the run.
+# the next panel — the only happens-before is the scheduler's dep edge),
+# test_worker_pool (persistent workers rotating between concurrently
+# attached DAGs: the attach/detach, park/wake and control-epoch
+# handshakes) and test_blas_pack (including the dead-thread_local slab
+# pool regression, which under ASAN is a heap use-after-free if pool()
+# ever hands back the destroyed pool). Any reported race fails the run.
 #
 # Usage: tools/run_tsan.sh [build-dir]        (default: build-tsan)
-# Run with CAMULT_SANITIZE=address instead via: SAN=address tools/run_tsan.sh
+# Other sanitizers via: SAN=address tools/run_tsan.sh
+#                       SAN=undefined tools/run_tsan.sh
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -24,16 +29,24 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCAMULT_BUILD_BENCH=OFF \
   -DCAMULT_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j --target test_runtime test_scheduler_stress \
-  test_observability test_pack_concurrency
+  test_observability test_pack_concurrency test_worker_pool test_blas_pack
 
-if [ "$san" = thread ]; then
-  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
-else
-  export ASAN_OPTIONS="detect_leaks=1${ASAN_OPTIONS:+ $ASAN_OPTIONS}"
-fi
+case "$san" in
+  thread)
+    export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
+    ;;
+  address)
+    export ASAN_OPTIONS="detect_leaks=1${ASAN_OPTIONS:+ $ASAN_OPTIONS}"
+    ;;
+  undefined)
+    export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1${UBSAN_OPTIONS:+ $UBSAN_OPTIONS}"
+    ;;
+esac
 
 "$build_dir/tests/test_runtime"
 "$build_dir/tests/test_scheduler_stress"
 "$build_dir/tests/test_observability"
 "$build_dir/tests/test_pack_concurrency"
+"$build_dir/tests/test_worker_pool"
+"$build_dir/tests/test_blas_pack"
 echo "[$san sanitizer] all scheduler tests passed"
