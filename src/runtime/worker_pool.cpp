@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 
 #ifdef __linux__
 #include <pthread.h>
@@ -33,6 +34,12 @@ bool pin_thread(std::thread& t, int cpu) {
   return false;
 #endif
 }
+
+// The pool this thread works for, if any. Lets blocking entry points
+// (run_on_all_workers) reject a pool worker calling into its own pool —
+// such a call can never complete (the worker cannot ack its own epoch
+// while blocked waiting for all acks) and would hang instead of failing.
+thread_local const WorkerPool* t_pool_worker = nullptr;
 
 }  // namespace
 
@@ -178,10 +185,25 @@ std::uint64_t WorkerPool::run_pending_control(std::uint64_t seen) {
 }
 
 void WorkerPool::run_on_all_workers(const std::function<void()>& fn) {
+  if (t_pool_worker == this) {
+    throw std::logic_error(
+        "WorkerPool::run_on_all_workers called from a worker of this pool; "
+        "it would wait forever for its own ack");
+  }
   std::unique_lock<std::mutex> ctl(ctl_mu_);  // serializes callers
   ctl_fn_ = &fn;
   ctl_acks_ = 0;
-  ctl_epoch_.fetch_add(1, std::memory_order_release);
+  // Publish the epoch under the sleep mutex, mirroring the shutdown path
+  // in ~WorkerPool: a parking worker evaluates its wait predicate with
+  // idle_mu_ held, so it either observes the new epoch and skips the wait,
+  // or it is already blocked in wait() when the bump lands and the
+  // broadcast below reaches it. Bumping outside the lock could slip into
+  // the window between a worker's predicate check and its wait(), losing
+  // the wake and hanging an otherwise-idle pool.
+  {
+    std::lock_guard<std::mutex> sleep(idle_mu_);
+    ctl_epoch_.fetch_add(1, std::memory_order_release);
+  }
   // Wake every parked worker; their park predicate watches ctl_epoch_.
   // Busy workers pick the epoch up between service slices.
   idle_cv_.notify_all();
@@ -192,6 +214,7 @@ void WorkerPool::run_on_all_workers(const std::function<void()>& fn) {
 }
 
 void WorkerPool::worker_main(int w) {
+  t_pool_worker = this;  // lets run_on_all_workers reject re-entry
   std::uint64_t seen_ctl = 0;
   std::size_t rr = static_cast<std::size_t>(w);  // stagger the rotation
   int dry = 0;
@@ -224,14 +247,29 @@ void WorkerPool::worker_main(int w) {
     std::unique_lock<std::mutex> lock(idle_mu_);
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     bool got = any_ready();
+    bool consumed = false;  // burned a task-push relay credit this park
     while (!got && !shutdown_.load(std::memory_order_acquire) &&
            ctl_epoch_.load(std::memory_order_acquire) == seen_ctl) {
       idle_cv_.wait(lock);
-      if (idle_wakes_ > 0) --idle_wakes_;  // consume our notify
+      if (idle_wakes_ > 0) {  // consume our notify
+        --idle_wakes_;
+        consumed = true;
+      }
       got = any_ready();
     }
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    // A control-epoch or shutdown broadcast can steal the relay credit a
+    // try_wake_one issued for a task push: this worker consumed it but is
+    // leaving to service the control run, not the push. Forward the wake
+    // to a parked sibling so the push's ramp-up is not delayed until this
+    // worker finishes the control fn and re-probes. Deliberately
+    // credit-less: re-incrementing idle_wakes_ when no sibling is left in
+    // wait() would leave a dangling credit that blocks every future
+    // try_wake_one — a spurious extra wake is harmless, a stuck credit is
+    // a lost wakeup.
+    const bool forward = consumed && !got;
     lock.unlock();
+    if (forward) idle_cv_.notify_one();
     parks_.fetch_add(1, std::memory_order_relaxed);
   }
 }

@@ -25,9 +25,10 @@
 //
 // Lifetime rules: a pool must outlive every TaskGraph attached to it, and
 // every attached graph must be destroyed (which drains + detaches it)
-// before the pool. run_on_all_workers must not be called from a pool
-// worker. WorkerPool is thread-safe for attach/detach/notify; construction
-// and destruction belong to one owning thread.
+// before the pool. run_on_all_workers must not be called from a worker of
+// the same pool (enforced: such a call throws std::logic_error instead of
+// deadlocking). WorkerPool is thread-safe for attach/detach/notify;
+// construction and destruction belong to one owning thread.
 #pragma once
 
 #include <atomic>
@@ -83,8 +84,9 @@ class WorkerPool {
   /// Workers interleave the run between task batches, so this completes
   /// even while graphs are executing (bounded by the longest single task).
   /// The pool-wide analogue of thread-local maintenance like
-  /// blas::buffer_pool_trim — see core::pool_buffer_trim. Must not be
-  /// called from a pool worker (it would wait on itself).
+  /// blas::buffer_pool_trim — see core::pool_buffer_trim. Calling it from
+  /// a worker of this pool throws std::logic_error (the worker could never
+  /// ack its own epoch, so the call would otherwise hang).
   void run_on_all_workers(const std::function<void()>& fn);
 
   /// Snapshot of the pool-lifetime counters (see WorkerPoolStats).

@@ -142,6 +142,66 @@ TEST(WorkerPool, RunOnAllWorkersReachesEveryThread) {
   EXPECT_EQ(c.load(), 400);
 }
 
+TEST(WorkerPool, RunOnAllWorkersIdlePoolRepeated) {
+  // Regression: the control epoch used to be bumped (and broadcast) without
+  // holding the sleep mutex, so the bump could land between a parking
+  // worker's predicate check and its wait() — the worker slept through the
+  // notify and run_on_all_workers hung on an otherwise-idle pool. Each
+  // iteration below races a control run against workers re-parking from
+  // the previous one; pre-fix this loop hangs within a few hundred rounds.
+  rt::WorkerPool pool(rt::WorkerPoolConfig{4, false});
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.run_on_all_workers([&hits] { ++hits; });
+  }
+  EXPECT_EQ(hits.load(), 4 * 500);
+  EXPECT_EQ(pool.stats().control_runs, 500);
+}
+
+TEST(WorkerPool, RunOnAllWorkersFromWorkerThrows) {
+  // A pool worker calling run_on_all_workers on its own pool can never ack
+  // its own epoch; it must throw std::logic_error instead of hanging.
+  rt::WorkerPool pool(rt::WorkerPoolConfig{2, false});
+  std::atomic<bool> threw{false};
+  {
+    rt::TaskGraph g(attached(pool));
+    g.submit({}, {}, [&] {
+      try {
+        pool.run_on_all_workers([] {});
+      } catch (const std::logic_error&) {
+        threw = true;
+      }
+    });
+    g.wait();
+  }
+  EXPECT_TRUE(threw.load());
+  // The rejected call must not have half-published an epoch: a normal
+  // control run from the owning thread still completes.
+  std::atomic<int> hits{0};
+  pool.run_on_all_workers([&hits] { ++hits; });
+  EXPECT_EQ(hits.load(), 2);
+}
+
+TEST(WorkerPool, ControlRunsInterleaveWithSubmissionBursts) {
+  // Stress the interaction between control broadcasts and the task-push
+  // relay credit: a control notify_all must not strand a push's wake (the
+  // consuming worker forwards it), and repeated control runs during
+  // ramp-up must not stall task completion.
+  rt::WorkerPool pool(rt::WorkerPoolConfig{4, false});
+  rt::TaskGraph g(attached(pool));
+  std::atomic<int> done{0};
+  std::thread controller([&pool] {
+    for (int i = 0; i < 60; ++i) pool.run_on_all_workers([] {});
+  });
+  for (int burst = 0; burst < 60; ++burst) {
+    for (int i = 0; i < 20; ++i) g.submit({}, {}, [&done] { ++done; });
+    std::this_thread::yield();
+  }
+  controller.join();
+  g.wait();
+  EXPECT_EQ(done.load(), 60 * 20);
+}
+
 TEST(WorkerPool, ExceptionPropagatesThroughAttachedWait) {
   rt::WorkerPool pool(rt::WorkerPoolConfig{2, false});
   rt::TaskGraph g(attached(pool));
