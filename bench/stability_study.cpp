@@ -35,6 +35,10 @@ Matrix make_growth(idx n, std::uint64_t) { return gepp_growth_matrix(n); }
 struct Result {
   double growth = 0.0;
   double backward = 0.0;  // scaled solve residual
+  // Health monitor verdict (CALU only; GEPP/tiled leave the defaults).
+  double monitor_growth = 0.0;  ///< HealthReport::max_growth (per-panel)
+  long long fallbacks = 0;      ///< panels refactored with full GEPP
+  bool nan_detected = false;
 };
 
 double solve_backward(const Matrix& a, const Matrix& x, const Matrix& b) {
@@ -61,7 +65,11 @@ Result run_calu(const Matrix& a, const Matrix& rhs, idx tr,
   core::CaluResult res = core::calu_factor(lu.view(), o);
   Matrix x = rhs;
   lapack::getrs(blas::Trans::NoTrans, lu, res.ipiv, x.view());
-  return {lapack::pivot_growth(a, lu), solve_backward(a, x, rhs)};
+  Result r{lapack::pivot_growth(a, lu), solve_backward(a, x, rhs)};
+  r.monitor_growth = res.health.max_growth;
+  r.fallbacks = static_cast<long long>(res.health.fallback_panels);
+  r.nan_detected = res.health.nan_detected;
+  return r;
 }
 
 Result run_tiled(const Matrix& a, const Matrix& rhs) {
@@ -93,6 +101,7 @@ int main() {
 
   Table t({"family", "metric", "GEPP", "CALU Tr=4 bin", "CALU Tr=16 bin",
            "CALU Tr=4 flat", "tiled(incpiv)"});
+  bench::JsonReport rep("stability_study", 8);
   for (const Family& fam : families) {
     const bool is_growth = fam.make == make_growth;
     const int seeds = is_growth ? 1 : 3;
@@ -113,6 +122,29 @@ int main() {
       acc(c4f, run_calu(a, rhs, 4, core::ReductionTree::Flat));
       acc(til, run_tiled(a, rhs));
     }
+    // One health row per CALU configuration: the monitor's own per-panel
+    // growth plus intervention counters, alongside the classic metrics.
+    const struct { const char* name; const Result* r; } calus[] = {
+        {"CALU Tr=4 bin", &c4b}, {"CALU Tr=16 bin", &c16b},
+        {"CALU Tr=4 flat", &c4f}};
+    for (const auto& c : calus) {
+      bench::JsonValue& row = rep.new_row();
+      row.set("family", bench::JsonValue::make_string(fam.name));
+      row.set("competitor", bench::JsonValue::make_string(c.name));
+      row.set("growth", bench::JsonValue::make_number(c.r->growth));
+      row.set("backward", bench::JsonValue::make_number(c.r->backward));
+      row.set("health_max_growth",
+              bench::JsonValue::make_number(c.r->monitor_growth));
+      row.set("fallback_panels",
+              bench::JsonValue::make_number(
+                  static_cast<double>(c.r->fallbacks)));
+      row.set("nan_detected", bench::JsonValue::make_bool(c.r->nan_detected));
+      if (c.r->fallbacks > 0 || c.r->nan_detected) {
+        std::printf("health: %s on %s: %lld GEPP fallback panel(s)%s\n",
+                    c.name, fam.name, c.r->fallbacks,
+                    c.r->nan_detected ? ", non-finite input" : "");
+      }
+    }
     t.row().cell(fam.name).cell("growth");
     t.cell(gepp.growth).cell(c4b.growth).cell(c16b.growth).cell(c4f.growth);
     t.cell(til.growth);
@@ -125,7 +157,6 @@ int main() {
   }
   t.print("Stability: tournament pivoting vs partial vs incremental",
           bench::csv_path("stability_study"));
-  bench::JsonReport rep("stability_study", 8);
   rep.add_table(t);
   rep.write();
   std::printf(

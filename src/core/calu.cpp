@@ -9,6 +9,8 @@
 #include "core/lookahead.hpp"
 #include "core/partition.hpp"
 #include "core/tournament.hpp"
+#include "core/tslu.hpp"
+#include "lapack/getf2.hpp"
 #include "lapack/laswp.hpp"
 #include "runtime/dep_tracker.hpp"
 
@@ -46,6 +48,19 @@ struct IterState {
   // slabs to the buffer pool so iteration k+1's packs reuse them.
   std::vector<blas::PackedPanel> lpack;
   idx jb = 0;
+  // The health monitor refactored this panel with full GEPP inside the
+  // pivot task; the L tasks (whose work GEPP already did) become no-ops.
+  // Plain bool: written by the pivot task, read by tasks ordered after it
+  // through the panel-tile dependency edges.
+  bool fell_back = false;
+};
+
+// Per-panel health verdict, single-writer (panel k's pivot task), read at
+// collect after the graph drained.
+struct PanelHealthSlot {
+  double growth = 0.0;
+  bool nonfinite = false;
+  bool fell_back = false;
 };
 
 void add_tile_range(std::vector<BlockAccess>& acc, idx i0, idx i1, idx j,
@@ -60,6 +75,7 @@ void add_tile_range(std::vector<BlockAccess>& acc, idx i0, idx i1, idx j,
 struct CaluJob {
   CaluResult result;
   std::vector<idx> panel_info;
+  std::vector<PanelHealthSlot> panel_health;
   std::vector<std::unique_ptr<IterState>> iters;
   std::unique_ptr<rt::TaskGraph> graph;
 };
@@ -78,6 +94,8 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
 
   job.result.ipiv.assign(static_cast<std::size_t>(k_total), 0);
   job.panel_info.assign(static_cast<std::size_t>(n_panels), 0);
+  job.panel_health.assign(static_cast<std::size_t>(n_panels),
+                          PanelHealthSlot{});
 
   // Candidate-slot key stride: partition_panel_rows returns at most
   // min(tr, m_blocks) leaves (leaf boundaries are multiples of b), so this
@@ -85,8 +103,14 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
   // tr — unbounded tr used to overflow a fixed stride of 8192.
   const idx cand_stride = std::max<idx>(1, std::min(opts.tr, m_blocks)) + 1;
 
-  job.graph = std::make_unique<rt::TaskGraph>(rt::TaskGraph::Config{
-      opts.num_threads, opts.record_trace, opts.scheduler, opts.pool});
+  rt::TaskGraph::Config graph_cfg;
+  graph_cfg.num_threads = opts.num_threads;
+  graph_cfg.record_trace = opts.record_trace;
+  graph_cfg.policy = opts.scheduler;
+  graph_cfg.pool = opts.pool;
+  graph_cfg.cancel = opts.cancel;
+  graph_cfg.fault = opts.fault;
+  job.graph = std::make_unique<rt::TaskGraph>(graph_cfg);
   rt::TaskGraph& graph = *job.graph;
   rt::DepTracker tracker;
   // Look-ahead priority bands (see lookahead.hpp): panel path on top, then
@@ -192,17 +216,55 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
       topts.label = "pivot";
       PivotVector* global_ipiv = &job.result.ipiv;
       idx* info_slot = &job.panel_info[static_cast<std::size_t>(k)];
-      add_task(acc, std::move(topts),
-               [S, panel, row0, jb, global_ipiv, info_slot]() {
+      PanelHealthSlot* hslot = &job.panel_health[static_cast<std::size_t>(k)];
+      const bool monitor = opts.monitor;
+      const double growth_limit = opts.growth_limit;
+      const lapack::LuPanelKernel kern = opts.leaf_kernel;
+      add_task(acc, std::move(topts), [S, panel, row0, jb, global_ipiv,
+                                       info_slot, hslot, monitor,
+                                       growth_limit, kern]() {
         const Candidates& root = S->slot[0];
-        S->piv = winners_to_pivots(root.row_index, panel.rows());
-        lapack::laswp(panel, 0, jb, S->piv);
-        copy_into(root.lu_top.view().block(0, 0, jb, jb),
-                  panel.rows_range(0, jb));
+        // Health decision point: the tournament only READ the panel, and
+        // the root's packed LU is exactly the U_KK about to be installed —
+        // so a degenerate outcome (zero pivot / growth past the limit) is
+        // known while a full-panel GEPP retry is still possible. A
+        // non-finite panel is flagged but never "rescued" (GEPP on NaN is
+        // equally lost).
+        PanelScreen scr;
+        if (monitor) scr = screen_panel(panel);
+        RootCheck rc = check_packed_lu(root.lu_top.view(), jb);
+        const bool fall_back =
+            monitor && !scr.nonfinite &&
+            (rc.zero_pivot || (growth_limit > 0.0 && scr.absmax > 0.0 &&
+                               rc.umax > growth_limit * scr.absmax));
+        if (fall_back) {
+          S->fell_back = true;
+          const idx inf = kern == lapack::LuPanelKernel::Recursive
+                              ? lapack::rgetf2(panel, S->piv)
+                              : lapack::getf2(panel, S->piv);
+          if (inf != 0) *info_slot = row0 + inf;
+          // GEPP factored the whole panel (the L tasks become no-ops);
+          // re-measure growth from the factors it actually produced.
+          rc = check_packed_lu(panel, jb);
+        } else {
+          S->piv = winners_to_pivots(root.row_index, panel.rows());
+          lapack::laswp(panel, 0, jb, S->piv);
+          copy_into(root.lu_top.view().block(0, 0, jb, jb),
+                    panel.rows_range(0, jb));
+          for (idx j = 0; j < jb; ++j) {
+            if (panel(j, j) == 0.0 && *info_slot == 0) {
+              *info_slot = row0 + j + 1;
+            }
+          }
+        }
         for (idx j = 0; j < jb; ++j) {
           (*global_ipiv)[static_cast<std::size_t>(row0 + j)] =
               row0 + S->piv[static_cast<std::size_t>(j)];
-          if (panel(j, j) == 0.0 && *info_slot == 0) *info_slot = row0 + j + 1;
+        }
+        if (monitor) {
+          hslot->nonfinite = scr.nonfinite;
+          hslot->fell_back = fall_back;
+          hslot->growth = scr.absmax > 0.0 ? rc.umax / scr.absmax : 0.0;
         }
       });
     }
@@ -225,10 +287,22 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
       topts.iteration = static_cast<int>(k);
       topts.priority = prio.lfactor(k);
       topts.label = "L" + std::to_string(i);
-      add_task(acc, std::move(topts), [panel, lstart, lrows, jb]() {
-        blas::trsm(blas::Side::Right, blas::Uplo::Upper, blas::Trans::NoTrans,
-                   blas::Diag::NonUnit, 1.0, panel.rows_range(0, jb),
-                   panel.rows_range(lstart, lrows));
+      idx* info_slot = &job.panel_info[static_cast<std::size_t>(k)];
+      add_task(acc, std::move(topts), [S, panel, lstart, lrows, jb,
+                                       info_slot]() {
+        // Ordered after the pivot task through the panel-tile edges, so
+        // both flags are stable here. A fallback panel was fully factored
+        // by GEPP already; a singular U_KK (monitor off / non-finite input)
+        // takes the guarded solve so the factors stay finite.
+        if (S->fell_back) return;
+        if (*info_slot == 0) {
+          blas::trsm(blas::Side::Right, blas::Uplo::Upper,
+                     blas::Trans::NoTrans, blas::Diag::NonUnit, 1.0,
+                     panel.rows_range(0, jb), panel.rows_range(lstart, lrows));
+        } else {
+          guarded_l_solve(panel.rows_range(0, jb),
+                          panel.rows_range(lstart, lrows));
+        }
       });
     }
 
@@ -417,21 +491,41 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
 
 }
 
-// Drain the job's graph, fold panel infos, harvest trace/stats. The graph
-// itself is destroyed with the job (its destructor detaches from the pool).
-CaluResult calu_collect(CaluJob& job, bool record_trace) {
-  job.graph->wait();
+// Drain the job's graph, fold panel infos + health, harvest trace/stats.
+// The graph itself is destroyed with the job (its destructor detaches from
+// the pool). `sched_out`, when set, receives the scheduler counters even on
+// the throwing path — the only window into how much of the DAG a
+// fast-abort skipped, since the exception discards the result.
+CaluResult calu_collect(CaluJob& job, bool record_trace,
+                        rt::SchedulerStats* sched_out) {
+  try {
+    job.graph->wait();
+  } catch (...) {
+    if (sched_out != nullptr) *sched_out = job.graph->stats();
+    throw;
+  }
   for (idx inf : job.panel_info) {
     if (inf != 0) {
       job.result.info = inf;
       break;
     }
   }
+  HealthReport& health = job.result.health;
+  for (std::size_t k = 0; k < job.panel_health.size(); ++k) {
+    const PanelHealthSlot& slot = job.panel_health[k];
+    if (slot.nonfinite) health.nan_detected = true;
+    if (slot.fell_back) {
+      ++health.fallback_panels;
+      health.fallback_list.push_back(static_cast<idx>(k));
+    }
+    if (slot.growth > health.max_growth) health.max_growth = slot.growth;
+  }
   if (record_trace) {
     job.result.trace = job.graph->trace();
     job.result.edges = job.graph->edges();
   }
   job.result.sched = job.graph->stats();
+  if (sched_out != nullptr) *sched_out = job.result.sched;
   return std::move(job.result);
 }
 
@@ -440,7 +534,7 @@ CaluResult calu_collect(CaluJob& job, bool record_trace) {
 CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
   CaluJob job;
   calu_submit(a, opts, job);
-  return calu_collect(job, opts.record_trace);
+  return calu_collect(job, opts.record_trace, opts.sched_out);
 }
 
 std::vector<CaluResult> calu_factor_batch(const std::vector<MatrixView>& as,
@@ -470,7 +564,9 @@ std::vector<CaluResult> calu_factor_batch(const std::vector<MatrixView>& as,
     jobs.push_back(std::make_unique<CaluJob>());
     calu_submit(a, batch_opts, *jobs.back());
   }
-  for (auto& job : jobs) out.push_back(calu_collect(*job, opts.record_trace));
+  for (auto& job : jobs) {
+    out.push_back(calu_collect(*job, opts.record_trace, opts.sched_out));
+  }
   return out;
 }
 

@@ -50,6 +50,27 @@ struct CaluOptions {
   /// every trailing column segment, instead of letting each S gemm repack
   /// the same L block. false = pre-pack behaviour (the ablation baseline).
   bool pack_trailing = true;
+  /// Numerical health monitoring with graceful degradation (see
+  /// HealthReport): screen each panel before mutating it, track per-panel
+  /// pivot growth, and refactor a panel with full-panel GEPP when the
+  /// tournament elects a zero pivot or exceeds growth_limit. Healthy inputs
+  /// are bit-identical with the monitor on or off (screening only reads).
+  bool monitor = true;
+  /// Growth threshold for the fallback; <= 0 disables the growth trigger
+  /// (zero pivots still fall back). See TsluOptions::growth_limit.
+  double growth_limit = 1e12;
+  /// Cooperative cancellation: request_cancel() on a copy of this token
+  /// makes the run skip all remaining tasks and calu_factor throw
+  /// rt::CancelledError (see runtime/cancel.hpp).
+  rt::CancelToken cancel{};
+  /// Deterministic fault-injection hook forwarded to the TaskGraph (tests;
+  /// see runtime/fault_inject.hpp). nullptr = the CAMULT_FAULT_SEED global.
+  rt::FaultInjector* fault = nullptr;
+  /// When non-null, receives the run's scheduler counters even if a task
+  /// threw (calu_factor then propagates the exception and the result — and
+  /// its `sched` member — is lost; this is the only way to observe how much
+  /// of the DAG a fast-abort actually skipped).
+  rt::SchedulerStats* sched_out = nullptr;
 };
 
 struct CaluResult {
@@ -63,6 +84,9 @@ struct CaluResult {
   std::vector<rt::TaskGraph::Edge> edges;
   /// Scheduler counters for the run (always filled).
   rt::SchedulerStats sched;
+  /// Numerical health verdict (screening, per-panel growth, GEPP
+  /// fallbacks). Only populated when CaluOptions::monitor is set.
+  HealthReport health;
 };
 
 /// Factor A = P L U in place (same storage convention as getrf).

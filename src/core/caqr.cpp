@@ -9,6 +9,7 @@
 
 #include "core/lookahead.hpp"
 #include "core/partition.hpp"
+#include "core/tournament.hpp"  // screen_panel (the health input screen)
 #include "matrix/norms.hpp"
 #include "runtime/dep_tracker.hpp"
 
@@ -62,6 +63,11 @@ struct CaqrJob {
   CaqrResult result;
   std::vector<std::unique_ptr<IterPacks>> packs;
   std::unique_ptr<rt::TaskGraph> graph;
+  // Health monitor state: the factored matrix (re-scanned for R at
+  // collect) and the input screen taken before any task mutated it.
+  MatrixView a;
+  PanelScreen screen;
+  bool monitor = false;
 };
 
 // Build the full DAG for one factorization and submit it to job.graph.
@@ -84,8 +90,22 @@ void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
   result.n = n;
   result.iterations.resize(static_cast<std::size_t>(n_panels));
 
-  job.graph = std::make_unique<rt::TaskGraph>(rt::TaskGraph::Config{
-      opts.num_threads, opts.record_trace, opts.scheduler, opts.pool});
+  // Screen the input on the submission thread, before the first task can
+  // mutate it: the verdict describes the caller's matrix, not intermediate
+  // update state. (Householder QR never falls back, so unlike CALU no
+  // per-panel decision is needed — one whole-matrix scan suffices.)
+  job.a = a;
+  job.monitor = opts.monitor;
+  if (opts.monitor) job.screen = screen_panel(a);
+
+  rt::TaskGraph::Config graph_cfg;
+  graph_cfg.num_threads = opts.num_threads;
+  graph_cfg.record_trace = opts.record_trace;
+  graph_cfg.policy = opts.scheduler;
+  graph_cfg.pool = opts.pool;
+  graph_cfg.cancel = opts.cancel;
+  graph_cfg.fault = opts.fault;
+  job.graph = std::make_unique<rt::TaskGraph>(graph_cfg);
   rt::TaskGraph& graph = *job.graph;
   rt::DepTracker tracker;
   // Same banded look-ahead scheme as CALU (see lookahead.hpp): panel path
@@ -371,15 +391,43 @@ void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
 
 }
 
-// Drain the job's graph and harvest trace/stats. The graph is destroyed
-// with the job (its destructor detaches from the pool).
-CaqrResult caqr_collect(CaqrJob& job, bool record_trace) {
-  job.graph->wait();
+// Drain the job's graph and harvest trace/stats/health. The graph is
+// destroyed with the job (its destructor detaches from the pool).
+// `sched_out`, when set, receives the scheduler counters even on the
+// throwing path (see calu_collect).
+CaqrResult caqr_collect(CaqrJob& job, bool record_trace,
+                        rt::SchedulerStats* sched_out) {
+  try {
+    job.graph->wait();
+  } catch (...) {
+    if (sched_out != nullptr) *sched_out = job.graph->stats();
+    throw;
+  }
+  if (job.monitor) {
+    HealthReport& health = job.result.health;
+    health.nan_detected = job.screen.nonfinite;
+    // Growth of the triangular factor: max|R| over the upper trapezoid
+    // against the input's absmax. For QR this is bounded by sqrt(n)·||A||
+    // in exact arithmetic, so a large value means the input was already
+    // extreme (badly scaled), not that the factorization misbehaved.
+    double rmax = 0.0;
+    const idx kmax = std::min(job.result.m, job.result.n);
+    for (idx j = 0; j < job.result.n; ++j) {
+      const idx imax = std::min(j + 1, kmax);
+      for (idx i = 0; i < imax; ++i) {
+        const double v = std::abs(job.a(i, j));
+        if (v > rmax) rmax = v;
+      }
+    }
+    health.max_growth =
+        job.screen.absmax > 0.0 ? rmax / job.screen.absmax : 0.0;
+  }
   if (record_trace) {
     job.result.trace = job.graph->trace();
     job.result.edges = job.graph->edges();
   }
   job.result.sched = job.graph->stats();
+  if (sched_out != nullptr) *sched_out = job.result.sched;
   return std::move(job.result);
 }
 
@@ -388,7 +436,7 @@ CaqrResult caqr_collect(CaqrJob& job, bool record_trace) {
 CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
   CaqrJob job;
   caqr_submit(a, opts, job);
-  return caqr_collect(job, opts.record_trace);
+  return caqr_collect(job, opts.record_trace, opts.sched_out);
 }
 
 std::vector<CaqrResult> caqr_factor_batch(const std::vector<MatrixView>& as,
@@ -416,7 +464,9 @@ std::vector<CaqrResult> caqr_factor_batch(const std::vector<MatrixView>& as,
     jobs.push_back(std::make_unique<CaqrJob>());
     caqr_submit(a, batch_opts, *jobs.back());
   }
-  for (auto& job : jobs) out.push_back(caqr_collect(*job, opts.record_trace));
+  for (auto& job : jobs) {
+    out.push_back(caqr_collect(*job, opts.record_trace, opts.sched_out));
+  }
   return out;
 }
 

@@ -42,6 +42,19 @@ struct CaqrOptions {
   /// letting each larfb gemm repack the same V block. Structured (tpqrt)
   /// nodes have no larfb-shaped V2 and always run unpacked.
   bool pack_trailing = true;
+  /// Numerical health monitoring: screen the input for non-finite entries
+  /// before any task mutates it and report max|R| / max|A| as the growth
+  /// factor. Householder QR is unconditionally stable, so unlike CALU
+  /// there is no degradation path — HealthReport::fallback_panels stays 0
+  /// — but a poisoned input is flagged instead of silently propagating.
+  bool monitor = true;
+  /// Cooperative cancellation (see CaluOptions::cancel).
+  rt::CancelToken cancel{};
+  /// Deterministic fault-injection hook (see CaluOptions::fault).
+  rt::FaultInjector* fault = nullptr;
+  /// Scheduler counters surviving a throwing run (see
+  /// CaluOptions::sched_out).
+  rt::SchedulerStats* sched_out = nullptr;
 };
 
 /// TSQR factors of one panel iteration; row offsets inside `part`, `leaves`
@@ -62,6 +75,9 @@ struct CaqrResult {
   std::vector<rt::TaskGraph::Edge> edges;
   /// Scheduler counters for the run (always filled).
   rt::SchedulerStats sched;
+  /// Numerical health verdict (input screening + R growth; QR never falls
+  /// back). Only populated when CaqrOptions::monitor is set.
+  HealthReport health;
 };
 
 /// Factor A = Q R in place: on exit the upper triangle holds R; the rest

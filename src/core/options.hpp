@@ -2,6 +2,8 @@
 // algorithms.
 #pragma once
 
+#include <vector>
+
 #include "matrix/view.hpp"
 
 namespace camult::core {
@@ -19,5 +21,27 @@ enum class ReductionTree {
 };
 
 const char* reduction_tree_name(ReductionTree t);
+
+/// Numerical health of one factorization run. Tournament pivoting is only
+/// "stable in practice": it can elect a zero/degenerate pivot or admit more
+/// growth than GEPP (Grigori/Demmel/Xiang), and a poisoned input (NaN/Inf)
+/// silently propagates through every BLAS-3 update. The monitor screens
+/// each panel BEFORE it is mutated, tracks the per-panel pivot-growth
+/// factor, and — when the tournament outcome is degenerate — refactors the
+/// still-pristine panel with full-panel GEPP, recording the intervention
+/// here instead of emitting Inf-laden factors.
+struct HealthReport {
+  /// A non-finite entry was seen in a panel (or the input) before
+  /// factoring. No fallback is attempted (GEPP on NaN is equally lost);
+  /// the flag is the diagnosis.
+  bool nan_detected = false;
+  idx fallback_panels = 0;         ///< panels refactored with full GEPP
+  std::vector<idx> fallback_list;  ///< indices of those panels
+  /// Largest per-panel pivot growth max|U_kk| / max|panel| observed.
+  double max_growth = 0.0;
+  /// The run needed intervention or carries non-finite data; callers (the
+  /// CLI) should surface this even when info == 0.
+  bool degraded() const { return nan_detected || fallback_panels > 0; }
+};
 
 }  // namespace camult::core

@@ -1,6 +1,7 @@
 #include "core/tournament.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <unordered_map>
 
 #include "lapack/getf2.hpp"
@@ -76,6 +77,36 @@ Candidates tournament_combine(const std::vector<const Candidates*>& sources,
     row += c->values.rows();
   }
   return elect(stacked, index, b, kernel);
+}
+
+PanelScreen screen_panel(ConstMatrixView panel) {
+  PanelScreen s;
+  for (idx j = 0; j < panel.cols(); ++j) {
+    const double* col = panel.col_ptr(j);
+    for (idx i = 0; i < panel.rows(); ++i) {
+      const double v = col[i];
+      if (!std::isfinite(v)) {
+        s.nonfinite = true;
+      } else if (std::abs(v) > s.absmax) {
+        s.absmax = std::abs(v);
+      }
+    }
+  }
+  return s;
+}
+
+RootCheck check_packed_lu(ConstMatrixView lu, idx b) {
+  RootCheck c;
+  const idx jmax = std::min(b, lu.cols());
+  for (idx j = 0; j < jmax; ++j) {
+    const idx imax = std::min(j + 1, lu.rows());
+    for (idx i = 0; i < imax; ++i) {
+      const double v = std::abs(lu(i, j));
+      if (v > c.umax || std::isnan(v)) c.umax = v;
+    }
+    if (j < lu.rows() && lu(j, j) == 0.0) c.zero_pivot = true;
+  }
+  return c;
 }
 
 PivotVector winners_to_pivots(const std::vector<idx>& winners,

@@ -43,4 +43,25 @@ Candidates tournament_combine(
 /// sequence accounts for earlier swaps displacing rows.
 PivotVector winners_to_pivots(const std::vector<idx>& winners, idx panel_rows);
 
+/// Input screening for the health monitor: largest finite magnitude in
+/// `panel` and whether any entry is non-finite. Runs on the pre-mutation
+/// panel (the tournament only reads it), so the verdict describes the
+/// actual input.
+struct PanelScreen {
+  double absmax = 0.0;  ///< max |finite entry|; 0 for an all-zero panel
+  bool nonfinite = false;
+};
+PanelScreen screen_panel(ConstMatrixView panel);
+
+/// Degeneracy check on a packed LU block (getf2 layout — U on and above the
+/// diagonal): max |U| over the leading `b` columns and whether any diagonal
+/// entry is exactly zero. Applied to the tournament root's lu_top this
+/// tells, BEFORE the panel is overwritten, whether installing the
+/// tournament's U_KK would divide by zero or exceed the growth limit.
+struct RootCheck {
+  double umax = 0.0;
+  bool zero_pivot = false;
+};
+RootCheck check_packed_lu(ConstMatrixView lu, idx b);
+
 }  // namespace camult::core

@@ -23,13 +23,36 @@ struct TsluOptions {
   /// ("rgetf2") because it runs at BLAS-3 speed on out-of-cache panels;
   /// BLAS-2 getf2 can win when the panel is cache resident.
   lapack::LuPanelKernel leaf_kernel = lapack::LuPanelKernel::Recursive;
+  /// Health monitoring with graceful degradation: screen the panel for
+  /// non-finite entries and, when the tournament elects a zero/degenerate
+  /// pivot or its growth exceeds growth_limit, discard the tournament and
+  /// refactor the (still untouched) panel with full-panel GEPP. Off = the
+  /// LAPACK-style complete-with-Inf behaviour.
+  bool monitor = true;
+  /// Pivot-growth threshold max|U_KK| / max|panel| above which the monitor
+  /// falls back to GEPP; <= 0 disables the growth trigger (zero pivots
+  /// still trigger). The default passes every GEPP-stable matrix — even
+  /// Wilkinson's 2^(n-1) worst case at the panel widths used here — and
+  /// catches the pathological tournament outcomes well past it.
+  double growth_limit = 1e12;
 };
 
 /// Factor an m x b panel in place: on exit the unit lower trapezoid holds L,
 /// the upper triangle holds U, and ipiv (resized to b) is the swap sequence
 /// (laswp convention, relative to the panel top). Requires m >= b.
 /// Returns 0, or the 1-based index of the first zero pivot.
+/// `health`, when non-null, receives the panel's screen/growth/fallback
+/// verdict (fallback_list uses panel index 0).
 idx tslu_factor(MatrixView panel, PivotVector& ipiv,
-                const TsluOptions& opts = {});
+                const TsluOptions& opts = {}, HealthReport* health = nullptr);
+
+/// X := X * U^{-1} against the upper triangle of `lu` (the TSLU "remaining
+/// rows of L" solve), skipping the divide for exactly-zero diagonal entries
+/// so an exactly singular U_KK yields finite (if rank-deficient) L instead
+/// of a column of Inf — the same convention as getf2's skipped scal. Used
+/// on the info != 0 path only: when every pivot is nonzero the callers keep
+/// blas::trsm, whose operation order this plain loop does not reproduce
+/// bit-for-bit.
+void guarded_l_solve(ConstMatrixView lu, MatrixView x);
 
 }  // namespace camult::core

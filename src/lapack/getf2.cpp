@@ -1,9 +1,50 @@
 #include "lapack/getf2.hpp"
 
+#include <cmath>
+
 #include "blas/level1.hpp"
 #include "blas/level2.hpp"
 
 namespace camult::lapack {
+
+namespace {
+
+// max |a(i, j)| over the given triangle of the matrix (whole = both).
+double absmax_all(ConstMatrixView a) {
+  double m = 0.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    const double* col = a.col_ptr(j);
+    for (idx i = 0; i < a.rows(); ++i) {
+      const double v = std::abs(col[i]);
+      if (v > m) m = v;
+    }
+  }
+  return m;
+}
+
+double absmax_upper(ConstMatrixView a) {
+  double m = 0.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    const idx imax = std::min(j + 1, a.rows());
+    for (idx i = 0; i < imax; ++i) {
+      const double v = std::abs(a(i, j));
+      if (v > m) m = v;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+idx getf2(MatrixView a, PivotVector& ipiv, double* growth) {
+  double amax = 0.0;
+  if (growth != nullptr) amax = absmax_all(a);
+  const idx info = getf2(a, ipiv);
+  if (growth != nullptr) {
+    *growth = amax > 0.0 ? absmax_upper(a) / amax : 0.0;
+  }
+  return info;
+}
 
 idx getf2(MatrixView a, PivotVector& ipiv) {
   const idx m = a.rows();

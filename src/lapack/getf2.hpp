@@ -17,4 +17,11 @@ namespace camult::lapack {
 /// pivot (the factorization still completes, as in LAPACK).
 idx getf2(MatrixView a, PivotVector& ipiv);
 
+/// Same factorization, additionally reporting the pivot-growth factor
+/// max|U| / max|A_in| in *growth (0 for an all-zero input; growth == nullptr
+/// is allowed and bit-identical to the two-argument form). This is the
+/// per-panel health metric the CALU monitor tracks — GEPP bounds it by
+/// 2^(n-1), tournament pivoting does not.
+idx getf2(MatrixView a, PivotVector& ipiv, double* growth);
+
 }  // namespace camult::lapack

@@ -1,0 +1,50 @@
+// cancel.hpp — cooperative cancellation for TaskGraph runs.
+//
+// A CancelToken is a copyable handle to one shared cancellation flag.
+// Hand the same token to TaskGraph::Config::cancel and to whoever may need
+// to stop the run (a timeout thread, a signal handler trampoline, a caller
+// that lost interest); request_cancel() makes the scheduler skip every task
+// body that has not started yet. Cancellation is cooperative and
+// task-granular: a body that is already running finishes normally — the
+// runtime never interrupts user code mid-flight — but no new body starts.
+//
+// Skipped tasks still complete from the scheduler's point of view (their
+// successors resolve, completion counters advance), so wait(), drain_all()
+// and WorkerPool::detach() keep their exact accounting; a cancelled graph
+// drains fast instead of wedging. wait() reports the outcome: a task error
+// (if any) wins, otherwise a pure cancellation throws CancelledError.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+namespace camult::rt {
+
+/// Thrown by TaskGraph::wait() when the run was cancelled via a CancelToken
+/// and no task had failed (a task error takes precedence — it is the more
+/// specific diagnosis).
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("TaskGraph run cancelled") {}
+};
+
+/// Copyable handle to a shared cancellation flag. Thread-safe; all copies
+/// observe the same state. A default-constructed token owns a fresh flag.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Ask every graph holding this token to stop starting task bodies.
+  /// Idempotent; callable from any thread (including a task body).
+  void request_cancel() const {
+    state_->store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const { return state_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+}  // namespace camult::rt

@@ -1,0 +1,103 @@
+#include "runtime/fault_inject.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace camult::rt {
+
+namespace {
+
+// splitmix64: the one-round mixer from Vigna's xorshift work. Full avalanche
+// (every output bit depends on every input bit), so consecutive task ids map
+// to statistically independent decisions even with a tiny seed.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Uniform in [0, 1) from the top 53 bits (exactly representable in double).
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double env_rate(const char* name, double fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v >= 0.0) || v > 1.0) return fallback;
+  return v;
+}
+
+}  // namespace
+
+FaultConfig FaultConfig::from_env() {
+  FaultConfig cfg;
+  const char* seed = std::getenv("CAMULT_FAULT_SEED");
+  if (seed == nullptr || *seed == '\0') return cfg;  // disarmed
+  char* end = nullptr;
+  cfg.seed = std::strtoull(seed, &end, 10);
+  if (end == seed || *end != '\0') cfg.seed = 0;  // typo: still armed, seed 0
+  cfg.throw_rate = env_rate("CAMULT_FAULT_THROW_RATE", 0.01);
+  cfg.delay_rate = env_rate("CAMULT_FAULT_DELAY_RATE", 0.0);
+  cfg.wake_rate = env_rate("CAMULT_FAULT_WAKE_RATE", 0.0);
+  if (const char* us = std::getenv("CAMULT_FAULT_DELAY_US")) {
+    end = nullptr;
+    const long v = std::strtol(us, &end, 10);
+    if (end != us && *end == '\0' && v >= 0 && v <= 1000000) {
+      cfg.delay_us = static_cast<int>(v);
+    }
+  }
+  return cfg;
+}
+
+FaultInjector::Action FaultInjector::decide(TaskId id) const {
+  if (config_.throw_on_task != kNoTask && id == config_.throw_on_task) {
+    return Action::Throw;
+  }
+  const double total =
+      config_.throw_rate + config_.delay_rate + config_.wake_rate;
+  if (total <= 0.0) return Action::None;
+  const double u = to_unit(
+      splitmix64(config_.seed ^ (static_cast<std::uint64_t>(id) *
+                                 0xD6E8FEB86659FD93ull)));
+  if (u < config_.throw_rate) return Action::Throw;
+  if (u < config_.throw_rate + config_.delay_rate) return Action::Delay;
+  if (u < total) return Action::SpuriousWake;
+  return Action::None;
+}
+
+bool FaultInjector::before_task(TaskId id) {
+  switch (decide(id)) {
+    case Action::None:
+      return false;
+    case Action::Throw:
+      throws_.fetch_add(1, std::memory_order_relaxed);
+      throw InjectedFault(id);
+    case Action::Delay:
+      delays_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(config_.delay_us));
+      return false;
+    case Action::SpuriousWake:
+      wakes_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+  }
+  return false;
+}
+
+FaultInjector* FaultInjector::from_env() {
+  // Armed once, leaked on purpose: TaskGraphs may outlive main()'s statics
+  // (process_default pool workers), so never destroy it.
+  static FaultInjector* global = [] {
+    const FaultConfig cfg = FaultConfig::from_env();
+    const bool armed = std::getenv("CAMULT_FAULT_SEED") != nullptr &&
+                       *std::getenv("CAMULT_FAULT_SEED") != '\0';
+    return armed ? new FaultInjector(cfg) : nullptr;
+  }();
+  return global;
+}
+
+}  // namespace camult::rt

@@ -1,0 +1,112 @@
+// fault_inject.hpp — deterministic, seed-driven fault injection for the
+// task scheduler.
+//
+// Production failure modes (a kernel that throws, a task that stalls, a
+// futex wake that arrives for no reason) are timing-dependent and nearly
+// impossible to reproduce from a test. The FaultInjector turns them into a
+// pure function: the action taken for task id T is hash(seed, T) — it does
+// not depend on which worker runs T, in what order, or how often the run is
+// repeated. The same (seed, rates) therefore injects the same faults into
+// the same tasks on every run and under every sanitizer, which is what lets
+// the stress suite assert "the scheduler drains and rethrows the first
+// error" across hundreds of seeds instead of hoping a race shows up.
+//
+// Wiring: pass a FaultInjector through TaskGraph::Config::fault (tests,
+// benchmarks), or set CAMULT_FAULT_SEED in the environment to arm a
+// process-wide injector picked up by every TaskGraph — useful to shake an
+// unmodified binary. Env knobs:
+//
+//   CAMULT_FAULT_SEED        uint64 seed; presence arms the injector
+//   CAMULT_FAULT_THROW_RATE  probability a task throws InjectedFault (0.01)
+//   CAMULT_FAULT_DELAY_RATE  probability a task sleeps first      (0)
+//   CAMULT_FAULT_DELAY_US    length of that sleep in microseconds (100)
+//   CAMULT_FAULT_WAKE_RATE   probability of a spurious relay wake (0)
+//
+// The injector fires immediately before a task body runs, so an injected
+// throw exercises exactly the path a throwing kernel would: error capture,
+// fast-abort of descendants, drain, rethrow from wait().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/task.hpp"
+
+namespace camult::rt {
+
+/// The exception an armed injector throws inside a task. Distinct type so
+/// tests (and users shaking a binary) can tell an injected failure from a
+/// real one.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(TaskId id)
+      : std::runtime_error("injected fault in task " + std::to_string(id)),
+        task_(id) {}
+  TaskId task() const { return task_; }
+
+ private:
+  TaskId task_;
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 0;    ///< decision-hash seed
+  double throw_rate = 0.0;   ///< P(task throws InjectedFault)
+  double delay_rate = 0.0;   ///< P(task sleeps delay_us before running)
+  int delay_us = 100;        ///< length of an injected delay
+  double wake_rate = 0.0;    ///< P(spurious relay wake after the task)
+  /// When >= 0, this exact task throws regardless of the rates —
+  /// deterministic single-point failure (e.g. "kill panel 0's first leaf").
+  TaskId throw_on_task = kNoTask;
+
+  /// Parse the CAMULT_FAULT_* environment. Returns an armed config iff
+  /// CAMULT_FAULT_SEED is set (rates default as documented above).
+  /// Malformed numbers fall back to their defaults rather than throwing —
+  /// an env typo must not take the process down.
+  static FaultConfig from_env();
+};
+
+/// Deterministic fault oracle. decide(id) is a pure function of
+/// (config, id); the mutable state is only the fired-fault counters.
+/// Thread-safe: decide/before_task may be called from any worker.
+class FaultInjector {
+ public:
+  enum class Action : std::uint8_t { None, Throw, Delay, SpuriousWake };
+
+  explicit FaultInjector(const FaultConfig& config) : config_(config) {}
+
+  const FaultConfig& config() const { return config_; }
+
+  /// The action for task `id` — same answer on every call, every thread,
+  /// every run with this config.
+  Action decide(TaskId id) const;
+
+  /// Scheduler hook, called immediately before a task body. Throws
+  /// InjectedFault for Action::Throw, sleeps for Action::Delay, and
+  /// returns true when the caller should issue a spurious wake.
+  bool before_task(TaskId id);
+
+  std::int64_t injected_throws() const {
+    return throws_.load(std::memory_order_relaxed);
+  }
+  std::int64_t injected_delays() const {
+    return delays_.load(std::memory_order_relaxed);
+  }
+  std::int64_t injected_wakes() const {
+    return wakes_.load(std::memory_order_relaxed);
+  }
+
+  /// Process-wide injector armed from the environment, or nullptr when
+  /// CAMULT_FAULT_SEED is unset. Read once; changing the env after the
+  /// first TaskGraph has no effect.
+  static FaultInjector* from_env();
+
+ private:
+  FaultConfig config_;
+  std::atomic<std::int64_t> throws_{0};
+  std::atomic<std::int64_t> delays_{0};
+  std::atomic<std::int64_t> wakes_{0};
+};
+
+}  // namespace camult::rt

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "runtime/fault_inject.hpp"
 #include "runtime/worker_pool.hpp"
 
 namespace camult::rt {
@@ -23,6 +24,7 @@ char task_kind_letter(TaskKind k) { return task_kind_name(k)[0]; }
 
 WorkerStats& WorkerStats::operator+=(const WorkerStats& o) {
   tasks_executed += o.tasks_executed;
+  tasks_skipped += o.tasks_skipped;
   local_pops += o.local_pops;
   steals += o.steals;
   stolen_tasks += o.stolen_tasks;
@@ -80,6 +82,7 @@ TaskGraph::TaskGraph(const Config& config) : config_(config) {
   // Inline mode always stays inline (it is the serial record mode); a pool
   // only takes over when real-thread execution was requested.
   pool_ = (config_.num_threads != 0) ? config_.pool : nullptr;
+  fault_ = config_.fault != nullptr ? config_.fault : FaultInjector::from_env();
   epoch_ = std::chrono::steady_clock::now();
   exec_width_ = pool_ ? pool_->size() : std::max(config_.num_threads, 1);
   const auto n_workers = static_cast<std::size_t>(exec_width_);
@@ -267,17 +270,29 @@ void TaskGraph::maybe_wake_sleeper(int caller) {
 void TaskGraph::run_task(TaskId id, int worker_id, bool inline_mode) {
   Task& task = store_[id];  // lock-free: slot address is stable, id was
                             // published to us with acquire/release
+  Counters& cnt = counters_[static_cast<std::size_t>(worker_id)];
+  // Fast-abort: once a task has failed (abort_on_error) or the cancel token
+  // fired, remaining bodies are pointless — skip them. The task still
+  // completes below (successors resolve, completed_ advances), so the DAG
+  // drains at skip speed and every wait()/detach invariant holds; an
+  // attached pool just sees a graph whose tasks finish very quickly.
+  const bool skip = aborted();
+  bool spurious_wake = false;
+  std::exception_ptr error;
   std::chrono::steady_clock::time_point t0;
   if (config_.record_trace) t0 = std::chrono::steady_clock::now();
-  std::exception_ptr error;
-  try {
-    task.fn();
-  } catch (...) {
-    // Dependents still run (they may touch unrelated state); the first
-    // failure is rethrown from wait(). Matches how a worker must never die.
-    error = std::current_exception();
+  if (!skip) {
+    try {
+      // The injector (when armed) fires here so an injected throw takes
+      // exactly the path a throwing kernel would.
+      if (fault_ != nullptr) spurious_wake = fault_->before_task(id);
+      task.fn();
+    } catch (...) {
+      // The first failure is rethrown from wait(); a worker must never die.
+      error = std::current_exception();
+      if (config_.abort_on_error) abort_.store(true, std::memory_order_release);
+    }
   }
-  Counters& cnt = counters_[static_cast<std::size_t>(worker_id)];
   if (config_.record_trace) {
     const auto t1 = std::chrono::steady_clock::now();
     task.record.worker = worker_id;
@@ -289,9 +304,13 @@ void TaskGraph::run_task(TaskId id, int worker_id, bool inline_mode) {
             .count();
     bump(cnt.busy_ns, task.record.end_ns - task.record.start_ns);
   }
-  bump(cnt.tasks_executed);
+  bump(skip ? cnt.tasks_skipped : cnt.tasks_executed);
   task.error = error;
   task.fn = nullptr;  // release captures eagerly
+  // Injected spurious wake: poke the relay machinery for no reason, the
+  // way a stray futex wake would. Harmless by design — workers re-check
+  // their queues — but it stresses exactly that property.
+  if (spurious_wake && !inline_mode) maybe_wake_sleeper(worker_id);
 
   if (inline_mode) {
     // Single-threaded: no handshake needed, and nobody can be in wait().
@@ -559,6 +578,9 @@ void TaskGraph::wait() {
       std::rethrow_exception(store_[static_cast<TaskId>(i)].error);
     }
   }
+  // No task failed but the token fired: the results are incomplete (bodies
+  // were skipped), which the caller must not mistake for success.
+  if (config_.cancel.cancelled()) throw CancelledError();
 }
 
 std::vector<TaskRecord> TaskGraph::trace() const {
@@ -580,6 +602,7 @@ SchedulerStats TaskGraph::stats() const {
     const Counters& c = counters_[w];
     WorkerStats& out = s.workers[w];
     out.tasks_executed = c.tasks_executed.load(std::memory_order_relaxed);
+    out.tasks_skipped = c.tasks_skipped.load(std::memory_order_relaxed);
     out.local_pops = c.local_pops.load(std::memory_order_relaxed);
     out.steals = c.steals.load(std::memory_order_relaxed);
     out.stolen_tasks = c.stolen_tasks.load(std::memory_order_relaxed);

@@ -52,10 +52,12 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/cancel.hpp"
 #include "runtime/task.hpp"
 
 namespace camult::rt {
 
+class FaultInjector;
 class WorkerPool;
 
 /// Per-worker scheduler counters, snapshotted by TaskGraph::stats().
@@ -64,6 +66,7 @@ class WorkerPool;
 /// path). idle_ns covers time blocked in the sleep/wake handshake.
 struct WorkerStats {
   std::int64_t tasks_executed = 0;
+  std::int64_t tasks_skipped = 0;  ///< bodies not run (fast-abort / cancel)
   std::int64_t local_pops = 0;    ///< tasks popped from own deque / buckets
   std::int64_t steals = 0;        ///< successful steal operations
   std::int64_t stolen_tasks = 0;  ///< tasks taken by those steals
@@ -109,6 +112,20 @@ class TaskGraph {
     /// case, which always stays inline). The pool must outlive the graph;
     /// the graph's destructor drains pending tasks and detaches.
     WorkerPool* pool = nullptr;
+    /// Cooperative cancellation handle (see cancel.hpp). Copy the token
+    /// before constructing the graph and call request_cancel() from any
+    /// thread to make the run skip every task body that has not started.
+    CancelToken cancel{};
+    /// When a task throws, skip every not-yet-started task body instead of
+    /// executing the rest of the DAG (their results would feed a
+    /// computation that is already lost). The graph still drains — skipped
+    /// tasks resolve successors and count as completed — so wait()/detach
+    /// semantics are unchanged. Set false to restore run-everything.
+    bool abort_on_error = true;
+    /// Deterministic fault-injection hook (see fault_inject.hpp): fires
+    /// before each task body. nullptr = use the process-wide injector
+    /// armed by CAMULT_FAULT_SEED, if any.
+    FaultInjector* fault = nullptr;
   };
 
   struct Edge {
@@ -128,10 +145,18 @@ class TaskGraph {
   TaskId submit(const std::vector<TaskId>& deps, TaskOptions opts,
                 std::function<void()> fn);
 
-  /// Block until every submitted task has executed. If any task threw, the
-  /// first exception (by task id) is rethrown here (the graph still drains
-  /// completely first).
+  /// Block until every submitted task has completed (executed or, after an
+  /// error/cancellation, skipped). If any task threw, the first exception
+  /// (by task id) is rethrown here; a cancelled run with no task error
+  /// throws CancelledError. The graph always drains completely first.
   void wait();
+
+  /// Whether the run is aborting: a task failed (with Config::abort_on_error)
+  /// or the cancel token fired. Remaining task bodies will be skipped.
+  bool aborted() const {
+    return abort_.load(std::memory_order_acquire) ||
+           config_.cancel.cancelled();
+  }
 
   int num_threads() const { return config_.num_threads; }
 
@@ -223,6 +248,7 @@ class TaskGraph {
   /// and stats() reads them with relaxed loads.
   struct alignas(64) Counters {
     std::atomic<std::int64_t> tasks_executed{0};
+    std::atomic<std::int64_t> tasks_skipped{0};
     std::atomic<std::int64_t> local_pops{0};
     std::atomic<std::int64_t> steals{0};
     std::atomic<std::int64_t> stolen_tasks{0};
@@ -304,6 +330,11 @@ class TaskGraph {
   std::atomic<idx> submitted_{0};
   std::atomic<idx> completed_{0};
   std::atomic<bool> shutdown_{false};
+  /// Set by the first task error when Config::abort_on_error: remaining
+  /// bodies are skipped (they still resolve successors and complete).
+  std::atomic<bool> abort_{false};
+  /// Resolved fault hook: Config::fault, else the env-armed global.
+  FaultInjector* fault_ = nullptr;
 
   // --- Submission-side staging, shared by both policies. The submitter
   // appends ready task ids here under a lock nobody holds for long; worker

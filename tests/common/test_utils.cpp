@@ -1,6 +1,7 @@
 #include "common/test_utils.hpp"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "matrix/random.hpp"
@@ -172,6 +173,30 @@ Matrix badly_scaled_matrix(idx m, idx n, int scale_pow, std::uint64_t seed) {
       a(i, j) = std::ldexp(a(i, j), ramp(i, m) + ramp(j, n));
     }
   }
+  return a;
+}
+
+Matrix nan_seeded_matrix(idx m, idx n, std::uint64_t seed) {
+  Matrix a = random_matrix(m, n, seed);
+  const double q = std::numeric_limits<double>::quiet_NaN();
+  a(0, 0) = q;
+  a(m / 2, n / 2) = q;
+  a(m - 1, n - 1) = q;
+  return a;
+}
+
+Matrix inf_seeded_matrix(idx m, idx n, std::uint64_t seed) {
+  Matrix a = random_matrix(m, n, seed);
+  const double inf = std::numeric_limits<double>::infinity();
+  a(0, 0) = inf;
+  a(m / 2, n / 2) = -inf;
+  a(m - 1, n - 1) = inf;
+  return a;
+}
+
+Matrix zero_column_matrix(idx m, idx n, idx col, std::uint64_t seed) {
+  Matrix a = random_matrix(m, n, seed);
+  for (idx i = 0; i < m; ++i) a(i, col) = 0.0;
   return a;
 }
 

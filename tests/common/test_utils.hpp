@@ -61,6 +61,18 @@ Matrix duplicate_rows_matrix(idx m, idx n, std::uint64_t seed);
 /// 2^[-scale_pow, +scale_pow].
 Matrix badly_scaled_matrix(idx m, idx n, int scale_pow, std::uint64_t seed);
 
+/// Random matrix with quiet NaNs planted at a few deterministic positions,
+/// always including (0, 0) so the leading panel is poisoned.
+Matrix nan_seeded_matrix(idx m, idx n, std::uint64_t seed);
+
+/// Random matrix with +/-Inf planted the same way.
+Matrix inf_seeded_matrix(idx m, idx n, std::uint64_t seed);
+
+/// Random matrix whose column `col` is exactly zero: the panel containing
+/// `col` is exactly singular by construction, with no floating-point
+/// cancellation involved (the pivot search sees literal zeros).
+Matrix zero_column_matrix(idx m, idx n, idx col, std::uint64_t seed);
+
 /// One named adversarial input.
 struct AdversarialCase {
   std::string name;

@@ -7,6 +7,8 @@
 // ties, zero pivots, 2^(n-1) growth and 2^40 dynamic range.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -127,6 +129,172 @@ INSTANTIATE_TEST_SUITE_P(
         AdvParam{120, 120, 30, 4, core::ReductionTree::Flat},
         AdvParam{240, 60, 20, 4, core::ReductionTree::Binary},
         AdvParam{240, 60, 20, 4, core::ReductionTree::Flat}));
+
+// ---- Health monitoring on poisoned / degenerate ensembles ---------------
+//
+// The monitor's contract: NaN/Inf inputs are FLAGGED but never trigger the
+// GEPP fallback (GEPP on poison is equally lost); an exactly singular panel
+// triggers the fallback and produces finite factors whose backward error
+// matches plain GEPP; healthy inputs are bit-identical monitored or not.
+
+bool all_finite(ConstMatrixView a) {
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) {
+      if (!std::isfinite(a(i, j))) return false;
+    }
+  }
+  return true;
+}
+
+TEST(AdversarialHealth, CaluFlagsNanInputWithoutFallback) {
+  Matrix a = camult::test::nan_seeded_matrix(96, 96, 1001);
+  core::CaluOptions opts;
+  opts.b = 16;
+  opts.tr = 2;
+  opts.num_threads = 4;
+  core::CaluResult res = core::calu_factor(a.view(), opts);
+  EXPECT_TRUE(res.health.nan_detected);
+  EXPECT_EQ(res.health.fallback_panels, 0);
+  EXPECT_TRUE(res.health.degraded());
+}
+
+TEST(AdversarialHealth, CaluFlagsInfInputWithoutFallback) {
+  Matrix a = camult::test::inf_seeded_matrix(96, 96, 1003);
+  core::CaluOptions opts;
+  opts.b = 16;
+  opts.tr = 2;
+  opts.num_threads = 4;
+  core::CaluResult res = core::calu_factor(a.view(), opts);
+  EXPECT_TRUE(res.health.nan_detected);
+  EXPECT_EQ(res.health.fallback_panels, 0);
+}
+
+TEST(AdversarialHealth, CaqrFlagsPoisonedInput) {
+  for (const bool use_nan : {true, false}) {
+    Matrix a = use_nan ? camult::test::nan_seeded_matrix(96, 64, 1005)
+                       : camult::test::inf_seeded_matrix(96, 64, 1007);
+    core::CaqrOptions opts;
+    opts.b = 16;
+    opts.tr = 2;
+    opts.num_threads = 4;
+    core::CaqrResult res = core::caqr_factor(a.view(), opts);
+    EXPECT_TRUE(res.health.nan_detected) << (use_nan ? "nan" : "inf");
+    EXPECT_EQ(res.health.fallback_panels, 0);
+  }
+}
+
+TEST(AdversarialHealth, SingularPanelFallsBackAndStaysFinite) {
+  // Column 3 is exactly zero: the tournament elects a zero pivot for panel
+  // 0 and the monitor must refactor it with full-panel GEPP instead of
+  // emitting a column of Inf.
+  Matrix a = camult::test::zero_column_matrix(96, 96, 3, 1009);
+  Matrix lu = a;
+  core::CaluOptions opts;
+  opts.b = 16;
+  opts.tr = 2;
+  opts.num_threads = 4;
+  core::CaluResult res = core::calu_factor(lu.view(), opts);
+  EXPECT_GE(res.health.fallback_panels, 1);
+  ASSERT_FALSE(res.health.fallback_list.empty());
+  EXPECT_EQ(res.health.fallback_list[0], 0);
+  EXPECT_EQ(res.info, 4);  // 1-based first zero pivot
+  EXPECT_TRUE(all_finite(lu.view()));
+
+  // Backward error within 10x of a plain GEPP factorization of the same
+  // matrix (the fallback IS GEPP on that panel, so this is loose).
+  Matrix ref = a;
+  PivotVector ref_ipiv;
+  lapack::getf2(ref.view(), ref_ipiv);
+  const double gepp_res = lapack::lu_residual(a.view(), ref.view(), ref_ipiv);
+  const double calu_res = lapack::lu_residual(a.view(), lu.view(), res.ipiv);
+  EXPECT_LT(calu_res, 10.0 * std::max(gepp_res, 1.0));
+}
+
+TEST(AdversarialHealth, SinglePanelFallbackIsBitwiseGepp) {
+  // n == b: the whole factorization is one panel, and the fallback must
+  // reproduce the recursive-GEPP kernel exactly — same pivots, same bits.
+  Matrix a = camult::test::zero_column_matrix(64, 16, 2, 1011);
+  Matrix lu = a;
+  core::CaluOptions opts;
+  opts.b = 16;
+  opts.tr = 4;
+  opts.num_threads = 4;
+  core::CaluResult res = core::calu_factor(lu.view(), opts);
+  EXPECT_EQ(res.health.fallback_panels, 1);
+
+  Matrix ref = a;
+  PivotVector ref_ipiv;
+  const idx ref_info = lapack::rgetf2(ref.view(), ref_ipiv);
+  EXPECT_EQ(res.info, ref_info);
+  ASSERT_EQ(res.ipiv.size(), ref_ipiv.size());
+  for (std::size_t i = 0; i < ref_ipiv.size(); ++i) {
+    EXPECT_EQ(res.ipiv[i], ref_ipiv[i]) << "pivot " << i;
+  }
+  EXPECT_EQ(camult::test::max_diff(lu.view(), ref.view()), 0.0);
+}
+
+TEST(AdversarialHealth, WilkinsonGrowthIsTrackedWithoutFallback) {
+  // The GEPP worst-case growth matrix: large per-panel growth must be
+  // REPORTED but stay under the default limit (Wilkinson is GEPP-stable in
+  // the backward-error sense, so no intervention is warranted).
+  Matrix a = gepp_growth_matrix(40);
+  Matrix lu = a;
+  core::CaluOptions opts;
+  opts.b = 20;
+  opts.tr = 2;
+  opts.num_threads = 4;
+  core::CaluResult res = core::calu_factor(lu.view(), opts);
+  EXPECT_EQ(res.info, 0);
+  EXPECT_EQ(res.health.fallback_panels, 0);
+  EXPECT_GT(res.health.max_growth, 1e4);  // ~2^19 on the second panel
+  EXPECT_FALSE(res.health.nan_detected);
+}
+
+TEST(AdversarialHealth, GrowthLimitTriggersFallback) {
+  Matrix a = gepp_growth_matrix(40);
+  Matrix lu = a;
+  core::CaluOptions opts;
+  opts.b = 20;
+  opts.tr = 2;
+  opts.num_threads = 4;
+  opts.growth_limit = 100.0;  // far below the ~2^19 panel growth
+  core::CaluResult res = core::calu_factor(lu.view(), opts);
+  EXPECT_EQ(res.info, 0);
+  EXPECT_GE(res.health.fallback_panels, 1);
+  EXPECT_LT(lapack::lu_residual(a.view(), lu.view(), res.ipiv),
+            kResidualThreshold);
+}
+
+TEST(AdversarialHealth, MonitorOnOffIsBitIdenticalOnHealthyInput) {
+  Matrix a = random_matrix(96, 96, 1013);
+  Matrix monitored = a;
+  Matrix plain = a;
+  core::CaluOptions opts;
+  opts.b = 16;
+  opts.tr = 2;
+  opts.num_threads = 4;
+  opts.monitor = true;
+  core::CaluResult rm = core::calu_factor(monitored.view(), opts);
+  opts.monitor = false;
+  core::CaluResult rp = core::calu_factor(plain.view(), opts);
+  EXPECT_EQ(rm.ipiv, rp.ipiv);
+  EXPECT_EQ(camult::test::max_diff(monitored.view(), plain.view()), 0.0);
+  EXPECT_GT(rm.health.max_growth, 0.0);
+  EXPECT_EQ(rm.health.fallback_panels, 0);
+  EXPECT_FALSE(rp.health.degraded());
+}
+
+TEST(AdversarialHealth, CaqrReportsGrowthOnHealthyInput) {
+  Matrix a = random_matrix(96, 64, 1015);
+  core::CaqrOptions opts;
+  opts.b = 16;
+  opts.tr = 2;
+  opts.num_threads = 4;
+  core::CaqrResult res = core::caqr_factor(a.view(), opts);
+  EXPECT_FALSE(res.health.nan_detected);
+  EXPECT_EQ(res.health.fallback_panels, 0);
+  EXPECT_GT(res.health.max_growth, 0.0);
+}
 
 }  // namespace
 }  // namespace camult

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <tuple>
 #include <vector>
 
@@ -264,6 +265,73 @@ TEST(Tslu, SingularPanelReportsInfo) {
   opts.tr = 4;
   const idx info = tslu_factor(a.view(), ipiv, opts);
   EXPECT_EQ(info, 4);  // 1-based
+}
+
+TEST(Tslu, SingularPanelMonitorOffStaysFinite) {
+  // Regression for the unguarded U^{-1} divide: with the monitor off the
+  // tournament's zero pivot must still yield FINITE factors (the divide is
+  // skipped for exactly-zero diagonals, mirroring getf2's skipped scal),
+  // not a column of Inf below the zero pivot.
+  Matrix a = random_matrix(40, 6, 21);
+  for (idx i = 0; i < 40; ++i) a(i, 3) = 0.0;
+  PivotVector ipiv;
+  TsluOptions opts;
+  opts.tr = 4;
+  opts.monitor = false;
+  const idx info = tslu_factor(a.view(), ipiv, opts);
+  EXPECT_EQ(info, 4);
+  for (idx j = 0; j < 6; ++j) {
+    for (idx i = 0; i < 40; ++i) {
+      EXPECT_TRUE(std::isfinite(a(i, j))) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Tslu, SingularPanelFallbackIsBitwiseGepp) {
+  // With the monitor on, a zero pivot discards the tournament and
+  // refactors the pristine panel with full-panel GEPP — the result must be
+  // bitwise identical to running the kernel directly, pivots included.
+  Matrix a = random_matrix(40, 6, 21);
+  for (idx i = 0; i < 40; ++i) a(i, 3) = 0.0;
+  Matrix lu = a;
+  PivotVector ipiv;
+  TsluOptions opts;
+  opts.tr = 4;
+  HealthReport health;
+  const idx info = tslu_factor(lu.view(), ipiv, opts, &health);
+  EXPECT_EQ(info, 4);
+  EXPECT_EQ(health.fallback_panels, 1);
+  ASSERT_EQ(health.fallback_list.size(), 1u);
+  EXPECT_EQ(health.fallback_list[0], 0);
+
+  Matrix ref = a;
+  PivotVector ref_ipiv;
+  EXPECT_EQ(lapack::rgetf2(ref.view(), ref_ipiv), 4);
+  EXPECT_EQ(ipiv, ref_ipiv);
+  EXPECT_EQ(test::max_diff(lu, ref), 0.0);
+}
+
+TEST(Tslu, NanPanelFlaggedWithoutFallback) {
+  Matrix a = random_matrix(40, 6, 25);
+  a(7, 2) = std::numeric_limits<double>::quiet_NaN();
+  PivotVector ipiv;
+  TsluOptions opts;
+  opts.tr = 4;
+  HealthReport health;
+  (void)tslu_factor(a.view(), ipiv, opts, &health);
+  EXPECT_TRUE(health.nan_detected);
+  EXPECT_EQ(health.fallback_panels, 0);
+}
+
+TEST(Tslu, HealthyPanelRecordsGrowthAndNoFallback) {
+  Matrix a = random_matrix(64, 8, 27);
+  PivotVector ipiv;
+  HealthReport health;
+  TsluOptions opts;
+  opts.tr = 4;
+  EXPECT_EQ(tslu_factor(a.view(), ipiv, opts, &health), 0);
+  EXPECT_FALSE(health.degraded());
+  EXPECT_GT(health.max_growth, 0.0);
 }
 
 TEST(Tslu, WideMatrixThrows) {

@@ -1,0 +1,516 @@
+// test_fault_inject.cpp — the failure-aware runtime: deterministic fault
+// injection (FaultInjector), cooperative cancellation (CancelToken), the
+// fast-abort drain contract, and the CALU/CAQR drivers under injected
+// failures in both owned-thread and WorkerPool modes.
+//
+// The stress tests here are the PR's acceptance harness: hundreds of seeded
+// factorizations at a 1% per-task throw rate must all drain cleanly, rethrow
+// InjectedFault from the driver, and leave a shared pool reusable. They run
+// under TSAN/ASAN via tools/run_tsan.sh like every other suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "common/test_utils.hpp"
+#include "core/calu.hpp"
+#include "core/caqr.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/random.hpp"
+#include "runtime/cancel.hpp"
+#include "runtime/fault_inject.hpp"
+#include "runtime/task_graph.hpp"
+#include "runtime/worker_pool.hpp"
+
+namespace camult {
+namespace {
+
+using rt::FaultConfig;
+using rt::FaultInjector;
+using rt::InjectedFault;
+using rt::TaskGraph;
+using rt::TaskId;
+
+// ---- FaultInjector: the decision oracle --------------------------------
+
+TEST(FaultInjector, DecisionsAreDeterministic) {
+  FaultConfig cfg;
+  cfg.seed = 42;
+  cfg.throw_rate = 0.01;
+  cfg.delay_rate = 0.05;
+  cfg.wake_rate = 0.05;
+  FaultInjector a(cfg);
+  FaultInjector b(cfg);
+  int throws = 0, delays = 0, wakes = 0;
+  for (TaskId id = 0; id < 10000; ++id) {
+    const auto d = a.decide(id);
+    EXPECT_EQ(d, b.decide(id)) << "id " << id;
+    EXPECT_EQ(d, a.decide(id)) << "repeat call diverged, id " << id;
+    throws += d == FaultInjector::Action::Throw;
+    delays += d == FaultInjector::Action::Delay;
+    wakes += d == FaultInjector::Action::SpuriousWake;
+  }
+  // Rates are loose (hash-uniform over 10k ids): just demand each action
+  // actually occurs and none dominates far beyond its probability.
+  EXPECT_GT(throws, 0);
+  EXPECT_LT(throws, 500);
+  EXPECT_GT(delays, 0);
+  EXPECT_GT(wakes, 0);
+
+  FaultConfig other = cfg;
+  other.seed = 43;
+  FaultInjector c(other);
+  bool differs = false;
+  for (TaskId id = 0; id < 10000 && !differs; ++id) {
+    differs = c.decide(id) != a.decide(id);
+  }
+  EXPECT_TRUE(differs) << "seed change did not change the decision pattern";
+}
+
+TEST(FaultInjector, RatesAreThresholdsAndTargetingWins) {
+  FaultConfig all;
+  all.throw_rate = 1.0;
+  FaultInjector always(all);
+  for (TaskId id = 0; id < 100; ++id) {
+    EXPECT_EQ(always.decide(id), FaultInjector::Action::Throw);
+  }
+
+  FaultInjector never(FaultConfig{});
+  for (TaskId id = 0; id < 100; ++id) {
+    EXPECT_EQ(never.decide(id), FaultInjector::Action::None);
+  }
+
+  FaultConfig target;
+  target.throw_on_task = 7;
+  FaultInjector sniper(target);
+  for (TaskId id = 0; id < 100; ++id) {
+    EXPECT_EQ(sniper.decide(id), id == 7 ? FaultInjector::Action::Throw
+                                         : FaultInjector::Action::None);
+  }
+  EXPECT_FALSE(sniper.before_task(6));
+  try {
+    sniper.before_task(7);
+    FAIL() << "before_task(7) did not throw";
+  } catch (const InjectedFault& f) {
+    EXPECT_EQ(f.task(), 7);
+  }
+  EXPECT_EQ(sniper.injected_throws(), 1);
+}
+
+TEST(FaultInjector, FromEnvParsesAndFallsBackOnTypos) {
+  ASSERT_EQ(std::getenv("CAMULT_FAULT_SEED"), nullptr)
+      << "test binary must run without a global fault env";
+  setenv("CAMULT_FAULT_SEED", "123", 1);
+  setenv("CAMULT_FAULT_THROW_RATE", "0.25", 1);
+  setenv("CAMULT_FAULT_DELAY_RATE", "0.5", 1);
+  setenv("CAMULT_FAULT_DELAY_US", "7", 1);
+  setenv("CAMULT_FAULT_WAKE_RATE", "0.125", 1);
+  FaultConfig cfg = FaultConfig::from_env();
+  EXPECT_EQ(cfg.seed, 123u);
+  EXPECT_DOUBLE_EQ(cfg.throw_rate, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.delay_rate, 0.5);
+  EXPECT_EQ(cfg.delay_us, 7);
+  EXPECT_DOUBLE_EQ(cfg.wake_rate, 0.125);
+
+  // Typos must fall back to defaults, not take the process down.
+  setenv("CAMULT_FAULT_THROW_RATE", "banana", 1);
+  setenv("CAMULT_FAULT_DELAY_RATE", "1.5", 1);  // out of [0, 1]
+  setenv("CAMULT_FAULT_DELAY_US", "-3", 1);
+  cfg = FaultConfig::from_env();
+  EXPECT_DOUBLE_EQ(cfg.throw_rate, 0.01);
+  EXPECT_DOUBLE_EQ(cfg.delay_rate, 0.0);
+  EXPECT_EQ(cfg.delay_us, 100);
+
+  // Unset seed disarms everything regardless of the other knobs.
+  unsetenv("CAMULT_FAULT_SEED");
+  cfg = FaultConfig::from_env();
+  EXPECT_EQ(cfg.seed, 0u);
+  EXPECT_DOUBLE_EQ(cfg.throw_rate, 0.0);
+
+  unsetenv("CAMULT_FAULT_THROW_RATE");
+  unsetenv("CAMULT_FAULT_DELAY_RATE");
+  unsetenv("CAMULT_FAULT_DELAY_US");
+  unsetenv("CAMULT_FAULT_WAKE_RATE");
+}
+
+// ---- TaskGraph under injection -----------------------------------------
+
+TEST(FaultedGraph, DrainsAndRethrowsAcrossSeedsAndPolicies) {
+  for (const auto policy : {TaskGraph::Policy::CentralPriority,
+                            TaskGraph::Policy::WorkStealing}) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      FaultConfig fc;
+      fc.seed = seed;
+      fc.throw_rate = 0.05;
+      FaultInjector inj(fc);
+      TaskGraph::Config cfg;
+      cfg.num_threads = 4;
+      cfg.record_trace = false;
+      cfg.policy = policy;
+      cfg.fault = &inj;
+      TaskGraph g(cfg);
+      std::atomic<int> ran{0};
+      const int n_tasks = 400;
+      for (int i = 0; i < n_tasks; ++i) {
+        g.submit({}, {}, [&ran] { ran.fetch_add(1); });
+      }
+      bool threw = false;
+      try {
+        g.wait();
+      } catch (const InjectedFault&) {
+        threw = true;
+      }
+      const auto totals = g.stats().totals();
+      EXPECT_EQ(totals.tasks_executed + totals.tasks_skipped, n_tasks);
+      EXPECT_EQ(totals.tasks_executed, ran.load() + inj.injected_throws());
+      EXPECT_EQ(threw, inj.injected_throws() > 0);
+      // 0.05 over 400 independent ids: some seed-dependent set of tasks
+      // must have been hit (P(none) ~ 1e-9 per seed).
+      EXPECT_TRUE(threw) << "policy " << static_cast<int>(policy) << " seed "
+                         << seed;
+    }
+  }
+}
+
+TEST(FaultedGraph, TargetedFailureFastAbortsTheChain) {
+  FaultConfig fc;
+  fc.throw_on_task = 0;
+  FaultInjector inj(fc);
+  TaskGraph::Config cfg;
+  cfg.num_threads = 2;
+  cfg.record_trace = false;
+  cfg.fault = &inj;
+  TaskGraph g(cfg);
+  std::atomic<int> ran{0};
+  TaskId prev = rt::kNoTask;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<TaskId> deps;
+    if (prev != rt::kNoTask) deps.push_back(prev);
+    prev = g.submit(deps, {}, [&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(g.wait(), InjectedFault);
+  const auto totals = g.stats().totals();
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(totals.tasks_executed, 1);  // the throwing head
+  EXPECT_EQ(totals.tasks_skipped, 63);
+  EXPECT_TRUE(g.aborted());
+}
+
+TEST(FaultedGraph, DelaysAndSpuriousWakesAreHarmless) {
+  FaultConfig fc;
+  fc.seed = 7;
+  fc.delay_rate = 0.2;
+  fc.delay_us = 50;
+  fc.wake_rate = 0.2;
+  FaultInjector inj(fc);
+  TaskGraph::Config cfg;
+  cfg.num_threads = 4;
+  cfg.record_trace = false;
+  cfg.fault = &inj;
+  TaskGraph g(cfg);
+  std::atomic<long> sum{0};
+  const int n_tasks = 200;
+  for (int i = 0; i < n_tasks; ++i) {
+    g.submit({}, {}, [&sum, i] { sum.fetch_add(i); });
+  }
+  g.wait();
+  EXPECT_EQ(sum.load(), static_cast<long>(n_tasks) * (n_tasks - 1) / 2);
+  EXPECT_EQ(g.stats().totals().tasks_executed, n_tasks);
+  EXPECT_GT(inj.injected_delays(), 0);
+  EXPECT_GT(inj.injected_wakes(), 0);
+  EXPECT_EQ(inj.injected_throws(), 0);
+}
+
+// ---- CancelToken --------------------------------------------------------
+
+TEST(Cancel, TokenSkipsRemainingWorkAndWaitThrows) {
+  rt::CancelToken token;
+  TaskGraph::Config cfg;
+  cfg.num_threads = 2;
+  cfg.record_trace = false;
+  cfg.cancel = token;
+  TaskGraph g(cfg);
+  std::atomic<int> ran{0};
+  const TaskId head = g.submit({}, {}, [token] { token.request_cancel(); });
+  for (int i = 0; i < 100; ++i) {
+    g.submit({head}, {}, [&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(g.wait(), rt::CancelledError);
+  EXPECT_EQ(ran.load(), 0);
+  const auto totals = g.stats().totals();
+  EXPECT_EQ(totals.tasks_executed, 1);
+  EXPECT_EQ(totals.tasks_skipped, 100);
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(Cancel, WorksInInlineMode) {
+  rt::CancelToken token;
+  TaskGraph::Config cfg;
+  cfg.num_threads = 0;
+  cfg.record_trace = false;
+  cfg.cancel = token;
+  TaskGraph g(cfg);
+  bool after_ran = false;
+  g.submit({}, {}, [token] { token.request_cancel(); });
+  g.submit({}, {}, [&after_ran] { after_ran = true; });
+  EXPECT_THROW(g.wait(), rt::CancelledError);
+  EXPECT_FALSE(after_ran);
+  EXPECT_EQ(g.stats().totals().tasks_skipped, 1);
+}
+
+TEST(Cancel, TaskErrorWinsOverCancellation) {
+  rt::CancelToken token;
+  TaskGraph::Config cfg;
+  cfg.num_threads = 2;
+  cfg.record_trace = false;
+  cfg.cancel = token;
+  TaskGraph g(cfg);
+  g.submit({}, {}, [token] {
+    token.request_cancel();
+    throw std::runtime_error("real failure");
+  });
+  try {
+    g.wait();
+    FAIL() << "wait() did not throw";
+  } catch (const rt::CancelledError&) {
+    FAIL() << "cancel masked the task error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "real failure");
+  }
+}
+
+// ---- WorkerPool isolation ----------------------------------------------
+
+TEST(FaultedPool, AbortedGraphDoesNotWedgeSiblingsOrPoisonThePool) {
+  rt::WorkerPool pool({4});
+  FaultConfig fc;
+  fc.throw_on_task = 0;
+  FaultInjector inj(fc);
+  {
+    TaskGraph::Config bad_cfg;
+    bad_cfg.num_threads = 4;
+    bad_cfg.record_trace = false;
+    bad_cfg.pool = &pool;
+    bad_cfg.fault = &inj;
+    TaskGraph bad(bad_cfg);
+
+    TaskGraph::Config good_cfg;
+    good_cfg.num_threads = 4;
+    good_cfg.record_trace = false;
+    good_cfg.pool = &pool;
+    TaskGraph good(good_cfg);
+
+    std::atomic<int> bad_ran{0};
+    TaskId prev = bad.submit({}, {}, [] {});
+    for (int i = 0; i < 40; ++i) {
+      prev = bad.submit({prev}, {}, [&bad_ran] { bad_ran.fetch_add(1); });
+    }
+    std::atomic<int> good_ran{0};
+    for (int i = 0; i < 200; ++i) {
+      good.submit({}, {}, [&good_ran] { good_ran.fetch_add(1); });
+    }
+    EXPECT_THROW(bad.wait(), InjectedFault);
+    good.wait();  // the sibling must be unaffected by bad's abort
+    EXPECT_EQ(good_ran.load(), 200);
+    EXPECT_EQ(bad_ran.load(), 0);
+  }
+  // The pool outlives the aborted graph and still runs fresh work.
+  TaskGraph::Config cfg;
+  cfg.num_threads = 4;
+  cfg.record_trace = false;
+  cfg.pool = &pool;
+  TaskGraph again(cfg);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    again.submit({}, {}, [&ran] { ran.fetch_add(1); });
+  }
+  again.wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+// ---- Driver-level stress: CALU / CAQR under a 1% throw rate -------------
+//
+// The acceptance sweep: >= 200 seeded runs split across CALU/CAQR and
+// owned-thread/pool modes. Every run must either complete or rethrow
+// InjectedFault from the driver after a clean drain; a shared pool must
+// stay usable across (and after) the failures.
+
+struct SweepCounts {
+  int completed = 0;
+  int faulted = 0;
+};
+
+template <typename Factor>
+SweepCounts faulted_sweep(int runs, std::uint64_t seed0, Factor&& factor) {
+  SweepCounts counts;
+  for (int r = 0; r < runs; ++r) {
+    FaultConfig fc;
+    fc.seed = seed0 + static_cast<std::uint64_t>(r);
+    fc.throw_rate = 0.01;
+    FaultInjector inj(fc);
+    Matrix a = random_matrix(64, 64, 1000 + r);
+    try {
+      factor(a.view(), &inj);
+      ++counts.completed;
+      EXPECT_EQ(inj.injected_throws(), 0);
+    } catch (const InjectedFault&) {
+      ++counts.faulted;
+      EXPECT_GE(inj.injected_throws(), 1);
+    }
+  }
+  return counts;
+}
+
+TEST(FaultedDrivers, SeededCaluSweepOwnedAndPooled) {
+  core::CaluOptions opts;
+  opts.b = 8;
+  opts.tr = 2;
+  opts.num_threads = 4;
+  opts.record_trace = false;
+  const SweepCounts owned =
+      faulted_sweep(60, 100, [&](MatrixView a, FaultInjector* inj) {
+        core::CaluOptions o = opts;
+        o.fault = inj;
+        (void)core::calu_factor(a, o);
+      });
+  EXPECT_EQ(owned.completed + owned.faulted, 60);
+  EXPECT_GT(owned.faulted, 0);
+  EXPECT_GT(owned.completed, 0);
+
+  rt::WorkerPool pool({4});
+  core::CaluOptions popts = opts;
+  popts.pool = &pool;
+  const SweepCounts pooled =
+      faulted_sweep(60, 200, [&](MatrixView a, FaultInjector* inj) {
+        core::CaluOptions o = popts;
+        o.fault = inj;
+        (void)core::calu_factor(a, o);
+      });
+  EXPECT_EQ(pooled.completed + pooled.faulted, 60);
+  EXPECT_GT(pooled.faulted, 0);
+  EXPECT_GT(pooled.completed, 0);
+
+  // After dozens of aborted runs the pool still factors cleanly.
+  Matrix a = random_matrix(64, 64, 4242);
+  core::CaluResult res = core::calu_factor(a.view(), popts);
+  EXPECT_EQ(res.info, 0);
+}
+
+TEST(FaultedDrivers, SeededCaqrSweepOwnedAndPooled) {
+  core::CaqrOptions opts;
+  opts.b = 8;
+  opts.tr = 2;
+  opts.num_threads = 4;
+  opts.record_trace = false;
+  const SweepCounts owned =
+      faulted_sweep(40, 300, [&](MatrixView a, FaultInjector* inj) {
+        core::CaqrOptions o = opts;
+        o.fault = inj;
+        (void)core::caqr_factor(a, o);
+      });
+  EXPECT_EQ(owned.completed + owned.faulted, 40);
+  EXPECT_GT(owned.faulted, 0);
+  EXPECT_GT(owned.completed, 0);
+
+  rt::WorkerPool pool({4});
+  core::CaqrOptions popts = opts;
+  popts.pool = &pool;
+  const SweepCounts pooled =
+      faulted_sweep(40, 400, [&](MatrixView a, FaultInjector* inj) {
+        core::CaqrOptions o = popts;
+        o.fault = inj;
+        (void)core::caqr_factor(a, o);
+      });
+  EXPECT_EQ(pooled.completed + pooled.faulted, 40);
+  EXPECT_GT(pooled.faulted, 0);
+  EXPECT_GT(pooled.completed, 0);
+
+  Matrix a = random_matrix(64, 64, 4243);
+  core::CaqrResult res = core::caqr_factor(a.view(), popts);
+  EXPECT_EQ(res.health.nan_detected, false);
+}
+
+TEST(FaultedDrivers, DelayAndWakeInjectionPreservesBitExactResults) {
+  Matrix clean = random_matrix(96, 96, 555);
+  core::CaluOptions opts;
+  opts.b = 16;
+  opts.tr = 2;
+  opts.num_threads = 4;
+  opts.record_trace = false;
+  Matrix noisy = clean;
+  const core::CaluResult ref = core::calu_factor(clean.view(), opts);
+
+  FaultConfig fc;
+  fc.seed = 99;
+  fc.delay_rate = 0.15;
+  fc.delay_us = 30;
+  fc.wake_rate = 0.15;
+  FaultInjector inj(fc);
+  core::CaluOptions fopts = opts;
+  fopts.fault = &inj;
+  const core::CaluResult got = core::calu_factor(noisy.view(), fopts);
+
+  EXPECT_EQ(got.info, ref.info);
+  EXPECT_EQ(got.ipiv, ref.ipiv);
+  EXPECT_EQ(test::max_diff(clean.view(), noisy.view()), 0.0);
+  EXPECT_GT(inj.injected_delays() + inj.injected_wakes(), 0);
+}
+
+// ---- Fast-abort economics on a real DAG ---------------------------------
+//
+// Acceptance criterion: killing panel 0's first task of a 32-panel CALU
+// must abort the run after executing < 20% of the full DAG. sched_out is
+// the escape hatch that lets us observe the executed count even though
+// calu_factor throws away its result.
+
+TEST(FaultedDrivers, PanelZeroFailureSkipsMostOfTheDag) {
+  core::CaluOptions opts;
+  opts.b = 8;
+  opts.tr = 2;
+  opts.num_threads = 4;
+  opts.record_trace = false;
+
+  Matrix a = random_matrix(256, 256, 777);
+  rt::SchedulerStats base_sched;
+  core::CaluOptions base = opts;
+  base.sched_out = &base_sched;
+  (void)core::calu_factor(a.view(), base);
+  const std::int64_t full = base_sched.totals().tasks_executed;
+  ASSERT_GT(full, 100);  // 32 panels: the DAG is genuinely large
+
+  FaultConfig fc;
+  fc.throw_on_task = 0;  // panel 0's first tournament leaf
+  FaultInjector inj(fc);
+  Matrix b = random_matrix(256, 256, 777);
+  rt::SchedulerStats fault_sched;
+  core::CaluOptions fopts = opts;
+  fopts.fault = &inj;
+  fopts.sched_out = &fault_sched;
+  EXPECT_THROW((void)core::calu_factor(b.view(), fopts), InjectedFault);
+
+  const auto totals = fault_sched.totals();
+  EXPECT_EQ(inj.injected_throws(), 1);
+  EXPECT_GT(totals.tasks_skipped, 0);
+  EXPECT_LT(totals.tasks_executed, full / 5)
+      << "fast-abort executed " << totals.tasks_executed << " of " << full;
+}
+
+TEST(FaultedDrivers, CancelTokenAbortsCalu) {
+  core::CaluOptions opts;
+  opts.b = 8;
+  opts.tr = 2;
+  opts.num_threads = 4;
+  opts.record_trace = false;
+  opts.cancel.request_cancel();  // cancelled before the run even starts
+  rt::SchedulerStats sched;
+  opts.sched_out = &sched;
+  Matrix a = random_matrix(128, 128, 888);
+  EXPECT_THROW((void)core::calu_factor(a.view(), opts), rt::CancelledError);
+  EXPECT_EQ(sched.totals().tasks_executed, 0);
+  EXPECT_GT(sched.totals().tasks_skipped, 0);
+}
+
+}  // namespace
+}  // namespace camult

@@ -2,8 +2,8 @@
 // trace-event exporter, and the machine-readable bench report writer.
 //
 // The counter tests pin the exact values a deterministic single-worker (or
-// inline) run must produce; the work-stealing test only demands that steals
-// eventually happen, with retries, because stealing is timing-dependent.
+// inline) run must produce; the work-stealing test uses a rendezvous that
+// forces a second worker to steal before any child can finish.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -100,29 +102,47 @@ TEST(SchedulerStats, TotalsSumAcrossWorkersAndFoldSubmitWakeups) {
 }
 
 TEST(SchedulerStats, WorkStealingEventuallySteals) {
-  // A fan-out DAG: one root whose completion readies many children on the
-  // finishing worker's own deque, so the other workers must steal them.
-  // Timing-dependent, hence the retry loop; each attempt is cheap.
+  // Deterministic steal-forcing harness. The root task spins until every
+  // child is submitted, so all children become ready through the root's
+  // COMPLETION and land on the finishing worker's own deque (never the
+  // inbox) — the only way a second worker can run a child is to steal it.
+  // Each child then parks until children have been entered by two distinct
+  // threads, which forces that steal to happen instead of hoping the
+  // timing produces one. The deadline and the outer retry are hang guards
+  // for pathologically loaded machines, not the mechanism.
   for (int attempt = 0; attempt < 50; ++attempt) {
     rt::TaskGraph g({4, false, rt::TaskGraph::Policy::WorkStealing});
-    const rt::TaskId root = g.submit({}, {}, [] {
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::atomic<bool> all_submitted{false};
+    const rt::TaskId root = g.submit({}, {}, [&all_submitted] {
+      while (!all_submitted.load()) std::this_thread::yield();
     });
-    std::atomic<long> sink{0};
-    for (int i = 0; i < 256; ++i) {
-      g.submit({root}, {}, [&sink] {
-        long acc = 0;
-        for (int j = 0; j < 20000; ++j) acc += j;
-        sink += acc;
+    std::mutex mu;
+    std::set<std::thread::id> tids;
+    std::atomic<bool> met{false};
+    std::atomic<bool> give_up{false};
+    for (int i = 0; i < 64; ++i) {
+      g.submit({root}, {}, [&] {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          tids.insert(std::this_thread::get_id());
+          if (tids.size() >= 2) met.store(true);
+        }
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(2);
+        while (!met.load() && !give_up.load()) {
+          if (std::chrono::steady_clock::now() > deadline) give_up.store(true);
+          std::this_thread::yield();
+        }
       });
     }
+    all_submitted.store(true);
     g.wait();
-    if (g.stats().totals().steals > 0) {
-      SUCCEED();
+    if (met.load()) {
+      EXPECT_GT(g.stats().totals().steals, 0);
       return;
     }
   }
-  FAIL() << "no steal observed in 50 fan-out runs on 4 workers";
+  FAIL() << "two workers never entered child tasks within the deadline";
 }
 
 TEST(SchedulerStats, FoldedIntoTraceStats) {

@@ -378,7 +378,24 @@ TEST(TaskGraph, TaskExceptionRethrownAtWait) {
   });
   g.submit({bad}, {}, [&] { dependent_ran = true; });
   EXPECT_THROW(g.wait(), std::runtime_error);
-  // The graph drained: the dependent still executed.
+  // Fast-abort: the graph drained, but the failed task's dependent was
+  // skipped, not executed — its input never materialized.
+  EXPECT_FALSE(dependent_ran);
+  EXPECT_EQ(g.stats().totals().tasks_skipped, 1);
+}
+
+TEST(TaskGraph, DependentsRunAfterErrorWithoutAbortOnError) {
+  TaskGraph::Config cfg;
+  cfg.num_threads = 2;
+  cfg.abort_on_error = false;
+  TaskGraph g(cfg);
+  std::atomic<bool> dependent_ran{false};
+  TaskId bad = g.submit({}, {}, [] {
+    throw std::runtime_error("kernel blew up");
+  });
+  g.submit({bad}, {}, [&] { dependent_ran = true; });
+  EXPECT_THROW(g.wait(), std::runtime_error);
+  // Legacy drain-everything contract, kept behind abort_on_error = false.
   EXPECT_TRUE(dependent_ran);
 }
 
@@ -387,7 +404,9 @@ TEST(TaskGraph, InlineModeExceptionRethrownAtWait) {
   bool ran_after = false;
   TaskId bad = g.submit({}, {}, [] { throw std::logic_error("boom"); });
   g.submit({bad}, {}, [&] { ran_after = true; });
-  EXPECT_TRUE(ran_after);
+  // Inline mode fast-aborts too: the body after the failure is skipped at
+  // submit time.
+  EXPECT_FALSE(ran_after);
   EXPECT_THROW(g.wait(), std::logic_error);
 }
 

@@ -306,8 +306,40 @@ TEST_P(SchedulerStress, ExceptionsDrainAndRethrow) {
     });
   }
   EXPECT_THROW(g.wait(), std::runtime_error);
-  // Every task still ran, including the ones after the failures.
+  // Fast-abort: the first failure makes the rest of the DAG skip, but the
+  // graph still drains — every task is accounted for as executed or
+  // skipped, and at least the first failing task actually ran.
+  const WorkerStats totals = g.stats().totals();
+  EXPECT_EQ(totals.tasks_executed + totals.tasks_skipped, n_tasks);
+  EXPECT_EQ(totals.tasks_executed, ran.load());
+  // Execution order is not submission order (stealing deques pop LIFO, and
+  // workers race the submitting thread), so the only guaranteed lower bound
+  // is the failing task itself.
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), n_tasks);
+}
+
+TEST_P(SchedulerStress, ExceptionsRunAllWithoutAbortOnError) {
+  // abort_on_error = false restores the pre-fast-abort contract: every
+  // task still runs, including the ones after the failures.
+  const auto [threads, policy] = GetParam();
+  const int n_tasks = 1000;
+  TaskGraph::Config cfg;
+  cfg.num_threads = threads;
+  cfg.record_trace = false;
+  cfg.policy = policy;
+  cfg.abort_on_error = false;
+  TaskGraph g(cfg);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < n_tasks; ++i) {
+    g.submit({}, {}, [&ran, i] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i % 100 == 7) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(g.wait(), std::runtime_error);
   EXPECT_EQ(ran.load(), n_tasks);
+  EXPECT_EQ(g.stats().totals().tasks_skipped, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -204,13 +204,27 @@ TEST(WorkerPool, ControlRunsInterleaveWithSubmissionBursts) {
 
 TEST(WorkerPool, ExceptionPropagatesThroughAttachedWait) {
   rt::WorkerPool pool(rt::WorkerPoolConfig{2, false});
-  rt::TaskGraph g(attached(pool));
-  std::atomic<int> c{0};
-  for (int i = 0; i < 20; ++i) g.submit({}, {}, [&c] { ++c; });
-  g.submit({}, {}, [] { throw std::runtime_error("task boom"); });
-  for (int i = 0; i < 20; ++i) g.submit({}, {}, [&c] { ++c; });
-  EXPECT_THROW(g.wait(), std::runtime_error);
-  EXPECT_EQ(c.load(), 40);  // the graph still drained completely
+  {
+    rt::TaskGraph g(attached(pool));
+    std::atomic<int> c{0};
+    for (int i = 0; i < 20; ++i) g.submit({}, {}, [&c] { ++c; });
+    g.submit({}, {}, [] { throw std::runtime_error("task boom"); });
+    for (int i = 0; i < 20; ++i) g.submit({}, {}, [&c] { ++c; });
+    EXPECT_THROW(g.wait(), std::runtime_error);
+    // Fast-abort skips whatever had not started, but the graph still
+    // drains: every task is accounted for and none is left pending.
+    const rt::WorkerStats totals = g.stats().totals();
+    EXPECT_EQ(totals.tasks_executed + totals.tasks_skipped, 41);
+    EXPECT_EQ(totals.tasks_executed, c.load() + 1);  // + the throwing task
+    EXPECT_LE(c.load(), 40);
+  }
+  // The aborted graph detached cleanly: the same pool immediately runs a
+  // fresh graph to completion.
+  rt::TaskGraph g2(attached(pool));
+  std::atomic<int> c2{0};
+  for (int i = 0; i < 40; ++i) g2.submit({}, {}, [&c2] { ++c2; });
+  g2.wait();
+  EXPECT_EQ(c2.load(), 40);
 }
 
 TEST(WorkerPool, InlineModeIgnoresPool) {

@@ -155,6 +155,29 @@ void report_run(const Args& args, const std::vector<rt::TaskRecord>& trace,
   }
 }
 
+// Health diagnostic shared by lu/qr: growth on stdout, interventions on
+// stderr. Returns whether the run was degraded, which drives a nonzero
+// exit code — scripts must not mistake an Inf-laden or GEPP-salvaged
+// factorization for a clean one.
+bool report_health(const core::HealthReport& h) {
+  std::printf("health: max panel growth = %.3g\n", h.max_growth);
+  if (h.nan_detected) {
+    std::fprintf(stderr,
+                 "health: non-finite entries detected before factoring\n");
+  }
+  if (h.fallback_panels > 0) {
+    std::string list;
+    for (idx k : h.fallback_list) {
+      if (!list.empty()) list += ", ";
+      list += std::to_string(static_cast<long long>(k));
+    }
+    std::fprintf(stderr,
+                 "health: %lld panel(s) fell back to full-panel GEPP [%s]\n",
+                 static_cast<long long>(h.fallback_panels), list.c_str());
+  }
+  return h.degraded();
+}
+
 int cmd_info(const Args& args) {
   Matrix a = load(args.inputs[0]);
   std::printf("%lld x %lld\n", static_cast<long long>(a.rows()),
@@ -188,16 +211,20 @@ int cmd_lu(const Args& args) {
   std::printf("CALU: %zu tasks, %.3f s, info=%lld\n", res.trace.size(), secs,
               static_cast<long long>(res.info));
   report_run(args, res.trace, res.edges, res.sched);
+  const bool degraded = report_health(res.health);
   if (res.info == 0) {
     std::printf("scaled residual ||PA-LU|| = %.2f, growth = %.3g\n",
                 lapack::lu_residual(a, lu, res.ipiv),
                 lapack::pivot_growth(a, lu));
+  } else {
+    std::fprintf(stderr, "lu: zero pivot at column %lld\n",
+                 static_cast<long long>(res.info));
   }
   if (!args.out.empty()) {
     write_matrix_market_file(args.out, lu);
     std::printf("wrote packed LU factors to %s\n", args.out.c_str());
   }
-  return res.info == 0 ? 0 : 1;
+  return res.info == 0 && !degraded ? 0 : 1;
 }
 
 int cmd_qr(const Args& args) {
@@ -213,13 +240,14 @@ int cmd_qr(const Args& args) {
   const double secs = now_run([&] { res = core::caqr_factor(qr.view(), o); });
   std::printf("CAQR: %zu tasks, %.3f s\n", res.trace.size(), secs);
   report_run(args, res.trace, res.edges, res.sched);
+  const bool degraded = report_health(res.health);
   std::printf("scaled residual ||A-QR|| = %.2f\n",
               core::caqr_residual(a, qr, res));
   if (!args.out.empty()) {
     write_matrix_market_file(args.out, core::caqr_extract_r(qr, res));
     std::printf("wrote R factor to %s\n", args.out.c_str());
   }
-  return 0;
+  return degraded ? 1 : 0;
 }
 
 int cmd_chol(const Args& args) {

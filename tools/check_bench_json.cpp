@@ -79,7 +79,8 @@ void check_row(const std::string& file, const JsonValue& row,
                                    "tr",      "cores", "seconds",
                                    "gflops",  "tasks", "edges",
                                    "steals",  "idle_fraction",
-                                   "critical_path_s", "total_work_s"};
+                                   "critical_path_s", "total_work_s",
+                                   "health_max_growth", "fallback_panels"};
   for (const char* key : kNumeric) {
     if (const JsonValue* v = row.find(key); v != nullptr && !v->is_number()) {
       fail(file, where + "." + key + " is not a number");
@@ -88,6 +89,10 @@ void check_row(const std::string& file, const JsonValue& row,
   if (const JsonValue* v = row.find("competitor");
       v != nullptr && !v->is_string()) {
     fail(file, where + ".competitor is not a string");
+  }
+  if (const JsonValue* v = row.find("nan_detected");
+      v != nullptr && !v->is_bool()) {
+    fail(file, where + ".nan_detected is not a boolean");
   }
 }
 

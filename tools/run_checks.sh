@@ -5,8 +5,12 @@
 #   test    the complete ctest suite (unit + integration + bench smoke;
 #           the bench smoke validates BENCH_*.json, including the
 #           gemm_kernel report, with tools/check_bench_json)
+#   fault   the failure-injection slice alone (ctest -L fault): seeded
+#           task faults, cancellation, and fast-abort drain accounting —
+#           a quick re-run target when touching the error paths
 #   tsan    the ThreadSanitizer concurrency suite (tools/run_tsan.sh):
-#           scheduler stress + the shared-PackedPanel pipeline
+#           scheduler stress, fault injection + the shared-PackedPanel
+#           pipeline
 #   bench   run bench/gemm_kernel at full size and schema-check its
 #           BENCH_gemm_kernel.json artifact
 #
@@ -18,7 +22,7 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${BUILD_DIR:-"$repo_root/build-checks"}
 jobs=${JOBS:-$(nproc 2>/dev/null || echo 4)}
-tiers=${*:-"build test tsan bench"}
+tiers=${*:-"build test fault tsan bench"}
 
 say() { printf '\n== run_checks: %s ==\n' "$*"; }
 
@@ -32,6 +36,10 @@ for tier in $tiers; do
     test)
       say "ctest suite"
       ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+      ;;
+    fault)
+      say "fault-injection slice (ctest -L fault)"
+      ctest --test-dir "$build_dir" --output-on-failure -L fault
       ;;
     tsan)
       say "ThreadSanitizer suite"

@@ -9,9 +9,13 @@
 # the next panel — the only happens-before is the scheduler's dep edge),
 # test_worker_pool (persistent workers rotating between concurrently
 # attached DAGs: the attach/detach, park/wake and control-epoch
-# handshakes) and test_blas_pack (including the dead-thread_local slab
+# handshakes), test_blas_pack (including the dead-thread_local slab
 # pool regression, which under ASAN is a heap use-after-free if pool()
-# ever hands back the destroyed pool). Any reported race fails the run.
+# ever hands back the destroyed pool) and test_fault_inject (the
+# failure-aware surface: seeded fault injection into hundreds of
+# CALU/CAQR runs, cancellation, and the fast-abort drain accounting —
+# exactly the error paths production never exercises until it hurts).
+# Any reported race fails the run.
 #
 # Usage: tools/run_tsan.sh [build-dir]        (default: build-tsan)
 # Other sanitizers via: SAN=address tools/run_tsan.sh
@@ -29,7 +33,8 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCAMULT_BUILD_BENCH=OFF \
   -DCAMULT_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j --target test_runtime test_scheduler_stress \
-  test_observability test_pack_concurrency test_worker_pool test_blas_pack
+  test_observability test_pack_concurrency test_worker_pool test_blas_pack \
+  test_fault_inject
 
 case "$san" in
   thread)
@@ -49,4 +54,5 @@ esac
 "$build_dir/tests/test_pack_concurrency"
 "$build_dir/tests/test_worker_pool"
 "$build_dir/tests/test_blas_pack"
+"$build_dir/tests/test_fault_inject"
 echo "[$san sanitizer] all scheduler tests passed"
