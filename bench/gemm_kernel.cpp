@@ -5,12 +5,21 @@
 // gemm_packed pays the packing once per panel. The "speedup" column is the
 // acceptance metric for the pack-once scheduler wiring.
 //
+// Since the microkernel layer became runtime-dispatched (blas/kernel.hpp)
+// this bench also reports, per scenario, the kernel that actually ran, the
+// blocking it used, and the measured arithmetic intensity (flops per byte
+// of pack + packed-operand + C traffic, from blas::gemm_traffic()), plus a
+// per-kernel parity table: every registered kernel forced in turn via
+// set_active_kernel(), so "dispatched >= best fixed kernel" is checkable
+// from BENCH_gemm_kernel.json.
+//
 // Also reports the per-thread scratch-pool counters so pool regressions
 // (e.g. a path that falls back to operator new per call) show up here.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -37,6 +46,7 @@ struct Timing {
   double unpacked_s = 0.0;  ///< best-of-reps: segs gemm calls
   double packed_s = 0.0;    ///< best-of-reps: one pack_a + segs gemm_packed
   double max_diff = 0.0;    ///< |C_packed - C_unpacked| (bitwise 0 expected)
+  double flops_per_byte = 0.0;  ///< flops / measured packed-path traffic
 };
 
 Timing run_scenario(const Scenario& sc, int reps) {
@@ -74,6 +84,25 @@ Timing run_scenario(const Scenario& sc, int reps) {
       t.max_diff = std::max(t.max_diff, std::abs(cu(i, j) - cp(i, j)));
     }
   }
+
+  // One traced packed pass: arithmetic intensity = flops over the bytes the
+  // packed path actually moved (pack reads+writes, per-microtile packed
+  // operand streams, C read-modify-write).
+  blas::gemm_traffic_reset();
+  copy_into(c0.view(), cp.view());
+  const blas::PackedPanel pa = blas::pack_a(a.view(), blas::Trans::NoTrans);
+  for (idx s = 0; s < sc.segs; ++s) {
+    blas::gemm_packed(-1.0, pa, blas::Trans::NoTrans,
+                      b.view().block(0, s * sc.segw, sc.k, sc.segw), 1.0,
+                      cp.view().block(0, s * sc.segw, sc.m, sc.segw));
+  }
+  const blas::GemmTraffic traffic = blas::gemm_traffic();
+  const double flops = 2.0 * static_cast<double>(sc.m) *
+                       static_cast<double>(sc.k) *
+                       static_cast<double>(sc.segw * sc.segs);
+  if (traffic.total() > 0) {
+    t.flops_per_byte = flops / static_cast<double>(traffic.total());
+  }
   return t;
 }
 
@@ -99,9 +128,12 @@ int main() {
 
   std::printf("gemm_kernel — pack-once vs repack-per-call trailing updates "
               "(best of %d reps)\n", reps);
+  std::printf("dispatched kernel: %s (arch %s)\n",
+              blas::active_kernel().name,
+              std::string(blas::arch_id()).c_str());
 
-  Table t({"m", "k", "segw", "segs", "unpacked_gflops", "packed_gflops",
-           "speedup", "max_diff"});
+  Table t({"m", "k", "segw", "segs", "kernel", "unpacked_gflops",
+           "packed_gflops", "speedup", "flops_per_byte", "max_diff"});
   bool all_exact = true;
   for (const Scenario& sc : scenarios) {
     const Timing tm = run_scenario(sc, reps);
@@ -113,14 +145,52 @@ int main() {
         .cell(static_cast<long long>(sc.k))
         .cell(static_cast<long long>(sc.segw))
         .cell(static_cast<long long>(sc.segs))
+        .cell(blas::active_kernel().name)
         .cell(flops / tm.unpacked_s * 1e-9)
         .cell(flops / tm.packed_s * 1e-9)
         .cell(tm.unpacked_s / tm.packed_s, 3)
+        .cell(tm.flops_per_byte, 3)
         .cell(tm.max_diff, 3);
     all_exact = all_exact && tm.max_diff == 0.0;
   }
   t.print("gemm_packed vs gemm on shared-panel updates",
           bench::csv_path("gemm_kernel"));
+
+  // Per-kernel parity: force each registered kernel this host can run (plus
+  // the auto-dispatched choice, listed first) on the acceptance scenario.
+  // The dispatched row must be >= parity with every fixed-kernel row.
+  const Scenario par = scenarios[0];
+  const int par_reps = std::max(2, reps / 2);
+  Table kt({"kernel", "arch", "packed_gflops", "flops_per_byte", "mc", "kc",
+            "nc", "mr", "nr"});
+  std::vector<std::string> forced = {"auto"};
+  for (const blas::KernelInfo& ki : blas::kernel_registry()) {
+    if (ki.compiled && ki.supported) forced.push_back(ki.name);
+  }
+  for (const std::string& name : forced) {
+    if (!blas::set_active_kernel(name == "auto" ? "" : name)) continue;
+    const Timing tm = run_scenario(par, par_reps);
+    const double flops = 2.0 * static_cast<double>(par.m) *
+                         static_cast<double>(par.k) *
+                         static_cast<double>(par.segw * par.segs);
+    const blas::GemmBlocking blk =
+        blas::active_blocking(par.m, par.segw, par.k);
+    kt.row()
+        .cell(name == "auto"
+                  ? std::string("auto(") + blas::active_kernel().name + ")"
+                  : name)
+        .cell(std::string(blas::arch_id()))
+        .cell(flops / tm.packed_s * 1e-9)
+        .cell(tm.flops_per_byte, 3)
+        .cell(static_cast<long long>(blk.mc))
+        .cell(static_cast<long long>(blk.kc))
+        .cell(static_cast<long long>(blk.nc))
+        .cell(static_cast<long long>(blk.mr))
+        .cell(static_cast<long long>(blk.nr));
+    all_exact = all_exact && tm.max_diff == 0.0;
+  }
+  blas::set_active_kernel("");  // restore cpuid dispatch
+  kt.print("per-kernel packed GEMM (forced via set_active_kernel)");
 
   const blas::BufferPoolStats ps = blas::buffer_pool_stats();
   Table pool({"acquires", "pool_hits", "allocs", "releases", "frees"});
@@ -139,6 +209,7 @@ int main() {
 
   bench::JsonReport rep("gemm_kernel", 1, "real");
   rep.add_table(t);
+  rep.add_table(kt);
   bench::JsonValue& prow = rep.new_row();
   prow.set("competitor", bench::JsonValue::make_string("pool_stats"));
   prow.set("pool_acquires",

@@ -3,105 +3,15 @@
 #include <cassert>
 #include <cstring>
 
+#include "blas/kernel.hpp"
 #include "blas/pack.hpp"
-
-#if defined(__AVX2__) && defined(__FMA__)
-#include <immintrin.h>
-#endif
 
 namespace camult::blas {
 namespace {
 
-// Local aliases for the shared blocking constants (see pack.hpp). MR x NR is
-// the microkernel register tile; MC/KC target L2, NC targets L3.
-constexpr idx MR = kGemmMR;
-constexpr idx NR = kGemmNR;
-constexpr idx MC = kGemmMC;
-constexpr idx KC = kGemmKC;
-constexpr idx NC = kGemmNC;
-
 inline double op_elem(ConstMatrixView a, Trans trans, idx i, idx p) {
   return trans == Trans::NoTrans ? a(i, p) : a(p, i);
 }
-
-// C(0:mr_eff, 0:nr_eff) += alpha * Ap * Bp where Ap is MR x kc packed and
-// Bp is kc x NR packed.
-#if defined(__AVX2__) && defined(__FMA__)
-// Hand-vectorized kernel: 12 independent ymm accumulators (2 per column),
-// which keeps the FMA pipelines saturated — compilers reliably fail to get
-// this register allocation right from the scalar loop.
-void microkernel(idx kc, double alpha, const double* __restrict ap,
-                 const double* __restrict bp, double* __restrict c, idx ldc,
-                 idx mr_eff, idx nr_eff) {
-  static_assert(MR == 8 && NR == 6, "kernel assumes 8x6");
-  __m256d acc_lo[NR];
-  __m256d acc_hi[NR];
-  for (int j = 0; j < NR; ++j) {
-    acc_lo[j] = _mm256_setzero_pd();
-    acc_hi[j] = _mm256_setzero_pd();
-  }
-  for (idx p = 0; p < kc; ++p) {
-    const __m256d a0 = _mm256_loadu_pd(ap + p * MR);
-    const __m256d a1 = _mm256_loadu_pd(ap + p * MR + 4);
-    const double* b = bp + p * NR;
-    for (int j = 0; j < NR; ++j) {
-      const __m256d bv = _mm256_broadcast_sd(b + j);
-      acc_lo[j] = _mm256_fmadd_pd(a0, bv, acc_lo[j]);
-      acc_hi[j] = _mm256_fmadd_pd(a1, bv, acc_hi[j]);
-    }
-  }
-  if (mr_eff == MR && nr_eff == NR) {
-    const __m256d va = _mm256_set1_pd(alpha);
-    for (int j = 0; j < NR; ++j) {
-      double* cc = c + j * ldc;
-      _mm256_storeu_pd(cc, _mm256_fmadd_pd(va, acc_lo[j],
-                                           _mm256_loadu_pd(cc)));
-      _mm256_storeu_pd(cc + 4, _mm256_fmadd_pd(va, acc_hi[j],
-                                               _mm256_loadu_pd(cc + 4)));
-    }
-  } else {
-    double acc[MR * NR];
-    for (int j = 0; j < NR; ++j) {
-      _mm256_storeu_pd(acc + j * MR, acc_lo[j]);
-      _mm256_storeu_pd(acc + j * MR + 4, acc_hi[j]);
-    }
-    for (idx cj = 0; cj < nr_eff; ++cj) {
-      double* cc = c + cj * ldc;
-      const double* accc = acc + cj * MR;
-      for (idx ri = 0; ri < mr_eff; ++ri) cc[ri] += alpha * accc[ri];
-    }
-  }
-}
-#else
-void microkernel(idx kc, double alpha, const double* __restrict ap,
-                 const double* __restrict bp, double* __restrict c, idx ldc,
-                 idx mr_eff, idx nr_eff) {
-  double acc[MR * NR];
-  for (idx i = 0; i < MR * NR; ++i) acc[i] = 0.0;
-  for (idx p = 0; p < kc; ++p) {
-    const double* a = ap + p * MR;
-    const double* b = bp + p * NR;
-    for (idx cj = 0; cj < NR; ++cj) {
-      const double bv = b[cj];
-      double* accc = acc + cj * MR;
-      for (idx ri = 0; ri < MR; ++ri) accc[ri] += a[ri] * bv;
-    }
-  }
-  if (mr_eff == MR && nr_eff == NR) {
-    for (idx cj = 0; cj < NR; ++cj) {
-      double* cc = c + cj * ldc;
-      const double* accc = acc + cj * MR;
-      for (idx ri = 0; ri < MR; ++ri) cc[ri] += alpha * accc[ri];
-    }
-  } else {
-    for (idx cj = 0; cj < nr_eff; ++cj) {
-      double* cc = c + cj * ldc;
-      const double* accc = acc + cj * MR;
-      for (idx ri = 0; ri < mr_eff; ++ri) cc[ri] += alpha * accc[ri];
-    }
-  }
-}
-#endif
 
 void scale_matrix(MatrixView c, double beta) {
   if (beta == 1.0) return;
@@ -117,7 +27,10 @@ void scale_matrix(MatrixView c, double beta) {
   }
 }
 
-// Direct triple loop for problems too small to amortize packing.
+// Direct triple loop for problems too small to amortize packing. No
+// zero-skip on B elements: 0 * NaN must stay NaN so non-finite values in A
+// propagate exactly like they do through the blocked/packed path (and like
+// the health monitor's NaN screening assumes).
 void gemm_small(Trans transa, Trans transb, double alpha, ConstMatrixView a,
                 ConstMatrixView b, MatrixView c, idx k) {
   const idx m = c.rows();
@@ -126,7 +39,6 @@ void gemm_small(Trans transa, Trans transb, double alpha, ConstMatrixView a,
     double* cc = c.col_ptr(j);
     for (idx p = 0; p < k; ++p) {
       const double bv = alpha * op_elem(b, transb, p, j);
-      if (bv == 0.0) continue;
       if (transa == Trans::NoTrans) {
         const double* ac = a.col_ptr(p);
         for (idx i = 0; i < m; ++i) cc[i] += ac[i] * bv;
@@ -139,41 +51,54 @@ void gemm_small(Trans transa, Trans transb, double alpha, ConstMatrixView a,
 }
 
 // Macro-block driver shared by gemm and both gemm_packed overloads: walks
-// the jc / pc / ic cache-block loops and feeds the microkernel. The getters
-// supply a packed (MC x KC) A block (get_a(ic, pc, mc, kc)) and a packed
-// (KC x NC) B block (get_b(pc, jc, kc, nc)) — either freshly packed into
-// per-call scratch or served from a pre-packed PackedPanel. Since the loop
-// structure and microkernel are shared, packed and unpacked runs produce
-// bit-identical results on this path.
+// the jc / pc / ic cache-block loops and feeds the dispatched microkernel.
+// The getters supply a packed (mc x kc) A block (get_a(ic, pc, mc, kc)) and
+// a packed (kc x nc) B block (get_b(pc, jc, kc, nc)) — either freshly
+// packed into per-call scratch or served from a pre-packed PackedPanel.
+// Since the loop structure, blocking and microkernel are shared, packed and
+// unpacked runs produce bit-identical results on this path.
 template <typename GetA, typename GetB>
-void gemm_blocked(idx m, idx n, idx k, double alpha, GetA&& get_a,
-                  GetB&& get_b, MatrixView c) {
-  for (idx jc = 0; jc < n; jc += NC) {
-    const idx nc = std::min<idx>(NC, n - jc);
-    for (idx pc = 0; pc < k; pc += KC) {
-      const idx kc = std::min<idx>(KC, k - pc);
+void gemm_blocked(const GemmBlocking& blk, MicrokernelFn kern, idx m, idx n,
+                  idx k, double alpha, GetA&& get_a, GetB&& get_b,
+                  MatrixView c) {
+  std::int64_t kernel_bytes = 0;
+  std::int64_t c_bytes = 0;
+  for (idx jc = 0; jc < n; jc += blk.nc) {
+    const idx nc = std::min<idx>(blk.nc, n - jc);
+    for (idx pc = 0; pc < k; pc += blk.kc) {
+      const idx kc = std::min<idx>(blk.kc, k - pc);
       const double* bblk = get_b(pc, jc, kc, nc);
-      for (idx ic = 0; ic < m; ic += MC) {
-        const idx mc = std::min<idx>(MC, m - ic);
+      for (idx ic = 0; ic < m; ic += blk.mc) {
+        const idx mc = std::min<idx>(blk.mc, m - ic);
         const double* ablk = get_a(ic, pc, mc, kc);
-        for (idx jr = 0; jr < nc; jr += NR) {
-          const idx nr_eff = std::min<idx>(NR, nc - jr);
-          const double* bp = bblk + (jr / NR) * (NR * kc);
-          for (idx ir = 0; ir < mc; ir += MR) {
-            const idx mr_eff = std::min<idx>(MR, mc - ir);
-            const double* ap = ablk + (ir / MR) * (MR * kc);
+        for (idx jr = 0; jr < nc; jr += blk.nr) {
+          const idx nr_eff = std::min<idx>(blk.nr, nc - jr);
+          const double* bp = bblk + (jr / blk.nr) * (blk.nr * kc);
+          for (idx ir = 0; ir < mc; ir += blk.mr) {
+            const idx mr_eff = std::min<idx>(blk.mr, mc - ir);
+            const double* ap = ablk + (ir / blk.mr) * (blk.mr * kc);
             double* cblk = c.data() + (ic + ir) + (jc + jr) * c.ld();
-            microkernel(kc, alpha, ap, bp, cblk, c.ld(), mr_eff, nr_eff);
+            kern(kc, alpha, ap, bp, cblk, c.ld(), mr_eff, nr_eff);
+            kernel_bytes += (blk.mr + blk.nr) * kc * 8;
+            c_bytes += mr_eff * nr_eff * 16;
           }
         }
       }
     }
   }
+  GemmTraffic& traffic = detail::gemm_traffic_tls();
+  traffic.kernel_bytes += kernel_bytes;
+  traffic.c_bytes += c_bytes;
 }
 
 }  // namespace
 
-GemmBlocking gemm_blocking() { return {MC, KC, NC, MR, NR}; }
+GemmBlocking gemm_blocking() {
+  // The blocking a large square multiply would get right now (override and
+  // tuning table applied) — benchmarks/tests introspection, not a contract
+  // for any particular call.
+  return active_blocking(4096, 4096, 4096);
+}
 
 void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
           ConstMatrixView b, double beta, MatrixView c) {
@@ -192,19 +117,22 @@ void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
     return;
   }
 
+  const KernelInfo& kern = active_kernel();
+  const GemmBlocking blk = active_blocking(m, n, k);
+
   // Packing workspaces come from the per-thread scratch pool: after the
   // first call on a worker these are pointer swaps, not allocations.
-  ScratchBuffer a_buf(static_cast<std::size_t>(MC * KC));
-  ScratchBuffer b_buf(static_cast<std::size_t>(NC * KC));
+  ScratchBuffer a_buf(static_cast<std::size_t>(blk.mc * blk.kc));
+  ScratchBuffer b_buf(static_cast<std::size_t>(blk.nc * blk.kc));
 
   gemm_blocked(
-      m, n, k, alpha,
+      blk, kern.fn, m, n, k, alpha,
       [&](idx ic, idx pc, idx mc, idx kc) -> const double* {
-        pack_a_block(a, transa, ic, pc, mc, kc, a_buf.data());
+        pack_a_block(a, transa, ic, pc, mc, kc, blk.mr, a_buf.data());
         return a_buf.data();
       },
       [&](idx pc, idx jc, idx kc, idx nc) -> const double* {
-        pack_b_block(b, transb, pc, jc, kc, nc, b_buf.data());
+        pack_b_block(b, transb, pc, jc, kc, nc, blk.nr, b_buf.data());
         return b_buf.data();
       },
       c);
@@ -224,14 +152,20 @@ void gemm_packed(double alpha, const PackedPanel& a_packed, Trans transb,
   scale_matrix(c, beta);
   if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
 
-  ScratchBuffer b_buf(static_cast<std::size_t>(NC * KC));
+  // The panel fixes both the kernel (its MR x NR layout is baked into the
+  // packed data) and the cache blocking, so a panel packed before a kernel
+  // switch or tuning reload still multiplies correctly.
+  const GemmBlocking& blk = a_packed.blocking();
+  const MicrokernelFn kern = a_packed.kernel()->fn;
+
+  ScratchBuffer b_buf(static_cast<std::size_t>(blk.nc * blk.kc));
   gemm_blocked(
-      m, n, k, alpha,
+      blk, kern, m, n, k, alpha,
       [&](idx ic, idx pc, idx /*mc*/, idx /*kc*/) -> const double* {
         return a_packed.a_block(ic, pc);
       },
       [&](idx pc, idx jc, idx kc, idx nc) -> const double* {
-        pack_b_block(b, transb, pc, jc, kc, nc, b_buf.data());
+        pack_b_block(b, transb, pc, jc, kc, nc, blk.nr, b_buf.data());
         return b_buf.data();
       },
       c);
@@ -251,11 +185,14 @@ void gemm_packed(Trans transa, double alpha, ConstMatrixView a,
   scale_matrix(c, beta);
   if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
 
-  ScratchBuffer a_buf(static_cast<std::size_t>(MC * KC));
+  const GemmBlocking& blk = b_packed.blocking();
+  const MicrokernelFn kern = b_packed.kernel()->fn;
+
+  ScratchBuffer a_buf(static_cast<std::size_t>(blk.mc * blk.kc));
   gemm_blocked(
-      m, n, k, alpha,
+      blk, kern, m, n, k, alpha,
       [&](idx ic, idx pc, idx mc, idx kc) -> const double* {
-        pack_a_block(a, transa, ic, pc, mc, kc, a_buf.data());
+        pack_a_block(a, transa, ic, pc, mc, kc, blk.mr, a_buf.data());
         return a_buf.data();
       },
       [&](idx pc, idx jc, idx /*kc*/, idx /*nc*/) -> const double* {

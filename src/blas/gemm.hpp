@@ -5,15 +5,18 @@
 //
 // The implementation is a GotoBLAS-style blocked algorithm: A and B are
 // packed into contiguous cache-resident panels and the inner product is
-// computed by a register-blocked MR x NR microkernel that the compiler
-// vectorizes. All four transpose combinations are supported; transposition
-// is absorbed by the packing routines.
+// computed by a register-blocked MR x NR microkernel. The kernel variant
+// (scalar / AVX2 / AVX-512) is picked at RUNTIME from cpuid — see
+// kernel.hpp — and the cache blocking is runtime data sourced from the
+// autotune table (tuning.hpp). All four transpose combinations are
+// supported; transposition is absorbed by the packing routines.
 // The packing half of the pipeline (pack_a/pack_b/PackedPanel and the
 // per-thread scratch pool) lives in pack.hpp; gemm_packed below consumes a
 // pre-packed operand so repeated multiplies against the same panel — the
 // CALU/CAQR trailing-update pattern — pay for packing once.
 #pragma once
 
+#include "blas/kernel.hpp"
 #include "blas/pack.hpp"
 #include "blas/types.hpp"
 #include "matrix/view.hpp"
@@ -36,14 +39,9 @@ void gemm_packed(double alpha, const PackedPanel& a_packed, Trans transb,
 void gemm_packed(Trans transa, double alpha, ConstMatrixView a,
                  const PackedPanel& b_packed, double beta, MatrixView c);
 
-/// Cache blocking parameters, exposed for benchmarks/tests.
-struct GemmBlocking {
-  idx mc;  ///< rows of the packed A panel
-  idx kc;  ///< depth of the packed panels
-  idx nc;  ///< columns of the packed B panel
-  idx mr;  ///< microkernel rows
-  idx nr;  ///< microkernel cols
-};
+/// The blocking a large square multiply would use right now (active kernel
+/// + tuning table + override applied). GemmBlocking itself lives in
+/// kernel.hpp; this accessor is kept for benchmarks/tests.
 GemmBlocking gemm_blocking();
 
 }  // namespace camult::blas

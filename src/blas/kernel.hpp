@@ -1,0 +1,128 @@
+// kernel.hpp — runtime-dispatched GEMM microkernels.
+//
+// The blocked gemm driver (gemm.cpp) computes every C tile through one
+// register-blocked MR x NR microkernel. Before this layer existed the kernel
+// was chosen at COMPILE time (#ifdef __AVX2__), which meant a portable
+// -march=x86-64 build silently ran the scalar loop on AVX-capable hardware,
+// and a -march=native build crashed with SIGILL if the binary migrated to an
+// older machine. Now every variant is compiled unconditionally in its own
+// translation unit with per-file arch flags (see src/blas/CMakeLists.txt)
+// and the best one the *host* can execute is picked once at startup via
+// cpuid (__builtin_cpu_supports).
+//
+// Selection order: CAMULT_KERNEL=scalar|avx2|avx512 forces a variant (a
+// typo, or forcing a variant the host cannot run, warns once on stderr and
+// falls back to auto); otherwise the highest-throughput supported variant
+// wins (avx512 > avx2 > scalar). Tests and the autotuner can switch at
+// runtime with set_active_kernel().
+//
+// Cache blocking (MC/KC/NC) is runtime data too: each kernel carries a
+// built-in default, the on-disk tuning table (see tuning.hpp) can override
+// it per (arch-id, shape-class), and set_blocking_override() pins it for
+// autotune sweeps. The register tile MR x NR is FIXED per kernel — it is
+// baked into the kernel's register allocation and into the packed-panel
+// layout, which is why PackedPanel records the kernel it was packed for.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "matrix/view.hpp"
+
+namespace camult::blas {
+
+/// Register/cache blocking for the blocked gemm driver. MR x NR is the
+/// microkernel register tile; MC/KC target L2, NC targets L3. Invariants
+/// (checked by valid_blocking): mc % mr == 0 and nc % nr == 0 — the
+/// packed-offset arithmetic in PackedPanel relies on them.
+struct GemmBlocking {
+  idx mc;  ///< rows of the packed A panel
+  idx kc;  ///< depth of the packed panels
+  idx nc;  ///< columns of the packed B panel
+  idx mr;  ///< microkernel rows
+  idx nr;  ///< microkernel cols
+};
+
+/// True when blk satisfies the driver/pack invariants: positive dims,
+/// mc % mr == 0, nc % nr == 0, and cache blocks bounded so the packing
+/// slabs stay within sane memory (mc*kc and kc*nc <= 2^22 doubles).
+bool valid_blocking(const GemmBlocking& blk);
+
+/// C(0:mr_eff, 0:nr_eff) += alpha * Ap * Bp on one register tile. Ap is a
+/// packed MR x kc block (always MR rows; fringe rows are zero-padded by the
+/// packers), Bp a packed kc x NR block (NR cols, zero-padded). mr_eff/nr_eff
+/// in [1, MR] x [1, NR] select the part of C that actually exists.
+using MicrokernelFn = void (*)(idx kc, double alpha, const double* ap,
+                               const double* bp, double* c, idx ldc,
+                               idx mr_eff, idx nr_eff);
+
+/// One registered microkernel variant.
+struct KernelInfo {
+  const char* name;       ///< "scalar", "avx2", "avx512"
+  MicrokernelFn fn;       ///< nullptr when !compiled
+  GemmBlocking blocking;  ///< built-in default blocking (incl. MR/NR)
+  bool compiled;          ///< TU was built with the required ISA flags
+  bool supported;         ///< compiled && the host cpu can execute it
+};
+
+/// All variants, in preference order (fastest first). Stable storage: the
+/// vector is built once and never reallocated, so KernelInfo pointers
+/// (e.g. the one a PackedPanel captures) stay valid for the process.
+const std::vector<KernelInfo>& kernel_registry();
+
+/// The variant the drivers currently dispatch to. First call resolves
+/// CAMULT_KERNEL + cpuid; always returns a supported kernel.
+const KernelInfo& active_kernel();
+
+/// Force a variant by name ("scalar"/"avx2"/"avx512"); "" or "auto"
+/// restores the startup selection (CAMULT_KERNEL when set and runnable,
+/// else cpuid auto). Returns false (and changes nothing) for an
+/// unknown name or a variant this host cannot execute. Not meant to be
+/// called concurrently with running factorizations: panels packed before a
+/// switch keep working (they remember their kernel), but new work picks up
+/// the new variant at an unspecified point.
+bool set_active_kernel(std::string_view name);
+
+/// Host architecture id used to key tuning-table entries, derived from
+/// cpuid (e.g. "x86-avx512", "x86-avx2", "generic"). Stable across runs on
+/// the same machine; a tuning entry whose arch does not match is stale and
+/// ignored.
+std::string_view arch_id();
+
+/// Cache blocking the driver should use for an m x n x k problem with the
+/// active kernel: the blocking override if set, else the tuning-table entry
+/// for (arch_id, active kernel, shape_class(m, n, k)), else the kernel's
+/// built-in default. Pass m or n < 0 when unknown (pack_a / pack_b).
+GemmBlocking active_blocking(idx m, idx n, idx k);
+
+/// Pin the MC/KC/NC used by subsequent gemm/pack calls on every thread
+/// (autotune sweeps; tests). MR/NR in blk must match the active kernel.
+/// Returns false and changes nothing if blk is invalid or mismatched.
+bool set_blocking_override(const GemmBlocking& blk);
+void clear_blocking_override();
+
+/// Bytes moved through the packed-GEMM pipeline by the calling thread,
+/// counted at the algorithmic level (what the communication-cost model
+/// charges, not hardware counters): source reads + packed writes during
+/// packing, packed-panel streaming by the microkernels, and C tile
+/// read+write traffic. flops / (sum of these) is the arithmetic intensity
+/// reported by bench/gemm_kernel.
+struct GemmTraffic {
+  std::int64_t pack_bytes = 0;    ///< pack_a/pack_b: source reads + packed writes
+  std::int64_t kernel_bytes = 0;  ///< packed A/B bytes streamed by microkernels
+  std::int64_t c_bytes = 0;       ///< C tile loads + stores
+
+  std::int64_t total() const { return pack_bytes + kernel_bytes + c_bytes; }
+};
+
+/// Snapshot / reset of the calling thread's traffic counters.
+GemmTraffic gemm_traffic();
+void gemm_traffic_reset();
+
+namespace detail {
+/// Mutable access to the calling thread's counters (pack.cpp / gemm.cpp).
+GemmTraffic& gemm_traffic_tls();
+}  // namespace detail
+
+}  // namespace camult::blas

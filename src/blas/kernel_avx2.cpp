@@ -1,0 +1,103 @@
+// kernel_avx2.cpp — hand-vectorized 8 x 6 AVX2/FMA microkernel. This TU is
+// compiled with -mavx2 -mfma regardless of the project's global arch flags
+// (see src/blas/CMakeLists.txt); nothing here may run unless the dispatcher
+// checked __builtin_cpu_supports("avx2")/("fma") first.
+//
+// 12 independent ymm accumulators (2 per column) keep the FMA pipelines
+// saturated — compilers reliably fail to get this register allocation right
+// from the scalar loop.
+#include "blas/kernel_impl.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace camult::blas {
+namespace {
+
+constexpr idx MR = 8;
+constexpr idx NR = 6;
+
+void microkernel_avx2(idx kc, double alpha, const double* __restrict ap,
+                      const double* __restrict bp, double* __restrict c,
+                      idx ldc, idx mr_eff, idx nr_eff) {
+  __m256d acc_lo[NR];
+  __m256d acc_hi[NR];
+  for (int j = 0; j < NR; ++j) {
+    acc_lo[j] = _mm256_setzero_pd();
+    acc_hi[j] = _mm256_setzero_pd();
+  }
+  for (idx p = 0; p < kc; ++p) {
+    const __m256d a0 = _mm256_loadu_pd(ap + p * MR);
+    const __m256d a1 = _mm256_loadu_pd(ap + p * MR + 4);
+    const double* b = bp + p * NR;
+    for (int j = 0; j < NR; ++j) {
+      const __m256d bv = _mm256_broadcast_sd(b + j);
+      acc_lo[j] = _mm256_fmadd_pd(a0, bv, acc_lo[j]);
+      acc_hi[j] = _mm256_fmadd_pd(a1, bv, acc_hi[j]);
+    }
+  }
+  if (mr_eff == MR && nr_eff == NR) {
+    const __m256d va = _mm256_set1_pd(alpha);
+    for (int j = 0; j < NR; ++j) {
+      double* cc = c + j * ldc;
+      _mm256_storeu_pd(cc, _mm256_fmadd_pd(va, acc_lo[j],
+                                           _mm256_loadu_pd(cc)));
+      _mm256_storeu_pd(cc + 4, _mm256_fmadd_pd(va, acc_hi[j],
+                                               _mm256_loadu_pd(cc + 4)));
+    }
+  } else {
+    double acc[MR * NR];
+    for (int j = 0; j < NR; ++j) {
+      _mm256_storeu_pd(acc + j * MR, acc_lo[j]);
+      _mm256_storeu_pd(acc + j * MR + 4, acc_hi[j]);
+    }
+    // std::fma, not cc += alpha*acc: the full-tile path above fuses the
+    // alpha update, so the fringe path must too or a C element would round
+    // differently depending on whether its tile is interior or fringe
+    // (visible for alpha outside {0, +-1}).
+    for (idx cj = 0; cj < nr_eff; ++cj) {
+      double* cc = c + cj * ldc;
+      const double* accc = acc + cj * MR;
+      for (idx ri = 0; ri < mr_eff; ++ri) {
+        cc[ri] = std::fma(alpha, accc[ri], cc[ri]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+KernelInfo make_avx2_kernel() {
+  KernelInfo k;
+  k.name = "avx2";
+  k.fn = &microkernel_avx2;
+  k.blocking = {/*mc=*/192, /*kc=*/256, /*nc=*/768, MR, NR};
+  k.compiled = true;
+  k.supported = false;  // dispatcher decides from cpuid
+  return k;
+}
+
+}  // namespace detail
+}  // namespace camult::blas
+
+#else  // toolchain could not build AVX2: register a stub
+
+namespace camult::blas::detail {
+
+KernelInfo make_avx2_kernel() {
+  KernelInfo k;
+  k.name = "avx2";
+  k.fn = nullptr;
+  k.blocking = {192, 256, 768, 8, 6};
+  k.compiled = false;
+  k.supported = false;
+  return k;
+}
+
+}  // namespace camult::blas::detail
+
+#endif

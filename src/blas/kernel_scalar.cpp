@@ -1,0 +1,54 @@
+// kernel_scalar.cpp — portable C microkernel, 8 x 6. No hand vectorization
+// and no ISA flags beyond the project baseline, so this TU runs anywhere
+// the binary loads; it is the guaranteed fallback the dispatcher can always
+// select. The register tile matches the AVX2 kernel so both share the same
+// packed-panel layout and default blocking.
+#include "blas/kernel_impl.hpp"
+
+namespace camult::blas {
+namespace {
+
+constexpr idx MR = 8;
+constexpr idx NR = 6;
+
+void microkernel_scalar(idx kc, double alpha, const double* __restrict ap,
+                        const double* __restrict bp, double* __restrict c,
+                        idx ldc, idx mr_eff, idx nr_eff) {
+  double acc[MR * NR];
+  for (idx i = 0; i < MR * NR; ++i) acc[i] = 0.0;
+  for (idx p = 0; p < kc; ++p) {
+    const double* a = ap + p * MR;
+    const double* b = bp + p * NR;
+    for (idx cj = 0; cj < NR; ++cj) {
+      const double bv = b[cj];
+      double* accc = acc + cj * MR;
+      for (idx ri = 0; ri < MR; ++ri) accc[ri] += a[ri] * bv;
+    }
+  }
+  // One store loop for full and fringe tiles (a full tile is just
+  // mr_eff == MR, nr_eff == NR): a C element must round the same way
+  // whether its tile happened to be interior or on the fringe, so the
+  // padded-vs-fringe bit-parity tests can hold for every alpha.
+  for (idx cj = 0; cj < nr_eff; ++cj) {
+    double* cc = c + cj * ldc;
+    const double* accc = acc + cj * MR;
+    for (idx ri = 0; ri < mr_eff; ++ri) cc[ri] += alpha * accc[ri];
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+KernelInfo make_scalar_kernel() {
+  KernelInfo k;
+  k.name = "scalar";
+  k.fn = &microkernel_scalar;
+  k.blocking = {/*mc=*/192, /*kc=*/256, /*nc=*/768, MR, NR};
+  k.compiled = true;
+  k.supported = false;  // dispatcher sets this (always true for scalar)
+  return k;
+}
+
+}  // namespace detail
+}  // namespace camult::blas

@@ -225,54 +225,59 @@ ScratchBuffer& ScratchBuffer::operator=(ScratchBuffer&& other) noexcept {
 // ---- Packing kernels ----------------------------------------------------
 
 void pack_a_block(ConstMatrixView a, Trans trans, idx i0, idx p0, idx mc,
-                  idx kc, double* buf) {
-  const idx panels = (mc + kGemmMR - 1) / kGemmMR;
+                  idx kc, idx mr, double* buf) {
+  const idx panels = (mc + mr - 1) / mr;
   for (idx ip = 0; ip < panels; ++ip) {
-    const idx i_base = i0 + ip * kGemmMR;
-    const idx rows = std::min<idx>(kGemmMR, i0 + mc - i_base);
-    double* dst = buf + ip * (kGemmMR * kc);
+    const idx i_base = i0 + ip * mr;
+    const idx rows = std::min<idx>(mr, i0 + mc - i_base);
+    double* dst = buf + ip * (mr * kc);
     if (trans == Trans::NoTrans) {
       for (idx p = 0; p < kc; ++p) {
         const double* src = a.col_ptr(p0 + p) + i_base;
-        for (idx r = 0; r < rows; ++r) dst[p * kGemmMR + r] = src[r];
-        for (idx r = rows; r < kGemmMR; ++r) dst[p * kGemmMR + r] = 0.0;
+        for (idx r = 0; r < rows; ++r) dst[p * mr + r] = src[r];
+        for (idx r = rows; r < mr; ++r) dst[p * mr + r] = 0.0;
       }
     } else {
       for (idx p = 0; p < kc; ++p) {
         for (idx r = 0; r < rows; ++r) {
-          dst[p * kGemmMR + r] = a(p0 + p, i_base + r);
+          dst[p * mr + r] = a(p0 + p, i_base + r);
         }
-        for (idx r = rows; r < kGemmMR; ++r) dst[p * kGemmMR + r] = 0.0;
+        for (idx r = rows; r < mr; ++r) dst[p * mr + r] = 0.0;
       }
     }
   }
+  // Communication accounting: source reads + padded packed writes.
+  detail::gemm_traffic_tls().pack_bytes +=
+      static_cast<std::int64_t>((mc + panels * mr) * kc) * 8;
 }
 
 void pack_b_block(ConstMatrixView b, Trans trans, idx p0, idx j0, idx kc,
-                  idx nc, double* buf) {
-  const idx panels = (nc + kGemmNR - 1) / kGemmNR;
+                  idx nc, idx nr, double* buf) {
+  const idx panels = (nc + nr - 1) / nr;
   for (idx jp = 0; jp < panels; ++jp) {
-    const idx j_base = j0 + jp * kGemmNR;
-    const idx cols = std::min<idx>(kGemmNR, j0 + nc - j_base);
-    double* dst = buf + jp * (kGemmNR * kc);
+    const idx j_base = j0 + jp * nr;
+    const idx cols = std::min<idx>(nr, j0 + nc - j_base);
+    double* dst = buf + jp * (nr * kc);
     if (trans == Trans::NoTrans) {
       for (idx p = 0; p < kc; ++p) {
         for (idx c = 0; c < cols; ++c) {
-          dst[p * kGemmNR + c] = b(p0 + p, j_base + c);
+          dst[p * nr + c] = b(p0 + p, j_base + c);
         }
-        for (idx c = cols; c < kGemmNR; ++c) dst[p * kGemmNR + c] = 0.0;
+        for (idx c = cols; c < nr; ++c) dst[p * nr + c] = 0.0;
       }
     } else {
       for (idx c = 0; c < cols; ++c) {
         const double* src = b.col_ptr(p0) + (j_base + c);
         // op(B)(p, j) = b(j, p): walk row j_base+c of b, stride ld.
-        for (idx p = 0; p < kc; ++p) dst[p * kGemmNR + c] = src[p * b.ld()];
+        for (idx p = 0; p < kc; ++p) dst[p * nr + c] = src[p * b.ld()];
       }
-      for (idx c = cols; c < kGemmNR; ++c) {
-        for (idx p = 0; p < kc; ++p) dst[p * kGemmNR + c] = 0.0;
+      for (idx c = cols; c < nr; ++c) {
+        for (idx p = 0; p < kc; ++p) dst[p * nr + c] = 0.0;
       }
     }
   }
+  detail::gemm_traffic_tls().pack_bytes +=
+      static_cast<std::int64_t>((nc + panels * nr) * kc) * 8;
 }
 
 // ---- PackedPanel --------------------------------------------------------
@@ -291,17 +296,17 @@ idx padded_extent(idx extent, idx cache_block, idx reg_tile) {
 
 const double* PackedPanel::a_block(idx i0, idx p0) const {
   assert(op_ == PackOperand::A);
-  assert(i0 >= 0 && i0 < rows_ && i0 % kGemmMC == 0);
-  assert(p0 >= 0 && p0 < cols_ && p0 % kGemmKC == 0);
-  const idx kc = std::min<idx>(kGemmKC, cols_ - p0);
+  assert(i0 >= 0 && i0 < rows_ && i0 % blk_.mc == 0);
+  assert(p0 >= 0 && p0 < cols_ && p0 % blk_.kc == 0);
+  const idx kc = std::min<idx>(blk_.kc, cols_ - p0);
   return buf_.data() + p0 * padded_ + i0 * kc;
 }
 
 const double* PackedPanel::b_block(idx p0, idx j0) const {
   assert(op_ == PackOperand::B);
-  assert(p0 >= 0 && p0 < rows_ && p0 % kGemmKC == 0);
-  assert(j0 >= 0 && j0 < cols_ && j0 % kGemmNC == 0);
-  const idx kc = std::min<idx>(kGemmKC, rows_ - p0);
+  assert(p0 >= 0 && p0 < rows_ && p0 % blk_.kc == 0);
+  assert(j0 >= 0 && j0 < cols_ && j0 % blk_.nc == 0);
+  const idx kc = std::min<idx>(blk_.kc, rows_ - p0);
   return buf_.data() + p0 * padded_ + j0 * kc;
 }
 
@@ -312,14 +317,19 @@ PackedPanel pack_a(ConstMatrixView a, Trans trans) {
   p.op_ = PackOperand::A;
   p.rows_ = m;
   p.cols_ = k;
-  p.padded_ = padded_extent(m, kGemmMC, kGemmMR);
+  // The eventual gemm n is unknown at pack time (n = -1): the shape class
+  // keys off m/k only. The panel records kernel + blocking so every
+  // consumer walks the same layout regardless of later tuning changes.
+  p.kernel_ = &active_kernel();
+  p.blk_ = active_blocking(m, -1, k);
+  p.padded_ = padded_extent(m, p.blk_.mc, p.blk_.mr);
   if (p.empty()) return p;
   p.buf_ = ScratchBuffer(static_cast<std::size_t>(p.padded_ * k));
-  for (idx pc = 0; pc < k; pc += kGemmKC) {
-    const idx kc = std::min<idx>(kGemmKC, k - pc);
-    for (idx ic = 0; ic < m; ic += kGemmMC) {
-      const idx mc = std::min<idx>(kGemmMC, m - ic);
-      pack_a_block(a, trans, ic, pc, mc, kc,
+  for (idx pc = 0; pc < k; pc += p.blk_.kc) {
+    const idx kc = std::min<idx>(p.blk_.kc, k - pc);
+    for (idx ic = 0; ic < m; ic += p.blk_.mc) {
+      const idx mc = std::min<idx>(p.blk_.mc, m - ic);
+      pack_a_block(a, trans, ic, pc, mc, kc, p.blk_.mr,
                    p.buf_.data() + pc * p.padded_ + ic * kc);
     }
   }
@@ -333,14 +343,16 @@ PackedPanel pack_b(ConstMatrixView b, Trans trans) {
   p.op_ = PackOperand::B;
   p.rows_ = k;
   p.cols_ = n;
-  p.padded_ = padded_extent(n, kGemmNC, kGemmNR);
+  p.kernel_ = &active_kernel();
+  p.blk_ = active_blocking(-1, n, k);
+  p.padded_ = padded_extent(n, p.blk_.nc, p.blk_.nr);
   if (p.empty()) return p;
   p.buf_ = ScratchBuffer(static_cast<std::size_t>(p.padded_ * k));
-  for (idx pc = 0; pc < k; pc += kGemmKC) {
-    const idx kc = std::min<idx>(kGemmKC, k - pc);
-    for (idx jc = 0; jc < n; jc += kGemmNC) {
-      const idx nc = std::min<idx>(kGemmNC, n - jc);
-      pack_b_block(b, trans, pc, jc, kc, nc,
+  for (idx pc = 0; pc < k; pc += p.blk_.kc) {
+    const idx kc = std::min<idx>(p.blk_.kc, k - pc);
+    for (idx jc = 0; jc < n; jc += p.blk_.nc) {
+      const idx nc = std::min<idx>(p.blk_.nc, n - jc);
+      pack_b_block(b, trans, pc, jc, kc, nc, p.blk_.nr,
                    p.buf_.data() + pc * p.padded_ + jc * kc);
     }
   }

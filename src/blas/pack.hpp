@@ -33,15 +33,18 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "blas/kernel.hpp"
 #include "blas/types.hpp"
 #include "matrix/view.hpp"
 
 namespace camult::blas {
 
-/// Register/cache blocking shared by gemm, gemm_packed and the packers.
-/// MR x NR is the microkernel tile; MC/KC/NC are the cache blocks. MC is a
-/// multiple of MR and NC a multiple of NR — the packed-offset arithmetic in
-/// PackedPanel relies on it.
+/// Built-in default blocking of the scalar and AVX2 kernels (8 x 6 register
+/// tile). Kept as named constants for tests that probe blocking boundaries;
+/// the blocking a given call ACTUALLY uses is runtime data — the active
+/// kernel's GemmBlocking, possibly overridden by the tuning table (see
+/// kernel.hpp / tuning.hpp) — and a PackedPanel records the blocking and
+/// kernel it was packed for.
 inline constexpr idx kGemmMR = 8;
 inline constexpr idx kGemmNR = 6;
 inline constexpr idx kGemmMC = 192;
@@ -117,11 +120,22 @@ class PackedPanel {
   /// True once pack_a/pack_b filled the panel (or it is 0-sized).
   bool valid() const { return buf_.data() != nullptr || empty(); }
 
-  /// Packed (MC x KC) block of an A-operand panel at row i0 / depth p0
-  /// (both cache-block-aligned). Layout within: MR-row panels of depth
-  /// min(KC, k - p0), exactly what the microkernel consumes.
+  /// The blocking this panel was packed with. gemm_packed drives its cache
+  /// loops with THESE values (not the current active blocking), so a panel
+  /// keeps working even if the tuning table or kernel selection changed
+  /// after it was packed.
+  const GemmBlocking& blocking() const { return blk_; }
+  /// The kernel variant active at pack time; gemm_packed dispatches to it
+  /// because the panel layout is tied to its MR/NR register tile. Null only
+  /// for a default-constructed (empty) panel.
+  const KernelInfo* kernel() const { return kernel_; }
+
+  /// Packed (mc x kc) block of an A-operand panel at row i0 / depth p0
+  /// (both cache-block-aligned w.r.t. blocking()). Layout within: mr-row
+  /// panels of depth min(kc, k - p0), exactly what the microkernel
+  /// consumes.
   const double* a_block(idx i0, idx p0) const;
-  /// Packed (KC x NC) block of a B-operand panel at depth p0 / column j0.
+  /// Packed (kc x nc) block of a B-operand panel at depth p0 / column j0.
   const double* b_block(idx p0, idx j0) const;
 
  private:
@@ -132,9 +146,11 @@ class PackedPanel {
   PackOperand op_ = PackOperand::A;
   idx rows_ = 0;
   idx cols_ = 0;
-  /// MR- (A) or NR- (B) padded extent of the non-depth dimension; the
+  /// mr- (A) or nr- (B) padded extent of the non-depth dimension; the
   /// stride between consecutive depth blocks is padded_ * kc.
   idx padded_ = 0;
+  GemmBlocking blk_{kGemmMC, kGemmKC, kGemmNC, kGemmMR, kGemmNR};
+  const KernelInfo* kernel_ = nullptr;
 };
 
 /// Pack op(A) (the full m x k operand) for the gemm A slot.
@@ -143,11 +159,13 @@ PackedPanel pack_a(ConstMatrixView a, Trans trans);
 PackedPanel pack_b(ConstMatrixView b, Trans trans);
 
 /// Low-level single-cache-block packers (the primitives gemm itself uses;
-/// exposed for tests). `buf` needs ceil(mc/MR)*MR*kc (resp.
-/// ceil(nc/NR)*NR*kc) doubles.
+/// exposed for tests). `mr` (resp. `nr`) is the register-tile extent the
+/// block is laid out for — the active kernel's, for buffers the driver will
+/// feed to it. `buf` needs ceil(mc/mr)*mr*kc (resp. ceil(nc/nr)*nr*kc)
+/// doubles; fringe rows/cols are zero-padded to the full tile.
 void pack_a_block(ConstMatrixView a, Trans trans, idx i0, idx p0, idx mc,
-                  idx kc, double* buf);
+                  idx kc, idx mr, double* buf);
 void pack_b_block(ConstMatrixView b, Trans trans, idx p0, idx j0, idx kc,
-                  idx nc, double* buf);
+                  idx nc, idx nr, double* buf);
 
 }  // namespace camult::blas

@@ -20,10 +20,11 @@ void syrk(Uplo uplo, Trans trans, double alpha, ConstMatrixView a, double beta,
     }
     if (alpha == 0.0) continue;
     if (trans == Trans::NoTrans) {
-      // C(:,j) += alpha * A * A(j,:)^T over the referenced rows.
+      // C(:,j) += alpha * A * A(j,:)^T over the referenced rows. No
+      // zero-skip on t: 0 * NaN must stay NaN so non-finite values in A
+      // propagate (the Trans branch and gemm already behave this way).
       for (idx p = 0; p < k; ++p) {
         const double t = alpha * a(j, p);
-        if (t == 0.0) continue;
         const double* ac = a.col_ptr(p);
         for (idx i = i_lo; i < i_hi; ++i) cc[i] += t * ac[i];
       }

@@ -1,15 +1,18 @@
 #include "blas/trmm.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "blas/gemm.hpp"
+#include "blas/kernel.hpp"
 #include "blas/level1.hpp"
 #include "blas/level2.hpp"
 
 namespace camult::blas {
 namespace {
 
-constexpr idx kBaseSize = 32;
+// Same register-tile-derived cutoff as trsm.cpp.
+idx base_size() { return std::max<idx>(32, 2 * active_kernel().blocking.mr); }
 
 inline Trans flip(Trans t) {
   return t == Trans::NoTrans ? Trans::Trans : Trans::NoTrans;
@@ -34,7 +37,7 @@ void trmm_base(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
 void trmm_rec(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
               ConstMatrixView a, MatrixView b) {
   const idx n_tri = a.rows();
-  if (n_tri <= kBaseSize) {
+  if (n_tri <= base_size()) {
     trmm_base(side, uplo, trans, diag, alpha, a, b);
     return;
   }

@@ -1,15 +1,20 @@
 #include "blas/trsm.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "blas/gemm.hpp"
+#include "blas/kernel.hpp"
 #include "blas/level1.hpp"
 #include "blas/level2.hpp"
 
 namespace camult::blas {
 namespace {
 
-constexpr idx kBaseSize = 32;
+// Recursion base tied to the dispatched kernel's register tile: the gemm
+// halves above the base need at least a couple of MR-row tiles to amortize
+// packing, so a wider kernel (AVX-512, MR=16) raises the trsv cutoff.
+idx base_size() { return std::max<idx>(32, 2 * active_kernel().blocking.mr); }
 
 inline Trans flip(Trans t) {
   return t == Trans::NoTrans ? Trans::Trans : Trans::NoTrans;
@@ -39,7 +44,7 @@ void trsm_base(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
 void trsm_rec(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
               ConstMatrixView a, MatrixView b) {
   const idx n_tri = a.rows();
-  if (n_tri <= kBaseSize) {
+  if (n_tri <= base_size()) {
     trsm_base(side, uplo, trans, diag, alpha, a, b);
     return;
   }

@@ -1,0 +1,407 @@
+// tuning.cpp — hardened loader/saver for the autotune table (tuning.hpp).
+//
+// The parser is a deliberately small recursive-descent JSON reader that
+// accepts exactly the shapes the tuning file uses (objects, arrays,
+// strings, integer numbers, bools/null for forward compatibility) with
+// bounded depth and size. It is self-contained so camult_blas keeps zero
+// dependencies on the bench/runtime layers.
+#include "blas/tuning.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "blas/kernel.hpp"
+
+namespace camult::blas {
+namespace {
+
+constexpr std::size_t kMaxFileBytes = 1 << 20;  // 1 MiB
+constexpr std::size_t kMaxEntries = 256;
+constexpr int kMaxDepth = 8;
+constexpr std::size_t kMaxStringLen = 64;
+
+// ---- minimal strict JSON ------------------------------------------------
+
+struct Json {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  const Json* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  // Returns false (with error_) instead of throwing: a hostile file must be
+  // cheap to reject.
+  bool parse(Json& out) {
+    if (!value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (error_.empty()) {
+      error_ = msg + " (at byte " + std::to_string(pos_) + ")";
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool string_token(std::string& out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return fail("truncated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: return fail("unsupported escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("control character in string");
+      }
+      if (out.size() >= kMaxStringLen) return fail("string too long");
+      out.push_back(c);
+    }
+    if (pos_ >= s_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number_token(double& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start || pos_ - start > 32) return fail("bad number");
+    char* end = nullptr;
+    const std::string tok(s_.substr(start, pos_ - start));
+    out = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return fail("bad number");
+    return true;
+  }
+
+  bool value(Json& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.type = Json::Type::Object;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!string_token(key)) return false;
+        skip_ws();
+        if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+        ++pos_;
+        Json v;
+        if (!value(v, depth + 1)) return false;
+        out.object.emplace_back(std::move(key), std::move(v));
+        if (out.object.size() > 2 * kMaxEntries) return fail("object too big");
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.type = Json::Type::Array;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        Json v;
+        if (!value(v, depth + 1)) return false;
+        out.array.push_back(std::move(v));
+        if (out.array.size() > 4 * kMaxEntries) return fail("array too big");
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.type = Json::Type::String;
+      return string_token(out.string);
+    }
+    if (c == 't') {
+      out.type = Json::Type::Bool;
+      out.boolean = true;
+      return literal("true") || fail("bad literal");
+    }
+    if (c == 'f') {
+      out.type = Json::Type::Bool;
+      out.boolean = false;
+      return literal("false") || fail("bad literal");
+    }
+    if (c == 'n') {
+      out.type = Json::Type::Null;
+      return literal("null") || fail("bad literal");
+    }
+    out.type = Json::Type::Number;
+    return number_token(out.number);
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---- validation ---------------------------------------------------------
+
+bool known_shape(std::string_view s) {
+  return s == "tiny" || s == "panel" || s == "tall" || s == "square";
+}
+
+// Integer field in a sane range; rejects fractions, NaN-ish text never gets
+// here (parser only accepts digit runs).
+bool get_idx(const Json& obj, const char* key, idx& out) {
+  const Json* v = obj.find(key);
+  if (v == nullptr || v->type != Json::Type::Number) return false;
+  const double d = v->number;
+  if (d < 1.0 || d > 1e7 || d != static_cast<double>(static_cast<idx>(d))) {
+    return false;
+  }
+  out = static_cast<idx>(d);
+  return true;
+}
+
+bool get_string(const Json& obj, const char* key, std::string& out) {
+  const Json* v = obj.find(key);
+  if (v == nullptr || v->type != Json::Type::String || v->string.empty()) {
+    return false;
+  }
+  out = v->string;
+  return true;
+}
+
+TuningTable reject(const std::string& why) {
+  TuningTable t;
+  t.error = why;
+  return t;
+}
+
+std::mutex g_table_mu;
+TuningTable* g_table = nullptr;  // heap + leaked: outlives static teardown
+
+}  // namespace
+
+const TuningEntry* TuningTable::find(std::string_view arch,
+                                     std::string_view kernel,
+                                     std::string_view shape) const {
+  const TuningEntry* best = nullptr;
+  for (const TuningEntry& e : entries) {
+    if (e.arch == arch && e.kernel == kernel && e.shape == shape) best = &e;
+  }
+  return best;
+}
+
+std::string_view shape_class(idx m, idx n, idx k) {
+  const bool dims_known = m >= 0 && n >= 0;
+  if (dims_known && m <= 64 && n <= 64 && k <= 64) return "tiny";
+  if (k <= 64) return "panel";
+  if (dims_known && m >= 4 * n) return "tall";
+  return "square";
+}
+
+TuningTable parse_tuning(std::string_view text) {
+  if (text.size() > kMaxFileBytes) return reject("file exceeds 1 MiB");
+  Json root;
+  Parser p(text);
+  if (!p.parse(root)) return reject("invalid JSON: " + p.error());
+  if (root.type != Json::Type::Object) return reject("root is not an object");
+
+  const Json* version = root.find("version");
+  if (version == nullptr || version->type != Json::Type::Number ||
+      version->number != 1.0) {
+    return reject("missing or unsupported \"version\" (want 1)");
+  }
+  const Json* entries = root.find("entries");
+  if (entries == nullptr || entries->type != Json::Type::Array) {
+    return reject("missing \"entries\" array");
+  }
+  if (entries->array.size() > kMaxEntries) {
+    return reject("too many entries (max 256)");
+  }
+
+  TuningTable table;
+  for (std::size_t i = 0; i < entries->array.size(); ++i) {
+    const Json& ej = entries->array[i];
+    const std::string where = "entries[" + std::to_string(i) + "]";
+    if (ej.type != Json::Type::Object) return reject(where + " not an object");
+    TuningEntry e;
+    if (!get_string(ej, "arch", e.arch)) {
+      return reject(where + ": bad \"arch\"");
+    }
+    if (!get_string(ej, "kernel", e.kernel)) {
+      return reject(where + ": bad \"kernel\"");
+    }
+    if (!get_string(ej, "shape", e.shape) || !known_shape(e.shape)) {
+      return reject(where + ": bad \"shape\"");
+    }
+    if (!get_idx(ej, "mc", e.mc) || !get_idx(ej, "kc", e.kc) ||
+        !get_idx(ej, "nc", e.nc)) {
+      return reject(where + ": mc/kc/nc must be integers in [1, 1e7]");
+    }
+    // The named kernel pins MR/NR; blocking must be layout-compatible with
+    // it even when the entry is for another arch — a typo'd kernel name or
+    // a non-multiple block is a corrupt file, not advice.
+    const KernelInfo* kern = nullptr;
+    for (const KernelInfo& k : kernel_registry()) {
+      if (e.kernel == k.name) kern = &k;
+    }
+    if (kern == nullptr) return reject(where + ": unknown kernel name");
+    const GemmBlocking blk{e.mc, e.kc, e.nc, kern->blocking.mr,
+                           kern->blocking.nr};
+    if (!valid_blocking(blk)) {
+      return reject(where + ": blocking out of range or not a multiple of "
+                            "the kernel's MR/NR");
+    }
+    table.entries.push_back(std::move(e));
+  }
+  table.loaded = true;
+  return table;
+}
+
+TuningTable load_tuning_file(const std::string& path) {
+  if (path.empty()) return TuningTable{};
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return TuningTable{};  // missing file: defaults, silently
+  if (size > kMaxFileBytes) return reject("file exceeds 1 MiB");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return reject("cannot open");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_tuning(buf.str());
+}
+
+std::string tuning_file_path() {
+  if (const char* env = std::getenv("CAMULT_TUNE_FILE");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME");
+      xdg != nullptr && *xdg != '\0') {
+    return std::string(xdg) + "/camult/tuning.json";
+  }
+  if (const char* home = std::getenv("HOME");
+      home != nullptr && *home != '\0') {
+    return std::string(home) + "/.cache/camult/tuning.json";
+  }
+  return {};
+}
+
+const TuningTable& tuning_table() {
+  std::lock_guard<std::mutex> lock(g_table_mu);
+  if (g_table == nullptr) {
+    g_table = new TuningTable(load_tuning_file(tuning_file_path()));
+  }
+  return *g_table;
+}
+
+void reload_tuning() {
+  std::lock_guard<std::mutex> lock(g_table_mu);
+  // The old table is intentionally leaked, not deleted: callers may still
+  // hold references/entry pointers from before the reload (reloads happen
+  // only in tests and tools/autotune, so the leak is bounded and harmless,
+  // while a delete would dangle them).
+  g_table = nullptr;
+}
+
+bool save_tuning_file(const std::string& path,
+                      const std::vector<TuningEntry>& entries) {
+  if (path.empty()) return false;
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+    // A pre-existing directory is fine; only a hard failure matters and it
+    // will surface as the ofstream failing below.
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << "{\"version\": 1, \"entries\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const TuningEntry& e = entries[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "  {\"arch\": \"" << e.arch << "\", \"kernel\": \"" << e.kernel
+        << "\", \"shape\": \"" << e.shape << "\", \"mc\": " << e.mc
+        << ", \"kc\": " << e.kc << ", \"nc\": " << e.nc << "}";
+  }
+  out << "\n]}\n";
+  return static_cast<bool>(out.flush());
+}
+
+}  // namespace camult::blas

@@ -1,0 +1,89 @@
+// tuning.hpp — the on-disk autotune table the GEMM drivers consult.
+//
+// tools/autotune sweeps MC/KC/NC per (kernel, shape-class) and caches the
+// winners in a small JSON file; active_blocking() (kernel.hpp) looks the
+// winner up at dispatch time. The file is pure advice: it may be missing,
+// stale, truncated, or hostile, and none of that may ever change numerical
+// results or crash a run — a rejected file just means built-in defaults.
+//
+// Path resolution: $CAMULT_TUNE_FILE if set, else
+// $XDG_CACHE_HOME/camult/tuning.json, else $HOME/.cache/camult/tuning.json.
+//
+// File format (strict JSON, <= 1 MiB, <= 256 entries):
+//   {"version": 1,
+//    "entries": [{"arch": "x86-avx512", "kernel": "avx512",
+//                 "shape": "panel", "mc": 192, "kc": 256, "nc": 768}, ...]}
+//
+// Validation (same hardening standard as load_dag and the CAMULT_FAULT_*
+// env parsing): malformed/truncated JSON, wrong types, unknown kernel or
+// shape-class names, and out-of-range or non-multiple-of-MR/NR blocking
+// values all reject the WHOLE file (no partial application), recording one
+// diagnostic in TuningTable::error. Entries whose arch-id does not match
+// this host are valid but ignored at lookup — the file may legitimately
+// carry entries for several machines.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "matrix/view.hpp"
+
+namespace camult::blas {
+
+/// One cached autotune winner.
+struct TuningEntry {
+  std::string arch;    ///< arch_id() of the machine that tuned it
+  std::string kernel;  ///< registered kernel name
+  std::string shape;   ///< shape-class name (see shape_class)
+  idx mc = 0;
+  idx kc = 0;
+  idx nc = 0;
+};
+
+/// A parsed-and-validated tuning file. When `loaded` is false the entries
+/// are empty and `error` says why (missing file is not an error — it just
+/// leaves `loaded` false with an empty error).
+struct TuningTable {
+  std::vector<TuningEntry> entries;
+  bool loaded = false;
+  std::string error;
+
+  /// Latest matching entry (last-wins, so appended re-tunes dominate), or
+  /// nullptr — the caller then uses the kernel's built-in default.
+  const TuningEntry* find(std::string_view arch, std::string_view kernel,
+                          std::string_view shape) const;
+};
+
+/// Coarse problem-shape classes the tuning table is keyed by. Pass m or
+/// n < 0 when that dimension is unknown at call time (packing one operand
+/// ahead of the multiplies). Returns one of: "tiny" (all dims known and
+/// <= 64), "panel" (k <= 64, the CALU/CAQR trailing-update shape), "tall"
+/// (m >= 4n), "square".
+std::string_view shape_class(idx m, idx n, idx k);
+
+/// Parse + validate tuning-file text (pure; exposed for tests).
+TuningTable parse_tuning(std::string_view text);
+
+/// Read + parse + validate one file. Missing file: loaded=false, no error.
+TuningTable load_tuning_file(const std::string& path);
+
+/// The resolved on-disk path for this process (env / XDG / HOME fallback;
+/// empty when no candidate directory can be derived).
+std::string tuning_file_path();
+
+/// The process-wide table, loaded lazily from tuning_file_path(). Safe to
+/// call from any thread.
+const TuningTable& tuning_table();
+
+/// Drop the cached table and re-read the file on next use (tests and
+/// tools/autotune call this after rewriting the file or changing env).
+void reload_tuning();
+
+/// Serialize entries to `path` (creating parent directories), replacing the
+/// file. Returns false on I/O failure. Entries are written as-is; callers
+/// are expected to pass validated values (autotune does).
+bool save_tuning_file(const std::string& path,
+                      const std::vector<TuningEntry>& entries);
+
+}  // namespace camult::blas

@@ -132,6 +132,77 @@ TEST(Gemm, LargeCrossesAllCacheBlocks) {
   EXPECT_TRUE(matrices_near(c, c_ref, 1e-10));
 }
 
+// A quiet NaN in A must reach C even when the matching B element is zero:
+// the small-path used to skip bv == 0.0 terms as an "optimization", which
+// silently laundered NaN * 0 into 0 and made NaN visibility depend on which
+// code path (small vs blocked) the problem size selected. The health
+// monitor's poison screening relies on propagation being path-independent.
+TEST(Gemm, NanPropagatesThroughZeroBTerms) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Small path: m*n*k well under the blocked cutoff.
+  {
+    Matrix a = random_matrix(8, 8, 31);
+    Matrix b = Matrix::zeros(8, 8);  // every bv is exactly 0.0
+    Matrix c = random_matrix(8, 8, 32);
+    a(3, 2) = nan;
+    gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a, b, 1.0, c.view());
+    for (idx j = 0; j < 8; ++j) {
+      EXPECT_TRUE(std::isnan(c(3, j))) << "col " << j;
+      EXPECT_FALSE(std::isnan(c(0, j))) << "col " << j;
+    }
+  }
+  // Blocked path: same poison pattern, size past the small cutoff.
+  {
+    Matrix a = random_matrix(64, 64, 33);
+    Matrix b = Matrix::zeros(64, 64);
+    Matrix c = random_matrix(64, 64, 34);
+    a(3, 2) = nan;
+    gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a, b, 1.0, c.view());
+    for (idx j = 0; j < 64; ++j) {
+      EXPECT_TRUE(std::isnan(c(3, j))) << "col " << j;
+      EXPECT_FALSE(std::isnan(c(0, j))) << "col " << j;
+    }
+  }
+}
+
+// Small-vs-blocked parity on the same poisoned values: embed the small
+// problem in the corner of a zero-padded blocked-size problem and the
+// shared region must agree on WHERE the NaNs are (values may differ in
+// rounding order, NaN placement may not).
+TEST(Gemm, NanPlacementMatchesSmallVsBlocked) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const idx m = 10, n = 6, k = 9;    // small path: 540 flops
+  const idx M = 40, N = 40, K = 40;  // blocked path
+  Matrix a = random_matrix(m, k, 41);
+  Matrix b = random_matrix(k, n, 42);
+  a(1, 4) = nan;
+  b(7, 2) = 0.0;  // zero B term against a NaN-free A row
+  a(5, 7) = nan;  // NaN against the zero B term: must still poison row 5
+  Matrix c_small = Matrix::zeros(m, n);
+  gemm(Trans::NoTrans, Trans::NoTrans, 1.0, a, b, 0.0, c_small.view());
+
+  Matrix ap = Matrix::zeros(M, K);
+  Matrix bp = Matrix::zeros(K, N);
+  for (idx j = 0; j < k; ++j) {
+    for (idx i = 0; i < m; ++i) ap(i, j) = a(i, j);
+  }
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < k; ++i) bp(i, j) = b(i, j);
+  }
+  Matrix c_blocked = Matrix::zeros(M, N);
+  gemm(Trans::NoTrans, Trans::NoTrans, 1.0, ap, bp, 0.0, c_blocked.view());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      EXPECT_EQ(std::isnan(c_small(i, j)), std::isnan(c_blocked(i, j)))
+          << "(" << i << ", " << j << ")";
+    }
+  }
+  // Rows 1 and 5 carry the planted NaNs.
+  EXPECT_TRUE(std::isnan(c_small(1, 0)));
+  EXPECT_TRUE(std::isnan(c_small(5, 0)));
+  EXPECT_FALSE(std::isnan(c_small(0, 0)));
+}
+
 TEST(Gemm, BlockingParametersExposed) {
   const GemmBlocking blk = gemm_blocking();
   EXPECT_GT(blk.mr, 0);

@@ -228,15 +228,16 @@ TEST(GemmPacked, TransAbsorbedAtPackTime) {
 // ---- PackedPanel layout --------------------------------------------------
 
 // a_block(0, 0) of a small panel must hold exactly what pack_a_block writes:
-// MR-row panels, column-major within panel, zero padded to MR.
+// mr-row panels (mr = the panel's recorded register tile), column-major
+// within panel, zero padded to mr.
 TEST(PackedPanelLayout, MatchesPackABlock) {
-  const idx m = 11, k = 5;  // one ragged MR panel (8 + 3 rows)
+  const idx m = 11, k = 5;  // one or two ragged mr panels
   const Matrix a = random_matrix(m, k, 41);
   const blas::PackedPanel p = blas::pack_a(a.view(), Trans::NoTrans);
+  const idx mr = p.blocking().mr;
   std::vector<double> want(
-      static_cast<std::size_t>(((m + blas::kGemmMR - 1) / blas::kGemmMR) *
-                               blas::kGemmMR * k));
-  blas::pack_a_block(a.view(), Trans::NoTrans, 0, 0, m, k, want.data());
+      static_cast<std::size_t>(((m + mr - 1) / mr) * mr * k));
+  blas::pack_a_block(a.view(), Trans::NoTrans, 0, 0, m, k, mr, want.data());
   const double* got = p.a_block(0, 0);
   for (std::size_t i = 0; i < want.size(); ++i) {
     EXPECT_EQ(got[i], want[i]) << "offset " << i;

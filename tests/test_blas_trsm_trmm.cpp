@@ -166,6 +166,33 @@ TEST(Syrk, MatchesGemmOnTriangle) {
   }
 }
 
+// A NaN anywhere in a referenced A row must poison the referenced triangle
+// even when the scaled row value t is exactly zero — the NoTrans branch
+// used to skip t == 0.0 terms, hiding NaNs that the Trans branch (and gemm)
+// propagate. Both branches must agree.
+TEST(Syrk, NanPropagatesThroughZeroTerms) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const idx n = 9, k = 5;
+  Matrix a = random_matrix(n, k, 51);
+  a(2, 0) = 0.0;  // t = alpha * a(j=2, p=0) == 0 in the NoTrans branch
+  a(4, 0) = nan;  // ... multiplied against this NaN
+  Matrix c = random_matrix(n, n, 52);
+  syrk(Uplo::Lower, Trans::NoTrans, 1.0, a, 1.0, c.view());
+  EXPECT_TRUE(std::isnan(c(4, 2)));  // 0 * NaN term lands here
+  EXPECT_TRUE(std::isnan(c(4, 4)));  // diagonal sees NaN^2
+  EXPECT_FALSE(std::isnan(c(3, 2)));
+
+  // Trans variant on the transposed data must flag the mirrored element.
+  Matrix at(k, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < k; ++i) at(i, j) = a(j, i);
+  }
+  Matrix ct = random_matrix(n, n, 53);
+  syrk(Uplo::Upper, Trans::Trans, 1.0, at, 1.0, ct.view());
+  EXPECT_TRUE(std::isnan(ct(2, 4)));
+  EXPECT_FALSE(std::isnan(ct(2, 3)));
+}
+
 TEST(Syrk, TransVariantUpper) {
   const idx n = 11, k = 9;
   Matrix a = random_matrix(k, n, 41);

@@ -1,0 +1,309 @@
+// Tuning-file loader hardening (satellite of the runtime-dispatch PR): the
+// autotune cache is advice read from a user-writable path, so the loader
+// must reject malformed, truncated, out-of-range, or stale content without
+// crashing and without partially applying it — any defect means built-in
+// defaults. Also covers path resolution, last-wins lookup, stale-arch
+// filtering, the save/load round trip, and reload_tuning() picking up
+// CAMULT_TUNE_FILE changes end-to-end through active_blocking().
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "blas/blas.hpp"
+#include "common/test_utils.hpp"
+#include "matrix/random.hpp"
+
+namespace camult {
+namespace {
+
+using blas::GemmBlocking;
+using blas::TuningEntry;
+using blas::TuningTable;
+using blas::parse_tuning;
+
+std::string valid_doc() {
+  return R"({"version": 1, "entries": [
+    {"arch": "x86-avx2", "kernel": "avx2", "shape": "panel",
+     "mc": 192, "kc": 256, "nc": 768}
+  ]})";
+}
+
+TEST(TuningParse, AcceptsValidDocument) {
+  const TuningTable t = parse_tuning(valid_doc());
+  EXPECT_TRUE(t.loaded) << t.error;
+  EXPECT_TRUE(t.error.empty());
+  ASSERT_EQ(t.entries.size(), 1u);
+  EXPECT_EQ(t.entries[0].arch, "x86-avx2");
+  EXPECT_EQ(t.entries[0].kernel, "avx2");
+  EXPECT_EQ(t.entries[0].shape, "panel");
+  EXPECT_EQ(t.entries[0].mc, 192);
+  EXPECT_EQ(t.entries[0].kc, 256);
+  EXPECT_EQ(t.entries[0].nc, 768);
+}
+
+TEST(TuningParse, AcceptsEmptyEntries) {
+  const TuningTable t = parse_tuning(R"({"version": 1, "entries": []})");
+  EXPECT_TRUE(t.loaded) << t.error;
+  EXPECT_TRUE(t.entries.empty());
+}
+
+// Every defect must reject the WHOLE file with a diagnostic: no partial
+// application, no crash, no exception escaping.
+TEST(TuningParse, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",                                         // empty
+      "not json at all",                          // garbage
+      "[1, 2, 3]",                                // root not an object
+      "{\"version\": 1}",                         // missing entries
+      "{\"entries\": []}",                        // missing version
+      "{\"version\": 2, \"entries\": []}",        // unsupported version
+      "{\"version\": \"1\", \"entries\": []}",    // version wrong type
+      "{\"version\": 1, \"entries\": {}}",        // entries wrong type
+      "{\"version\": 1, \"entries\": [],}",       // trailing comma
+      "{\"version\": 1, \"entries\": []} x",      // trailing garbage
+      "{\"version\": 1, \"entries\": [",          // truncated mid-array
+      "{\"version\": 1, \"entries\": [{\"arch\"", // truncated mid-entry
+      "{\"version\": 1e",                         // bad number token
+  };
+  for (const char* doc : bad) {
+    const TuningTable t = parse_tuning(doc);
+    EXPECT_FALSE(t.loaded) << "accepted: " << doc;
+    EXPECT_TRUE(t.entries.empty()) << "partial entries from: " << doc;
+    EXPECT_FALSE(t.error.empty()) << "no diagnostic for: " << doc;
+  }
+}
+
+// Truncating a valid document at ANY byte must never be accepted (the file
+// can be half-written by a crashed autotune run).
+TEST(TuningParse, RejectsEveryTruncationOfAValidDocument) {
+  const std::string doc = valid_doc();
+  for (std::size_t len = 0; len + 1 < doc.size(); ++len) {
+    const TuningTable t = parse_tuning(doc.substr(0, len));
+    EXPECT_FALSE(t.loaded) << "accepted prefix of length " << len;
+  }
+}
+
+TEST(TuningParse, RejectsBadEntryFields) {
+  auto entry_doc = [](const std::string& entry) {
+    return "{\"version\": 1, \"entries\": [" + entry + "]}";
+  };
+  const char* bad_entries[] = {
+      // missing fields
+      R"({"kernel": "avx2", "shape": "panel", "mc": 192, "kc": 256, "nc": 768})",
+      R"({"arch": "a", "shape": "panel", "mc": 192, "kc": 256, "nc": 768})",
+      R"({"arch": "a", "kernel": "avx2", "mc": 192, "kc": 256, "nc": 768})",
+      R"({"arch": "a", "kernel": "avx2", "shape": "panel", "kc": 256, "nc": 768})",
+      // wrong types
+      R"({"arch": 7, "kernel": "avx2", "shape": "panel", "mc": 192, "kc": 256, "nc": 768})",
+      R"({"arch": "a", "kernel": "avx2", "shape": "panel", "mc": "192", "kc": 256, "nc": 768})",
+      R"({"arch": "a", "kernel": "avx2", "shape": "panel", "mc": 192.5, "kc": 256, "nc": 768})",
+      // unknown kernel / shape names (typo-safety)
+      R"({"arch": "a", "kernel": "avx1024", "shape": "panel", "mc": 192, "kc": 256, "nc": 768})",
+      R"({"arch": "a", "kernel": "avx2", "shape": "pannel", "mc": 192, "kc": 256, "nc": 768})",
+      // out of range
+      R"({"arch": "a", "kernel": "avx2", "shape": "panel", "mc": 0, "kc": 256, "nc": 768})",
+      R"({"arch": "a", "kernel": "avx2", "shape": "panel", "mc": -192, "kc": 256, "nc": 768})",
+      R"({"arch": "a", "kernel": "avx2", "shape": "panel", "mc": 99999999, "kc": 256, "nc": 768})",
+      // mc*kc / kc*nc beyond the slab bound (2^22 doubles)
+      R"({"arch": "a", "kernel": "avx2", "shape": "panel", "mc": 9999992, "kc": 9999872, "nc": 768})",
+      // not a multiple of the named kernel's MR (avx2: 8) / NR (6)
+      R"({"arch": "a", "kernel": "avx2", "shape": "panel", "mc": 100, "kc": 256, "nc": 768})",
+      R"({"arch": "a", "kernel": "avx2", "shape": "panel", "mc": 192, "kc": 256, "nc": 100})",
+      // not an object
+      R"(42)",
+  };
+  for (const char* entry : bad_entries) {
+    const TuningTable t = parse_tuning(entry_doc(entry));
+    EXPECT_FALSE(t.loaded) << "accepted entry: " << entry;
+    EXPECT_FALSE(t.error.empty()) << "no diagnostic for entry: " << entry;
+  }
+}
+
+TEST(TuningParse, OneBadEntryRejectsTheWholeFile) {
+  const std::string doc = R"({"version": 1, "entries": [
+    {"arch": "a", "kernel": "avx2", "shape": "panel",
+     "mc": 192, "kc": 256, "nc": 768},
+    {"arch": "a", "kernel": "avx2", "shape": "panel",
+     "mc": 100, "kc": 256, "nc": 768}
+  ]})";
+  const TuningTable t = parse_tuning(doc);
+  EXPECT_FALSE(t.loaded);
+  EXPECT_TRUE(t.entries.empty());
+}
+
+TEST(TuningParse, RejectsOversizedInputs) {
+  // > 1 MiB of anything.
+  EXPECT_FALSE(parse_tuning(std::string(2 << 20, ' ')).loaded);
+  // Too many entries.
+  std::string many = "{\"version\": 1, \"entries\": [";
+  for (int i = 0; i < 257; ++i) {
+    if (i > 0) many += ",";
+    many += R"({"arch": "a", "kernel": "scalar", "shape": "tiny",
+                "mc": 192, "kc": 256, "nc": 768})";
+  }
+  many += "]}";
+  EXPECT_FALSE(parse_tuning(many).loaded);
+  // Over-long string field.
+  const std::string long_arch(100, 'x');
+  EXPECT_FALSE(parse_tuning("{\"version\": 1, \"entries\": [{\"arch\": \"" +
+                            long_arch +
+                            "\", \"kernel\": \"scalar\", \"shape\": "
+                            "\"tiny\", \"mc\": 192, \"kc\": 256, "
+                            "\"nc\": 768}]}")
+                   .loaded);
+  // Excessive nesting.
+  std::string deep = "{\"version\": 1, \"entries\": ";
+  for (int i = 0; i < 20; ++i) deep += "[";
+  EXPECT_FALSE(parse_tuning(deep).loaded);
+}
+
+TEST(TuningFind, LastEntryWinsAndArchFilters) {
+  TuningTable t = parse_tuning(R"({"version": 1, "entries": [
+    {"arch": "a", "kernel": "scalar", "shape": "square",
+     "mc": 96, "kc": 128, "nc": 384},
+    {"arch": "a", "kernel": "scalar", "shape": "square",
+     "mc": 192, "kc": 256, "nc": 768},
+    {"arch": "other-machine", "kernel": "scalar", "shape": "square",
+     "mc": 384, "kc": 384, "nc": 1536}
+  ]})");
+  ASSERT_TRUE(t.loaded) << t.error;
+  const TuningEntry* e = t.find("a", "scalar", "square");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->mc, 192);  // appended re-tune dominates
+  // Stale arch: valid entries for other machines are ignored at lookup.
+  EXPECT_EQ(t.find("b", "scalar", "square"), nullptr);
+  EXPECT_EQ(t.find("a", "scalar", "tall"), nullptr);
+  EXPECT_EQ(t.find("a", "avx2", "square"), nullptr);
+}
+
+TEST(TuningShapeClass, PartitionsProblems) {
+  EXPECT_EQ(blas::shape_class(64, 64, 64), "tiny");
+  EXPECT_EQ(blas::shape_class(65, 64, 64), "panel");  // k small, m not tiny
+  EXPECT_EQ(blas::shape_class(2048, 512, 48), "panel");
+  EXPECT_EQ(blas::shape_class(2048, 256, 256), "tall");
+  EXPECT_EQ(blas::shape_class(768, 768, 768), "square");
+  // Unknown dimensions (pack_a / pack_b) can never be "tiny" or "tall".
+  EXPECT_EQ(blas::shape_class(-1, 512, 48), "panel");
+  EXPECT_EQ(blas::shape_class(2048, -1, 256), "square");
+}
+
+TEST(TuningFile, MissingFileIsSilentDefaults) {
+  const TuningTable t =
+      blas::load_tuning_file("/nonexistent/dir/never/tuning.json");
+  EXPECT_FALSE(t.loaded);
+  EXPECT_TRUE(t.error.empty());  // missing is not an error
+  EXPECT_TRUE(t.entries.empty());
+}
+
+TEST(TuningFile, SaveLoadRoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "camult_tuning_roundtrip.json";
+  std::vector<TuningEntry> entries = {
+      {"x86-avx2", "avx2", "panel", 96, 128, 384},
+      {"other", "scalar", "square", 384, 384, 1536},
+  };
+  ASSERT_TRUE(blas::save_tuning_file(path, entries));
+  const TuningTable t = blas::load_tuning_file(path);
+  ASSERT_TRUE(t.loaded) << t.error;
+  ASSERT_EQ(t.entries.size(), 2u);
+  EXPECT_EQ(t.entries[0].kernel, "avx2");
+  EXPECT_EQ(t.entries[0].mc, 96);
+  EXPECT_EQ(t.entries[1].arch, "other");
+  EXPECT_EQ(t.entries[1].nc, 1536);
+  std::remove(path.c_str());
+}
+
+TEST(TuningFile, RejectedFileNeverChangesActiveBlocking) {
+  const std::string path = ::testing::TempDir() + "camult_tuning_bad.json";
+  {
+    std::ofstream out(path);
+    out << "{\"version\": 1, \"entries\": [{\"arch\": \"";
+  }  // truncated mid-write, like a crashed autotune
+  const GemmBlocking before = blas::active_blocking(768, 768, 768);
+  ::setenv("CAMULT_TUNE_FILE", path.c_str(), 1);
+  blas::reload_tuning();
+  EXPECT_FALSE(blas::tuning_table().loaded);
+  EXPECT_FALSE(blas::tuning_table().error.empty());
+  const GemmBlocking after = blas::active_blocking(768, 768, 768);
+  EXPECT_EQ(after.mc, before.mc);
+  EXPECT_EQ(after.kc, before.kc);
+  EXPECT_EQ(after.nc, before.nc);
+  ::unsetenv("CAMULT_TUNE_FILE");
+  blas::reload_tuning();
+  std::remove(path.c_str());
+}
+
+TEST(TuningFile, ReloadPicksUpTuneFileEndToEnd) {
+  // Write an entry for the ACTIVE kernel on THIS arch and check that
+  // active_blocking serves it — the full env -> loader -> dispatch path.
+  const blas::KernelInfo& kern = blas::active_kernel();
+  const std::string path = ::testing::TempDir() + "camult_tuning_e2e.json";
+  const GemmBlocking tuned{10 * kern.blocking.mr, 192, 20 * kern.blocking.nr,
+                           kern.blocking.mr, kern.blocking.nr};
+  ASSERT_TRUE(blas::save_tuning_file(
+      path, {{std::string(blas::arch_id()), kern.name, "square", tuned.mc,
+              tuned.kc, tuned.nc}}));
+  ::setenv("CAMULT_TUNE_FILE", path.c_str(), 1);
+  blas::reload_tuning();
+  ASSERT_TRUE(blas::tuning_table().loaded) << blas::tuning_table().error;
+
+  const GemmBlocking blk = blas::active_blocking(768, 768, 768);
+  EXPECT_EQ(blk.mc, tuned.mc);
+  EXPECT_EQ(blk.kc, tuned.kc);
+  EXPECT_EQ(blk.nc, tuned.nc);
+  EXPECT_EQ(blk.mr, kern.blocking.mr);
+  EXPECT_EQ(blk.nr, kern.blocking.nr);
+  // Other shape classes fall back to the kernel default.
+  const GemmBlocking panel = blas::active_blocking(2048, 512, 48);
+  EXPECT_EQ(panel.mc, kern.blocking.mc);
+
+  // A tuned blocking must change performance knobs only, never results:
+  // same bits as the default blocking on a real multiply.
+  const Matrix a = random_matrix(200, 96, 3001);
+  const Matrix b = random_matrix(96, 150, 3003);
+  const Matrix c0 = random_matrix(200, 150, 3005);
+  Matrix c_tuned = c0;
+  blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, 1.0, a.view(),
+             b.view(), 1.0, c_tuned.view());
+
+  ::unsetenv("CAMULT_TUNE_FILE");
+  blas::reload_tuning();
+  Matrix c_default = c0;
+  blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, 1.0, a.view(),
+             b.view(), 1.0, c_default.view());
+  // kc differs (192 vs default), so the k-split points differ and bitwise
+  // equality is NOT guaranteed; results must still agree to rounding.
+  EXPECT_TRUE(test::matrices_near(c_tuned.view(), c_default.view(), 1e-13));
+  std::remove(path.c_str());
+}
+
+TEST(TuningOverride, SetBlockingOverrideValidatesAndPins) {
+  const blas::KernelInfo& kern = blas::active_kernel();
+  const GemmBlocking good{4 * kern.blocking.mr, 64, 4 * kern.blocking.nr,
+                          kern.blocking.mr, kern.blocking.nr};
+  ASSERT_TRUE(blas::set_blocking_override(good));
+  const GemmBlocking blk = blas::active_blocking(768, 768, 768);
+  EXPECT_EQ(blk.mc, good.mc);
+  EXPECT_EQ(blk.kc, good.kc);
+  EXPECT_EQ(blk.nc, good.nc);
+  blas::clear_blocking_override();
+  const GemmBlocking after = blas::active_blocking(768, 768, 768);
+  EXPECT_EQ(after.mc, kern.blocking.mc);
+
+  // Invalid or tile-mismatched overrides are refused outright.
+  EXPECT_FALSE(blas::set_blocking_override(
+      {kern.blocking.mr + 1, 64, 4 * kern.blocking.nr, kern.blocking.mr,
+       kern.blocking.nr}));
+  EXPECT_FALSE(blas::set_blocking_override(
+      {4 * kern.blocking.mr, 0, 4 * kern.blocking.nr, kern.blocking.mr,
+       kern.blocking.nr}));
+  EXPECT_FALSE(blas::set_blocking_override(
+      {4 * (kern.blocking.mr + 1), 64, 4 * kern.blocking.nr,
+       kern.blocking.mr + 1, kern.blocking.nr}));
+}
+
+}  // namespace
+}  // namespace camult

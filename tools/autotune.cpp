@@ -1,0 +1,188 @@
+// autotune — sweep GEMM cache blocking (MC/KC/NC) per supported kernel and
+// shape class, and cache the winners in the tuning file active_blocking()
+// consults (see src/blas/tuning.hpp for the format and path resolution).
+//
+//   autotune [--out <path>] [--reps N] [--quick] [--dry-run]
+//
+// For every kernel this host can execute (cpuid, via the kernel registry)
+// and every shape class, a representative problem is timed under each
+// candidate blocking pinned with set_blocking_override(). Winners are
+// written last, so a re-tune appended to an existing file dominates via the
+// table's last-wins lookup. Entries for other machines (different arch-id)
+// already in the file are preserved.
+//
+// The tuning file is advice, not configuration: a bad sweep can cost speed
+// but can never change numerical results, and the loader rejects anything
+// malformed wholesale (falling back to built-in defaults).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "matrix/random.hpp"
+
+namespace {
+
+using namespace camult;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ShapeCase {
+  const char* shape;  ///< shape_class() name this problem falls in
+  idx m, n, k;
+};
+
+// One representative problem per shape class. Sizes are chosen so the
+// problem exceeds the small-gemm cutoff and actually exercises the blocked
+// path, while staying quick enough to sweep on one core.
+const ShapeCase kShapes[] = {
+    {"tiny", 64, 64, 64},
+    {"panel", 1536, 384, 48},
+    {"tall", 2048, 256, 256},
+    {"square", 768, 768, 768},
+};
+
+// Candidate grids. MC is rounded to the kernel's MR multiple, NC to NR.
+const idx kMcCandidates[] = {96, 192, 384};
+const idx kKcCandidates[] = {128, 256, 384};
+const idx kNcCandidates[] = {384, 768, 1536};
+
+idx round_up(idx v, idx step) { return ((v + step - 1) / step) * step; }
+
+double time_gemm(const Matrix& a, const Matrix& b, Matrix& c,
+                 const Matrix& c0, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    copy_into(c0.view(), c.view());
+    const double t0 = now_s();
+    blas::gemm(blas::Trans::NoTrans, blas::Trans::NoTrans, 1.0, a.view(),
+               b.view(), 1.0, c.view());
+    best = std::min(best, now_s() - t0);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace camult;
+
+  std::string out_path;
+  int reps = 3;
+  bool quick = false;
+  bool dry_run = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--dry-run") {
+      dry_run = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: autotune [--out <path>] [--reps N] [--quick] "
+                   "[--dry-run]\n");
+      return 2;
+    }
+  }
+  if (out_path.empty()) out_path = blas::tuning_file_path();
+  if (out_path.empty() && !dry_run) {
+    std::fprintf(stderr,
+                 "autotune: no output path (set CAMULT_TUNE_FILE or HOME, "
+                 "or pass --out)\n");
+    return 2;
+  }
+
+  const std::string arch(blas::arch_id());
+  std::printf("autotune: arch %s, %d rep%s per candidate%s\n", arch.c_str(),
+              reps, reps == 1 ? "" : "s", quick ? " (quick grid)" : "");
+
+  // Keep other machines' entries; drop this arch's (they are re-derived).
+  std::vector<blas::TuningEntry> keep;
+  const blas::TuningTable prior = blas::load_tuning_file(out_path);
+  for (const blas::TuningEntry& e : prior.entries) {
+    if (e.arch != arch) keep.push_back(e);
+  }
+  if (!prior.error.empty()) {
+    std::fprintf(stderr, "autotune: ignoring existing file: %s\n",
+                 prior.error.c_str());
+  }
+
+  std::vector<blas::TuningEntry> winners;
+  for (const blas::KernelInfo& ki : blas::kernel_registry()) {
+    if (!ki.supported) continue;
+    if (!blas::set_active_kernel(ki.name)) continue;
+    const idx mr = ki.blocking.mr;
+    const idx nr = ki.blocking.nr;
+
+    for (const ShapeCase& sc : kShapes) {
+      const Matrix a = random_matrix(sc.m, sc.k, 11);
+      const Matrix b = random_matrix(sc.k, sc.n, 13);
+      const Matrix c0 = random_matrix(sc.m, sc.n, 17);
+      Matrix c(sc.m, sc.n);
+
+      blas::GemmBlocking best_blk = ki.blocking;
+      double best_s = 1e300;
+      for (idx mc : kMcCandidates) {
+        for (idx kc : kKcCandidates) {
+          for (idx nc : kNcCandidates) {
+            if (quick && (kc != 256 && nc != 768)) continue;
+            blas::GemmBlocking blk{round_up(mc, mr), kc, round_up(nc, nr),
+                                   mr, nr};
+            if (!blas::set_blocking_override(blk)) continue;
+            const double s = time_gemm(a, b, c, c0, reps);
+            if (s < best_s) {
+              best_s = s;
+              best_blk = blk;
+            }
+          }
+        }
+      }
+      blas::clear_blocking_override();
+
+      const double gflops = 2.0 * static_cast<double>(sc.m) *
+                            static_cast<double>(sc.n) *
+                            static_cast<double>(sc.k) / best_s * 1e-9;
+      std::printf("  %-7s %-6s mc=%-4lld kc=%-4lld nc=%-5lld  %7.2f GF/s\n",
+                  ki.name, sc.shape, static_cast<long long>(best_blk.mc),
+                  static_cast<long long>(best_blk.kc),
+                  static_cast<long long>(best_blk.nc), gflops);
+      winners.push_back({arch, ki.name, sc.shape, best_blk.mc, best_blk.kc,
+                         best_blk.nc});
+    }
+  }
+  blas::set_active_kernel("");  // restore cpuid dispatch
+
+  if (dry_run) {
+    std::printf("autotune: dry run, not writing\n");
+    return 0;
+  }
+  std::vector<blas::TuningEntry> all = keep;
+  all.insert(all.end(), winners.begin(), winners.end());
+  if (!blas::save_tuning_file(out_path, all)) {
+    std::fprintf(stderr, "autotune: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("autotune: wrote %zu entr%s to %s\n", all.size(),
+              all.size() == 1 ? "y" : "ies", out_path.c_str());
+
+  // Round-trip through the hardened loader so a bug here surfaces now, not
+  // silently at the next process start.
+  const blas::TuningTable check = blas::load_tuning_file(out_path);
+  if (!check.loaded) {
+    std::fprintf(stderr, "autotune: wrote a file the loader rejects: %s\n",
+                 check.error.c_str());
+    return 1;
+  }
+  return 0;
+}

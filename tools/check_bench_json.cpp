@@ -80,15 +80,19 @@ void check_row(const std::string& file, const JsonValue& row,
                                    "gflops",  "tasks", "edges",
                                    "steals",  "idle_fraction",
                                    "critical_path_s", "total_work_s",
-                                   "health_max_growth", "fallback_panels"};
+                                   "health_max_growth", "fallback_panels",
+                                   "flops_per_byte",
+                                   "mc", "kc", "nc", "mr", "nr"};
   for (const char* key : kNumeric) {
     if (const JsonValue* v = row.find(key); v != nullptr && !v->is_number()) {
       fail(file, where + "." + key + " is not a number");
     }
   }
-  if (const JsonValue* v = row.find("competitor");
-      v != nullptr && !v->is_string()) {
-    fail(file, where + ".competitor is not a string");
+  static const char* kText[] = {"competitor", "kernel", "arch"};
+  for (const char* key : kText) {
+    if (const JsonValue* v = row.find(key); v != nullptr && !v->is_string()) {
+      fail(file, where + "." + key + " is not a string");
+    }
   }
   if (const JsonValue* v = row.find("nan_detected");
       v != nullptr && !v->is_bool()) {
