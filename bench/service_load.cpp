@@ -1,0 +1,270 @@
+// service_load.cpp — open-loop load test of the svc job service.
+//
+// An open-loop (Poisson arrival) generator is the honest way to measure a
+// service: a closed loop slows its own arrival rate down exactly when the
+// server is struggling, hiding the queueing collapse this bench exists to
+// show. Here arrivals are scheduled from a seeded exponential clock and
+// submitted regardless of how far behind the service is.
+//
+// Protocol: first a short calibration burst measures the service's drain
+// throughput; then two timed phases run the same mixed traffic —
+//
+//   unloaded — arrivals at ~50% of calibrated capacity
+//   overload — arrivals at ~200% of capacity (the acceptance regime: only
+//              the lowest QoS class may be shed, and the interactive p99
+//              must stay within a small factor of its unloaded p99)
+//
+// Traffic mixes tall-skinny CAQR jobs (TSQR's home turf) with square CALU
+// jobs across three QoS classes / tenants: interactive (20%), normal (40%),
+// batch (40%). Per phase and class the report emits jobs, completed, shed,
+// rejected, p50/p99 total latency, and completed-jobs/sec — typed rows in
+// BENCH_service_load.json (validated by tools/check_bench_json).
+//
+// Env knobs: CAMULT_BENCH_SVC_JOBS (arrivals per phase, default 120),
+// CAMULT_BENCH_SVC_THREADS (pool size), CAMULT_BENCH_SVC_QUEUE (admission
+// bound, default 16), CAMULT_BENCH_SEED, CAMULT_BENCH_DEADLINE_MS (per-job
+// deadline for interactive traffic, default 0 = none).
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "matrix/random.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace camult;
+using Clock = std::chrono::steady_clock;
+
+struct InflightJob {
+  Matrix storage;
+  svc::JobHandle handle;
+  svc::QosClass qos;
+  bool accepted = false;
+};
+
+struct ClassTally {
+  long long jobs = 0;
+  long long completed = 0;
+  long long shed = 0;
+  long long rejected = 0;
+  long long cancelled = 0;
+  std::vector<double> latency_ms;  ///< total_ms of completed jobs
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+/// One traffic sample: QoS class, tenant, and problem shape/kind, drawn
+/// from the mix the header documents.
+svc::JobRequest draw_request(std::mt19937& rng, const Matrix& tall,
+                             const Matrix& square, Matrix* storage,
+                             std::chrono::milliseconds deadline) {
+  svc::JobRequest req;
+  const double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+  if (u < 0.2) {
+    req.qos = svc::QosClass::Interactive;
+    req.tenant = "tenant-interactive";
+    if (deadline.count() > 0) req.deadline = deadline;
+  } else if (u < 0.6) {
+    req.qos = svc::QosClass::Normal;
+    req.tenant = "tenant-normal";
+  } else {
+    req.qos = svc::QosClass::Batch;
+    req.tenant = "tenant-batch";
+  }
+  const bool tall_skinny =
+      std::uniform_real_distribution<double>(0.0, 1.0)(rng) < 0.5;
+  if (tall_skinny) {
+    *storage = tall;  // copy; the service factors it in place
+    req.kind = svc::JobKind::CaqrFactor;
+    req.b = 16;
+    req.tr = 4;
+  } else {
+    *storage = square;
+    req.kind = svc::JobKind::CaluFactor;
+    req.b = 32;
+    req.tr = 2;
+  }
+  req.a = storage->view();
+  return req;
+}
+
+struct PhaseResult {
+  double elapsed_s = 0.0;
+  std::array<ClassTally, svc::kQosClasses> per_class;
+};
+
+/// Run one open-loop phase: `jobs` arrivals at `rate_hz`, then drain.
+PhaseResult run_phase(svc::Service& service, int jobs, double rate_hz,
+                      std::uint32_t seed, const Matrix& tall,
+                      const Matrix& square,
+                      std::chrono::milliseconds deadline) {
+  std::mt19937 rng(seed);
+  std::exponential_distribution<double> gap(rate_hz);
+  std::vector<std::unique_ptr<InflightJob>> inflight;
+  inflight.reserve(static_cast<std::size_t>(jobs));
+
+  const Clock::time_point t0 = Clock::now();
+  Clock::time_point next_arrival = t0;
+  for (int i = 0; i < jobs; ++i) {
+    std::this_thread::sleep_until(next_arrival);
+    next_arrival += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(gap(rng)));
+    auto job = std::make_unique<InflightJob>();
+    const svc::JobRequest req =
+        draw_request(rng, tall, square, &job->storage, deadline);
+    job->qos = req.qos;
+    const svc::Service::Admission adm = service.submit(req);
+    job->handle = adm.handle;
+    job->accepted = adm.accepted;
+    inflight.push_back(std::move(job));
+  }
+  service.drain();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  PhaseResult res;
+  res.elapsed_s = elapsed;
+  for (const auto& job : inflight) {
+    ClassTally& c = res.per_class[static_cast<std::size_t>(job->qos)];
+    ++c.jobs;
+    const svc::JobOutcome& out = job->handle.wait();
+    switch (out.status) {
+      case svc::JobStatus::Completed:
+        ++c.completed;
+        c.latency_ms.push_back(out.total_ms);
+        break;
+      case svc::JobStatus::ShedQueueFull:
+      case svc::JobStatus::ShedDeadline:
+        ++c.shed;
+        break;
+      case svc::JobStatus::Rejected:
+        ++c.rejected;
+        break;
+      default:
+        ++c.cancelled;
+        break;
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  const int jobs =
+      static_cast<int>(bench::env_idx("CAMULT_BENCH_SVC_JOBS", 120));
+  const int threads = static_cast<int>(bench::env_idx(
+      "CAMULT_BENCH_SVC_THREADS", rt::default_num_threads()));
+  const auto queue_cap =
+      static_cast<std::size_t>(bench::env_idx("CAMULT_BENCH_SVC_QUEUE", 16));
+  const auto seed =
+      static_cast<std::uint32_t>(bench::env_idx("CAMULT_BENCH_SEED", 42));
+  const std::chrono::milliseconds deadline(
+      bench::env_idx("CAMULT_BENCH_DEADLINE_MS", 0));
+
+  const Matrix tall = random_matrix(384, 48, 11);
+  const Matrix square = random_matrix(128, 128, 12);
+
+  svc::ServiceConfig cfg;
+  cfg.num_threads = threads;
+  cfg.max_inflight = 2;
+  cfg.max_queue = queue_cap;
+  svc::Service service(cfg);
+
+  // Warm up (thread-local slab pools, first-touch paging), then calibrate:
+  // submit a burst with no pacing and measure drain throughput. The burst
+  // is capped at the queue bound so calibration itself never sheds.
+  (void)run_phase(service, 4, 1e6, seed, tall, square, deadline);
+  const int calib_jobs =
+      static_cast<int>(std::min<std::size_t>(queue_cap, 12));
+  const PhaseResult calib = run_phase(service, calib_jobs, 1e6, seed + 1,
+                                      tall, square, deadline);
+  double capacity_hz =
+      static_cast<double>(calib_jobs) / std::max(calib.elapsed_s, 1e-6);
+  capacity_hz = std::max(capacity_hz, 1.0);
+  std::printf(
+      "service_load: %d threads, queue %zu, calibrated capacity %.1f "
+      "jobs/s\n",
+      threads, queue_cap, capacity_hz);
+
+  struct Phase {
+    const char* name;
+    double rate_hz;
+    PhaseResult res;
+  };
+  std::vector<Phase> phases;
+  phases.push_back({"unloaded", 0.5 * capacity_hz, {}});
+  phases.push_back({"overload", 2.0 * capacity_hz, {}});
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    phases[p].res =
+        run_phase(service, jobs, phases[p].rate_hz,
+                  seed + 10 * static_cast<std::uint32_t>(p + 1), tall,
+                  square, deadline);
+  }
+
+  bench::Table t({"phase", "qos", "jobs", "completed", "shed", "rejected",
+                  "p50 ms", "p99 ms", "jobs/s"});
+  bench::JsonReport rep("service_load", threads, "real");
+  for (Phase& ph : phases) {
+    for (int c = svc::kQosClasses - 1; c >= 0; --c) {
+      ClassTally& tally = ph.res.per_class[static_cast<std::size_t>(c)];
+      const double p50 = percentile(tally.latency_ms, 0.50);
+      const double p99 = percentile(tally.latency_ms, 0.99);
+      const double rate = static_cast<double>(tally.completed) /
+                          std::max(ph.res.elapsed_s, 1e-6);
+      const char* qos = svc::qos_name(static_cast<svc::QosClass>(c));
+      t.row().cell(ph.name).cell(qos);
+      t.cell(tally.jobs).cell(tally.completed).cell(tally.shed);
+      t.cell(tally.rejected).cell(p50).cell(p99).cell(rate);
+      bench::JsonValue& row = rep.new_row();
+      row.set("competitor", bench::JsonValue::make_string(
+                                std::string(ph.name) + "/" + qos));
+      row.set("phase", bench::JsonValue::make_string(ph.name));
+      row.set("qos", bench::JsonValue::make_string(qos));
+      row.set("cores", bench::JsonValue::make_number(threads));
+      row.set("jobs", bench::JsonValue::make_number(
+                          static_cast<double>(tally.jobs)));
+      row.set("completed", bench::JsonValue::make_number(
+                               static_cast<double>(tally.completed)));
+      row.set("shed", bench::JsonValue::make_number(
+                          static_cast<double>(tally.shed)));
+      row.set("rejected", bench::JsonValue::make_number(
+                              static_cast<double>(tally.rejected)));
+      row.set("p50_ms", bench::JsonValue::make_number(p50));
+      row.set("p99_ms", bench::JsonValue::make_number(p99));
+      row.set("jobs_per_sec", bench::JsonValue::make_number(rate));
+    }
+  }
+  t.print("Service under open-loop load", bench::csv_path("service_load"));
+  rep.write();
+
+  // The acceptance properties, reported (and checked in tests/test_svc):
+  // shed stays in the bottom class and the premium p99 stays bounded.
+  auto& un = phases[0].res.per_class;
+  auto& ov = phases[1].res.per_class;
+  const long long upper_shed =
+      ov[1].shed + ov[2].shed + un[1].shed + un[2].shed;
+  std::printf("\noverload shed: batch %lld, above-batch %lld\n",
+              ov[0].shed + ov[0].rejected, upper_shed);
+  if (!un[2].latency_ms.empty() && !ov[2].latency_ms.empty()) {
+    std::printf("interactive p99: unloaded %.1f ms, overload %.1f ms\n",
+                percentile(un[2].latency_ms, 0.99),
+                percentile(ov[2].latency_ms, 0.99));
+  }
+  const svc::ServiceStats st = service.stats();
+  std::printf("queue drained: %zu queued, %d inflight at exit\n", st.queued,
+              st.inflight);
+  return st.queued == 0 && st.inflight == 0 ? 0 : 1;
+}

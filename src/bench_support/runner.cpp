@@ -1,6 +1,9 @@
 #include "bench_support/runner.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -8,6 +11,22 @@
 #include "runtime/trace.hpp"
 
 namespace camult::bench {
+
+namespace {
+
+/// Strict integer parse (same contract as the CLI's parse_num): the whole
+/// token must be a decimal integer within idx range. Returns whether the
+/// parse succeeded; *out is untouched on failure.
+bool parse_idx_strict(const char* s, idx* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = static_cast<idx>(v);
+  return true;
+}
+
+}  // namespace
 
 bool real_mode() {
   const char* v = std::getenv("CAMULT_BENCH_REAL");
@@ -26,7 +45,8 @@ Measurement measure(const std::function<RunArtifacts(int)>& run, double flops,
     m.sched = std::move(art.sched);
     if (!art.trace.empty()) {
       m.idle_fraction =
-          rt::compute_stats(art.trace, cores).idle_fraction;
+          std::clamp(rt::compute_stats(art.trace, cores).idle_fraction, 0.0,
+                     1.0);
     }
     return m;
   }
@@ -37,8 +57,14 @@ Measurement measure(const std::function<RunArtifacts(int)>& run, double flops,
   m.total_work_s = static_cast<double>(sr.total_work_ns) * 1e-9;
   m.gflops = gflops(flops, m.seconds);
   if (sr.makespan_ns > 0 && cores > 0) {
-    m.idle_fraction = 1.0 - static_cast<double>(sr.total_work_ns) /
-                                (static_cast<double>(sr.makespan_ns) * cores);
+    // Clamp: simulated timestamps are rounded to whole ns, so total_work can
+    // exceed makespan * cores by rounding (idle < 0) and a trace whose work
+    // rounds to 0 would report idle > 1. A zero makespan (empty or all-zero
+    // trace) leaves the fraction at its 0 default rather than dividing by 0.
+    m.idle_fraction = std::clamp(
+        1.0 - static_cast<double>(sr.total_work_ns) /
+                  (static_cast<double>(sr.makespan_ns) * cores),
+        0.0, 1.0);
   }
   m.schedule = std::move(sr.schedule);
   m.sched = std::move(art.sched);
@@ -48,7 +74,15 @@ Measurement measure(const std::function<RunArtifacts(int)>& run, double flops,
 idx env_idx(const char* name, idx fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
-  return static_cast<idx>(std::strtoll(v, nullptr, 10));
+  idx parsed = 0;
+  if (!parse_idx_strict(v, &parsed)) {
+    // A silently half-parsed knob ("8x" -> 8, "abc" -> 0) benchmarks the
+    // wrong problem; warn and keep the documented default instead.
+    std::fprintf(stderr, "camult-bench: ignoring %s='%s' (not an integer)\n",
+                 name, v);
+    return fallback;
+  }
+  return parsed;
 }
 
 std::vector<idx> env_idx_list(const char* name,
@@ -59,7 +93,17 @@ std::vector<idx> env_idx_list(const char* name,
   std::stringstream ss(v);
   std::string tok;
   while (std::getline(ss, tok, ',')) {
-    if (!tok.empty()) out.push_back(static_cast<idx>(std::stoll(tok)));
+    if (tok.empty()) continue;
+    idx parsed = 0;
+    if (!parse_idx_strict(tok.c_str(), &parsed)) {
+      // One bad token invalidates the whole list: a sweep over a partially
+      // parsed size set would mislabel every downstream row.
+      std::fprintf(stderr,
+                   "camult-bench: ignoring %s='%s' (bad token '%s')\n", name,
+                   v, tok.c_str());
+      return fallback;
+    }
+    out.push_back(parsed);
   }
   return out.empty() ? fallback : out;
 }

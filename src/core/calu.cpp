@@ -3,6 +3,7 @@
 #include <cassert>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "blas/blas.hpp"
@@ -15,7 +16,10 @@
 #include "runtime/dep_tracker.hpp"
 
 namespace camult::core {
-namespace {
+// Named (not anonymous) so CaluAsync::Impl — whose type is declared in the
+// public header — can hold a CaluJob without giving an external-linkage
+// class an internal-linkage member.
+namespace calu_impl {
 
 using rt::AccessMode;
 using rt::BlockAccess;
@@ -128,6 +132,7 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
   auto add_task = [&](const std::vector<BlockAccess>& acc,
                       rt::TaskOptions topts,
                       std::function<void()> fn) -> TaskId {
+    topts.priority = biased_priority(topts.priority, opts.priority_bias);
     const std::vector<TaskId> deps = tracker.depends(next_id, acc);
     const TaskId id = graph.submit(deps, std::move(topts), std::move(fn));
     assert(id == next_id);
@@ -529,22 +534,72 @@ CaluResult calu_collect(CaluJob& job, bool record_trace,
   return std::move(job.result);
 }
 
-}  // namespace
+}  // namespace calu_impl
+
+using calu_impl::CaluJob;
+
+struct CaluAsync::Impl {
+  CaluJob job;
+  bool record_trace = true;
+  rt::SchedulerStats* sched_out = nullptr;
+};
+
+CaluAsync::CaluAsync(MatrixView a, const CaluOptions& opts)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->record_trace = opts.record_trace;
+  impl_->sched_out = opts.sched_out;
+  calu_impl::calu_submit(a, opts, impl_->job);
+}
+
+// CaluJob's graph member drains and detaches in its destructor, so dropping
+// an uncollected handle cannot wedge an attached pool.
+CaluAsync::~CaluAsync() = default;
+CaluAsync::CaluAsync(CaluAsync&&) noexcept = default;
+CaluAsync& CaluAsync::operator=(CaluAsync&&) noexcept = default;
+
+CaluResult CaluAsync::collect() {
+  if (impl_ == nullptr) {
+    throw std::logic_error("CaluAsync::collect called twice");
+  }
+  const std::unique_ptr<Impl> impl = std::move(impl_);
+  return calu_impl::calu_collect(impl->job, impl->record_trace,
+                                 impl->sched_out);
+}
 
 CaluResult calu_factor(MatrixView a, const CaluOptions& opts) {
   CaluJob job;
-  calu_submit(a, opts, job);
-  return calu_collect(job, opts.record_trace, opts.sched_out);
+  calu_impl::calu_submit(a, opts, job);
+  return calu_impl::calu_collect(job, opts.record_trace, opts.sched_out);
 }
 
 std::vector<CaluResult> calu_factor_batch(const std::vector<MatrixView>& as,
                                           const CaluOptions& opts) {
   std::vector<CaluResult> out;
   out.reserve(as.size());
+  // Each job gets its own sched slot so even a cancelled result carries its
+  // run's real skip accounting (the svc layer bills tenants from it). A
+  // caller-supplied sched_out keeps the single-problem semantics: it ends
+  // up holding the last job's counters.
+  std::vector<rt::SchedulerStats> scheds(as.size());
   // Inline mode executes tasks at submit time on this thread; batching
-  // would just interleave serial work. Keep it one problem at a time.
+  // would just interleave serial work. Keep it one problem at a time. A
+  // fired cancel token yields per-job cancelled results (completed prefix
+  // intact) instead of throwing the whole batch away; task errors still
+  // propagate.
   if (opts.num_threads == 0 || as.size() <= 1) {
-    for (MatrixView a : as) out.push_back(calu_factor(a, opts));
+    for (std::size_t i = 0; i < as.size(); ++i) {
+      CaluOptions jopts = opts;
+      jopts.sched_out = &scheds[i];
+      try {
+        out.push_back(calu_factor(as[i], jopts));
+      } catch (const rt::CancelledError&) {
+        CaluResult r;
+        r.cancelled = true;
+        r.sched = scheds[i];
+        out.push_back(std::move(r));
+      }
+      if (opts.sched_out != nullptr) *opts.sched_out = scheds[i];
+    }
     return out;
   }
   rt::WorkerPool* pool = opts.pool;
@@ -554,18 +609,26 @@ std::vector<CaluResult> calu_factor_batch(const std::vector<MatrixView>& as,
         rt::WorkerPoolConfig{opts.num_threads, false});
     pool = owned.get();
   }
-  CaluOptions batch_opts = opts;
-  batch_opts.pool = pool;
   // Submit every DAG before collecting any: the pool's workers rotate
   // between the attached graphs, so the whole batch runs concurrently.
-  std::vector<std::unique_ptr<CaluJob>> jobs;
+  std::vector<CaluAsync> jobs;
   jobs.reserve(as.size());
-  for (MatrixView a : as) {
-    jobs.push_back(std::make_unique<CaluJob>());
-    calu_submit(a, batch_opts, *jobs.back());
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    CaluOptions jopts = opts;
+    jopts.pool = pool;
+    jopts.sched_out = &scheds[i];
+    jobs.emplace_back(as[i], jopts);
   }
-  for (auto& job : jobs) {
-    out.push_back(calu_collect(*job, opts.record_trace, opts.sched_out));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    try {
+      out.push_back(jobs[i].collect());
+    } catch (const rt::CancelledError&) {
+      CaluResult r;
+      r.cancelled = true;
+      r.sched = scheds[i];
+      out.push_back(std::move(r));
+    }
+    if (opts.sched_out != nullptr) *opts.sched_out = scheds[i];
   }
   return out;
 }

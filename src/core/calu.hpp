@@ -12,6 +12,7 @@
 // tasks at the end, exactly as in the paper (Algorithm 1, line 41).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/options.hpp"
@@ -25,6 +26,11 @@ namespace camult::core {
 struct CaluOptions {
   idx b = 100;         ///< panel width (block size)
   idx tr = 4;          ///< panel task count T_r
+  /// Constant added to every task priority (saturating). The service layer
+  /// (svc::Service) uses it to layer a job's whole look-ahead band structure
+  /// into the QoS band of its client class; 0 keeps the plain lookahead.hpp
+  /// bands. See LookaheadPriorities::biased.
+  int priority_bias = 0;
   ReductionTree tree = ReductionTree::Binary;
   /// GEPP kernel inside the tournament (see TsluOptions::leaf_kernel).
   lapack::LuPanelKernel leaf_kernel = lapack::LuPanelKernel::Recursive;
@@ -78,6 +84,11 @@ struct CaluResult {
   PivotVector ipiv;
   /// 0, or 1-based index of the first exactly-zero pivot.
   idx info = 0;
+  /// The run was cancelled (CaluOptions::cancel fired) before it finished.
+  /// Only ever set on results returned by calu_factor_batch — the single-
+  /// problem calu_factor keeps throwing rt::CancelledError. A cancelled
+  /// result carries valid sched counters but no usable factorization.
+  bool cancelled = false;
   /// Executed task trace and DAG edges (for Gantt rendering and the
   /// simulated-multicore replayer). Empty if record_trace is false.
   std::vector<rt::TaskRecord> trace;
@@ -91,6 +102,33 @@ struct CaluResult {
 
 /// Factor A = P L U in place (same storage convention as getrf).
 CaluResult calu_factor(MatrixView a, const CaluOptions& opts = {});
+
+/// An in-flight CALU factorization: the constructor builds the full task DAG
+/// and submits it (returning immediately in pool/real-thread mode; inline
+/// mode runs everything in the constructor), collect() blocks for the result.
+/// This is the submit/collect split the batch driver and the svc job service
+/// are built on — submit many, overlap their execution on one WorkerPool,
+/// collect in any order.
+///
+/// The matrix storage must stay alive and untouched until collect() (or
+/// destruction); destruction without collect() drains the graph and discards
+/// the result. Not thread-safe; movable, not copyable. collect() may throw
+/// exactly like calu_factor (task error, rt::CancelledError) and must be
+/// called at most once.
+class CaluAsync {
+ public:
+  CaluAsync(MatrixView a, const CaluOptions& opts);
+  ~CaluAsync();
+  CaluAsync(CaluAsync&&) noexcept;
+  CaluAsync& operator=(CaluAsync&&) noexcept;
+
+  CaluResult collect();
+  bool collected() const { return impl_ == nullptr; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Factor every matrix in `as` (each in place, independent problems). All
 /// DAGs are submitted up front to ONE WorkerPool — opts.pool if set, else a

@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "core/lookahead.hpp"
@@ -14,7 +15,10 @@
 #include "runtime/dep_tracker.hpp"
 
 namespace camult::core {
-namespace {
+// Named (not anonymous) so CaqrAsync::Impl — whose type is declared in the
+// public header — can hold a CaqrJob without giving an external-linkage
+// class an internal-linkage member.
+namespace caqr_impl {
 
 using rt::AccessMode;
 using rt::BlockAccess;
@@ -120,6 +124,7 @@ void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
   auto add_task = [&](const std::vector<BlockAccess>& acc,
                       rt::TaskOptions topts,
                       std::function<void()> fn) -> TaskId {
+    topts.priority = biased_priority(topts.priority, opts.priority_bias);
     const std::vector<TaskId> deps = tracker.depends(next_id, acc);
     const TaskId id = graph.submit(deps, std::move(topts), std::move(fn));
     assert(id == next_id);
@@ -431,20 +436,66 @@ CaqrResult caqr_collect(CaqrJob& job, bool record_trace,
   return std::move(job.result);
 }
 
-}  // namespace
+}  // namespace caqr_impl
+
+using caqr_impl::CaqrJob;
+
+struct CaqrAsync::Impl {
+  CaqrJob job;
+  bool record_trace = true;
+  rt::SchedulerStats* sched_out = nullptr;
+};
+
+CaqrAsync::CaqrAsync(MatrixView a, const CaqrOptions& opts)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->record_trace = opts.record_trace;
+  impl_->sched_out = opts.sched_out;
+  caqr_impl::caqr_submit(a, opts, impl_->job);
+}
+
+// CaqrJob's graph member drains and detaches in its destructor, so dropping
+// an uncollected handle cannot wedge an attached pool.
+CaqrAsync::~CaqrAsync() = default;
+CaqrAsync::CaqrAsync(CaqrAsync&&) noexcept = default;
+CaqrAsync& CaqrAsync::operator=(CaqrAsync&&) noexcept = default;
+
+CaqrResult CaqrAsync::collect() {
+  if (impl_ == nullptr) {
+    throw std::logic_error("CaqrAsync::collect called twice");
+  }
+  const std::unique_ptr<Impl> impl = std::move(impl_);
+  return caqr_impl::caqr_collect(impl->job, impl->record_trace,
+                                 impl->sched_out);
+}
 
 CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts) {
   CaqrJob job;
-  caqr_submit(a, opts, job);
-  return caqr_collect(job, opts.record_trace, opts.sched_out);
+  caqr_impl::caqr_submit(a, opts, job);
+  return caqr_impl::caqr_collect(job, opts.record_trace, opts.sched_out);
 }
 
 std::vector<CaqrResult> caqr_factor_batch(const std::vector<MatrixView>& as,
                                           const CaqrOptions& opts) {
   std::vector<CaqrResult> out;
   out.reserve(as.size());
+  // See calu_factor_batch: cancellation yields per-job cancelled results
+  // (completed prefix intact) carrying their run's real skip accounting;
+  // task errors still propagate.
+  std::vector<rt::SchedulerStats> scheds(as.size());
   if (opts.num_threads == 0 || as.size() <= 1) {
-    for (MatrixView a : as) out.push_back(caqr_factor(a, opts));
+    for (std::size_t i = 0; i < as.size(); ++i) {
+      CaqrOptions jopts = opts;
+      jopts.sched_out = &scheds[i];
+      try {
+        out.push_back(caqr_factor(as[i], jopts));
+      } catch (const rt::CancelledError&) {
+        CaqrResult r;
+        r.cancelled = true;
+        r.sched = scheds[i];
+        out.push_back(std::move(r));
+      }
+      if (opts.sched_out != nullptr) *opts.sched_out = scheds[i];
+    }
     return out;
   }
   rt::WorkerPool* pool = opts.pool;
@@ -454,18 +505,26 @@ std::vector<CaqrResult> caqr_factor_batch(const std::vector<MatrixView>& as,
         rt::WorkerPoolConfig{opts.num_threads, false});
     pool = owned.get();
   }
-  CaqrOptions batch_opts = opts;
-  batch_opts.pool = pool;
   // Submit every DAG before collecting any: the pool's workers rotate
   // between the attached graphs, so the whole batch runs concurrently.
-  std::vector<std::unique_ptr<CaqrJob>> jobs;
+  std::vector<CaqrAsync> jobs;
   jobs.reserve(as.size());
-  for (MatrixView a : as) {
-    jobs.push_back(std::make_unique<CaqrJob>());
-    caqr_submit(a, batch_opts, *jobs.back());
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    CaqrOptions jopts = opts;
+    jopts.pool = pool;
+    jopts.sched_out = &scheds[i];
+    jobs.emplace_back(as[i], jopts);
   }
-  for (auto& job : jobs) {
-    out.push_back(caqr_collect(*job, opts.record_trace, opts.sched_out));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    try {
+      out.push_back(jobs[i].collect());
+    } catch (const rt::CancelledError&) {
+      CaqrResult r;
+      r.cancelled = true;
+      r.sched = scheds[i];
+      out.push_back(std::move(r));
+    }
+    if (opts.sched_out != nullptr) *opts.sched_out = scheds[i];
   }
   return out;
 }

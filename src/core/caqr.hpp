@@ -11,6 +11,7 @@
 // replays them.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/options.hpp"
@@ -23,6 +24,9 @@ namespace camult::core {
 struct CaqrOptions {
   idx b = 100;         ///< panel width (block size)
   idx tr = 4;          ///< panel task count T_r
+  /// Constant added to every task priority (saturating); the svc layer maps
+  /// QoS classes onto priority bands with it. See CaluOptions::priority_bias.
+  int priority_bias = 0;
   ReductionTree tree = ReductionTree::Flat;  ///< paper's preferred CAQR tree
   /// Worker threads; 0 = inline serial (record mode). Defaults to the
   /// hardware concurrency clamped to [1, 32] — see rt::default_num_threads.
@@ -70,6 +74,10 @@ struct CaqrIterationFactors {
 struct CaqrResult {
   idx m = 0;
   idx n = 0;
+  /// The run was cancelled before it finished. Only ever set on results
+  /// returned by caqr_factor_batch (see CaluResult::cancelled); the single-
+  /// problem caqr_factor keeps throwing rt::CancelledError.
+  bool cancelled = false;
   std::vector<CaqrIterationFactors> iterations;
   std::vector<rt::TaskRecord> trace;
   std::vector<rt::TaskGraph::Edge> edges;
@@ -83,6 +91,26 @@ struct CaqrResult {
 /// Factor A = Q R in place: on exit the upper triangle holds R; the rest
 /// holds leaf reflector tails referenced by the returned factors.
 CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts = {});
+
+/// An in-flight CAQR factorization — the submit/collect split the batch
+/// driver and the svc job service are built on. Same contract as CaluAsync:
+/// the constructor submits the whole DAG (inline mode completes in the
+/// constructor), collect() blocks for the result and may throw exactly like
+/// caqr_factor; destruction without collect() drains and discards.
+class CaqrAsync {
+ public:
+  CaqrAsync(MatrixView a, const CaqrOptions& opts);
+  ~CaqrAsync();
+  CaqrAsync(CaqrAsync&&) noexcept;
+  CaqrAsync& operator=(CaqrAsync&&) noexcept;
+
+  CaqrResult collect();
+  bool collected() const { return impl_ == nullptr; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Factor every matrix in `as` (each in place, independent problems),
 /// submitting all DAGs up front to one WorkerPool — opts.pool if set, else

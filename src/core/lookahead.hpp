@@ -28,6 +28,23 @@
 
 namespace camult::core {
 
+/// Saturating priority shift. The svc job service layers a whole job's
+/// look-ahead bands into its QoS class band by adding a per-class constant
+/// to every task priority (CaluOptions/CaqrOptions::priority_bias); the sum
+/// clamps at the int range instead of wrapping, so a pathological bias can
+/// reorder but never scramble band arithmetic.
+inline int biased_priority(int priority, int bias) {
+  const long long v =
+      static_cast<long long>(priority) + static_cast<long long>(bias);
+  if (v > std::numeric_limits<int>::max()) {
+    return std::numeric_limits<int>::max();
+  }
+  if (v < std::numeric_limits<int>::min()) {
+    return std::numeric_limits<int>::min();
+  }
+  return static_cast<int>(v);
+}
+
 struct LookaheadPriorities {
   idx n_panels = 0;
   idx n_blocks = 0;  ///< column blocks: j ranges over [0, n_blocks)

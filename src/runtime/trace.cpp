@@ -20,9 +20,16 @@ TraceStats compute_stats(const std::vector<TaskRecord>& records,
   }
   st.makespan_ns = t_max - t_min;
   if (st.makespan_ns > 0) {
-    st.idle_fraction = 1.0 - static_cast<double>(st.busy_ns) /
-                                 (static_cast<double>(st.makespan_ns) *
-                                  static_cast<double>(num_workers));
+    // Clamped to [0, 1]: with overlapping workers busy_ns can exceed
+    // makespan * num_workers when the caller passes a smaller worker count
+    // than actually ran (idle < 0), and a single-record trace with
+    // start == end would otherwise report idle 1-0/0. Zero makespan keeps
+    // the 0 default instead of dividing by zero.
+    st.idle_fraction =
+        std::clamp(1.0 - static_cast<double>(st.busy_ns) /
+                             (static_cast<double>(st.makespan_ns) *
+                              static_cast<double>(num_workers)),
+                   0.0, 1.0);
   }
   return st;
 }

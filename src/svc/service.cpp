@@ -1,0 +1,549 @@
+// service.cpp — camult::svc implementation. Lock discipline: the service
+// mutex (mu_) and a job's record mutex are never held together; every
+// terminal transition first folds the outcome into the service aggregates
+// under mu_, then publishes status + outcome under the record mutex and
+// wakes waiters — so by the time JobHandle::wait() returns, stats() already
+// reflects the job.
+
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace camult::svc {
+
+const char* qos_name(QosClass c) {
+  switch (c) {
+    case QosClass::Batch: return "batch";
+    case QosClass::Normal: return "normal";
+    case QosClass::Interactive: return "interactive";
+  }
+  return "?";
+}
+
+int qos_priority_bias(QosClass c) {
+  return static_cast<int>(c) * kQosBandWidth;
+}
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::Queued: return "queued";
+    case JobStatus::Running: return "running";
+    case JobStatus::Completed: return "completed";
+    case JobStatus::Failed: return "failed";
+    case JobStatus::Cancelled: return "cancelled";
+    case JobStatus::ShedDeadline: return "shed_deadline";
+    case JobStatus::ShedQueueFull: return "shed_queue_full";
+    case JobStatus::Rejected: return "rejected";
+  }
+  return "?";
+}
+
+bool job_status_terminal(JobStatus s) {
+  return s != JobStatus::Queued && s != JobStatus::Running;
+}
+
+namespace detail {
+
+using Clock = std::chrono::steady_clock;
+
+struct JobRecord {
+  // Immutable after submit().
+  JobKind kind = JobKind::CaluFactor;
+  QosClass qos = QosClass::Normal;
+  std::string tenant;
+  MatrixView a;
+  idx b = 32;
+  idx tr = 2;
+  bool has_deadline = false;
+  Clock::time_point submit_tp;
+  Clock::time_point deadline_tp;
+  rt::CancelToken token;
+
+  /// Set by the watchdog before it fires the token, so a CancelledError can
+  /// be attributed to the deadline rather than a client cancel.
+  std::atomic<bool> deadline_fired{false};
+  /// Set by the dispatcher at dispatch; read only after the job is terminal.
+  Clock::time_point dispatch_tp;
+  std::atomic<bool> dispatched{false};
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  JobStatus status = JobStatus::Queued;  ///< guarded by mu
+  JobOutcome outcome;                    ///< guarded by mu, set once
+};
+
+}  // namespace detail
+
+using detail::Clock;
+using detail::JobRecord;
+
+namespace {
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Fill the latency fields of `out` for a job turning terminal now.
+void stamp_latency(const JobRecord& rec, JobOutcome* out) {
+  const Clock::time_point now = Clock::now();
+  out->total_ms = ms_between(rec.submit_tp, now);
+  if (rec.dispatched.load(std::memory_order_acquire)) {
+    out->queue_ms = ms_between(rec.submit_tp, rec.dispatch_tp);
+    out->run_ms = ms_between(rec.dispatch_tp, now);
+  } else {
+    out->queue_ms = out->total_ms;
+    out->run_ms = 0.0;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JobHandle
+
+JobStatus JobHandle::status() const {
+  if (rec_ == nullptr) {
+    throw std::logic_error("JobHandle::status on an invalid handle");
+  }
+  std::lock_guard<std::mutex> lk(rec_->mu);
+  return rec_->status;
+}
+
+QosClass JobHandle::qos() const {
+  if (rec_ == nullptr) {
+    throw std::logic_error("JobHandle::qos on an invalid handle");
+  }
+  return rec_->qos;
+}
+
+const JobOutcome& JobHandle::wait() const {
+  if (rec_ == nullptr) {
+    throw std::logic_error("JobHandle::wait on an invalid handle");
+  }
+  std::unique_lock<std::mutex> lk(rec_->mu);
+  rec_->cv.wait(lk, [&] { return job_status_terminal(rec_->status); });
+  return rec_->outcome;
+}
+
+bool JobHandle::wait_for(std::chrono::nanoseconds timeout) const {
+  if (rec_ == nullptr) {
+    throw std::logic_error("JobHandle::wait_for on an invalid handle");
+  }
+  std::unique_lock<std::mutex> lk(rec_->mu);
+  return rec_->cv.wait_for(lk, timeout,
+                           [&] { return job_status_terminal(rec_->status); });
+}
+
+void JobHandle::cancel() const {
+  if (rec_ == nullptr) {
+    throw std::logic_error("JobHandle::cancel on an invalid handle");
+  }
+  rec_->token.request_cancel();
+}
+
+// ---------------------------------------------------------------------------
+// Deadline watchdog: one thread over a min-heap of (deadline, job). It only
+// ever fires CancelTokens — shedding/aborting is carried out by the
+// dispatcher (queued jobs) or the scheduler's skip path (running jobs), so
+// the watchdog needs no job or service locks beyond its own heap.
+
+struct Service::Watchdog {
+  struct Entry {
+    Clock::time_point due;
+    std::weak_ptr<JobRecord> job;
+    bool operator>(const Entry& o) const { return due > o.due; }
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  bool stop = false;
+  std::thread thread;
+
+  void arm(const std::shared_ptr<JobRecord>& rec) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      heap.push(Entry{rec->deadline_tp, rec});
+    }
+    cv.notify_one();
+  }
+
+  void main() {
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+      if (heap.empty()) {
+        if (stop) return;
+        cv.wait(lk);
+        continue;
+      }
+      const Clock::time_point due = heap.top().due;
+      if (Clock::now() < due) {
+        cv.wait_until(lk, due);
+        continue;  // re-evaluate: new earlier entries or stop may have landed
+      }
+      const Entry e = heap.top();
+      heap.pop();
+      lk.unlock();
+      if (std::shared_ptr<JobRecord> rec = e.job.lock()) {
+        rec->deadline_fired.store(true, std::memory_order_release);
+        rec->token.request_cancel();
+      }
+      lk.lock();
+    }
+  }
+
+  void start() {
+    thread = std::thread([this] { main(); });
+  }
+
+  void join() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      stop = true;
+    }
+    cv.notify_one();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Service
+
+Service::Service(const ServiceConfig& cfg) : cfg_(cfg) {
+  if (cfg_.max_inflight < 1) {
+    throw std::invalid_argument("ServiceConfig::max_inflight must be >= 1");
+  }
+  if (cfg_.max_queue < 1) {
+    throw std::invalid_argument("ServiceConfig::max_queue must be >= 1");
+  }
+  if (cfg_.pool != nullptr) {
+    pool_ = cfg_.pool;
+  } else {
+    rt::WorkerPoolConfig pc;
+    pc.num_threads = cfg_.num_threads;
+    owned_pool_ = std::make_unique<rt::WorkerPool>(pc);
+    pool_ = owned_pool_.get();
+  }
+  watchdog_ = std::make_unique<Watchdog>();
+  watchdog_->start();
+  runners_.reserve(static_cast<std::size_t>(cfg_.max_inflight));
+  for (int i = 0; i < cfg_.max_inflight; ++i) {
+    runners_.emplace_back([this] { runner_main(); });
+  }
+}
+
+Service::~Service() { shutdown(true); }
+
+Service::Admission Service::submit(const JobRequest& req) {
+  auto rec = std::make_shared<JobRecord>();
+  rec->kind = req.kind;
+  rec->qos = req.qos;
+  rec->tenant = req.tenant;
+  rec->a = req.a;
+  rec->b = req.b;
+  rec->tr = req.tr;
+  rec->submit_tp = Clock::now();
+  if (req.deadline.count() > 0) {
+    rec->has_deadline = true;
+    rec->deadline_tp = rec->submit_tp + req.deadline;
+  }
+
+  Admission adm;
+  adm.handle = JobHandle(rec);
+  std::shared_ptr<JobRecord> victim;
+  JobOutcome victim_out;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stopping_) {
+      QosStats& cs = stats_.per_class[static_cast<std::size_t>(req.qos)];
+      ++cs.rejected;
+      ++stats_.per_tenant[req.tenant].rejected;
+      adm.queue_depth = total_queued_;
+    } else if (total_queued_ >= cfg_.max_queue) {
+      // Full. Shed the oldest job of the lowest class strictly below the
+      // arrival; if every queued job is at or above the arrival's class,
+      // the arrival itself is the lowest-value work and is rejected.
+      for (int c = 0; c < static_cast<int>(req.qos); ++c) {
+        auto& q = queue_[static_cast<std::size_t>(c)];
+        if (!q.empty()) {
+          victim = std::move(q.front());
+          q.pop_front();
+          --total_queued_;
+          break;
+        }
+      }
+      if (victim != nullptr) {
+        victim_out.status = JobStatus::ShedQueueFull;
+        stamp_latency(*victim, &victim_out);
+        account_locked(*victim, victim_out);
+        adm.accepted = true;
+        queue_[static_cast<std::size_t>(req.qos)].push_back(rec);
+        ++total_queued_;
+        QosStats& cs = stats_.per_class[static_cast<std::size_t>(req.qos)];
+        ++cs.submitted;
+        ++stats_.per_tenant[req.tenant].submitted;
+        stats_.peak_queue_depth =
+            std::max(stats_.peak_queue_depth, total_queued_);
+        adm.queue_depth = total_queued_;
+      } else {
+        QosStats& cs = stats_.per_class[static_cast<std::size_t>(req.qos)];
+        ++cs.rejected;
+        ++stats_.per_tenant[req.tenant].rejected;
+        adm.queue_depth = total_queued_;
+      }
+    } else {
+      adm.accepted = true;
+      queue_[static_cast<std::size_t>(req.qos)].push_back(rec);
+      ++total_queued_;
+      QosStats& cs = stats_.per_class[static_cast<std::size_t>(req.qos)];
+      ++cs.submitted;
+      ++stats_.per_tenant[req.tenant].submitted;
+      stats_.peak_queue_depth =
+          std::max(stats_.peak_queue_depth, total_queued_);
+      adm.queue_depth = total_queued_;
+    }
+  }
+  if (victim != nullptr) {
+    // The victim is off the queue; no dispatcher can reach it anymore, so
+    // publishing its terminal state outside mu_ races with nobody.
+    {
+      std::lock_guard<std::mutex> vlk(victim->mu);
+      victim->outcome = std::move(victim_out);
+      victim->status = JobStatus::ShedQueueFull;
+    }
+    victim->cv.notify_all();
+  }
+  if (!adm.accepted) {
+    std::lock_guard<std::mutex> lk(rec->mu);
+    rec->status = JobStatus::Rejected;
+    rec->outcome.status = JobStatus::Rejected;
+    stamp_latency(*rec, &rec->outcome);
+    // No waiters can exist yet (the handle is only returned below), but
+    // keep the transition uniform.
+    rec->cv.notify_all();
+    return adm;
+  }
+  if (rec->has_deadline) {
+    watchdog_->arm(rec);
+  }
+  queue_cv_.notify_one();
+  return adm;
+}
+
+std::shared_ptr<JobRecord> Service::pop_next_locked() {
+  for (int c = kQosClasses - 1; c >= 0; --c) {
+    auto& q = queue_[static_cast<std::size_t>(c)];
+    if (!q.empty()) {
+      std::shared_ptr<JobRecord> rec = std::move(q.front());
+      q.pop_front();
+      --total_queued_;
+      return rec;
+    }
+  }
+  return nullptr;
+}
+
+void Service::runner_main() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    std::shared_ptr<JobRecord> rec = pop_next_locked();
+    if (rec == nullptr) {
+      if (stopping_) return;
+      queue_cv_.wait(lk);
+      continue;
+    }
+    ++inflight_;
+    lk.unlock();
+    run_job(rec);
+    rec.reset();
+    lk.lock();
+    --inflight_;
+    if (total_queued_ == 0 && inflight_ == 0) {
+      drained_cv_.notify_all();
+    }
+  }
+}
+
+void Service::run_job(const std::shared_ptr<JobRecord>& rec) {
+  // Pre-dispatch gates: a deadline that expired while queued sheds the job
+  // without running it; a client cancel before dispatch does the same under
+  // the Cancelled label.
+  if (rec->has_deadline && Clock::now() >= rec->deadline_tp) {
+    JobOutcome out;
+    out.status = JobStatus::ShedDeadline;
+    out.deadline_hit = true;
+    finish(rec, std::move(out));
+    return;
+  }
+  if (rec->token.cancelled()) {
+    JobOutcome out;
+    out.status = JobStatus::Cancelled;
+    out.deadline_hit = rec->deadline_fired.load(std::memory_order_acquire);
+    finish(rec, std::move(out));
+    return;
+  }
+
+  rec->dispatch_tp = Clock::now();
+  rec->dispatched.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(rec->mu);
+    rec->status = JobStatus::Running;
+  }
+
+  // sched counters survive a throwing run via the options' sched_out hook.
+  rt::SchedulerStats sched;
+  JobOutcome out;
+  try {
+    if (rec->kind == JobKind::CaluFactor) {
+      core::CaluOptions o;
+      o.b = rec->b;
+      o.tr = rec->tr;
+      o.pool = pool_;
+      o.num_threads = pool_->size();
+      o.record_trace = cfg_.record_trace;
+      o.monitor = cfg_.monitor;
+      o.cancel = rec->token;
+      o.sched_out = &sched;
+      o.fault = cfg_.fault;
+      o.priority_bias = qos_priority_bias(rec->qos);
+      core::CaluAsync async(rec->a, o);
+      auto res = std::make_shared<core::CaluResult>(async.collect());
+      out.status = JobStatus::Completed;
+      out.info = res->info;
+      out.health = res->health;
+      out.sched = res->sched;
+      out.lu = std::move(res);
+    } else {
+      core::CaqrOptions o;
+      o.b = rec->b;
+      o.tr = rec->tr;
+      o.pool = pool_;
+      o.num_threads = pool_->size();
+      o.record_trace = cfg_.record_trace;
+      o.monitor = cfg_.monitor;
+      o.cancel = rec->token;
+      o.sched_out = &sched;
+      o.fault = cfg_.fault;
+      o.priority_bias = qos_priority_bias(rec->qos);
+      core::CaqrAsync async(rec->a, o);
+      auto res = std::make_shared<core::CaqrResult>(async.collect());
+      out.status = JobStatus::Completed;
+      out.health = res->health;
+      out.sched = res->sched;
+      out.qr = std::move(res);
+    }
+  } catch (const rt::CancelledError&) {
+    out.status = JobStatus::Cancelled;
+    out.deadline_hit = rec->deadline_fired.load(std::memory_order_acquire);
+    out.sched = sched;
+  } catch (const std::exception& e) {
+    out.status = JobStatus::Failed;
+    out.error = e.what();
+    out.sched = sched;
+  }
+  finish(rec, std::move(out));
+}
+
+void Service::finish(const std::shared_ptr<JobRecord>& rec, JobOutcome out) {
+  stamp_latency(*rec, &out);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    account_locked(*rec, out);
+  }
+  {
+    std::lock_guard<std::mutex> lk(rec->mu);
+    rec->outcome = std::move(out);
+    rec->status = rec->outcome.status;
+  }
+  rec->cv.notify_all();
+}
+
+void Service::account_locked(const JobRecord& rec, const JobOutcome& out) {
+  auto fold = [&](QosStats& s) {
+    switch (out.status) {
+      case JobStatus::Completed: ++s.completed; break;
+      case JobStatus::Failed: ++s.failed; break;
+      case JobStatus::Cancelled: ++s.cancelled; break;
+      case JobStatus::ShedDeadline: ++s.shed_deadline; break;
+      case JobStatus::ShedQueueFull: ++s.shed_queue_full; break;
+      case JobStatus::Rejected: ++s.rejected; break;
+      case JobStatus::Queued:
+      case JobStatus::Running: break;  // not terminal; never reaches here
+    }
+    const rt::WorkerStats t = out.sched.totals();
+    s.tasks_executed += t.tasks_executed;
+    s.tasks_skipped += t.tasks_skipped;
+    s.fallback_panels += out.health.fallback_panels;
+    s.queue_ms_sum += out.queue_ms;
+    s.run_ms_sum += out.run_ms;
+  };
+  fold(stats_.per_class[static_cast<std::size_t>(rec.qos)]);
+  fold(stats_.per_tenant[rec.tenant]);
+}
+
+void Service::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  drained_cv_.wait(lk, [&] { return total_queued_ == 0 && inflight_ == 0; });
+}
+
+void Service::shutdown(bool run_queued) {
+  std::vector<std::pair<std::shared_ptr<JobRecord>, JobOutcome>> dropped;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stopping_ && runners_.empty()) return;  // already shut down
+    stopping_ = true;
+    if (!run_queued) {
+      for (auto& q : queue_) {
+        for (auto& rec : q) {
+          JobOutcome out;
+          out.status = JobStatus::Cancelled;
+          stamp_latency(*rec, &out);
+          account_locked(*rec, out);
+          dropped.emplace_back(std::move(rec), std::move(out));
+        }
+        q.clear();
+      }
+      total_queued_ = 0;
+    }
+  }
+  for (auto& [rec, out] : dropped) {
+    {
+      std::lock_guard<std::mutex> rlk(rec->mu);
+      rec->outcome = std::move(out);
+      rec->status = JobStatus::Cancelled;
+    }
+    rec->cv.notify_all();
+  }
+  queue_cv_.notify_all();
+  for (auto& t : runners_) {
+    if (t.joinable()) t.join();
+  }
+  runners_.clear();
+  if (watchdog_ != nullptr) {
+    watchdog_->join();
+  }
+  {
+    // Late drain() callers must still wake even though no runner remains.
+    std::lock_guard<std::mutex> lk(mu_);
+  }
+  drained_cv_.notify_all();
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServiceStats s = stats_;
+  s.queued = total_queued_;
+  s.inflight = inflight_;
+  return s;
+}
+
+std::size_t Service::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_queued_;
+}
+
+}  // namespace camult::svc

@@ -15,6 +15,7 @@
 #include "bench_support/runner.hpp"
 #include "bench_support/table.hpp"
 #include "runtime/task_graph.hpp"
+#include "runtime/trace.hpp"
 
 namespace camult::bench {
 namespace {
@@ -56,6 +57,67 @@ TEST(EnvParsing, ParsesValues) {
   const auto v = env_idx_list("CAMULT_TEST_ENV_X", {1});
   EXPECT_EQ(v, (std::vector<idx>{10, 20, 30}));
   unsetenv("CAMULT_TEST_ENV_X");
+}
+
+TEST(EnvParsing, MalformedScalarFallsBackToDefault) {
+  // Trailing garbage used to be silently truncated by strtoll ("8x" -> 8);
+  // the strict parser must warn and keep the default instead.
+  setenv("CAMULT_TEST_ENV_X", "8x", 1);
+  EXPECT_EQ(env_idx("CAMULT_TEST_ENV_X", 42), 42);
+  setenv("CAMULT_TEST_ENV_X", "abc", 1);
+  EXPECT_EQ(env_idx("CAMULT_TEST_ENV_X", 42), 42);
+  setenv("CAMULT_TEST_ENV_X", "", 1);
+  EXPECT_EQ(env_idx("CAMULT_TEST_ENV_X", 42), 42);
+  // Out of long long range -> ERANGE -> default, not a saturated value.
+  setenv("CAMULT_TEST_ENV_X", "999999999999999999999999999", 1);
+  EXPECT_EQ(env_idx("CAMULT_TEST_ENV_X", 42), 42);
+  unsetenv("CAMULT_TEST_ENV_X");
+}
+
+TEST(EnvParsing, MalformedListTokenFallsBackWholeList) {
+  // One bad token invalidates the whole list: a partially-applied sweep
+  // (e.g. {10, 30} from "10,2x,30") would silently bench the wrong shapes.
+  setenv("CAMULT_TEST_ENV_X", "10,2x,30", 1);
+  EXPECT_EQ(env_idx_list("CAMULT_TEST_ENV_X", {7}), (std::vector<idx>{7}));
+  setenv("CAMULT_TEST_ENV_X", "10,abc", 1);
+  EXPECT_EQ(env_idx_list("CAMULT_TEST_ENV_X", {7}), (std::vector<idx>{7}));
+  // Empty tokens (stray/trailing commas) are skipped, not errors.
+  setenv("CAMULT_TEST_ENV_X", "10,,30,", 1);
+  EXPECT_EQ(env_idx_list("CAMULT_TEST_ENV_X", {7}),
+            (std::vector<idx>{10, 30}));
+  unsetenv("CAMULT_TEST_ENV_X");
+}
+
+TEST(TraceStatsClamp, IdleFractionStaysInUnitInterval) {
+  std::vector<rt::TaskRecord> records(2);
+  records[0].id = 0;
+  records[0].worker = 0;
+  records[0].start_ns = 0;
+  records[0].end_ns = 100;
+  records[1].id = 1;
+  records[1].worker = 1;
+  records[1].start_ns = 0;
+  records[1].end_ns = 100;
+
+  // Two workers genuinely busy the whole time: zero idle.
+  const rt::TraceStats both = rt::compute_stats(records, 2);
+  EXPECT_GE(both.idle_fraction, 0.0);
+  EXPECT_LE(both.idle_fraction, 1.0);
+
+  // Caller understates the worker count (overlapping records, 1 "worker"):
+  // busy > makespan * workers used to drive idle_fraction negative.
+  const rt::TraceStats under = rt::compute_stats(records, 1);
+  EXPECT_GE(under.idle_fraction, 0.0);
+  EXPECT_LE(under.idle_fraction, 1.0);
+
+  // Zero-width trace: makespan 0 must not divide; idle stays 0.
+  std::vector<rt::TaskRecord> flat(1);
+  flat[0].id = 0;
+  flat[0].worker = 0;
+  flat[0].start_ns = 50;
+  flat[0].end_ns = 50;
+  const rt::TraceStats zero = rt::compute_stats(flat, 4);
+  EXPECT_EQ(zero.idle_fraction, 0.0);
 }
 
 TEST(Measure, SimulatedModeUsesRecordedDurations) {

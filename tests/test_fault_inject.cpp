@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/test_utils.hpp"
@@ -495,6 +497,155 @@ TEST(FaultedDrivers, PanelZeroFailureSkipsMostOfTheDag) {
   EXPECT_GT(totals.tasks_skipped, 0);
   EXPECT_LT(totals.tasks_executed, full / 5)
       << "fast-abort executed " << totals.tasks_executed << " of " << full;
+}
+
+// ---- Mid-batch cancellation ---------------------------------------------
+//
+// The batch drivers translate a fired CancelToken into per-job results
+// (CaluResult/CaqrResult::cancelled) instead of throwing: jobs collected
+// before the fire keep their factorization, later jobs come back cancelled,
+// and the pool must stay reusable. The single-problem drivers still throw
+// (CancelTokenAbortsCalu above); these tests pin the batch contract.
+
+TEST(BatchCancel, PreFiredTokenCancelsWholeCaluBatchInline) {
+  core::CaluOptions opts;
+  opts.b = 8;
+  opts.tr = 2;
+  opts.num_threads = 0;  // inline mode: one problem at a time
+  opts.record_trace = false;
+  opts.cancel.request_cancel();
+  std::vector<Matrix> ms;
+  std::vector<MatrixView> views;
+  for (int i = 0; i < 3; ++i) {
+    ms.push_back(random_matrix(48, 48, 9000 + i));
+  }
+  for (Matrix& m : ms) views.push_back(m.view());
+  const std::vector<core::CaluResult> res =
+      core::calu_factor_batch(views, opts);
+  ASSERT_EQ(res.size(), views.size());
+  for (const core::CaluResult& r : res) {
+    EXPECT_TRUE(r.cancelled);
+    EXPECT_GT(r.sched.totals().tasks_skipped, 0);
+    EXPECT_EQ(r.sched.totals().tasks_executed, 0);
+  }
+}
+
+TEST(BatchCancel, PreFiredTokenCancelsWholeCaqrBatchInline) {
+  core::CaqrOptions opts;
+  opts.b = 8;
+  opts.tr = 2;
+  opts.num_threads = 0;
+  opts.record_trace = false;
+  opts.cancel.request_cancel();
+  std::vector<Matrix> ms;
+  std::vector<MatrixView> views;
+  for (int i = 0; i < 3; ++i) {
+    ms.push_back(random_matrix(64, 32, 9100 + i));
+  }
+  for (Matrix& m : ms) views.push_back(m.view());
+  const std::vector<core::CaqrResult> res =
+      core::caqr_factor_batch(views, opts);
+  ASSERT_EQ(res.size(), views.size());
+  for (const core::CaqrResult& r : res) {
+    EXPECT_TRUE(r.cancelled);
+    EXPECT_EQ(r.sched.totals().tasks_executed, 0);
+  }
+}
+
+// Fire the token after the pool has fully drained (detached) the first k
+// graphs of the batch. Collection is positional, so detachment order IS
+// result order: results [0, k) must be completed factorizations, every
+// result must exist (no wedge), and the pool must keep working afterwards.
+TEST(BatchCancel, MidBatchCaluCancelKeepsCompletedPrefixAndDrains) {
+  rt::WorkerPool pool({4});
+  const std::int64_t detached0 = pool.stats().graphs_detached;
+  const int n_jobs = 8;
+  const int k = 2;
+
+  core::CaluOptions opts;
+  opts.b = 8;
+  opts.tr = 2;
+  opts.pool = &pool;
+  opts.num_threads = 4;
+  opts.record_trace = false;
+  std::vector<Matrix> ms;
+  std::vector<MatrixView> views;
+  for (int i = 0; i < n_jobs; ++i) {
+    ms.push_back(random_matrix(96, 96, 9200 + i));
+  }
+  for (Matrix& m : ms) views.push_back(m.view());
+
+  std::vector<core::CaluResult> res;
+  std::thread collector(
+      [&] { res = core::calu_factor_batch(views, opts); });
+  while (pool.stats().graphs_detached < detached0 + k) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  opts.cancel.request_cancel();
+  collector.join();
+
+  ASSERT_EQ(res.size(), static_cast<std::size_t>(n_jobs));
+  int completed = 0;
+  for (int i = 0; i < n_jobs; ++i) {
+    if (!res[static_cast<std::size_t>(i)].cancelled) {
+      ++completed;
+      EXPECT_EQ(res[static_cast<std::size_t>(i)].info, 0) << "job " << i;
+      EXPECT_FALSE(res[static_cast<std::size_t>(i)].ipiv.empty())
+          << "job " << i;
+    }
+  }
+  // The k graphs that detached before the fire were collected uncancelled.
+  EXPECT_GE(completed, k);
+  for (int i = 0; i < k; ++i) {
+    EXPECT_FALSE(res[static_cast<std::size_t>(i)].cancelled) << "job " << i;
+  }
+
+  // No wedge: the pool still factors fresh work after the cancelled batch.
+  Matrix again = random_matrix(64, 64, 9999);
+  core::CaluOptions fresh = opts;
+  fresh.cancel = rt::CancelToken();
+  EXPECT_EQ(core::calu_factor(again.view(), fresh).info, 0);
+}
+
+TEST(BatchCancel, MidBatchCaqrCancelKeepsCompletedPrefixAndDrains) {
+  rt::WorkerPool pool({4});
+  const std::int64_t detached0 = pool.stats().graphs_detached;
+  const int n_jobs = 6;
+  const int k = 2;
+
+  core::CaqrOptions opts;
+  opts.b = 8;
+  opts.tr = 2;
+  opts.pool = &pool;
+  opts.num_threads = 4;
+  opts.record_trace = false;
+  std::vector<Matrix> ms;
+  std::vector<MatrixView> views;
+  for (int i = 0; i < n_jobs; ++i) {
+    ms.push_back(random_matrix(128, 48, 9300 + i));
+  }
+  for (Matrix& m : ms) views.push_back(m.view());
+
+  std::vector<core::CaqrResult> res;
+  std::thread collector(
+      [&] { res = core::caqr_factor_batch(views, opts); });
+  while (pool.stats().graphs_detached < detached0 + k) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  opts.cancel.request_cancel();
+  collector.join();
+
+  ASSERT_EQ(res.size(), static_cast<std::size_t>(n_jobs));
+  for (int i = 0; i < k; ++i) {
+    EXPECT_FALSE(res[static_cast<std::size_t>(i)].cancelled) << "job " << i;
+    EXPECT_FALSE(res[static_cast<std::size_t>(i)].iterations.empty())
+        << "job " << i;
+  }
+
+  Matrix again = random_matrix(64, 32, 9998);
+  core::CaqrOptions fresh = opts;
+  fresh.cancel = rt::CancelToken();
+  EXPECT_FALSE(core::caqr_factor(again.view(), fresh).health.nan_detected);
 }
 
 TEST(FaultedDrivers, CancelTokenAbortsCalu) {

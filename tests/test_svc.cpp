@@ -1,0 +1,553 @@
+// test_svc.cpp — the multi-tenant factorization job service (svc::Service):
+// submit/wait correctness against the direct drivers, QoS-ordered dispatch,
+// admission control with shed-lowest-class-first eviction, deadline
+// enforcement through CancelToken, per-tenant accounting, failure isolation,
+// and the drain/shutdown contract (the queue always empties; the pool is
+// never wedged).
+//
+// Determinism strategy: the service runs on an EXTERNAL pool the test also
+// attaches a "stall" graph to — pool.size() tasks that block on a
+// condition variable. While stalled, no job can make progress, so queue
+// composition at each submit() is exact, not timing-dependent. Every test
+// releases the stall before asserting terminal states.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/test_utils.hpp"
+#include "core/calu.hpp"
+#include "core/caqr.hpp"
+#include "core/lookahead.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/random.hpp"
+#include "runtime/fault_inject.hpp"
+#include "runtime/task_graph.hpp"
+#include "runtime/worker_pool.hpp"
+#include "svc/service.hpp"
+
+namespace camult {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Occupies every worker of `pool` until release() — the clock-stopper the
+// header comment describes. Must be released before destruction (the
+// destructor releases defensively, then drains).
+class PoolStall {
+ public:
+  explicit PoolStall(rt::WorkerPool& pool) {
+    rt::TaskGraph::Config cfg;
+    cfg.num_threads = pool.size();
+    cfg.record_trace = false;
+    cfg.pool = &pool;
+    graph_ = std::make_unique<rt::TaskGraph>(cfg);
+    for (int i = 0; i < pool.size(); ++i) {
+      graph_->submit({}, {}, [this] {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [this] { return released_; });
+      });
+    }
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  ~PoolStall() {
+    release();
+    graph_->wait();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+  std::unique_ptr<rt::TaskGraph> graph_;
+};
+
+svc::JobRequest lu_request(MatrixView a, svc::QosClass qos,
+                           const std::string& tenant = "t0") {
+  svc::JobRequest req;
+  req.kind = svc::JobKind::CaluFactor;
+  req.a = a;
+  req.qos = qos;
+  req.tenant = tenant;
+  req.b = 16;
+  req.tr = 2;
+  return req;
+}
+
+// ---- Correctness: service results match the direct drivers ---------------
+
+TEST(SvcService, LuJobMatchesDirectFactorization) {
+  Matrix direct = random_matrix(96, 96, 100);
+  Matrix via_svc = direct;
+
+  core::CaluOptions opts;
+  opts.b = 16;
+  opts.tr = 2;
+  opts.num_threads = 4;
+  opts.record_trace = false;
+  const core::CaluResult ref = core::calu_factor(direct.view(), opts);
+
+  svc::ServiceConfig cfg;
+  cfg.num_threads = 4;
+  svc::Service service(cfg);
+  const auto adm =
+      service.submit(lu_request(via_svc.view(), svc::QosClass::Normal));
+  ASSERT_TRUE(adm.accepted);
+  const svc::JobOutcome& out = adm.handle.wait();
+  ASSERT_EQ(out.status, svc::JobStatus::Completed);
+  ASSERT_NE(out.lu, nullptr);
+  // CALU is deterministic across schedules (pinned elsewhere by the
+  // bit-exactness-under-injection test), so the service result must be
+  // bit-identical to the direct call.
+  EXPECT_EQ(out.lu->ipiv, ref.ipiv);
+  EXPECT_EQ(out.info, ref.info);
+  EXPECT_EQ(test::max_diff(direct.view(), via_svc.view()), 0.0);
+  EXPECT_GT(out.sched.totals().tasks_executed, 0);
+  EXPECT_GT(out.total_ms, 0.0);
+}
+
+TEST(SvcService, QrJobMatchesDirectFactorization) {
+  Matrix direct = random_matrix(128, 48, 101);
+  Matrix via_svc = direct;
+
+  core::CaqrOptions opts;
+  opts.b = 16;
+  opts.tr = 2;
+  opts.num_threads = 4;
+  opts.record_trace = false;
+  const core::CaqrResult ref = core::caqr_factor(direct.view(), opts);
+
+  svc::ServiceConfig cfg;
+  cfg.num_threads = 4;
+  svc::Service service(cfg);
+  svc::JobRequest req;
+  req.kind = svc::JobKind::CaqrFactor;
+  req.a = via_svc.view();
+  req.b = 16;
+  req.tr = 2;
+  const auto adm = service.submit(req);
+  ASSERT_TRUE(adm.accepted);
+  const svc::JobOutcome& out = adm.handle.wait();
+  ASSERT_EQ(out.status, svc::JobStatus::Completed);
+  ASSERT_NE(out.qr, nullptr);
+  EXPECT_EQ(out.qr->iterations.size(), ref.iterations.size());
+  EXPECT_EQ(test::max_diff(direct.view(), via_svc.view()), 0.0);
+  EXPECT_FALSE(out.health.nan_detected);
+}
+
+// ---- Accounting ----------------------------------------------------------
+
+TEST(SvcService, DrainsAndAccountsPerClassAndTenant) {
+  svc::ServiceConfig cfg;
+  cfg.num_threads = 4;
+  cfg.max_inflight = 2;
+  svc::Service service(cfg);
+
+  const int n_jobs = 12;
+  std::vector<Matrix> ms;
+  ms.reserve(n_jobs);
+  std::vector<svc::JobHandle> handles;
+  for (int i = 0; i < n_jobs; ++i) {
+    ms.push_back(random_matrix(64, 64, 200 + i));
+    const auto qos = static_cast<svc::QosClass>(i % svc::kQosClasses);
+    const std::string tenant = i % 2 == 0 ? "alice" : "bob";
+    const auto adm = service.submit(lu_request(ms.back().view(), qos, tenant));
+    ASSERT_TRUE(adm.accepted);
+    EXPECT_GE(adm.queue_depth, 1u);
+    handles.push_back(adm.handle);
+  }
+  service.drain();
+
+  for (const auto& h : handles) {
+    EXPECT_EQ(h.wait().status, svc::JobStatus::Completed);
+  }
+  const svc::ServiceStats st = service.stats();
+  EXPECT_EQ(st.queued, 0u);
+  EXPECT_EQ(st.inflight, 0);
+  EXPECT_GE(st.peak_queue_depth, 1u);
+  long long completed = 0;
+  for (const svc::QosStats& c : st.per_class) {
+    EXPECT_EQ(c.completed, c.submitted);
+    completed += c.completed;
+  }
+  EXPECT_EQ(completed, n_jobs);
+  ASSERT_EQ(st.per_tenant.size(), 2u);
+  EXPECT_EQ(st.per_tenant.at("alice").completed, n_jobs / 2);
+  EXPECT_EQ(st.per_tenant.at("bob").completed, n_jobs / 2);
+  EXPECT_GT(st.per_tenant.at("alice").tasks_executed, 0);
+  EXPECT_GT(st.per_tenant.at("alice").run_ms_sum, 0.0);
+}
+
+// ---- Admission control / backpressure / shedding -------------------------
+
+TEST(SvcService, RejectsWhenFullAndNothingLowerToShed) {
+  rt::WorkerPool pool({2});
+  PoolStall stall(pool);
+  svc::ServiceConfig cfg;
+  cfg.pool = &pool;
+  cfg.max_inflight = 1;
+  cfg.max_queue = 2;
+  svc::Service service(cfg);
+
+  std::vector<Matrix> ms;
+  std::vector<svc::JobHandle> accepted;
+  // 1 dispatched (stuck Running on the stalled pool) + 2 queued = full.
+  for (int i = 0; i < 3; ++i) {
+    ms.push_back(random_matrix(48, 48, 300 + i));
+    const auto adm =
+        service.submit(lu_request(ms.back().view(), svc::QosClass::Normal));
+    ASSERT_TRUE(adm.accepted) << "job " << i;
+    accepted.push_back(adm.handle);
+    if (i == 0) {
+      // Let the dispatcher pick up job 0 (stuck Running on the stalled
+      // pool) so the next two submits fill the queue exactly.
+      while (service.queue_depth() > 0) std::this_thread::sleep_for(1ms);
+    }
+  }
+
+  // Same class: nothing strictly below Normal is queued -> backpressure.
+  Matrix extra = random_matrix(48, 48, 310);
+  const auto rejected =
+      service.submit(lu_request(extra.view(), svc::QosClass::Normal));
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.handle.status(), svc::JobStatus::Rejected);
+  EXPECT_EQ(rejected.handle.wait().status, svc::JobStatus::Rejected);
+
+  // Lower class: also rejected (it would be the first victim itself).
+  Matrix batch = random_matrix(48, 48, 311);
+  const auto rejected2 =
+      service.submit(lu_request(batch.view(), svc::QosClass::Batch));
+  EXPECT_FALSE(rejected2.accepted);
+
+  stall.release();
+  service.drain();
+  for (const auto& h : accepted) {
+    EXPECT_EQ(h.wait().status, svc::JobStatus::Completed);
+  }
+  const svc::ServiceStats st = service.stats();
+  EXPECT_EQ(st.per_class[1].rejected, 1);
+  EXPECT_EQ(st.per_class[0].rejected, 1);
+  EXPECT_EQ(st.per_class[1].completed, 3);
+}
+
+TEST(SvcService, ShedsLowestClassFirstOnOverload) {
+  rt::WorkerPool pool({2});
+  PoolStall stall(pool);
+  svc::ServiceConfig cfg;
+  cfg.pool = &pool;
+  cfg.max_inflight = 1;
+  cfg.max_queue = 3;
+  svc::Service service(cfg);
+
+  std::vector<Matrix> ms;
+  auto submit = [&](svc::QosClass qos) {
+    ms.push_back(random_matrix(48, 48, 400 + static_cast<int>(ms.size())));
+    return service.submit(lu_request(ms.back().view(), qos));
+  };
+
+  // Occupy the single dispatcher, then queue [batch, batch, normal] = full.
+  const auto running = submit(svc::QosClass::Normal);
+  while (service.queue_depth() > 0) std::this_thread::sleep_for(1ms);
+  const auto batch0 = submit(svc::QosClass::Batch);
+  const auto batch1 = submit(svc::QosClass::Batch);
+  const auto normal0 = submit(svc::QosClass::Normal);
+  ASSERT_EQ(service.queue_depth(), 3u);
+
+  // Interactive arrivals evict oldest-lowest first: batch0, then batch1,
+  // then (no batch left) normal0.
+  const auto inter0 = submit(svc::QosClass::Interactive);
+  EXPECT_TRUE(inter0.accepted);
+  EXPECT_EQ(batch0.handle.wait().status, svc::JobStatus::ShedQueueFull);
+  EXPECT_EQ(batch1.handle.status(), svc::JobStatus::Queued);
+
+  const auto inter1 = submit(svc::QosClass::Interactive);
+  EXPECT_TRUE(inter1.accepted);
+  EXPECT_EQ(batch1.handle.wait().status, svc::JobStatus::ShedQueueFull);
+  EXPECT_EQ(normal0.handle.status(), svc::JobStatus::Queued);
+
+  const auto inter2 = submit(svc::QosClass::Interactive);
+  EXPECT_TRUE(inter2.accepted);
+  EXPECT_EQ(normal0.handle.wait().status, svc::JobStatus::ShedQueueFull);
+
+  // A shed job never ran: its latency is pure queue time.
+  EXPECT_EQ(batch0.handle.wait().run_ms, 0.0);
+  EXPECT_GT(batch0.handle.wait().queue_ms, 0.0);
+
+  stall.release();
+  service.drain();
+  EXPECT_EQ(running.handle.wait().status, svc::JobStatus::Completed);
+  EXPECT_EQ(inter0.handle.wait().status, svc::JobStatus::Completed);
+  EXPECT_EQ(inter1.handle.wait().status, svc::JobStatus::Completed);
+  EXPECT_EQ(inter2.handle.wait().status, svc::JobStatus::Completed);
+  const svc::ServiceStats st = service.stats();
+  EXPECT_EQ(st.per_class[0].shed_queue_full, 2);
+  EXPECT_EQ(st.per_class[1].shed_queue_full, 1);
+  EXPECT_EQ(st.per_class[2].shed_queue_full, 0);
+  EXPECT_EQ(st.per_class[2].completed, 3);
+  EXPECT_EQ(st.queued, 0u);
+}
+
+TEST(SvcService, DispatchServesHigherClassesFirst) {
+  rt::WorkerPool pool({2});
+  svc::ServiceConfig cfg;
+  cfg.pool = &pool;
+  cfg.max_inflight = 1;
+  svc::Service service(cfg);
+
+  std::vector<Matrix> ms;
+  std::vector<std::pair<svc::JobHandle, svc::QosClass>> jobs;
+  {
+    PoolStall stall(pool);
+    // Head job occupies the dispatcher; the rest queue up in mixed order.
+    ms.push_back(random_matrix(48, 48, 500));
+    const auto head =
+        service.submit(lu_request(ms.back().view(), svc::QosClass::Normal));
+    while (service.queue_depth() > 0) std::this_thread::sleep_for(1ms);
+    const svc::QosClass order[] = {
+        svc::QosClass::Batch, svc::QosClass::Interactive,
+        svc::QosClass::Normal, svc::QosClass::Batch,
+        svc::QosClass::Interactive};
+    for (const svc::QosClass qos : order) {
+      ms.push_back(random_matrix(48, 48, 501 + static_cast<int>(ms.size())));
+      jobs.emplace_back(service.submit(lu_request(ms.back().view(), qos))
+                            .handle,
+                        qos);
+    }
+    stall.release();
+    (void)head.handle.wait();
+  }
+  service.drain();
+  // Dispatch order is priority order; with one dispatcher, completion
+  // times are strictly ordered, so every Interactive job must finish
+  // before every Batch job (dispatch happened class-by-class).
+  double last_interactive_done = 0.0;
+  double first_batch_done = 1e300;
+  for (const auto& [handle, qos] : jobs) {
+    const svc::JobOutcome& out = handle.wait();
+    ASSERT_EQ(out.status, svc::JobStatus::Completed);
+    // queue_ms is submit->dispatch; all five were submitted within the
+    // stall window, so dispatch order shows up in queue_ms order.
+    if (qos == svc::QosClass::Interactive) {
+      last_interactive_done = std::max(last_interactive_done, out.queue_ms);
+    }
+    if (qos == svc::QosClass::Batch) {
+      first_batch_done = std::min(first_batch_done, out.queue_ms);
+    }
+  }
+  EXPECT_LT(last_interactive_done, first_batch_done);
+}
+
+// ---- Deadlines -----------------------------------------------------------
+
+TEST(SvcService, ExpiredDeadlineShedsQueuedJobWithoutRunning) {
+  rt::WorkerPool pool({2});
+  PoolStall stall(pool);
+  svc::ServiceConfig cfg;
+  cfg.pool = &pool;
+  cfg.max_inflight = 1;
+  svc::Service service(cfg);
+
+  Matrix head_m = random_matrix(48, 48, 600);
+  const auto head =
+      service.submit(lu_request(head_m.view(), svc::QosClass::Normal));
+  while (service.queue_depth() > 0) std::this_thread::sleep_for(1ms);
+
+  Matrix dl_m = random_matrix(48, 48, 601);
+  svc::JobRequest req = lu_request(dl_m.view(), svc::QosClass::Normal);
+  req.deadline = 20ms;
+  const auto dl = service.submit(req);
+  ASSERT_TRUE(dl.accepted);
+
+  // Let the deadline expire while the job is still queued (the head job
+  // holds the only dispatcher on a stalled pool).
+  std::this_thread::sleep_for(60ms);
+  EXPECT_EQ(dl.handle.status(), svc::JobStatus::Queued);
+  stall.release();
+  const svc::JobOutcome& out = dl.handle.wait();
+  EXPECT_EQ(out.status, svc::JobStatus::ShedDeadline);
+  EXPECT_TRUE(out.deadline_hit);
+  EXPECT_EQ(out.run_ms, 0.0);
+  EXPECT_EQ(out.sched.totals().tasks_executed, 0);
+  EXPECT_EQ(head.handle.wait().status, svc::JobStatus::Completed);
+  service.drain();
+  EXPECT_EQ(service.stats().per_class[1].shed_deadline, 1);
+}
+
+TEST(SvcService, DeadlineCancelsRunningJobThroughItsToken) {
+  rt::WorkerPool pool({2});
+  PoolStall stall(pool);
+  svc::ServiceConfig cfg;
+  cfg.pool = &pool;
+  cfg.max_inflight = 1;
+  svc::Service service(cfg);
+
+  Matrix m = random_matrix(96, 96, 602);
+  svc::JobRequest req = lu_request(m.view(), svc::QosClass::Interactive);
+  req.deadline = 30ms;
+  const auto adm = service.submit(req);
+  ASSERT_TRUE(adm.accepted);
+  // The job dispatches immediately (empty queue) onto the stalled pool, so
+  // it is Running when its deadline fires.
+  while (service.queue_depth() > 0) std::this_thread::sleep_for(1ms);
+  std::this_thread::sleep_for(80ms);
+  stall.release();
+
+  const svc::JobOutcome& out = adm.handle.wait();
+  EXPECT_EQ(out.status, svc::JobStatus::Cancelled);
+  EXPECT_TRUE(out.deadline_hit);
+  EXPECT_GT(out.sched.totals().tasks_skipped, 0);
+  service.drain();
+  EXPECT_EQ(service.stats().queued, 0u);
+  EXPECT_EQ(service.stats().per_class[2].cancelled, 1);
+}
+
+TEST(SvcService, ClientCancelAbortsQueuedJob) {
+  rt::WorkerPool pool({2});
+  PoolStall stall(pool);
+  svc::ServiceConfig cfg;
+  cfg.pool = &pool;
+  cfg.max_inflight = 1;
+  svc::Service service(cfg);
+
+  Matrix head_m = random_matrix(48, 48, 610);
+  const auto head =
+      service.submit(lu_request(head_m.view(), svc::QosClass::Normal));
+  while (service.queue_depth() > 0) std::this_thread::sleep_for(1ms);
+  Matrix m = random_matrix(48, 48, 611);
+  const auto adm = service.submit(lu_request(m.view(), svc::QosClass::Normal));
+  adm.handle.cancel();
+  stall.release();
+  const svc::JobOutcome& out = adm.handle.wait();
+  EXPECT_EQ(out.status, svc::JobStatus::Cancelled);
+  EXPECT_FALSE(out.deadline_hit);
+  EXPECT_EQ(out.sched.totals().tasks_executed, 0);
+  EXPECT_EQ(head.handle.wait().status, svc::JobStatus::Completed);
+  service.drain();
+}
+
+// ---- Failure isolation ---------------------------------------------------
+
+TEST(SvcService, InjectedTaskFailureFailsTheJobNotTheService) {
+  rt::FaultConfig fc;
+  fc.throw_on_task = 0;  // first task of every job's graph
+  rt::FaultInjector inj(fc);
+  svc::ServiceConfig cfg;
+  cfg.num_threads = 4;
+  cfg.fault = &inj;
+  svc::Service service(cfg);
+
+  Matrix bad = random_matrix(64, 64, 700);
+  const auto failed =
+      service.submit(lu_request(bad.view(), svc::QosClass::Normal, "chaos"));
+  const svc::JobOutcome& out = failed.handle.wait();
+  EXPECT_EQ(out.status, svc::JobStatus::Failed);
+  EXPECT_NE(out.error.find("fault"), std::string::npos) << out.error;
+  EXPECT_GT(out.sched.totals().tasks_skipped, 0);
+  service.drain();
+  const svc::ServiceStats st = service.stats();
+  EXPECT_EQ(st.per_tenant.at("chaos").failed, 1);
+  EXPECT_EQ(st.queued, 0u);
+  EXPECT_EQ(st.inflight, 0);
+}
+
+// ---- Shutdown / drain contract -------------------------------------------
+
+TEST(SvcService, ShutdownWithoutRunningQueuedJobsCancelsThem) {
+  rt::WorkerPool pool({2});
+  PoolStall stall(pool);
+  svc::ServiceConfig cfg;
+  cfg.pool = &pool;
+  cfg.max_inflight = 1;
+  svc::Service service(cfg);
+
+  std::vector<Matrix> ms;
+  std::vector<svc::JobHandle> handles;
+  for (int i = 0; i < 3; ++i) {
+    ms.push_back(random_matrix(48, 48, 800 + i));
+    handles.push_back(
+        service.submit(lu_request(ms.back().view(), svc::QosClass::Normal))
+            .handle);
+  }
+  while (service.queue_depth() > 2) std::this_thread::sleep_for(1ms);
+
+  // shutdown(false) drops the two queued jobs immediately, then blocks on
+  // the running one — which needs the stall released to finish.
+  std::thread stopper([&] { service.shutdown(false); });
+  EXPECT_EQ(handles[1].wait().status, svc::JobStatus::Cancelled);
+  EXPECT_EQ(handles[2].wait().status, svc::JobStatus::Cancelled);
+  stall.release();
+  stopper.join();
+  EXPECT_EQ(handles[0].wait().status, svc::JobStatus::Completed);
+
+  // Stopped service refuses new work as Rejected (clean backpressure).
+  Matrix late = random_matrix(48, 48, 810);
+  const auto adm =
+      service.submit(lu_request(late.view(), svc::QosClass::Interactive));
+  EXPECT_FALSE(adm.accepted);
+  EXPECT_EQ(adm.handle.status(), svc::JobStatus::Rejected);
+  EXPECT_EQ(service.stats().queued, 0u);
+}
+
+TEST(SvcService, DestructorRunsQueuedJobsAndPoolSurvives) {
+  rt::WorkerPool pool({4});
+  std::vector<Matrix> ms;
+  std::vector<svc::JobHandle> handles;
+  {
+    svc::ServiceConfig cfg;
+    cfg.pool = &pool;
+    cfg.max_inflight = 2;
+    svc::Service service(cfg);
+    for (int i = 0; i < 6; ++i) {
+      ms.push_back(random_matrix(64, 64, 900 + i));
+      handles.push_back(
+          service
+              .submit(lu_request(ms.back().view(), svc::QosClass::Batch))
+              .handle);
+    }
+    // Destructor: stop accepting, run everything queued, join threads.
+  }
+  for (const auto& h : handles) {
+    EXPECT_EQ(h.wait().status, svc::JobStatus::Completed);
+  }
+  // The external pool is untouched by service teardown.
+  core::CaluOptions opts;
+  opts.b = 16;
+  opts.tr = 2;
+  opts.pool = &pool;
+  opts.num_threads = pool.size();
+  opts.record_trace = false;
+  Matrix again = random_matrix(64, 64, 950);
+  EXPECT_EQ(core::calu_factor(again.view(), opts).info, 0);
+}
+
+// ---- QoS priority bands --------------------------------------------------
+
+TEST(SvcService, QosBiasSaturatesInsteadOfWrapping) {
+  EXPECT_EQ(svc::qos_priority_bias(svc::QosClass::Batch), 0);
+  EXPECT_EQ(svc::qos_priority_bias(svc::QosClass::Normal),
+            svc::kQosBandWidth);
+  EXPECT_EQ(svc::qos_priority_bias(svc::QosClass::Interactive),
+            2 * svc::kQosBandWidth);
+  constexpr int kMax = std::numeric_limits<int>::max();
+  EXPECT_EQ(core::biased_priority(kMax - 1, 10), kMax);
+  EXPECT_EQ(core::biased_priority(5, svc::kQosBandWidth),
+            5 + svc::kQosBandWidth);
+  EXPECT_EQ(core::biased_priority(std::numeric_limits<int>::min(), -10),
+            std::numeric_limits<int>::min());
+}
+
+}  // namespace
+}  // namespace camult

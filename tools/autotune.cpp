@@ -15,6 +15,7 @@
 // but can never change numerical results, and the loader rejects anything
 // malformed wholesale (falling back to built-in defaults).
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +57,21 @@ const idx kNcCandidates[] = {384, 768, 1536};
 
 idx round_up(idx v, idx step) { return ((v + step - 1) / step) * step; }
 
+// Strict --reps parse: the whole token must be a decimal integer >= 1.
+// atoi silently mapped "abc" to 0 (then max'd to 1) and "3x" to 3, so a
+// typo'd invocation tuned with the wrong repetition count instead of
+// failing loudly.
+bool parse_reps(const char* s, int* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || v < 1 || v > 1000000) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
 double time_gemm(const Matrix& a, const Matrix& b, Matrix& c,
                  const Matrix& c0, int reps) {
   double best = 1e300;
@@ -83,7 +99,11 @@ int main(int argc, char** argv) {
     if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--reps" && i + 1 < argc) {
-      reps = std::max(1, std::atoi(argv[++i]));
+      if (!parse_reps(argv[++i], &reps)) {
+        std::fprintf(stderr, "autotune: invalid --reps '%s' (want integer"
+                     " >= 1)\n", argv[i]);
+        return 2;
+      }
     } else if (arg == "--quick") {
       quick = true;
     } else if (arg == "--dry-run") {

@@ -82,13 +82,17 @@ void check_row(const std::string& file, const JsonValue& row,
                                    "critical_path_s", "total_work_s",
                                    "health_max_growth", "fallback_panels",
                                    "flops_per_byte",
-                                   "mc", "kc", "nc", "mr", "nr"};
+                                   "mc", "kc", "nc", "mr", "nr",
+                                   // service_load rows (svc job service)
+                                   "jobs", "completed", "shed", "rejected",
+                                   "p50_ms", "p99_ms", "jobs_per_sec"};
   for (const char* key : kNumeric) {
     if (const JsonValue* v = row.find(key); v != nullptr && !v->is_number()) {
       fail(file, where + "." + key + " is not a number");
     }
   }
-  static const char* kText[] = {"competitor", "kernel", "arch"};
+  static const char* kText[] = {"competitor", "kernel", "arch", "phase",
+                                "qos"};
   for (const char* key : kText) {
     if (const JsonValue* v = row.find(key); v != nullptr && !v->is_string()) {
       fail(file, where + "." + key + " is not a string");

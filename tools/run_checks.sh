@@ -11,6 +11,9 @@
 #   tsan    the ThreadSanitizer concurrency suite (tools/run_tsan.sh):
 #           scheduler stress, fault injection + the shared-PackedPanel
 #           pipeline
+#   svc     the factorization job-service slice: ctest -L svc plus a
+#           short bench/service_load run whose BENCH_service_load.json
+#           must pass tools/check_bench_json
 #   bench   run bench/gemm_kernel at full size and schema-check its
 #           BENCH_gemm_kernel.json artifact
 #
@@ -22,7 +25,7 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${BUILD_DIR:-"$repo_root/build-checks"}
 jobs=${JOBS:-$(nproc 2>/dev/null || echo 4)}
-tiers=${*:-"build test fault tsan bench"}
+tiers=${*:-"build test fault svc tsan bench"}
 
 say() { printf '\n== run_checks: %s ==\n' "$*"; }
 
@@ -44,6 +47,17 @@ for tier in $tiers; do
     tsan)
       say "ThreadSanitizer suite"
       "$repo_root/tools/run_tsan.sh"
+      ;;
+    svc)
+      say "job-service slice (ctest -L svc + service_load smoke)"
+      ctest --test-dir "$build_dir" --output-on-failure -L svc
+      out_dir="$build_dir/checks_svc"
+      rm -rf "$out_dir"
+      mkdir -p "$out_dir"
+      CAMULT_BENCH_JSON="$out_dir" CAMULT_BENCH_SVC_JOBS=24 \
+        CAMULT_BENCH_SVC_QUEUE=8 CAMULT_BENCH_SEED=7 \
+        "$build_dir/bench/service_load"
+      "$build_dir/tools/check_bench_json" "$out_dir/BENCH_service_load.json"
       ;;
     bench)
       say "gemm_kernel bench + JSON schema check"

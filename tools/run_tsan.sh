@@ -11,11 +11,13 @@
 # attached DAGs: the attach/detach, park/wake and control-epoch
 # handshakes), test_blas_pack (including the dead-thread_local slab
 # pool regression, which under ASAN is a heap use-after-free if pool()
-# ever hands back the destroyed pool) and test_fault_inject (the
+# ever hands back the destroyed pool), test_fault_inject (the
 # failure-aware surface: seeded fault injection into hundreds of
 # CALU/CAQR runs, cancellation, and the fast-abort drain accounting —
-# exactly the error paths production never exercises until it hurts).
-# Any reported race fails the run.
+# exactly the error paths production never exercises until it hurts)
+# and test_svc (the multi-tenant job service: dispatcher threads racing
+# submit/shed/cancel/shutdown over one shared pool, watchdog deadline
+# firing against running jobs). Any reported race fails the run.
 #
 # Usage: tools/run_tsan.sh [build-dir]        (default: build-tsan)
 # Other sanitizers via: SAN=address tools/run_tsan.sh
@@ -34,7 +36,7 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCAMULT_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j --target test_runtime test_scheduler_stress \
   test_observability test_pack_concurrency test_worker_pool test_blas_pack \
-  test_fault_inject
+  test_fault_inject test_svc
 
 case "$san" in
   thread)
@@ -55,4 +57,5 @@ esac
 "$build_dir/tests/test_worker_pool"
 "$build_dir/tests/test_blas_pack"
 "$build_dir/tests/test_fault_inject"
+"$build_dir/tests/test_svc"
 echo "[$san sanitizer] all scheduler tests passed"
