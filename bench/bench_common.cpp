@@ -124,9 +124,10 @@ Measurement run_one(const Competitor& comp, const Matrix& a, double flops,
 
 /// One report row per (competitor, problem) measurement — the common
 /// vocabulary tools/check_bench_json.cpp validates. tr = 0 for competitors
-/// without a tournament parameter.
+/// without a tournament parameter; window = 0 for full-DAG submission.
 void emit_row(JsonReport& rep, const std::string& competitor, idx m, idx n,
-              idx b, idx tr, int cores, const Measurement& meas) {
+              idx b, idx tr, int cores, const Measurement& meas,
+              idx window = 0) {
   JsonValue& row = rep.new_row();
   row.set("competitor", JsonValue::make_string(competitor));
   row.set("m", JsonValue::make_number(static_cast<double>(m)));
@@ -134,6 +135,7 @@ void emit_row(JsonReport& rep, const std::string& competitor, idx m, idx n,
   row.set("b", JsonValue::make_number(static_cast<double>(b)));
   row.set("tr", JsonValue::make_number(static_cast<double>(tr)));
   row.set("cores", JsonValue::make_number(cores));
+  row.set("window", JsonValue::make_number(static_cast<double>(window)));
   JsonReport::fill_measurement(row, meas);
 }
 
@@ -144,10 +146,15 @@ void run_lu_tall_figure(const std::string& title, const std::string& csv_name,
                         const std::vector<idx>& default_ns) {
   const idx m = env_idx("CAMULT_BENCH_M", default_m);
   const std::vector<idx> ns = env_idx_list("CAMULT_BENCH_NS", default_ns);
+  // Sliding-window DAG submission for the CALU competitors; 0 (default)
+  // builds the whole DAG up front. At paper scale (m = 1e6) the windowed
+  // run is what keeps the task store O(window) instead of O(m/b).
+  const idx window = env_idx("CAMULT_BENCH_WINDOW", 0);
   print_mode_banner(title.c_str(), cores);
-  std::printf("m = %lld (paper: see EXPERIMENTS.md; override with "
-              "CAMULT_BENCH_M / CAMULT_BENCH_NS)\n",
-              static_cast<long long>(m));
+  std::printf("m = %lld, window = %lld (paper: see EXPERIMENTS.md; override "
+              "with CAMULT_BENCH_M / CAMULT_BENCH_NS / "
+              "CAMULT_BENCH_WINDOW)\n",
+              static_cast<long long>(m), static_cast<long long>(window));
   verify_lu_competitors({});
 
   std::vector<std::string> headers = {"n", "dgetf2", "blk_dgetrf", "tiledLU"};
@@ -160,7 +167,10 @@ void run_lu_tall_figure(const std::string& title, const std::string& csv_name,
 
   for (idx n : ns) {
     if (n > m) continue;
-    const idx b = std::min<idx>(n, 100);
+    // CAMULT_BENCH_B shrinks the panel width below the paper's 100 so a
+    // reduced-size run still produces many panel iterations (the CI window
+    // tier uses it to exercise slab recycling at smoke-test cost).
+    const idx b = std::min<idx>(n, env_idx("CAMULT_BENCH_B", 100));
     Matrix a = random_matrix(m, n, 1000 + n);
     const double flops = lu_flops(m, n);
 
@@ -169,7 +179,9 @@ void run_lu_tall_figure(const std::string& title, const std::string& csv_name,
     const Measurement til = run_one(lu_tiled(b), a, flops, cores);
     std::vector<Measurement> calu;
     for (idx tr : trs) {
-      calu.push_back(run_one(lu_calu(b, tr), a, flops, cores));
+      calu.push_back(run_one(
+          lu_calu(b, tr, core::ReductionTree::Binary, window), a, flops,
+          cores));
     }
     double best = 0;
     for (const auto& c : calu) best = std::max(best, c.gflops);
@@ -179,7 +191,7 @@ void run_lu_tall_figure(const std::string& title, const std::string& csv_name,
     emit_row(rep, "tiledLU", m, n, b, 0, cores, til);
     for (std::size_t i = 0; i < trs.size(); ++i) {
       emit_row(rep, "CALU Tr=" + std::to_string(trs[i]), m, n, b, trs[i],
-               cores, calu[i]);
+               cores, calu[i], window);
     }
 
     t.row().cell(static_cast<long long>(n));
@@ -198,9 +210,11 @@ void run_qr_tall_figure(const std::string& title, const std::string& csv_name,
                         const std::vector<idx>& default_ns) {
   const idx m = env_idx("CAMULT_BENCH_M", default_m);
   const std::vector<idx> ns = env_idx_list("CAMULT_BENCH_NS", default_ns);
+  const idx window = env_idx("CAMULT_BENCH_WINDOW", 0);
   print_mode_banner(title.c_str(), cores);
-  std::printf("m = %lld (override with CAMULT_BENCH_M / CAMULT_BENCH_NS)\n",
-              static_cast<long long>(m));
+  std::printf("m = %lld, window = %lld (override with CAMULT_BENCH_M / "
+              "CAMULT_BENCH_NS / CAMULT_BENCH_WINDOW)\n",
+              static_cast<long long>(m), static_cast<long long>(window));
   verify_qr_competitors({});
 
   Table t({"n", "dgeqr2", "blk_dgeqrf", "tiledQR", "CAQR Tr=4", "TSQR Tr=8",
@@ -208,21 +222,22 @@ void run_qr_tall_figure(const std::string& title, const std::string& csv_name,
   JsonReport rep(csv_name, cores);
   for (idx n : ns) {
     if (n > m) continue;
-    const idx b = std::min<idx>(n, 100);
+    const idx b = std::min<idx>(n, env_idx("CAMULT_BENCH_B", 100));
     Matrix a = random_matrix(m, n, 2000 + n);
     const double flops = qr_flops(m, n);
 
     const Measurement g2 = run_one(qr_geqr2(), a, flops, cores);
     const Measurement blk = run_one(qr_blocked(b), a, flops, cores);
     const Measurement til = run_one(qr_tiled(b), a, flops, cores);
-    const Measurement caqr =
-        run_one(qr_caqr(b, 4, core::ReductionTree::Flat), a, flops, cores);
+    const Measurement caqr = run_one(
+        qr_caqr(b, 4, core::ReductionTree::Flat, "", window), a, flops,
+        cores);
     const Measurement tsqr = run_one(qr_tsqr(8), a, flops, cores);
 
     emit_row(rep, "dgeqr2(BLAS2)", m, n, b, 0, cores, g2);
     emit_row(rep, "blk_dgeqrf", m, n, b, 0, cores, blk);
     emit_row(rep, "tiledQR", m, n, b, 0, cores, til);
-    emit_row(rep, "CAQR Tr=4", m, n, b, 4, cores, caqr);
+    emit_row(rep, "CAQR Tr=4", m, n, b, 4, cores, caqr, window);
     emit_row(rep, "TSQR Tr=8", m, n, n, 8, cores, tsqr);
 
     t.row().cell(static_cast<long long>(n));

@@ -56,6 +56,12 @@ inline Competitor lu_getf2() {
           }};
 }
 
+// Per-task trace retention is opt-in for the drivers below: simulated mode
+// (threads == 0) needs the recorded DAG for sim::simulate, but a real-mode
+// wall-clock run keeps tracing off so timing (and, for windowed runs, the
+// O(window) memory claim) is honest — a retained trace grows O(tasks).
+inline bool bench_trace(int threads) { return threads == 0; }
+
 inline Competitor lu_blocked(idx nb, idx strips) {
   return {"blk_dgetrf", [nb, strips](const Matrix& a, int threads) {
             Matrix w = a;
@@ -63,6 +69,7 @@ inline Competitor lu_blocked(idx nb, idx strips) {
             o.nb = nb;
             o.strips = strips;
             o.num_threads = threads;
+            o.record_trace = bench_trace(threads);
             auto r = baseline::blocked_getrf(w.view(), o);
             return RunArtifacts{std::move(r.trace), std::move(r.edges),
                                 std::move(r.sched)};
@@ -75,25 +82,34 @@ inline Competitor lu_tiled(idx b) {
             tiled::TileLuOptions o;
             o.b = b;
             o.num_threads = threads;
+            o.record_trace = bench_trace(threads);
             auto r = tiled::tile_lu_factor(w.view(), o);
             return RunArtifacts{std::move(r.trace), std::move(r.edges),
                                 std::move(r.sched)};
           }};
 }
 
-inline Competitor lu_calu(idx b, idx tr, core::ReductionTree tree =
-                                             core::ReductionTree::Binary) {
-  return {"CALU Tr=" + std::to_string(tr),
-          [b, tr, tree](const Matrix& a, int threads) {
+/// `window` > 0 streams the DAG in a sliding window (CaluOptions::window);
+/// results are bitwise identical, task-store memory is O(window).
+inline Competitor lu_calu(idx b, idx tr,
+                          core::ReductionTree tree =
+                              core::ReductionTree::Binary,
+                          idx window = 0) {
+  std::string name = "CALU Tr=" + std::to_string(tr);
+  if (window > 0) name += " w=" + std::to_string(window);
+  return {std::move(name),
+          [b, tr, tree, window](const Matrix& a, int threads) {
             Matrix w = a;
             core::CaluOptions o;
             o.b = b;
             o.tr = tr;
             o.tree = tree;
             o.num_threads = threads;
+            o.window = window;
+            o.record_trace = bench_trace(threads);
             auto r = core::calu_factor(w.view(), o);
             return RunArtifacts{std::move(r.trace), std::move(r.edges),
-                                std::move(r.sched)};
+                                std::move(r.sched), r.mem};
           }};
 }
 
@@ -115,6 +131,7 @@ inline Competitor qr_blocked(idx nb) {
             baseline::BlockedOptions o;
             o.nb = nb;
             o.num_threads = threads;
+            o.record_trace = bench_trace(threads);
             auto r = baseline::blocked_geqrf(w.view(), o);
             return RunArtifacts{std::move(r.trace), std::move(r.edges),
                                 std::move(r.sched)};
@@ -127,26 +144,30 @@ inline Competitor qr_tiled(idx b) {
             tiled::TileQrOptions o;
             o.b = b;
             o.num_threads = threads;
+            o.record_trace = bench_trace(threads);
             auto r = tiled::tile_qr_factor(w.view(), o);
             return RunArtifacts{std::move(r.trace), std::move(r.edges),
                                 std::move(r.sched)};
           }};
 }
 
+/// `window` > 0 streams the DAG in a sliding window (CaqrOptions::window).
 inline Competitor qr_caqr(idx b, idx tr, core::ReductionTree tree =
                                              core::ReductionTree::Flat,
-                          const std::string& name = "") {
+                          const std::string& name = "", idx window = 0) {
   return {name.empty() ? "CAQR Tr=" + std::to_string(tr) : name,
-          [b, tr, tree](const Matrix& a, int threads) {
+          [b, tr, tree, window](const Matrix& a, int threads) {
             Matrix w = a;
             core::CaqrOptions o;
             o.b = b;
             o.tr = tr;
             o.tree = tree;
             o.num_threads = threads;
+            o.window = window;
+            o.record_trace = bench_trace(threads);
             auto r = core::caqr_factor(w.view(), o);
             return RunArtifacts{std::move(r.trace), std::move(r.edges),
-                                std::move(r.sched)};
+                                std::move(r.sched), r.mem};
           }};
 }
 
@@ -160,9 +181,10 @@ inline Competitor qr_tsqr(idx tr) {
             o.tr = tr;
             o.tree = core::ReductionTree::Binary;
             o.num_threads = threads;
+            o.record_trace = bench_trace(threads);
             auto r = core::caqr_factor(w.view(), o);
             return RunArtifacts{std::move(r.trace), std::move(r.edges),
-                                std::move(r.sched)};
+                                std::move(r.sched), r.mem};
           }};
 }
 

@@ -88,6 +88,21 @@ void JsonReport::fill_measurement(JsonValue& row, const Measurement& m) {
           JsonValue::make_number(static_cast<double>(totals.steals)));
   row.set("tasks", JsonValue::make_number(
                        static_cast<double>(totals.tasks_executed)));
+  // Task-store / trace memory telemetry (zero for competitors whose
+  // drivers predate MemoryStats): the fields the windowed-submission CI
+  // tier asserts on.
+  row.set("peak_task_store_bytes",
+          JsonValue::make_number(
+              static_cast<double>(m.mem.peak_task_store_bytes)));
+  row.set("task_blocks_allocated",
+          JsonValue::make_number(
+              static_cast<double>(m.mem.blocks_allocated)));
+  row.set("task_blocks_recycled",
+          JsonValue::make_number(
+              static_cast<double>(m.mem.blocks_recycled)));
+  row.set("trace_records_harvested",
+          JsonValue::make_number(
+              static_cast<double>(m.mem.trace_records_harvested)));
   if (!real_mode()) {
     row.set("critical_path_s", JsonValue::make_number(m.critical_path_s));
     row.set("total_work_s", JsonValue::make_number(m.total_work_s));

@@ -43,6 +43,7 @@ Measurement measure(const std::function<RunArtifacts(int)>& run, double flops,
     m.seconds = std::chrono::duration<double>(t1 - t0).count();
     m.gflops = gflops(flops, m.seconds);
     m.sched = std::move(art.sched);
+    m.mem = art.mem;
     if (!art.trace.empty()) {
       m.idle_fraction =
           std::clamp(rt::compute_stats(art.trace, cores).idle_fraction, 0.0,
@@ -68,6 +69,7 @@ Measurement measure(const std::function<RunArtifacts(int)>& run, double flops,
   }
   m.schedule = std::move(sr.schedule);
   m.sched = std::move(art.sched);
+  m.mem = art.mem;
   return m;
 }
 

@@ -24,6 +24,9 @@ struct RunArtifacts {
   std::vector<rt::TaskRecord> trace;
   std::vector<rt::TaskGraph::Edge> edges;
   rt::SchedulerStats sched;  ///< counters from the run's TaskGraph
+  /// Task-store / trace memory telemetry of the run (zeroed for
+  /// competitors that predate the windowed drivers).
+  rt::TaskGraph::MemoryStats mem{};
 };
 
 struct Measurement {
@@ -39,6 +42,9 @@ struct Measurement {
   /// pool's counters (steals, wakeups, ...). Sim mode: the serial record
   /// run's counters (execution telemetry like steals is not meaningful).
   rt::SchedulerStats sched;
+  /// Task-store / trace memory telemetry of the measured run (peak task
+  /// store bytes, slab recycling counters, harvested trace records).
+  rt::TaskGraph::MemoryStats mem;
 };
 
 /// True when CAMULT_BENCH_REAL=1 is set.

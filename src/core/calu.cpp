@@ -28,18 +28,24 @@ using rt::TaskKind;
 
 // Key spaces for the dependency tracker: matrix tiles, tournament candidate
 // slots, and the per-iteration pivot decision. The candidate-slot stride is
-// derived from the real per-iteration slot bound (see calu_factor) — a fixed
+// derived from the real per-iteration slot bound (see calu_submit) — a fixed
 // stride would silently alias iteration k's keys with iteration k+1's once a
-// panel produced more slots than the stride, corrupting the DAG.
+// panel produced more slots than the stride, corrupting the DAG. The
+// iteration index `k` here is a KeyRing slot in windowed mode (the dep-key
+// spaces wrap modulo window + 2 — see lookahead.hpp) and the global index
+// otherwise; checked_key_offset throws instead of wrapping past the 2^59
+// per-space envelope, which keeps (1<<60) | (1<<61) | (1<<62) disjoint.
 rt::BlockKey tile_key(idx i, idx j) { return rt::block_key(i, j); }
 rt::BlockKey cand_key(idx k, idx slot, idx stride) {
-  return (idx{1} << 60) + k * stride + slot;
+  return (idx{1} << 60) + checked_key_offset(k, stride, slot);
 }
-rt::BlockKey piv_key(idx k) { return (idx{1} << 61) + k; }
+rt::BlockKey piv_key(idx k) {
+  return (idx{1} << 61) + checked_key_offset(k, 1, 0);
+}
 // One key per (iteration, leaf) packed L block; same stride bound as the
 // candidate slots, so the spaces stay disjoint across iterations.
 rt::BlockKey pack_key(idx k, idx slot, idx stride) {
-  return (idx{1} << 62) + k * stride + slot;
+  return (idx{1} << 62) + checked_key_offset(k, stride, slot);
 }
 
 // Per-iteration shared state, kept alive until the graph drains.
@@ -72,6 +78,28 @@ void add_tile_range(std::vector<BlockAccess>& acc, idx i0, idx i1, idx j,
   for (idx i = i0; i < i1; ++i) acc.push_back({tile_key(i, j), mode});
 }
 
+// Submission-side state for the sliding-window pump: everything the
+// per-iteration submit loop needs to resume where it left off. Lives on the
+// job (heap, stable address) because calu_collect keeps pumping after the
+// constructor returned. With window == 0 the pump degenerates to the old
+// submit-everything-up-front loop run to completion inside calu_submit.
+struct CaluSubmitCtx {
+  MatrixView a;
+  CaluOptions opts;
+  idx m = 0, n = 0, k_total = 0, b = 0;
+  idx n_panels = 0, n_blocks = 0, m_blocks = 0;
+  idx cand_stride = 0;
+  idx window = 0;   // 0 = full-DAG mode
+  KeyRing ring;     // dep-key reuse across retired iterations
+  rt::DepTracker tracker;
+  LookaheadPriorities prio;
+  // Task ids are assigned densely in submission order, so the id can be
+  // known before submit() and used to register the block accesses.
+  TaskId next_id = 0;
+  idx next_k = 0;           // first not-yet-submitted iteration
+  bool swaps_done = false;  // deferred left swaps submitted
+};
+
 // Everything a submitted-but-not-yet-collected factorization keeps alive.
 // Task lambdas hold raw pointers into these members (result.ipiv,
 // panel_info slots, IterStates), so a CaluJob must not move between
@@ -82,65 +110,46 @@ struct CaluJob {
   std::vector<PanelHealthSlot> panel_health;
   std::vector<std::unique_ptr<IterState>> iters;
   std::unique_ptr<rt::TaskGraph> graph;
+  std::unique_ptr<CaluSubmitCtx> ctx;
 };
 
-// Build the full DAG for one factorization and submit it to job.graph.
-// Returns immediately in real-thread/attached mode (workers execute in the
-// background); inline mode runs each task at submit, so it completes here.
-void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
-  const idx m = a.rows();
-  const idx n = a.cols();
-  const idx k_total = std::min(m, n);
-  const idx b = std::max<idx>(1, std::min(opts.b, k_total));
-  const idx n_panels = (k_total + b - 1) / b;
-  const idx n_blocks = (n + b - 1) / b;  // column blocks
-  const idx m_blocks = (m + b - 1) / b;  // row blocks (tracker granularity)
+TaskId calu_add_task(CaluJob& job, const std::vector<BlockAccess>& acc,
+                     rt::TaskOptions topts, std::function<void()> fn) {
+  CaluSubmitCtx& C = *job.ctx;
+  topts.priority = biased_priority(topts.priority, C.opts.priority_bias);
+  const std::vector<TaskId> deps = C.tracker.depends(C.next_id, acc);
+  const TaskId id = job.graph->submit(deps, std::move(topts), std::move(fn));
+  assert(id == C.next_id);
+  ++C.next_id;
+  return id;
+}
 
-  job.result.ipiv.assign(static_cast<std::size_t>(k_total), 0);
-  job.panel_info.assign(static_cast<std::size_t>(n_panels), 0);
-  job.panel_health.assign(static_cast<std::size_t>(n_panels),
-                          PanelHealthSlot{});
-
-  // Candidate-slot key stride: partition_panel_rows returns at most
-  // min(tr, m_blocks) leaves (leaf boundaries are multiples of b), so this
-  // bound keeps every iteration's slot keys disjoint for any user-supplied
-  // tr — unbounded tr used to overflow a fixed stride of 8192.
-  const idx cand_stride = std::max<idx>(1, std::min(opts.tr, m_blocks)) + 1;
-
-  rt::TaskGraph::Config graph_cfg;
-  graph_cfg.num_threads = opts.num_threads;
-  graph_cfg.record_trace = opts.record_trace;
-  graph_cfg.policy = opts.scheduler;
-  graph_cfg.pool = opts.pool;
-  graph_cfg.cancel = opts.cancel;
-  graph_cfg.fault = opts.fault;
-  job.graph = std::make_unique<rt::TaskGraph>(graph_cfg);
-  rt::TaskGraph& graph = *job.graph;
-  rt::DepTracker tracker;
-  // Look-ahead priority bands (see lookahead.hpp): panel path on top, then
-  // the U/S tasks of column k+1 that unblock panel k+1, then ordinary
-  // trailing updates — so the next panel races ahead as soon as its column
-  // is up to date.
-  const LookaheadPriorities prio{n_panels, n_blocks, opts.lookahead};
-
+// Submit every task of panel iteration k (tournament, pivot, L, pack, U, S,
+// pack release). Identical task bodies, priorities, and dependency structure
+// whether the pump runs it eagerly (full-DAG) or throttled (windowed) — only
+// the dep-key indices wrap through the KeyRing in windowed mode, which
+// resolves to the same edges because the previous slot owner has retired.
+void calu_submit_iteration(CaluJob& job, idx k) {
+  CaluSubmitCtx& C = *job.ctx;
+  MatrixView a = C.a;
+  const CaluOptions& opts = C.opts;
+  const idx m = C.m;
+  const idx n = C.n;
+  const idx k_total = C.k_total;
+  const idx b = C.b;
+  const idx n_blocks = C.n_blocks;
+  const idx m_blocks = C.m_blocks;
+  const idx cand_stride = C.cand_stride;
+  const idx kr = C.ring.slot(k);  // dep-key iteration index
+  const LookaheadPriorities& prio = C.prio;
   std::vector<std::unique_ptr<IterState>>& iters = job.iters;
-  iters.reserve(static_cast<std::size_t>(n_panels));
-
-  // Task ids are assigned densely in submission order, so the id can be
-  // known before submit() and used to register the block accesses.
-  TaskId next_id = 0;
-  auto add_task = [&](const std::vector<BlockAccess>& acc,
-                      rt::TaskOptions topts,
-                      std::function<void()> fn) -> TaskId {
-    topts.priority = biased_priority(topts.priority, opts.priority_bias);
-    const std::vector<TaskId> deps = tracker.depends(next_id, acc);
-    const TaskId id = graph.submit(deps, std::move(topts), std::move(fn));
-    assert(id == next_id);
-    ++next_id;
-    return id;
+  auto add_task = [&job](const std::vector<BlockAccess>& acc,
+                         rt::TaskOptions topts,
+                         std::function<void()> fn) -> TaskId {
+    return calu_add_task(job, acc, std::move(topts), std::move(fn));
   };
 
-  for (idx k = 0; k < n_panels; ++k) {
+  {
     const idx row0 = k * b;                        // panel top row
     const idx jb = std::min(b, k_total - row0);    // panel width
     const idx col0 = row0;                         // panel left column
@@ -165,7 +174,7 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
       std::vector<BlockAccess> acc;
       add_tile_range(acc, kb + lstart / b, kb + (lstart + lrows + b - 1) / b,
                      kb, AccessMode::Read);
-      acc.push_back({cand_key(k, i, cand_stride), AccessMode::Write});
+      acc.push_back({cand_key(kr, i, cand_stride), AccessMode::Write});
       rt::TaskOptions topts;
       topts.kind = TaskKind::Panel;
       topts.iteration = static_cast<int>(k);
@@ -182,11 +191,11 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
     for (const ReductionStep& step :
          reduction_schedule(static_cast<int>(leaves), opts.tree)) {
       std::vector<BlockAccess> acc;
-      acc.push_back({cand_key(k, step.sources.front(), cand_stride),
+      acc.push_back({cand_key(kr, step.sources.front(), cand_stride),
                      AccessMode::ReadWrite});
       for (std::size_t s = 1; s < step.sources.size(); ++s) {
         acc.push_back(
-            {cand_key(k, step.sources[s], cand_stride), AccessMode::Read});
+            {cand_key(kr, step.sources[s], cand_stride), AccessMode::Read});
       }
       rt::TaskOptions topts;
       topts.kind = TaskKind::Panel;
@@ -211,8 +220,8 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
     // rows, install the root's packed LU as the top jb x jb block.
     {
       std::vector<BlockAccess> acc;
-      acc.push_back({cand_key(k, 0, cand_stride), AccessMode::Read});
-      acc.push_back({piv_key(k), AccessMode::Write});
+      acc.push_back({cand_key(kr, 0, cand_stride), AccessMode::Read});
+      acc.push_back({piv_key(kr), AccessMode::Write});
       add_tile_range(acc, kb, m_blocks, kb, AccessMode::ReadWrite);
       rt::TaskOptions topts;
       topts.kind = TaskKind::Panel;
@@ -351,7 +360,7 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
         std::vector<BlockAccess> acc;
         add_tile_range(acc, kb + lstart / b, kb + (lstart + lrows + b - 1) / b,
                        kb, AccessMode::Read);
-        acc.push_back({pack_key(k, i, cand_stride), AccessMode::Write});
+        acc.push_back({pack_key(kr, i, cand_stride), AccessMode::Write});
         rt::TaskOptions topts;
         topts.kind = TaskKind::Generic;
         topts.iteration = static_cast<int>(k);
@@ -372,7 +381,7 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
       const idx jcol0 = seg.col0;
       const idx jcols = seg.cols;
       std::vector<BlockAccess> acc;
-      acc.push_back({piv_key(k), AccessMode::Read});
+      acc.push_back({piv_key(kr), AccessMode::Read});
       acc.push_back({tile_key(kb, kb), AccessMode::Read});  // L_KK
       for (idx j2 = seg.jblk0; j2 < seg.jblk1; ++j2) {
         add_tile_range(acc, kb, m_blocks, j2, AccessMode::ReadWrite);
@@ -408,7 +417,7 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
         if (pack_here) {
           // The packed copy replaces the L tiles as the data source; the
           // Read on pack_key inherits the ordering the pack task set up.
-          acc.push_back({pack_key(k, i, cand_stride), AccessMode::Read});
+          acc.push_back({pack_key(kr, i, cand_stride), AccessMode::Read});
         } else {
           add_tile_range(acc, kb + lstart / b,
                          kb + (lstart + lrows + b - 1) / b, kb,
@@ -449,7 +458,7 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
     if (pack_here) {
       std::vector<BlockAccess> acc;
       for (idx i = 0; i < leaves; ++i) {
-        acc.push_back({pack_key(k, i, cand_stride), AccessMode::Write});
+        acc.push_back({pack_key(kr, i, cand_stride), AccessMode::Write});
       }
       rt::TaskOptions topts;
       topts.kind = TaskKind::Generic;
@@ -461,17 +470,41 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
       });
     }
   }
+}
 
-  // --- Deferred left swaps (Algorithm 1, line 41), one task per column
-  // block: apply the pivots of every later iteration, in order.
+// --- Deferred left swaps (Algorithm 1, line 41), one task per column
+// block: apply the pivots of every later iteration, in order. Submitted
+// after the last panel iteration; in windowed mode they ride in iteration
+// n_panels - 1 (nondecreasing tags) and their bodies read the retained
+// per-iteration piv vectors — which is exactly why the retire hook frees
+// tournament slots and pack slabs but never piv.
+void calu_submit_left_swaps(CaluJob& job) {
+  CaluSubmitCtx& C = *job.ctx;
+  MatrixView a = C.a;
+  const idx m = C.m;
+  const idx n = C.n;
+  const idx k_total = C.k_total;
+  const idx b = C.b;
+  const idx n_panels = C.n_panels;
+  const idx n_blocks = C.n_blocks;
+  const idx m_blocks = C.m_blocks;
+  std::vector<std::unique_ptr<IterState>>& iters = job.iters;
+  // In windowed mode only iterations >= n_panels - 1 - window can still be
+  // in flight here (the pump waited for everything older to retire before
+  // submitting the last panel), and those occupy distinct KeyRing slots
+  // whose latest tracker writer IS their pivot task — so depending on that
+  // suffix alone yields the same effective edges as the full-DAG loop over
+  // every later iteration, without touching O(n_panels) stale keys.
+  const idx dep_floor =
+      C.window > 0 ? std::max<idx>(0, n_panels - 1 - C.window) : 0;
   for (idx jblk = 0; jblk < n_blocks && jblk * b < k_total; ++jblk) {
     const idx jcol0 = jblk * b;
     const idx jcols = std::min(b, n - jcol0);
+    if (jblk + 1 >= n_panels) continue;  // no later pivots to apply
     std::vector<BlockAccess> acc;
-    for (idx kk = jblk + 1; kk < n_panels; ++kk) {
-      acc.push_back({piv_key(kk), AccessMode::Read});
+    for (idx kk = std::max(jblk + 1, dep_floor); kk < n_panels; ++kk) {
+      acc.push_back({piv_key(C.ring.slot(kk)), AccessMode::Read});
     }
-    if (acc.empty()) continue;
     add_tile_range(acc, jblk + 1, m_blocks, jblk, AccessMode::ReadWrite);
     rt::TaskOptions topts;
     topts.kind = TaskKind::Generic;
@@ -484,7 +517,7 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
     }
     MatrixView colv = a.block(0, jcol0, m, jcols);
     const idx jb_here = jblk;
-    add_task(acc, std::move(topts), [later, colv, jb_here, b]() {
+    calu_add_task(job, acc, std::move(topts), [later, colv, jb_here, b]() {
       idx kk = jb_here + 1;
       for (IterState* it : later) {
         MatrixView below = colv.trailing(kk * b, 0);
@@ -493,7 +526,109 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
       }
     });
   }
+}
 
+// Advance the submission pump until iteration `stop` (exclusive) has been
+// submitted; once every panel iteration is in, submit the deferred left
+// swaps. Windowed mode throttles: iteration k is only submitted after
+// iteration k - window fully retired (its slabs recycled, its IterState
+// buffers freed by the retire hook), and each iteration is sealed as soon
+// as its last task is in so completions can retire it. On cancellation the
+// pump stops submitting — skipped tasks still complete, so the retired
+// prefix stays consistent and wait() reports the CancelledError.
+void calu_pump(CaluJob& job, idx stop) {
+  CaluSubmitCtx& C = *job.ctx;
+  rt::TaskGraph& graph = *job.graph;
+  const idx lim = std::min(stop, C.n_panels);
+  while (C.next_k < lim) {
+    if (C.window > 0) {
+      if (graph.aborted()) return;
+      if (C.next_k > C.window) {
+        graph.wait_retired_iterations(C.next_k - C.window);
+      }
+    }
+    calu_submit_iteration(job, C.next_k);
+    // The last iteration stays open for the left-swap tasks below.
+    if (C.window > 0 && C.next_k < C.n_panels - 1) {
+      graph.seal_iterations(C.next_k);
+    }
+    ++C.next_k;
+  }
+  if (C.next_k >= C.n_panels && !C.swaps_done) {
+    if (!(C.window > 0 && graph.aborted())) {
+      calu_submit_left_swaps(job);
+    }
+    if (C.window > 0) graph.seal_iterations(C.n_panels - 1);
+    C.swaps_done = true;
+  }
+}
+
+// Set up one factorization's graph + submission context and start the pump:
+// everything with window == 0 (the full DAG, completing here in inline
+// mode), the first `window` iterations otherwise — calu_collect pumps the
+// rest. Returns immediately in real-thread/attached mode.
+void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
+  auto ctx = std::make_unique<CaluSubmitCtx>();
+  CaluSubmitCtx& C = *ctx;
+  C.a = a;
+  C.opts = opts;
+  C.m = a.rows();
+  C.n = a.cols();
+  C.k_total = std::min(C.m, C.n);
+  C.b = std::max<idx>(1, std::min(opts.b, C.k_total));
+  C.n_panels = (C.k_total + C.b - 1) / C.b;
+  C.n_blocks = (C.n + C.b - 1) / C.b;  // column blocks
+  C.m_blocks = (C.m + C.b - 1) / C.b;  // row blocks (tracker granularity)
+  // Candidate-slot key stride: partition_panel_rows returns at most
+  // min(tr, m_blocks) leaves (leaf boundaries are multiples of b), so this
+  // bound keeps every iteration's slot keys disjoint for any user-supplied
+  // tr — unbounded tr used to overflow a fixed stride of 8192.
+  C.cand_stride = std::max<idx>(1, std::min(opts.tr, C.m_blocks)) + 1;
+  C.window = (opts.window > 0 && C.n_panels > 0) ? opts.window : 0;
+  C.ring.ring = C.window > 0 ? C.window + 2 : 0;
+  // Look-ahead priority bands (see lookahead.hpp): panel path on top, then
+  // the U/S tasks of column k+1 that unblock panel k+1, then ordinary
+  // trailing updates — so the next panel races ahead as soon as its column
+  // is up to date.
+  C.prio = LookaheadPriorities{C.n_panels, C.n_blocks, opts.lookahead};
+
+  job.result.ipiv.assign(static_cast<std::size_t>(C.k_total), 0);
+  job.panel_info.assign(static_cast<std::size_t>(C.n_panels), 0);
+  job.panel_health.assign(static_cast<std::size_t>(C.n_panels),
+                          PanelHealthSlot{});
+  job.iters.reserve(static_cast<std::size_t>(C.n_panels));
+
+  rt::TaskGraph::Config graph_cfg;
+  graph_cfg.num_threads = opts.num_threads;
+  graph_cfg.record_trace = opts.record_trace;
+  graph_cfg.policy = opts.scheduler;
+  graph_cfg.pool = opts.pool;
+  graph_cfg.cancel = opts.cancel;
+  graph_cfg.fault = opts.fault;
+  job.graph = std::make_unique<rt::TaskGraph>(graph_cfg);
+  job.ctx = std::move(ctx);
+
+  if (C.window > 0) {
+    job.graph->track_iterations(C.n_panels);
+    // Retirement frees the per-iteration working set the trailing tasks no
+    // longer need — tournament candidate blocks and pack slabs (the packfree
+    // task already emptied the slabs; shrink releases the vectors too). The
+    // piv vector, jb, and fell_back stay: the deferred left swaps and the
+    // collect-time folds read them after the iteration is long gone. Runs
+    // on the submission thread (advance_retired), so pushing new IterStates
+    // concurrently is safe — same thread.
+    std::vector<std::unique_ptr<IterState>>* iters_p = &job.iters;
+    job.graph->set_retire_hook([iters_p](idx k) {
+      IterState& st = *(*iters_p)[static_cast<std::size_t>(k)];
+      st.slot.clear();
+      st.slot.shrink_to_fit();
+      st.lpack.clear();
+      st.lpack.shrink_to_fit();
+    });
+    calu_pump(job, C.window);
+  } else {
+    calu_pump(job, C.n_panels);
+  }
 }
 
 // Drain the job's graph, fold panel infos + health, harvest trace/stats.
@@ -504,6 +639,7 @@ void calu_submit(MatrixView a, const CaluOptions& opts, CaluJob& job) {
 CaluResult calu_collect(CaluJob& job, bool record_trace,
                         rt::SchedulerStats* sched_out) {
   try {
+    calu_pump(job, job.ctx->n_panels);
     job.graph->wait();
   } catch (...) {
     if (sched_out != nullptr) *sched_out = job.graph->stats();
@@ -530,6 +666,7 @@ CaluResult calu_collect(CaluJob& job, bool record_trace,
     job.result.edges = job.graph->edges();
   }
   job.result.sched = job.graph->stats();
+  job.result.mem = job.graph->memory();
   if (sched_out != nullptr) *sched_out = job.result.sched;
   return std::move(job.result);
 }

@@ -77,6 +77,15 @@ struct CaluOptions {
   /// its `sched` member — is lost; this is the only way to observe how much
   /// of the DAG a fast-abort actually skipped).
   rt::SchedulerStats* sched_out = nullptr;
+  /// Sliding-window submission (ROADMAP item 4): keep at most `window`
+  /// panel iterations in flight, submitting iteration k only once iteration
+  /// k - window has fully retired, and recycling the retired prefix's
+  /// task-store slabs, dep keys, and tournament/pack buffers. Peak runtime
+  /// memory becomes O(window) instead of O(n_panels) while the executed
+  /// schedule — and the factorization, bitwise — is unchanged. 0 (the
+  /// default) keeps today's build-the-whole-DAG-then-wait behaviour. See
+  /// docs/runtime.md § Windowed submission.
+  idx window = 0;
 };
 
 struct CaluResult {
@@ -98,14 +107,20 @@ struct CaluResult {
   /// Numerical health verdict (screening, per-panel growth, GEPP
   /// fallbacks). Only populated when CaluOptions::monitor is set.
   HealthReport health;
+  /// Task-store / trace memory telemetry (always filled): peak task-store
+  /// bytes, slabs allocated vs recycled, trace records harvested from
+  /// retired slabs. Windowed runs keep peak_task_store_bytes O(window).
+  rt::TaskGraph::MemoryStats mem;
 };
 
 /// Factor A = P L U in place (same storage convention as getrf).
 CaluResult calu_factor(MatrixView a, const CaluOptions& opts = {});
 
-/// An in-flight CALU factorization: the constructor builds the full task DAG
-/// and submits it (returning immediately in pool/real-thread mode; inline
-/// mode runs everything in the constructor), collect() blocks for the result.
+/// An in-flight CALU factorization: the constructor builds and submits the
+/// task DAG (all of it with window == 0; just the first `window` iterations
+/// otherwise — collect() pumps the rest as earlier iterations retire) and
+/// returns immediately in pool/real-thread mode; inline mode runs the
+/// submitted prefix in the constructor. collect() blocks for the result.
 /// This is the submit/collect split the batch driver and the svc job service
 /// are built on — submit many, overlap their execution on one WorkerPool,
 /// collect in any order.

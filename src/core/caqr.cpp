@@ -26,23 +26,27 @@ using rt::TaskId;
 using rt::TaskKind;
 
 // The leaf/node key stride is derived from the real per-iteration slot
-// bound (see caqr_factor) — a fixed stride would silently alias iteration
+// bound (see caqr_submit) — a fixed stride would silently alias iteration
 // k's keys with iteration k+1's once a panel produced more slots than the
-// stride, corrupting the DAG.
+// stride, corrupting the DAG. The iteration index `k` here is a KeyRing
+// slot in windowed mode (wrapping modulo window + 2 — see lookahead.hpp)
+// and the global index otherwise; checked_key_offset throws instead of
+// wrapping past the 2^59 per-space envelope, which keeps the spaces
+// disjoint even through the pack keys' 2*offset+1 even/odd doubling.
 rt::BlockKey tile_key(idx i, idx j) { return rt::block_key(i, j); }
 rt::BlockKey leaf_key(idx k, idx slot, idx stride) {
-  return (idx{1} << 60) + k * stride + slot;
+  return (idx{1} << 60) + checked_key_offset(k, stride, slot);
 }
 rt::BlockKey node_key(idx k, idx node, idx stride) {
-  return (idx{1} << 61) + k * stride + node;
+  return (idx{1} << 61) + checked_key_offset(k, stride, node);
 }
 // Packed-V keys: even slots for leaf packs, odd for node packs, so both
 // live in one (1 << 62) space without colliding.
 rt::BlockKey pack_leaf_key(idx k, idx slot, idx stride) {
-  return (idx{1} << 62) + 2 * (k * stride + slot);
+  return (idx{1} << 62) + 2 * checked_key_offset(k, stride, slot);
 }
 rt::BlockKey pack_node_key(idx k, idx node, idx stride) {
-  return (idx{1} << 62) + 2 * (k * stride + node) + 1;
+  return (idx{1} << 62) + 2 * checked_key_offset(k, stride, node) + 1;
 }
 
 // Shared packed reflectors of one iteration (V2 of each leaf / dense
@@ -59,6 +63,26 @@ void add_tile_range(std::vector<BlockAccess>& acc, idx i0, idx i1, idx j,
   for (idx i = i0; i < i1; ++i) acc.push_back({tile_key(i, j), mode});
 }
 
+// Submission-side state for the sliding-window pump (see CaluSubmitCtx in
+// calu.cpp — same shape): everything the per-iteration submit loop needs to
+// resume where it left off. With window == 0 the pump degenerates to the
+// old submit-everything-up-front loop run to completion inside caqr_submit.
+struct CaqrSubmitCtx {
+  MatrixView a;
+  CaqrOptions opts;
+  idx m = 0, n = 0, k_total = 0, b = 0;
+  idx n_panels = 0, n_blocks = 0, m_blocks = 0;
+  idx key_stride = 0;
+  idx window = 0;   // 0 = full-DAG mode
+  KeyRing ring;     // dep-key reuse across retired iterations
+  rt::DepTracker tracker;
+  LookaheadPriorities prio;
+  // Task ids are assigned densely in submission order, so the id can be
+  // known before submit() and used to register the block accesses.
+  TaskId next_id = 0;
+  idx next_k = 0;  // first not-yet-submitted iteration
+};
+
 // State a submitted-but-not-yet-collected factorization keeps alive. Task
 // lambdas point into result.iterations' heap array and the heap IterPacks,
 // both stable under moves of the job, but the batch driver heap-allocates
@@ -67,6 +91,7 @@ struct CaqrJob {
   CaqrResult result;
   std::vector<std::unique_ptr<IterPacks>> packs;
   std::unique_ptr<rt::TaskGraph> graph;
+  std::unique_ptr<CaqrSubmitCtx> ctx;
   // Health monitor state: the factored matrix (re-scanned for R at
   // collect) and the input screen taken before any task mutated it.
   MatrixView a;
@@ -74,65 +99,44 @@ struct CaqrJob {
   bool monitor = false;
 };
 
-// Build the full DAG for one factorization and submit it to job.graph.
-void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
-  const idx m = a.rows();
-  const idx n = a.cols();
-  const idx k_total = std::min(m, n);
-  const idx b = std::max<idx>(1, std::min(opts.b, k_total));
-  const idx n_panels = (k_total + b - 1) / b;
-  const idx n_blocks = (n + b - 1) / b;
-  const idx m_blocks = (m + b - 1) / b;
-  // Leaf/node key stride: partition_panel_rows returns at most
-  // min(tr, m_blocks) leaves (and the reduction schedule has fewer steps
-  // than leaves), so this bound keeps every iteration's keys disjoint for
-  // any user-supplied tr — unbounded tr used to overflow a fixed 8192.
-  const idx key_stride = std::max<idx>(1, std::min(opts.tr, m_blocks)) + 1;
+TaskId caqr_add_task(CaqrJob& job, const std::vector<BlockAccess>& acc,
+                     rt::TaskOptions topts, std::function<void()> fn) {
+  CaqrSubmitCtx& C = *job.ctx;
+  topts.priority = biased_priority(topts.priority, C.opts.priority_bias);
+  const std::vector<TaskId> deps = C.tracker.depends(C.next_id, acc);
+  const TaskId id = job.graph->submit(deps, std::move(topts), std::move(fn));
+  assert(id == C.next_id);
+  ++C.next_id;
+  return id;
+}
 
+// Submit every task of panel iteration k (leaf QR, packs, leaf updates,
+// tree nodes + node updates, pack release). Identical task bodies,
+// priorities, and dependency structure whether the pump runs it eagerly
+// (full-DAG) or throttled (windowed) — only the dep-key indices wrap
+// through the KeyRing, which resolves to the same edges because the
+// previous slot owner has retired.
+void caqr_submit_iteration(CaqrJob& job, idx k) {
+  CaqrSubmitCtx& C = *job.ctx;
+  MatrixView a = C.a;
+  const CaqrOptions& opts = C.opts;
+  const idx m = C.m;
+  const idx n = C.n;
+  const idx k_total = C.k_total;
+  const idx b = C.b;
+  const idx n_blocks = C.n_blocks;
+  const idx key_stride = C.key_stride;
+  const idx kr = C.ring.slot(k);  // dep-key iteration index
+  const LookaheadPriorities& prio = C.prio;
   CaqrResult& result = job.result;
-  result.m = m;
-  result.n = n;
-  result.iterations.resize(static_cast<std::size_t>(n_panels));
-
-  // Screen the input on the submission thread, before the first task can
-  // mutate it: the verdict describes the caller's matrix, not intermediate
-  // update state. (Householder QR never falls back, so unlike CALU no
-  // per-panel decision is needed — one whole-matrix scan suffices.)
-  job.a = a;
-  job.monitor = opts.monitor;
-  if (opts.monitor) job.screen = screen_panel(a);
-
-  rt::TaskGraph::Config graph_cfg;
-  graph_cfg.num_threads = opts.num_threads;
-  graph_cfg.record_trace = opts.record_trace;
-  graph_cfg.policy = opts.scheduler;
-  graph_cfg.pool = opts.pool;
-  graph_cfg.cancel = opts.cancel;
-  graph_cfg.fault = opts.fault;
-  job.graph = std::make_unique<rt::TaskGraph>(graph_cfg);
-  rt::TaskGraph& graph = *job.graph;
-  rt::DepTracker tracker;
-  // Same banded look-ahead scheme as CALU (see lookahead.hpp): panel path
-  // on top, then the next panel's column updates, then ordinary updates.
-  const LookaheadPriorities prio{n_panels, n_blocks, opts.lookahead};
-
-  // Shared packed reflectors, alive until the graph drains.
   std::vector<std::unique_ptr<IterPacks>>& packs = job.packs;
-  packs.reserve(static_cast<std::size_t>(n_panels));
-
-  TaskId next_id = 0;
-  auto add_task = [&](const std::vector<BlockAccess>& acc,
-                      rt::TaskOptions topts,
-                      std::function<void()> fn) -> TaskId {
-    topts.priority = biased_priority(topts.priority, opts.priority_bias);
-    const std::vector<TaskId> deps = tracker.depends(next_id, acc);
-    const TaskId id = graph.submit(deps, std::move(topts), std::move(fn));
-    assert(id == next_id);
-    ++next_id;
-    return id;
+  auto add_task = [&job](const std::vector<BlockAccess>& acc,
+                         rt::TaskOptions topts,
+                         std::function<void()> fn) -> TaskId {
+    return caqr_add_task(job, acc, std::move(topts), std::move(fn));
   };
 
-  for (idx k = 0; k < n_panels; ++k) {
+  {
     const idx row0 = k * b;
     const idx jb = std::min(b, k_total - row0);
     const idx panel_rows = m - row0;
@@ -162,7 +166,7 @@ void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
       std::vector<BlockAccess> acc;
       add_tile_range(acc, kb + lstart / b, kb + (lstart + lrows + b - 1) / b,
                      kb, AccessMode::ReadWrite);
-      acc.push_back({leaf_key(k, i, key_stride), AccessMode::Write});
+      acc.push_back({leaf_key(kr, i, key_stride), AccessMode::Write});
       rt::TaskOptions topts;
       topts.kind = TaskKind::Panel;
       topts.iteration = static_cast<int>(k);
@@ -201,11 +205,11 @@ void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
         const idx lrows = F.part.rows[static_cast<std::size_t>(i)];
         if (lrows <= jb) continue;  // no V2: nothing gemm-shaped to pack
         std::vector<BlockAccess> acc;
-        acc.push_back({leaf_key(k, i, key_stride), AccessMode::Read});
+        acc.push_back({leaf_key(kr, i, key_stride), AccessMode::Read});
         add_tile_range(acc, kb + lstart / b,
                        kb + (lstart + lrows + b - 1) / b, kb,
                        AccessMode::Read);
-        acc.push_back({pack_leaf_key(k, i, key_stride), AccessMode::Write});
+        acc.push_back({pack_leaf_key(kr, i, key_stride), AccessMode::Write});
         rt::TaskOptions topts;
         topts.kind = TaskKind::Generic;
         topts.iteration = static_cast<int>(k);
@@ -231,11 +235,11 @@ void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
         const idx lrows = F.part.rows[static_cast<std::size_t>(i)];
         const bool packed = pack_here && lrows > jb;
         std::vector<BlockAccess> acc;
-        acc.push_back({leaf_key(k, i, key_stride), AccessMode::Read});
+        acc.push_back({leaf_key(kr, i, key_stride), AccessMode::Read});
         if (packed) {
           // V2 comes from the shared pack; V1 still reads the top tile.
           acc.push_back({tile_key(kb + lstart / b, kb), AccessMode::Read});
-          acc.push_back({pack_leaf_key(k, i, key_stride), AccessMode::Read});
+          acc.push_back({pack_leaf_key(kr, i, key_stride), AccessMode::Read});
         } else {
           add_tile_range(acc, kb + lstart / b,
                          kb + (lstart + lrows + b - 1) / b, kb,
@@ -287,7 +291,7 @@ void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
           acc.push_back(
               {tile_key(kb + src_start[s] / b, kb), AccessMode::Read});
         }
-        acc.push_back({node_key(k, static_cast<idx>(step_i), key_stride),
+        acc.push_back({node_key(kr, static_cast<idx>(step_i), key_stride),
                        AccessMode::Write});
         rt::TaskOptions topts;
         topts.kind = TaskKind::Panel;
@@ -317,9 +321,9 @@ void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
           pack_here && !(opts.structured_nodes && src_start.size() == 2);
       if (node_packed) {
         std::vector<BlockAccess> acc;
-        acc.push_back({node_key(k, static_cast<idx>(step_i), key_stride),
+        acc.push_back({node_key(kr, static_cast<idx>(step_i), key_stride),
                        AccessMode::Read});
-        acc.push_back({pack_node_key(k, static_cast<idx>(step_i), key_stride),
+        acc.push_back({pack_node_key(kr, static_cast<idx>(step_i), key_stride),
                        AccessMode::Write});
         rt::TaskOptions topts;
         topts.kind = TaskKind::Generic;
@@ -338,10 +342,10 @@ void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
         const idx jcol0 = seg.col0;
         const idx jcols = seg.cols;
         std::vector<BlockAccess> acc;
-        acc.push_back({node_key(k, static_cast<idx>(step_i), key_stride),
+        acc.push_back({node_key(kr, static_cast<idx>(step_i), key_stride),
                        AccessMode::Read});
         if (node_packed) {
-          acc.push_back({pack_node_key(k, static_cast<idx>(step_i),
+          acc.push_back({pack_node_key(kr, static_cast<idx>(step_i),
                                        key_stride),
                          AccessMode::Read});
         }
@@ -376,10 +380,10 @@ void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
     if (pack_here) {
       std::vector<BlockAccess> acc;
       for (idx i = 0; i < leaves; ++i) {
-        acc.push_back({pack_leaf_key(k, i, key_stride), AccessMode::Write});
+        acc.push_back({pack_leaf_key(kr, i, key_stride), AccessMode::Write});
       }
       for (std::size_t s = 0; s < schedule.size(); ++s) {
-        acc.push_back({pack_node_key(k, static_cast<idx>(s), key_stride),
+        acc.push_back({pack_node_key(kr, static_cast<idx>(s), key_stride),
                        AccessMode::Write});
       }
       rt::TaskOptions topts;
@@ -393,7 +397,103 @@ void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
       });
     }
   }
+}
 
+// Advance the submission pump until iteration `stop` (exclusive) has been
+// submitted. Windowed mode throttles: iteration k is only submitted after
+// iteration k - window fully retired, and each iteration is sealed as soon
+// as its last task is in (CAQR has no cross-iteration tail like CALU's left
+// swaps, so even the final iteration seals immediately). On cancellation
+// the pump stops submitting — skipped tasks still complete, so the retired
+// prefix stays consistent and wait() reports the CancelledError.
+void caqr_pump(CaqrJob& job, idx stop) {
+  CaqrSubmitCtx& C = *job.ctx;
+  rt::TaskGraph& graph = *job.graph;
+  const idx lim = std::min(stop, C.n_panels);
+  while (C.next_k < lim) {
+    if (C.window > 0) {
+      if (graph.aborted()) return;
+      if (C.next_k > C.window) {
+        graph.wait_retired_iterations(C.next_k - C.window);
+      }
+    }
+    caqr_submit_iteration(job, C.next_k);
+    if (C.window > 0) graph.seal_iterations(C.next_k);
+    ++C.next_k;
+  }
+}
+
+// Set up one factorization's graph + submission context and start the pump:
+// everything with window == 0 (the full DAG, completing here in inline
+// mode), the first `window` iterations otherwise — caqr_collect pumps the
+// rest. Returns immediately in real-thread/attached mode.
+void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
+  auto ctx = std::make_unique<CaqrSubmitCtx>();
+  CaqrSubmitCtx& C = *ctx;
+  C.a = a;
+  C.opts = opts;
+  C.m = a.rows();
+  C.n = a.cols();
+  C.k_total = std::min(C.m, C.n);
+  C.b = std::max<idx>(1, std::min(opts.b, C.k_total));
+  C.n_panels = (C.k_total + C.b - 1) / C.b;
+  C.n_blocks = (C.n + C.b - 1) / C.b;
+  C.m_blocks = (C.m + C.b - 1) / C.b;
+  // Leaf/node key stride: partition_panel_rows returns at most
+  // min(tr, m_blocks) leaves (and the reduction schedule has fewer steps
+  // than leaves), so this bound keeps every iteration's keys disjoint for
+  // any user-supplied tr — unbounded tr used to overflow a fixed 8192.
+  C.key_stride = std::max<idx>(1, std::min(opts.tr, C.m_blocks)) + 1;
+  C.window = (opts.window > 0 && C.n_panels > 0) ? opts.window : 0;
+  C.ring.ring = C.window > 0 ? C.window + 2 : 0;
+  // Same banded look-ahead scheme as CALU (see lookahead.hpp): panel path
+  // on top, then the next panel's column updates, then ordinary updates.
+  C.prio = LookaheadPriorities{C.n_panels, C.n_blocks, opts.lookahead};
+
+  CaqrResult& result = job.result;
+  result.m = C.m;
+  result.n = C.n;
+  result.iterations.resize(static_cast<std::size_t>(C.n_panels));
+  job.packs.reserve(static_cast<std::size_t>(C.n_panels));
+
+  // Screen the input on the submission thread, before the first task can
+  // mutate it: the verdict describes the caller's matrix, not intermediate
+  // update state. (Householder QR never falls back, so unlike CALU no
+  // per-panel decision is needed — one whole-matrix scan suffices.)
+  job.a = a;
+  job.monitor = opts.monitor;
+  if (opts.monitor) job.screen = screen_panel(a);
+
+  rt::TaskGraph::Config graph_cfg;
+  graph_cfg.num_threads = opts.num_threads;
+  graph_cfg.record_trace = opts.record_trace;
+  graph_cfg.policy = opts.scheduler;
+  graph_cfg.pool = opts.pool;
+  graph_cfg.cancel = opts.cancel;
+  graph_cfg.fault = opts.fault;
+  job.graph = std::make_unique<rt::TaskGraph>(graph_cfg);
+  job.ctx = std::move(ctx);
+
+  if (C.window > 0) {
+    job.graph->track_iterations(C.n_panels);
+    // Retirement releases the iteration's pack scratch (the packfree task
+    // already emptied the slabs; shrink releases the vectors too). The
+    // public per-iteration factors in result.iterations ARE the Q factor
+    // and are never touched. Runs on the submission thread
+    // (advance_retired), so pushing new IterPacks concurrently is safe —
+    // same thread.
+    std::vector<std::unique_ptr<IterPacks>>* packs_p = &job.packs;
+    job.graph->set_retire_hook([packs_p](idx k) {
+      IterPacks& p = *(*packs_p)[static_cast<std::size_t>(k)];
+      p.leaf.clear();
+      p.leaf.shrink_to_fit();
+      p.node.clear();
+      p.node.shrink_to_fit();
+    });
+    caqr_pump(job, C.window);
+  } else {
+    caqr_pump(job, C.n_panels);
+  }
 }
 
 // Drain the job's graph and harvest trace/stats/health. The graph is
@@ -403,6 +503,7 @@ void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
 CaqrResult caqr_collect(CaqrJob& job, bool record_trace,
                         rt::SchedulerStats* sched_out) {
   try {
+    caqr_pump(job, job.ctx->n_panels);
     job.graph->wait();
   } catch (...) {
     if (sched_out != nullptr) *sched_out = job.graph->stats();
@@ -432,6 +533,7 @@ CaqrResult caqr_collect(CaqrJob& job, bool record_trace,
     job.result.edges = job.graph->edges();
   }
   job.result.sched = job.graph->stats();
+  job.result.mem = job.graph->memory();
   if (sched_out != nullptr) *sched_out = job.result.sched;
   return std::move(job.result);
 }

@@ -59,6 +59,13 @@ struct CaqrOptions {
   /// Scheduler counters surviving a throwing run (see
   /// CaluOptions::sched_out).
   rt::SchedulerStats* sched_out = nullptr;
+  /// Sliding-window submission: at most `window` panel iterations in
+  /// flight, retired iterations' task-store slabs and pack scratch
+  /// recycled as the factorization streams (see CaluOptions::window — same
+  /// semantics, bitwise-identical results). The per-iteration Q factors in
+  /// CaqrResult::iterations are the output and are never recycled. 0 (the
+  /// default) keeps the full-DAG behaviour.
+  idx window = 0;
 };
 
 /// TSQR factors of one panel iteration; row offsets inside `part`, `leaves`
@@ -86,6 +93,9 @@ struct CaqrResult {
   /// Numerical health verdict (input screening + R growth; QR never falls
   /// back). Only populated when CaqrOptions::monitor is set.
   HealthReport health;
+  /// Task-store / trace memory telemetry (always filled); see
+  /// CaluResult::mem.
+  rt::TaskGraph::MemoryStats mem;
 };
 
 /// Factor A = Q R in place: on exit the upper triangle holds R; the rest
@@ -94,9 +104,11 @@ CaqrResult caqr_factor(MatrixView a, const CaqrOptions& opts = {});
 
 /// An in-flight CAQR factorization — the submit/collect split the batch
 /// driver and the svc job service are built on. Same contract as CaluAsync:
-/// the constructor submits the whole DAG (inline mode completes in the
-/// constructor), collect() blocks for the result and may throw exactly like
-/// caqr_factor; destruction without collect() drains and discards.
+/// the constructor submits the DAG (all of it with window == 0, the first
+/// `window` iterations otherwise; inline mode runs the submitted prefix in
+/// the constructor), collect() pumps any remaining iterations, blocks for
+/// the result, and may throw exactly like caqr_factor; destruction without
+/// collect() drains and discards.
 class CaqrAsync {
  public:
   CaqrAsync(MatrixView a, const CaqrOptions& opts);

@@ -23,6 +23,8 @@
 
 #include <cassert>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "matrix/view.hpp"
 
@@ -45,6 +47,58 @@ inline int biased_priority(int priority, int bias) {
   return static_cast<int>(v);
 }
 
+/// Saturating product of nonnegative band dimensions: a band-slot
+/// computation must degrade to "every slot clamps at the ceiling" on
+/// overflow, never wrap to a negative (which would scramble band order —
+/// the bug class the priority scheme exists to prevent).
+inline long long sat_band_mul(long long a, long long b) {
+  assert(a >= 0 && b >= 0);
+  if (a == 0 || b == 0) return 0;
+  constexpr long long kMax = std::numeric_limits<long long>::max();
+  if (a > kMax / b) return kMax;
+  return a * b;
+}
+
+inline long long sat_band_add(long long a, long long b) {
+  assert(a >= 0 && b >= 0);
+  constexpr long long kMax = std::numeric_limits<long long>::max();
+  if (a > kMax - b) return kMax;
+  return a + b;
+}
+
+/// Checked offset into the per-iteration dependency-key spaces CALU and
+/// CAQR carve out at (1 << 60), (1 << 61) and (1 << 62): the offset is
+/// k * stride + slot with slot < stride, and the spaces stay disjoint (and
+/// below 2^63, including CAQR's 2*offset+1 even/odd packing) as long as the
+/// offset stays under 2^59. Paper-scale runs sit ~13 orders of magnitude
+/// below the bound (m = 1e6, b = 4 gives k ~ 2.5e5 and stride ~ tr+1), so a
+/// throw always means arithmetic went wrong — the old silent wraparound
+/// aliased keys across iterations and corrupted the DAG instead.
+inline std::int64_t checked_key_offset(idx k, idx stride, idx slot) {
+  constexpr std::int64_t kLimit = std::int64_t{1} << 59;
+  if (k < 0 || stride <= 0 || slot < 0 || slot >= stride ||
+      k > (kLimit - 1 - slot) / stride) {
+    throw std::overflow_error(
+        "dep-key space overflow: iteration " + std::to_string(k) +
+        ", stride " + std::to_string(stride) + ", slot " +
+        std::to_string(slot) + " leaves the 2^59 per-space envelope");
+  }
+  return k * stride + slot;
+}
+
+/// Iteration-index reuse for windowed submission: with a sliding window of
+/// w live iterations, the per-iteration dep-key spaces wrap k modulo
+/// ring = w + 2. Safe because iteration k only submits once iteration
+/// k - w retired, so the previous owner of slot k % ring — iteration
+/// k - w - 2 — is fully retired: its tracker entries resolve to finished
+/// tasks (dropped or no-op edges), and no two live iterations ever share a
+/// slot (the live span is at most w + 1 < ring). Bounds the tracker's
+/// per-iteration key population at O(ring * stride) instead of O(n_panels).
+struct KeyRing {
+  idx ring = 0;  ///< 0 = no reuse (full-DAG mode keeps global indices)
+  idx slot(idx k) const { return ring > 0 ? k % ring : k; }
+};
+
 struct LookaheadPriorities {
   idx n_panels = 0;
   idx n_blocks = 0;  ///< column blocks: j ranges over [0, n_blocks)
@@ -57,35 +111,41 @@ struct LookaheadPriorities {
   //   mid : iteration k gets {U, S} = {mid_base() + 2*(n_panels - k), -1}
   //   top : iteration k gets {P, L} = {top_base() + 2*(n_panels - k), -1}
   long long mid_base() const {
-    return 2 * static_cast<long long>(n_panels) *
-           static_cast<long long>(n_blocks);
+    return sat_band_mul(2, sat_band_mul(static_cast<long long>(n_panels),
+                                        static_cast<long long>(n_blocks)));
   }
   long long top_base() const {
-    return mid_base() + 2 * static_cast<long long>(n_panels);
+    return sat_band_add(mid_base(),
+                        sat_band_mul(2, static_cast<long long>(n_panels)));
   }
 
   int panel(idx k) const {
     if (!lookahead) return 0;
-    return clamp_to_int(top_base() + 2 * static_cast<long long>(n_panels - k));
+    return clamp_to_int(
+        sat_band_add(top_base(), 2 * static_cast<long long>(n_panels - k)));
   }
   int lfactor(idx k) const {
     if (!lookahead) return 0;
-    return clamp_to_int(top_base() + 2 * static_cast<long long>(n_panels - k) -
+    return clamp_to_int(sat_band_add(
+                            top_base(),
+                            2 * static_cast<long long>(n_panels - k)) -
                         1);
   }
   int ufactor(idx k, idx j) const {
     if (!lookahead) return 0;
     if (j == k + 1) {
-      return clamp_to_int(mid_base() +
-                          2 * static_cast<long long>(n_panels - k));
+      return clamp_to_int(sat_band_add(
+          mid_base(), 2 * static_cast<long long>(n_panels - k)));
     }
     return clamp_to_int(2 * (mid_base() / 2 - low_cell(k, j)));
   }
   int update(idx k, idx j) const {
     if (!lookahead) return 0;
     if (j == k + 1) {
-      return clamp_to_int(mid_base() +
-                          2 * static_cast<long long>(n_panels - k) - 1);
+      return clamp_to_int(sat_band_add(
+                              mid_base(),
+                              2 * static_cast<long long>(n_panels - k)) -
+                          1);
     }
     return clamp_to_int(2 * (mid_base() / 2 - low_cell(k, j)) - 1);
   }
@@ -100,8 +160,15 @@ struct LookaheadPriorities {
   static int clamp_to_int(long long v) {
     // The full band range fits in int for any matrix that fits in memory
     // (overflow needs n_panels * n_blocks > ~5e8 tiles, i.e. exabyte-scale
-    // at the paper's b); the assert documents the envelope.
-    assert(v > 0 && v <= std::numeric_limits<int>::max());
+    // at the paper's b). Past the envelope, SATURATE instead of wrapping:
+    // top bands bleed together (degraded look-ahead, like an oversized
+    // svc priority_bias — see kQosBandWidth) but stay positive and
+    // monotone-ordered; the old assert-only guard wrapped to negative in
+    // release builds and scrambled the whole band structure.
+    if (v > std::numeric_limits<int>::max()) {
+      return std::numeric_limits<int>::max();
+    }
+    if (v < 1) return 1;
     return static_cast<int>(v);
   }
 };

@@ -7,6 +7,7 @@
 // in the paper.
 #pragma once
 
+#include <cassert>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +22,14 @@ enum class AccessMode : std::uint8_t { Read, Write, ReadWrite };
 using BlockKey = std::int64_t;
 
 inline BlockKey block_key(idx block_row, idx block_col) {
+  // Injective while block_col < 2^24 and block_row < 2^35, which also keeps
+  // every tile key below 2^59 — disjoint from the per-iteration key spaces
+  // CALU/CAQR place at (1 << 60) and above (see core/lookahead.hpp,
+  // checked_key_offset). 2^35 block rows exceeds any matrix that fits in
+  // memory by orders of magnitude; the assert pins the envelope so a future
+  // caller cannot silently alias tiles with tournament/pack keys.
+  assert(block_row >= 0 && block_row < (idx{1} << 35));
+  assert(block_col >= 0 && block_col < (idx{1} << 24));
   return (block_row << 24) ^ block_col;
 }
 

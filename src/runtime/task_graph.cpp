@@ -56,6 +56,7 @@ TaskGraph::TaskStore::~TaskStore() {
   for (std::size_t b = 0; b < kMaxBlocks; ++b) {
     delete[] blocks_[b].load(std::memory_order_relaxed);
   }
+  for (Task* blk : free_) delete[] blk;
 }
 
 TaskGraph::Task& TaskGraph::TaskStore::append() {
@@ -66,13 +67,52 @@ TaskGraph::Task& TaskGraph::TaskStore::append() {
   }
   Task* blk = blocks_[b].load(std::memory_order_relaxed);
   if (blk == nullptr) {
-    blk = new Task[kBlockSize];
+    if (!free_.empty()) {
+      // Reuse a retired slab (already reset by recycle_below): windowed
+      // runs plateau here instead of allocating O(total tasks).
+      blk = free_.back();
+      free_.pop_back();
+    } else {
+      blk = new Task[kBlockSize];
+      ++blocks_allocated_;
+    }
     // Release so any thread that later learns a TaskId in this block (all
     // publication paths already carry acquire/release) sees the pointer.
     blocks_[b].store(blk, std::memory_order_release);
   }
   size_.store(i + 1, std::memory_order_release);
   return blk[i & (kBlockSize - 1)];
+}
+
+void TaskGraph::TaskStore::recycle_below(
+    TaskId limit, const std::function<void(Task&, TaskId)>& harvest) {
+  assert(limit >= 0 &&
+         static_cast<std::size_t>(limit) <= size_.load(std::memory_order_relaxed));
+  const auto lim = static_cast<std::size_t>(limit);
+  while ((first_live_block_ + 1) * kBlockSize <= lim) {
+    Task* blk = blocks_[first_live_block_].load(std::memory_order_relaxed);
+    for (std::size_t s = 0; s < kBlockSize; ++s) {
+      Task& t = blk[s];
+      harvest(t, static_cast<TaskId>(first_live_block_ * kBlockSize + s));
+      // Reset to a fresh default-constructed state so reuse starts clean
+      // and the retired task's heap residue (label string, successor list,
+      // captured closure, exception) is released now, not at graph
+      // destruction. Every task in the slab is retired: completed, its
+      // successors all resolved, no thread will touch the slot again.
+      t.fn = nullptr;
+      t.opts = TaskOptions{};
+      t.unresolved.store(0, std::memory_order_relaxed);
+      t.finished.store(false, std::memory_order_relaxed);
+      t.successors.clear();
+      t.successors.shrink_to_fit();
+      t.record = TaskRecord{};
+      t.error = nullptr;
+    }
+    blocks_[first_live_block_].store(nullptr, std::memory_order_release);
+    free_.push_back(blk);
+    ++first_live_block_;
+    ++blocks_recycled_;
+  }
 }
 
 TaskGraph::TaskGraph(const Config& config) : config_(config) {
@@ -122,6 +162,15 @@ TaskGraph::~TaskGraph() {
 
 TaskId TaskGraph::submit(const std::vector<TaskId>& deps, TaskOptions opts,
                          std::function<void()> fn) {
+  // Dependencies below the recycle boundary are retired by definition —
+  // finished, successors sealed — and their slots are gone; drop them
+  // before touching the store. Visibility of their side effects reached
+  // this thread through the retirement watermark's acquire (advance_retired
+  // read the completer's done-count release), so the happens-before chain
+  // to everything published after this submit is the same one the finished
+  // fast path below provides for live retired tasks.
+  const TaskId first_live = store_.first_live_id();
+
   if (config_.num_threads == 0) {
     // Inline mode is single-threaded, so every previously submitted task has
     // already run; validate BEFORE mutating anything, so a rejected
@@ -129,7 +178,7 @@ TaskId TaskGraph::submit(const std::vector<TaskId>& deps, TaskOptions opts,
     // task, no stray edges, no bumped unfinished count) and a caller that
     // catches can continue.
     for (TaskId d : deps) {
-      if (d == kNoTask) continue;
+      if (d == kNoTask || d < first_live) continue;
       assert(d >= 0 && d < static_cast<TaskId>(store_.size()));
       if (!store_[d].finished.load(std::memory_order_relaxed)) {
         throw std::logic_error(
@@ -147,10 +196,11 @@ TaskId TaskGraph::submit(const std::vector<TaskId>& deps, TaskOptions opts,
       task.record.iteration = task.opts.iteration;
       task.record.priority = task.opts.priority;
       task.record.label = task.opts.label;
+      for (TaskId d : deps) {
+        if (d != kNoTask) edges_.push_back({d, id});
+      }
     }
-    for (TaskId d : deps) {
-      if (d != kNoTask) edges_.push_back({d, id});
-    }
+    if (iter_ != nullptr) note_submit(task.opts.iteration, id);
     submitted_.store(submitted_.load(std::memory_order_relaxed) + 1,
                      std::memory_order_relaxed);
     run_task(id, 0, /*inline_mode=*/true);
@@ -168,6 +218,7 @@ TaskId TaskGraph::submit(const std::vector<TaskId>& deps, TaskOptions opts,
     task.record.priority = task.opts.priority;
     task.record.label = task.opts.label;
   }
+  if (iter_ != nullptr) note_submit(task.opts.iteration, id);
   // +1 sentinel: keeps the task from firing while deps are registered.
   task.unresolved.store(1, std::memory_order_relaxed);
   // Plain release store (not an RMW): only this thread writes submitted_.
@@ -177,7 +228,11 @@ TaskId TaskGraph::submit(const std::vector<TaskId>& deps, TaskOptions opts,
   for (TaskId d : deps) {
     if (d == kNoTask) continue;
     assert(d >= 0 && d < id);
-    edges_.push_back({d, id});
+    // The edge is logically real even when the producer's slot is recycled,
+    // so record it (trace consumers replay it; the producer ended long ago)
+    // before the liveness cutoff.
+    if (config_.record_trace) edges_.push_back({d, id});
+    if (d < first_live) continue;
     Task& dep = store_[d];
     // Fast path: once finished is true the successor list is sealed, no
     // registration is needed, and the acquire load pairs with the
@@ -317,6 +372,7 @@ void TaskGraph::run_task(TaskId id, int worker_id, bool inline_mode) {
     task.finished.store(true, std::memory_order_relaxed);
     completed_.store(completed_.load(std::memory_order_relaxed) + 1,
                      std::memory_order_relaxed);
+    if (iter_ != nullptr) note_complete(task);
     return;
   }
 
@@ -357,6 +413,10 @@ void TaskGraph::run_task(TaskId id, int worker_id, bool inline_mode) {
     std::lock_guard<std::mutex> lock(done_mu_);
     done_cv_.notify_all();
   }
+  // Iteration bookkeeping LAST: the done-count increment is the release the
+  // watermark's acquire pairs with, and once it lands the submission thread
+  // may recycle this task's slab — so the worker must be done with `task`.
+  if (iter_ != nullptr) note_complete(task);
 }
 
 void TaskGraph::drain_inbox(std::vector<TaskId>& scratch) {
@@ -572,8 +632,15 @@ void TaskGraph::wait() {
   } else {
     drain_all();
   }
+  // Retire whatever the drain completed (sealed iterations only), so the
+  // retire hooks run and memory() reflects the final footprint even when
+  // the caller never blocked in wait_retired_iterations.
+  if (iter_ != nullptr) advance_retired();
+  // First error by task id wins; errors whose slots were recycled were
+  // harvested in id order before their slabs went back on the free list.
+  if (harvested_error_) std::rethrow_exception(harvested_error_);
   const std::size_t n = store_.size();
-  for (std::size_t i = 0; i < n; ++i) {
+  for (auto i = static_cast<std::size_t>(store_.first_live_id()); i < n; ++i) {
     if (store_[static_cast<TaskId>(i)].error) {
       std::rethrow_exception(store_[static_cast<TaskId>(i)].error);
     }
@@ -585,15 +652,176 @@ void TaskGraph::wait() {
 
 std::vector<TaskRecord> TaskGraph::trace() const {
   const std::size_t n = store_.size();
-  std::vector<TaskRecord> out;
+  std::vector<TaskRecord> out = harvested_trace_;  // recycled slots' records
   out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
+  for (auto i = static_cast<std::size_t>(store_.first_live_id()); i < n; ++i) {
     out.push_back(store_[static_cast<TaskId>(i)].record);
   }
   return out;
 }
 
 std::vector<TaskGraph::Edge> TaskGraph::edges() const { return edges_; }
+
+TaskGraph::MemoryStats TaskGraph::memory() const {
+  MemoryStats m;
+  m.task_slot_bytes = static_cast<std::int64_t>(sizeof(Task));
+  m.tasks_per_block = static_cast<std::int64_t>(TaskStore::kBlockSize);
+  m.blocks_allocated = store_.blocks_allocated();
+  m.blocks_recycled = store_.blocks_recycled();
+  m.peak_task_store_bytes =
+      m.blocks_allocated * m.tasks_per_block * m.task_slot_bytes;
+  m.trace_records_harvested =
+      static_cast<std::int64_t>(harvested_trace_.size());
+  return m;
+}
+
+void TaskGraph::track_iterations(idx n_iterations) {
+  if (n_iterations <= 0) {
+    throw std::invalid_argument("track_iterations: need >= 1 iteration");
+  }
+  if (iter_ != nullptr || store_.size() != 0) {
+    throw std::logic_error(
+        "track_iterations must be called once, before the first submit");
+  }
+  auto it = std::make_unique<IterTrack>();
+  it->n = n_iterations;
+  const auto n = static_cast<std::size_t>(n_iterations);
+  it->submitted.reset(new std::atomic<idx>[n]);
+  it->done.reset(new std::atomic<idx>[n]);
+  it->sealed.reset(new std::atomic<bool>[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    it->submitted[i].store(0, std::memory_order_relaxed);
+    it->done[i].store(0, std::memory_order_relaxed);
+    it->sealed[i].store(false, std::memory_order_relaxed);
+  }
+  it->first_id.assign(n, kNoTask);
+  iter_ = std::move(it);
+}
+
+void TaskGraph::set_retire_hook(std::function<void(idx)> hook) {
+  if (iter_ == nullptr) {
+    throw std::logic_error("set_retire_hook requires track_iterations");
+  }
+  retire_hook_ = std::move(hook);
+}
+
+void TaskGraph::note_submit(int iteration, TaskId id) {
+  IterTrack& it = *iter_;
+  if (iteration < 0 || static_cast<idx>(iteration) >= it.n) {
+    throw std::logic_error(
+        "TaskGraph: tracked submit with iteration tag out of range");
+  }
+  if (iteration < last_iteration_seen_) {
+    throw std::logic_error(
+        "TaskGraph: iteration tags must be nondecreasing under tracking");
+  }
+  if (it.sealed[static_cast<std::size_t>(iteration)].load(
+          std::memory_order_relaxed)) {
+    throw std::logic_error("TaskGraph: submit into a sealed iteration");
+  }
+  last_iteration_seen_ = iteration;
+  auto& slot = it.first_id[static_cast<std::size_t>(iteration)];
+  if (slot == kNoTask) slot = id;
+  std::atomic<idx>& total = it.submitted[static_cast<std::size_t>(iteration)];
+  // Release so a completer that observes the sealed flag (stored after the
+  // final total) also observes every total increment.
+  total.store(total.load(std::memory_order_relaxed) + 1,
+              std::memory_order_release);
+}
+
+void TaskGraph::note_complete(const Task& task) {
+  // Read the tag BEFORE the done increment: the increment is the release
+  // the retirement watermark acquires, after which the submission thread
+  // may recycle this task's slab.
+  const int k = task.opts.iteration;
+  IterTrack& it = *iter_;
+  assert(k >= 0 && static_cast<idx>(k) < it.n);
+  const auto ki = static_cast<std::size_t>(k);
+  const idx d = it.done[ki].fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (it.sealed[ki].load(std::memory_order_acquire) &&
+      d == it.submitted[ki].load(std::memory_order_acquire)) {
+    // Possibly the retirement frontier. The empty mutex bracket orders this
+    // notify after any waiter's predicate evaluation, closing the classic
+    // missed-wakeup window.
+    { std::lock_guard<std::mutex> lock(it.mu); }
+    it.cv.notify_all();
+  }
+}
+
+idx TaskGraph::advance_retired() {
+  IterTrack& it = *iter_;
+  idx r = it.retired.load(std::memory_order_relaxed);
+  bool advanced = false;
+  // sealed / submitted are this thread's own writes (relaxed is enough);
+  // done needs acquire to pair with the completers' release increments —
+  // it makes every retired task's side effects, error slot and finished
+  // flag visible before the hook runs or the slab is recycled.
+  while (r < it.n &&
+         it.sealed[static_cast<std::size_t>(r)].load(
+             std::memory_order_relaxed) &&
+         it.done[static_cast<std::size_t>(r)].load(std::memory_order_acquire) ==
+             it.submitted[static_cast<std::size_t>(r)].load(
+                 std::memory_order_relaxed)) {
+    if (retire_hook_) retire_hook_(r);
+    ++r;
+    advanced = true;
+  }
+  if (advanced) {
+    it.retired.store(r, std::memory_order_release);
+    // Recycle every slab wholly below the first live iteration's first
+    // task (everything submitted, if no live iteration has tasks yet).
+    TaskId limit = static_cast<TaskId>(store_.size());
+    for (idx k = r; k < it.n; ++k) {
+      const TaskId fid = it.first_id[static_cast<std::size_t>(k)];
+      if (fid != kNoTask) {
+        limit = fid;
+        break;
+      }
+    }
+    store_.recycle_below(limit, [this](Task& t, TaskId) {
+      if (config_.record_trace) harvested_trace_.push_back(t.record);
+      if (t.error && !harvested_error_) harvested_error_ = t.error;
+    });
+  }
+  return r;
+}
+
+void TaskGraph::seal_iterations(idx up_to_inclusive) {
+  if (iter_ == nullptr) {
+    throw std::logic_error("seal_iterations requires track_iterations");
+  }
+  IterTrack& it = *iter_;
+  up_to_inclusive = std::min(up_to_inclusive, it.n - 1);
+  // Release: a completer that acquires the flag must see the final
+  // submitted-count for the iteration (stored before this).
+  for (idx k = 0; k <= up_to_inclusive; ++k) {
+    it.sealed[static_cast<std::size_t>(k)].store(true,
+                                                 std::memory_order_release);
+  }
+}
+
+idx TaskGraph::retired_iterations() const {
+  return iter_ != nullptr ? iter_->retired.load(std::memory_order_acquire)
+                          : idx{0};
+}
+
+void TaskGraph::wait_retired_iterations(idx r) {
+  if (iter_ == nullptr) {
+    throw std::logic_error("wait_retired_iterations requires track_iterations");
+  }
+  IterTrack& it = *iter_;
+  r = std::min(r, it.n);
+  if (r <= 0 || advance_retired() >= r) return;
+  if (config_.num_threads == 0) {
+    // Inline mode completes every task at submit, so a target that is still
+    // unreached can never be reached by waiting.
+    throw std::logic_error(
+        "wait_retired_iterations(inline): target iteration not yet "
+        "submitted and sealed");
+  }
+  std::unique_lock<std::mutex> lock(it.mu);
+  it.cv.wait(lock, [this, r] { return advance_retired() >= r; });
+}
 
 SchedulerStats TaskGraph::stats() const {
   SchedulerStats s;

@@ -37,6 +37,17 @@
 // After wait(), the executed trace and the dependency edges can be exported.
 // trace()/edges() are valid after wait() returns; submit() must be called
 // from a single submission thread.
+//
+// Windowed (sliding-window) submission: a caller that cannot afford the
+// O(total tasks) footprint of a fully materialized DAG opts into iteration
+// tracking (track_iterations). Tasks then carry nondecreasing iteration
+// tags; once every task of the leading iterations has completed AND the
+// submitter sealed them (seal_iterations), wait_retired_iterations advances
+// a retirement watermark on the submission thread — running a per-iteration
+// retire hook and recycling every task-store slab that lies wholly below
+// the oldest live iteration. Recycled slabs are reused by later submits, so
+// the resident task store is O(live window), not O(total). See
+// docs/runtime.md ("Sliding-window submission") for the lifetime model.
 #pragma once
 
 #include <array>
@@ -133,6 +144,24 @@ class TaskGraph {
     TaskId to;
   };
 
+  /// Task-store / trace memory telemetry, one snapshot per graph. Slab
+  /// counters are monotone: recycled slabs are reused, never freed before
+  /// destruction, so blocks_allocated is also the peak resident slab count
+  /// — in windowed mode it plateaus at O(window) while a full-DAG run grows
+  /// it linearly with the task count. peak_task_store_bytes covers the task
+  /// slots themselves (labels / successor lists / captured closures are
+  /// freed at recycle time but not metered).
+  struct MemoryStats {
+    std::int64_t task_slot_bytes = 0;   ///< sizeof one task slot
+    std::int64_t tasks_per_block = 0;   ///< slots per slab
+    std::int64_t blocks_allocated = 0;  ///< distinct slabs (== peak resident)
+    std::int64_t blocks_recycled = 0;   ///< slabs retired + returned for reuse
+    std::int64_t peak_task_store_bytes = 0;  ///< blocks_allocated * slab bytes
+    /// Trace records copied out of recycled slabs (record_trace only; 0 when
+    /// tracing is off — retired iterations then leave no per-task residue).
+    std::int64_t trace_records_harvested = 0;
+  };
+
   explicit TaskGraph(const Config& config);
   ~TaskGraph();
 
@@ -180,6 +209,43 @@ class TaskGraph {
   /// inline mode (num_threads == 0) accounts everything to worker 0.
   SchedulerStats stats() const;
 
+  /// Task-store / trace memory snapshot (see MemoryStats). Callable from
+  /// the submission thread at any time; cheap.
+  MemoryStats memory() const;
+
+  // --- Iteration lifecycle (windowed submission). All four methods below
+  // plus set_retire_hook must be called from the submission thread.
+
+  /// Opt into iteration tracking for `n_iterations` iterations. Must be
+  /// called before the first submit(). Every task submitted afterwards must
+  /// carry TaskOptions::iteration in [0, n_iterations), nondecreasing
+  /// across submits (the natural order of a panel factorization).
+  void track_iterations(idx n_iterations);
+
+  /// Declare that no further task with iteration <= `up_to_inclusive` will
+  /// be submitted. An iteration retires once it is sealed and all its tasks
+  /// completed; retirement is strictly in iteration order.
+  void seal_iterations(idx up_to_inclusive);
+
+  /// Leading iterations fully retired: iterations [0, retired) are sealed,
+  /// all their tasks completed, their retire hooks have run and their
+  /// task-store slabs are recycled.
+  idx retired_iterations() const;
+
+  /// Block until retired_iterations() >= r. The watermark only advances
+  /// inside this call (and inside wait()), on the calling thread: retire
+  /// hooks and slab recycling never race with submission. `r` is clamped to
+  /// the tracked iteration count. Every iteration in [0, r) must already be
+  /// sealed, or the call would never return (inline mode throws instead of
+  /// hanging).
+  void wait_retired_iterations(idx r);
+
+  /// Hook invoked once per iteration, in order, as the watermark passes it
+  /// (from wait_retired_iterations / wait, on the submission thread, after
+  /// every task of the iteration completed). Typical use: free per-iteration
+  /// algorithm state. The hook must not submit tasks or re-enter the graph.
+  void set_retire_hook(std::function<void(idx)> hook);
+
  private:
   struct Task {
     std::function<void()> fn;
@@ -200,10 +266,18 @@ class TaskGraph {
   };
 
   /// Append-only task arena: a fixed directory of lazily-allocated blocks.
-  /// Slot addresses are stable forever, so workers can dereference a TaskId
-  /// published to them (via a ready queue) without any lock — unlike
-  /// std::deque, whose push_back mutates internal structures that
-  /// operator[] traverses.
+  /// Slot addresses are stable while a task is live, so workers can
+  /// dereference a TaskId published to them (via a ready queue) without any
+  /// lock — unlike std::deque, whose push_back mutates internal structures
+  /// that operator[] traverses.
+  ///
+  /// Windowed mode adds recycle_below(): once every task of a slab is
+  /// retired (completed + its iteration sealed + watermark passed), the
+  /// slab is reset and moved to a free list that append() draws from, so
+  /// ids stay dense and monotone while resident memory stays O(window).
+  /// Ids below first_live_id() must never be dereferenced again — the
+  /// submission thread guarantees it by dropping such (finished by
+  /// definition) dependencies before touching the store.
   class TaskStore {
    public:
     static constexpr std::size_t kBlockBits = 12;  // 4096 tasks per block
@@ -232,9 +306,29 @@ class TaskGraph {
 
     std::size_t size() const { return size_.load(std::memory_order_acquire); }
 
+    /// First id whose slab is still resident; every id below was recycled.
+    /// Written only by the submission thread (recycle_below), read by it.
+    TaskId first_live_id() const {
+      return static_cast<TaskId>(first_live_block_ * kBlockSize);
+    }
+
+    /// Submission thread only. Release every slab that lies wholly below
+    /// `limit` (all its tasks retired): `harvest` sees each slot before the
+    /// reset, then the slab's heap residue (labels, successor lists,
+    /// captured closures) is freed and the slab queued for reuse.
+    void recycle_below(TaskId limit,
+                       const std::function<void(Task&, TaskId)>& harvest);
+
+    std::int64_t blocks_allocated() const { return blocks_allocated_; }
+    std::int64_t blocks_recycled() const { return blocks_recycled_; }
+
    private:
     std::unique_ptr<std::atomic<Task*>[]> blocks_;
     std::atomic<std::size_t> size_{0};
+    std::size_t first_live_block_ = 0;  ///< submission thread only
+    std::vector<Task*> free_;           ///< recycled slabs, submission thread
+    std::int64_t blocks_allocated_ = 0;
+    std::int64_t blocks_recycled_ = 0;
   };
 
   struct WorkerDeque {
@@ -265,7 +359,37 @@ class TaskGraph {
             std::memory_order_relaxed);
   }
 
+  /// Iteration-lifecycle state (see track_iterations). The per-iteration
+  /// arrays are written by the submission thread (totals, sealed flags) and
+  /// by completing workers (done counts); the watermark is advanced by the
+  /// submission thread only.
+  struct IterTrack {
+    idx n = 0;
+    std::unique_ptr<std::atomic<idx>[]> submitted;  ///< tasks per iteration
+    std::unique_ptr<std::atomic<idx>[]> done;       ///< completions, ditto
+    std::unique_ptr<std::atomic<bool>[]> sealed;
+    /// First task id of each iteration (kNoTask until one is submitted);
+    /// submission thread only — the recycle boundary derives from it.
+    std::vector<TaskId> first_id;
+    std::atomic<idx> retired{0};  ///< iterations [0, retired) fully retired
+    /// Wakes wait_retired_iterations when a completion finishes a sealed
+    /// iteration. Completers take mu empty (lock/unlock) before notifying,
+    /// so a waiter that just evaluated its predicate cannot miss the wake.
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
   friend class WorkerPool;
+
+  /// Iteration bookkeeping at submit time (submission thread).
+  void note_submit(int iteration, TaskId id);
+  /// Iteration bookkeeping at completion time (any worker); must run after
+  /// the task's finished/completed stores so retirement implies visibility.
+  void note_complete(const Task& task);
+  /// Advance the retirement watermark as far as sealed + fully-done leading
+  /// iterations allow: run retire hooks, recycle slabs. Submission thread
+  /// only. Returns the new watermark.
+  idx advance_retired();
 
   void worker_loop(int worker_id);
   /// Pool-worker entry point: run up to kServiceRounds batches of ready
@@ -373,7 +497,20 @@ class TaskGraph {
   std::atomic<bool> done_waiting_{false};  ///< wait() is blocked (Dekker pair
                                            ///< with unfinished_)
 
+  /// Dependency edges; only recorded when Config::record_trace is set (the
+  /// exporters that consume them all run with tracing on, and an untraced
+  /// windowed run must not accumulate O(total tasks) edge memory).
   std::vector<Edge> edges_;  ///< submission thread only; read after wait()
+
+  // --- Windowed-submission state (null / empty unless track_iterations).
+  std::unique_ptr<IterTrack> iter_;
+  std::function<void(idx)> retire_hook_;  ///< submission thread only
+  int last_iteration_seen_ = -1;          ///< nondecreasing-tag check
+  /// Trace records and the first task error copied out of recycled slabs
+  /// (submission thread; records only when record_trace).
+  std::vector<TaskRecord> harvested_trace_;
+  std::exception_ptr harvested_error_;
+
   std::vector<std::thread> workers_;
   std::chrono::steady_clock::time_point epoch_;
 };

@@ -9,7 +9,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <queue>
 #include <stdexcept>
 #include <utility>
 
@@ -58,6 +57,7 @@ struct JobRecord {
   MatrixView a;
   idx b = 32;
   idx tr = 2;
+  idx window = 0;
   bool has_deadline = false;
   Clock::time_point submit_tp;
   Clock::time_point deadline_tp;
@@ -66,6 +66,10 @@ struct JobRecord {
   /// Set by the watchdog before it fires the token, so a CancelledError can
   /// be attributed to the deadline rather than a client cancel.
   std::atomic<bool> deadline_fired{false};
+  /// Set (with release order) when the job reaches any terminal state, just
+  /// before the watchdog is told its entry went stale; the watchdog reads it
+  /// to skip firing and to identify prunable heap entries.
+  std::atomic<bool> terminal{false};
   /// Set by the dispatcher at dispatch; read only after the job is terminal.
   Clock::time_point dispatch_tp;
   std::atomic<bool> dispatched{false};
@@ -150,48 +154,101 @@ void JobHandle::cancel() const {
 // ever fires CancelTokens — shedding/aborting is carried out by the
 // dispatcher (queued jobs) or the scheduler's skip path (running jobs), so
 // the watchdog needs no job or service locks beyond its own heap.
+//
+// Entries for jobs that turn terminal before their deadline are not removed
+// eagerly (a heap has no efficient random erase); instead finish()/shed
+// paths bump retired_hint via on_terminal(), and once stale entries
+// dominate a non-trivial heap it is compacted in one O(n) sweep. Long-lived
+// services hammering short jobs with long deadlines therefore hold O(live
+// armed jobs) entries, where the old lazy-deletion-only scheme accumulated
+// every armed job until its deadline passed — hours of garbage for an
+// hour-long deadline.
 
 struct Service::Watchdog {
   struct Entry {
     Clock::time_point due;
     std::weak_ptr<JobRecord> job;
-    bool operator>(const Entry& o) const { return due > o.due; }
   };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.due > b.due;  // std::*_heap max-heap order -> min-heap on due
+    }
+  };
+  /// Compaction threshold: below this size the O(n) sweep isn't worth it.
+  static constexpr std::size_t kCompactMin = 64;
 
   std::mutex mu;
   std::condition_variable cv;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  std::vector<Entry> heap;        ///< std::push_heap/pop_heap with Later
+  std::size_t retired_hint = 0;   ///< armed jobs gone terminal since the
+                                  ///< last compaction (may overcount ones
+                                  ///< already popped — benign, resets to 0)
   bool stop = false;
   std::thread thread;
 
   void arm(const std::shared_ptr<JobRecord>& rec) {
     {
       std::lock_guard<std::mutex> lk(mu);
-      heap.push(Entry{rec->deadline_tp, rec});
+      heap.push_back(Entry{rec->deadline_tp, rec});
+      std::push_heap(heap.begin(), heap.end(), Later{});
     }
     cv.notify_one();
+  }
+
+  /// A deadline-armed job reached a terminal state; its heap entry is now
+  /// dead weight. Called by every terminal transition (finish, queue-full
+  /// shed, shutdown drop) after the record's terminal flag is set.
+  void on_terminal() {
+    std::lock_guard<std::mutex> lk(mu);
+    ++retired_hint;
+    maybe_compact_locked();
+  }
+
+  void maybe_compact_locked() {
+    if (heap.size() < kCompactMin || retired_hint * 2 < heap.size()) return;
+    auto dead = [](const Entry& e) {
+      const std::shared_ptr<JobRecord> rec = e.job.lock();
+      return rec == nullptr || rec->terminal.load(std::memory_order_acquire);
+    };
+    heap.erase(std::remove_if(heap.begin(), heap.end(), dead), heap.end());
+    std::make_heap(heap.begin(), heap.end(), Later{});
+    retired_hint = 0;
+  }
+
+  std::size_t entries() {
+    std::lock_guard<std::mutex> lk(mu);
+    return heap.size();
   }
 
   void main() {
     std::unique_lock<std::mutex> lk(mu);
     for (;;) {
+      // stop must be re-checked on every wake, not only when the heap is
+      // empty: leftover stale entries with far-future deadlines would
+      // otherwise park join() behind wait_until() for hours.
+      if (stop) return;
       if (heap.empty()) {
-        if (stop) return;
         cv.wait(lk);
         continue;
       }
-      const Clock::time_point due = heap.top().due;
+      const Clock::time_point due = heap.front().due;
       if (Clock::now() < due) {
         cv.wait_until(lk, due);
         continue;  // re-evaluate: new earlier entries or stop may have landed
       }
-      const Entry e = heap.top();
-      heap.pop();
-      lk.unlock();
-      if (std::shared_ptr<JobRecord> rec = e.job.lock()) {
-        rec->deadline_fired.store(true, std::memory_order_release);
-        rec->token.request_cancel();
+      std::pop_heap(heap.begin(), heap.end(), Later{});
+      const Entry e = std::move(heap.back());
+      heap.pop_back();
+      std::shared_ptr<JobRecord> rec = e.job.lock();
+      if (rec == nullptr || rec->terminal.load(std::memory_order_acquire)) {
+        // Stale entry drained the natural way; it no longer needs a sweep.
+        if (retired_hint > 0) --retired_hint;
+        continue;
       }
+      lk.unlock();
+      rec->deadline_fired.store(true, std::memory_order_release);
+      rec->token.request_cancel();
+      rec.reset();
       lk.lock();
     }
   }
@@ -246,6 +303,7 @@ Service::Admission Service::submit(const JobRequest& req) {
   rec->a = req.a;
   rec->b = req.b;
   rec->tr = req.tr;
+  rec->window = req.window;
   rec->submit_tp = Clock::now();
   if (req.deadline.count() > 0) {
     rec->has_deadline = true;
@@ -316,6 +374,8 @@ Service::Admission Service::submit(const JobRequest& req) {
       victim->status = JobStatus::ShedQueueFull;
     }
     victim->cv.notify_all();
+    victim->terminal.store(true, std::memory_order_release);
+    if (victim->has_deadline) watchdog_->on_terminal();
   }
   if (!adm.accepted) {
     std::lock_guard<std::mutex> lk(rec->mu);
@@ -402,6 +462,7 @@ void Service::run_job(const std::shared_ptr<JobRecord>& rec) {
       core::CaluOptions o;
       o.b = rec->b;
       o.tr = rec->tr;
+      o.window = rec->window;
       o.pool = pool_;
       o.num_threads = pool_->size();
       o.record_trace = cfg_.record_trace;
@@ -421,6 +482,7 @@ void Service::run_job(const std::shared_ptr<JobRecord>& rec) {
       core::CaqrOptions o;
       o.b = rec->b;
       o.tr = rec->tr;
+      o.window = rec->window;
       o.pool = pool_;
       o.num_threads = pool_->size();
       o.record_trace = cfg_.record_trace;
@@ -460,6 +522,8 @@ void Service::finish(const std::shared_ptr<JobRecord>& rec, JobOutcome out) {
     rec->status = rec->outcome.status;
   }
   rec->cv.notify_all();
+  rec->terminal.store(true, std::memory_order_release);
+  if (rec->has_deadline) watchdog_->on_terminal();
 }
 
 void Service::account_locked(const JobRecord& rec, const JobOutcome& out) {
@@ -517,6 +581,8 @@ void Service::shutdown(bool run_queued) {
       rec->status = JobStatus::Cancelled;
     }
     rec->cv.notify_all();
+    rec->terminal.store(true, std::memory_order_release);
+    if (rec->has_deadline) watchdog_->on_terminal();
   }
   queue_cv_.notify_all();
   for (auto& t : runners_) {
@@ -534,10 +600,16 @@ void Service::shutdown(bool run_queued) {
 }
 
 ServiceStats Service::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  ServiceStats s = stats_;
-  s.queued = total_queued_;
-  s.inflight = inflight_;
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    s = stats_;
+    s.queued = total_queued_;
+    s.inflight = inflight_;
+  }
+  // The watchdog lock is a leaf (the watchdog never takes mu_), but taking
+  // it outside mu_ keeps the ordering trivially acyclic.
+  s.watchdog_entries = watchdog_->entries();
   return s;
 }
 

@@ -110,6 +110,12 @@ struct JobRequest {
   std::chrono::nanoseconds deadline{0};
   idx b = 32;   ///< panel width (service default favors small problems)
   idx tr = 2;   ///< panel task count
+  /// Sliding-window DAG submission for this job (CaluOptions::window /
+  /// CaqrOptions::window): bounds the job's task-store + trace footprint at
+  /// O(window) iterations, which is what lets a service host paper-scale
+  /// tall-skinny factorizations without one tenant's DAG consuming the
+  /// machine. 0 = full-DAG submission (the default).
+  idx window = 0;
 };
 
 /// Terminal verdict of one job. queue_ms covers submit -> dispatch (or ->
@@ -201,6 +207,12 @@ struct ServiceStats {
   std::size_t queued = 0;           ///< jobs waiting right now
   int inflight = 0;                 ///< jobs running right now
   std::size_t peak_queue_depth = 0;
+  /// Deadline-watchdog heap entries right now (live + not-yet-pruned
+  /// stale). Bounded by compaction: stale entries for terminal jobs are
+  /// swept once they dominate the heap, so this gauge stays O(armed live
+  /// jobs) under sustained submit/complete churn instead of growing
+  /// without bound.
+  std::size_t watchdog_entries = 0;
 };
 
 class Service {

@@ -533,6 +533,35 @@ TEST(SvcService, DestructorRunsQueuedJobsAndPoolSurvives) {
   EXPECT_EQ(core::calu_factor(again.view(), opts).info, 0);
 }
 
+// ---- Deadline watchdog heap bound ----------------------------------------
+
+TEST(SvcService, WatchdogHeapStaysBoundedUnderChurn) {
+  // Hammer the submit/complete cycle with deadline-armed jobs whose
+  // deadlines never fire (1 hour out). Lazy deletion alone would leave one
+  // stale heap entry per finished job — 300 here, unbounded for a
+  // long-running service; compaction must sweep terminal entries once they
+  // dominate, keeping the gauge O(live armed jobs).
+  svc::ServiceConfig cfg;
+  cfg.num_threads = 2;
+  svc::Service service(cfg);
+  const int n_jobs = 300;
+  Matrix a = random_matrix(32, 32, 960);
+  for (int i = 0; i < n_jobs; ++i) {
+    Matrix work = a;
+    svc::JobRequest req = lu_request(work.view(), svc::QosClass::Normal);
+    req.deadline = 1h;
+    const auto adm = service.submit(req);
+    ASSERT_TRUE(adm.accepted) << "job " << i;
+    const svc::JobOutcome& out = adm.handle.wait();
+    ASSERT_EQ(out.status, svc::JobStatus::Completed) << "job " << i;
+    EXPECT_FALSE(out.deadline_hit);
+  }
+  const svc::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.per_class[1].completed, n_jobs);
+  EXPECT_LT(stats.watchdog_entries, 128u)
+      << "stale deadline entries are accumulating; compaction regressed";
+}
+
 // ---- QoS priority bands --------------------------------------------------
 
 TEST(SvcService, QosBiasSaturatesInsteadOfWrapping) {

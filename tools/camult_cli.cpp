@@ -205,11 +205,15 @@ int cmd_lu(const Args& args) {
   o.tr = args.tr;
   o.tree = args.tree;
   o.num_threads = args.threads;
+  // Per-task trace retention is opt-in: only pay the O(tasks) record
+  // buffer when the user asked for the chrome trace.
+  o.record_trace = !args.trace_json.empty();
   if (args.use_pool) o.pool = &rt::WorkerPool::process_default();
   core::CaluResult res;
   const double secs = now_run([&] { res = core::calu_factor(lu.view(), o); });
-  std::printf("CALU: %zu tasks, %.3f s, info=%lld\n", res.trace.size(), secs,
-              static_cast<long long>(res.info));
+  std::printf("CALU: %lld tasks, %.3f s, info=%lld\n",
+              static_cast<long long>(res.sched.totals().tasks_executed),
+              secs, static_cast<long long>(res.info));
   report_run(args, res.trace, res.edges, res.sched);
   const bool degraded = report_health(res.health);
   if (res.info == 0) {
@@ -235,10 +239,13 @@ int cmd_qr(const Args& args) {
   o.tr = args.tr;
   o.tree = args.tree;
   o.num_threads = args.threads;
+  o.record_trace = !args.trace_json.empty();
   if (args.use_pool) o.pool = &rt::WorkerPool::process_default();
   core::CaqrResult res;
   const double secs = now_run([&] { res = core::caqr_factor(qr.view(), o); });
-  std::printf("CAQR: %zu tasks, %.3f s\n", res.trace.size(), secs);
+  std::printf("CAQR: %lld tasks, %.3f s\n",
+              static_cast<long long>(res.sched.totals().tasks_executed),
+              secs);
   report_run(args, res.trace, res.edges, res.sched);
   const bool degraded = report_health(res.health);
   std::printf("scaled residual ||A-QR|| = %.2f\n",
@@ -270,11 +277,13 @@ int cmd_chol(const Args& args) {
   tiled::TileCholeskyOptions o;
   o.b = args.b;
   o.num_threads = args.threads;
+  o.record_trace = !args.trace_json.empty();
   tiled::TileCholeskyResult res;
   const double secs =
       now_run([&] { res = tiled::tile_cholesky_factor(chol.view(), o); });
-  std::printf("tiled Cholesky: %zu tasks, %.3f s, info=%lld\n",
-              res.trace.size(), secs, static_cast<long long>(res.info));
+  std::printf("tiled Cholesky: %lld tasks, %.3f s, info=%lld\n",
+              static_cast<long long>(res.sched.totals().tasks_executed),
+              secs, static_cast<long long>(res.info));
   report_run(args, res.trace, res.edges, res.sched);
   if (res.info == 0) {
     std::printf("scaled residual ||A-LL^T|| = %.2f\n",
@@ -298,6 +307,7 @@ int cmd_solve(const Args& args) {
   o.tr = args.tr;
   o.tree = args.tree;
   o.num_threads = args.threads;
+  o.record_trace = false;  // solve reports no trace; don't retain one
   if (args.use_pool) o.pool = &rt::WorkerPool::process_default();
   idx info = 0;
   const double secs =

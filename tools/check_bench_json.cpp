@@ -13,6 +13,7 @@
 // Exits 0 when every file validates, 1 with one message per problem
 // otherwise. Used by the ctest bench smoke target (see tools/CMakeLists.txt).
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -25,6 +26,17 @@ namespace {
 using camult::bench::JsonValue;
 
 int g_errors = 0;
+
+/// --max-field NAME=VALUE assertions: every report checked must carry at
+/// least one row with a numeric NAME, and no row's NAME may exceed VALUE.
+/// This is how the CI `window` tier pins peak task-store bytes: a windowed
+/// fig6 run whose task store grew past the budget fails the check instead
+/// of silently regressing to O(total-DAG) memory.
+struct MaxField {
+  std::string key;
+  double limit = 0.0;
+};
+std::vector<MaxField> g_max_fields;
 
 void fail(const std::string& file, const std::string& msg) {
   std::fprintf(stderr, "%s: %s\n", file.c_str(), msg.c_str());
@@ -85,7 +97,12 @@ void check_row(const std::string& file, const JsonValue& row,
                                    "mc", "kc", "nc", "mr", "nr",
                                    // service_load rows (svc job service)
                                    "jobs", "completed", "shed", "rejected",
-                                   "p50_ms", "p99_ms", "jobs_per_sec"};
+                                   "p50_ms", "p99_ms", "jobs_per_sec",
+                                   // sliding-window submission telemetry
+                                   "window", "peak_task_store_bytes",
+                                   "task_blocks_allocated",
+                                   "task_blocks_recycled",
+                                   "trace_records_harvested"};
   for (const char* key : kNumeric) {
     if (const JsonValue* v = row.find(key); v != nullptr && !v->is_number()) {
       fail(file, where + "." + key + " is not a number");
@@ -132,6 +149,25 @@ void check_report(const std::string& file) {
     if (rows->array.empty()) fail(file, "rows is empty");
     for (std::size_t i = 0; i < rows->array.size(); ++i) {
       check_row(file, rows->array[i], i);
+    }
+    for (const MaxField& mf : g_max_fields) {
+      std::size_t carrying = 0;
+      for (std::size_t i = 0; i < rows->array.size(); ++i) {
+        const JsonValue& row = rows->array[i];
+        if (!row.is_object()) continue;
+        const JsonValue* v = row.find(mf.key);
+        if (v == nullptr || !v->is_number()) continue;
+        ++carrying;
+        if (v->number > mf.limit) {
+          fail(file, "rows[" + std::to_string(i) + "]." + mf.key + " = " +
+                         std::to_string(v->number) + " exceeds --max-field " +
+                         "limit " + std::to_string(mf.limit));
+        }
+      }
+      if (carrying == 0) {
+        fail(file, "no row carries numeric \"" + mf.key +
+                       "\" (--max-field has nothing to assert on)");
+      }
     }
   }
 }
@@ -206,23 +242,49 @@ void check_chrome(const std::string& file) {
 int main(int argc, char** argv) {
   bool chrome = false;
   std::vector<std::string> files;
+  const char* usage_msg =
+      "usage: check_bench_json [--chrome|--report] "
+      "[--max-field NAME=VALUE]... file...\n";
   for (int i = 1; i < argc; ++i) {
     const std::string s = argv[i];
     if (s == "--chrome") {
       chrome = true;
     } else if (s == "--report") {
       chrome = false;
+    } else if (s == "--max-field") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s", usage_msg);
+        return 2;
+      }
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.find('=');
+      char* end = nullptr;
+      const double limit =
+          eq == std::string::npos ? 0.0
+                                  : std::strtod(spec.c_str() + eq + 1, &end);
+      if (eq == std::string::npos || eq == 0 || end == nullptr ||
+          *end != '\0' || end == spec.c_str() + eq + 1) {
+        std::fprintf(stderr,
+                     "check_bench_json: bad --max-field spec '%s' "
+                     "(want NAME=VALUE)\n",
+                     spec.c_str());
+        return 2;
+      }
+      g_max_fields.push_back({spec.substr(0, eq), limit});
     } else if (!s.empty() && s[0] == '-') {
-      std::fprintf(stderr,
-                   "usage: check_bench_json [--chrome|--report] file...\n");
+      std::fprintf(stderr, "%s", usage_msg);
       return 2;
     } else {
       files.push_back(s);
     }
   }
   if (files.empty()) {
+    std::fprintf(stderr, "%s", usage_msg);
+    return 2;
+  }
+  if (!g_max_fields.empty() && chrome) {
     std::fprintf(stderr,
-                 "usage: check_bench_json [--chrome|--report] file...\n");
+                 "check_bench_json: --max-field applies to --report files\n");
     return 2;
   }
   for (const std::string& f : files) {

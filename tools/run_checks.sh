@@ -16,6 +16,11 @@
 #           must pass tools/check_bench_json
 #   bench   run bench/gemm_kernel at full size and schema-check its
 #           BENCH_gemm_kernel.json artifact
+#   window  sliding-window DAG submission smoke: a short real-mode windowed
+#           fig6 run at reduced m with a small panel width (many panel
+#           iterations), then assert via check_bench_json --max-field that
+#           the peak task store stayed O(window) — the same run with full
+#           DAG submission allocates 3-5 slabs and fails the bound
 #
 # Usage: tools/run_checks.sh [tier...]      (default: all tiers, in order)
 #   e.g. tools/run_checks.sh build test     # skip the sanitizer + bench
@@ -25,7 +30,7 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${BUILD_DIR:-"$repo_root/build-checks"}
 jobs=${JOBS:-$(nproc 2>/dev/null || echo 4)}
-tiers=${*:-"build test fault svc tsan bench"}
+tiers=${*:-"build test fault svc tsan bench window"}
 
 say() { printf '\n== run_checks: %s ==\n' "$*"; }
 
@@ -66,6 +71,24 @@ for tier in $tiers; do
       mkdir -p "$out_dir"
       CAMULT_BENCH_JSON="$out_dir" "$build_dir/bench/gemm_kernel"
       "$build_dir/tools/check_bench_json" "$out_dir/BENCH_gemm_kernel.json"
+      ;;
+    window)
+      say "sliding-window submission smoke (windowed fig6 + peak-memory assertion)"
+      out_dir="$build_dir/checks_window"
+      rm -rf "$out_dir"
+      mkdir -p "$out_dir"
+      # m=4096, n=512, b=8 -> 64 panel iterations, ~11k-20k tasks; with
+      # window=4 the task store peaks at 2 slabs (~2 MB). Full-DAG
+      # submission needs 3-5 slabs, so task_blocks_allocated=2 is a strict
+      # windowing regression gate and peak_task_store_bytes backs it with
+      # the byte budget the docs quote.
+      CAMULT_BENCH_JSON="$out_dir" CAMULT_BENCH_REAL=1 \
+        CAMULT_BENCH_M=4096 CAMULT_BENCH_NS=512 CAMULT_BENCH_B=8 \
+        CAMULT_BENCH_WINDOW=4 "$build_dir/bench/fig6_lu_tall_m1e6"
+      "$build_dir/tools/check_bench_json" \
+        --max-field task_blocks_allocated=2 \
+        --max-field peak_task_store_bytes=2600000 \
+        "$out_dir/BENCH_fig6.json"
       ;;
     *)
       echo "run_checks.sh: unknown tier '$tier'" >&2

@@ -15,9 +15,12 @@
 # failure-aware surface: seeded fault injection into hundreds of
 # CALU/CAQR runs, cancellation, and the fast-abort drain accounting —
 # exactly the error paths production never exercises until it hurts)
-# and test_svc (the multi-tenant job service: dispatcher threads racing
+# test_svc (the multi-tenant job service: dispatcher threads racing
 # submit/shed/cancel/shutdown over one shared pool, watchdog deadline
-# firing against running jobs). Any reported race fails the run.
+# firing against running jobs) and test_window (sliding-window DAG
+# submission: the submission thread recycling task-store slabs and
+# harvesting trace records of retired iterations while workers are
+# still completing newer ones). Any reported race fails the run.
 #
 # Usage: tools/run_tsan.sh [build-dir]        (default: build-tsan)
 # Other sanitizers via: SAN=address tools/run_tsan.sh
@@ -36,7 +39,7 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCAMULT_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j --target test_runtime test_scheduler_stress \
   test_observability test_pack_concurrency test_worker_pool test_blas_pack \
-  test_fault_inject test_svc
+  test_fault_inject test_svc test_window
 
 case "$san" in
   thread)
@@ -58,4 +61,5 @@ esac
 "$build_dir/tests/test_blas_pack"
 "$build_dir/tests/test_fault_inject"
 "$build_dir/tests/test_svc"
+"$build_dir/tests/test_window"
 echo "[$san sanitizer] all scheduler tests passed"
