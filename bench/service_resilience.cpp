@@ -1,0 +1,420 @@
+// service_resilience.cpp — open-loop fault-storm bench of the svc
+// self-healing layer (stall watchdog + retries + per-tenant breakers).
+//
+// Two tenants share one service. "tenant-healthy" (Interactive) submits
+// clean jobs; "tenant-noisy" (Batch) submits the same work but carries a
+// per-request FaultInjector running a combined ~5% injected throw/hang rate
+// per task. The question the bench answers: does the noisy tenant's storm
+// stay contained — healthy availability >= 99% and healthy p99 within 2x of
+// the no-fault phase — while the service detects hangs (stall watchdog),
+// retries transient failures with deterministic backoff, and eventually
+// sheds the hopeless tenant at admission (circuit breaker)?
+//
+// Protocol mirrors bench/service_load.cpp: calibrate drain capacity with a
+// pacing-free burst, then run two timed open-loop phases at ~60% of it —
+//
+//   baseline — both tenants clean (no injector anywhere)
+//   storm    — noisy jobs carry the injector; healthy jobs stay clean
+//
+// Per (phase, tenant) the report emits arrivals, completed, failed, shed
+// (queue-full + breaker), availability (= completed / arrivals), goodput
+// (completed jobs/s), p50/p99 total latency, mean attempts per run job, and
+// the tenant's retry / stall / breaker-open deltas — typed rows in
+// BENCH_service_resilience.json (validated by tools/check_bench_json). The
+// healthy tenant's rows additionally carry `unavailability` so a CI gate
+// can assert `--max-field unavailability=0.01` (availability >= 99%)
+// without a min-field mechanism, and the healthy storm row carries
+// `p99_inflation` (storm p99 / baseline p99; reported, not CI-gated —
+// shared runners make latency ratios too noisy to hard-fail on).
+//
+// Env knobs: CAMULT_BENCH_SVC_JOBS (arrivals per phase, default 80),
+// CAMULT_BENCH_SVC_THREADS (pool size), CAMULT_BENCH_SEED,
+// CAMULT_BENCH_THROW_PCT / CAMULT_BENCH_HANG_PCT (per-task injection rates
+// in percent, defaults 3 and 2), CAMULT_BENCH_HANG_MS (default 6).
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "matrix/random.hpp"
+#include "runtime/fault_inject.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace camult;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kHealthy = "tenant-healthy";
+constexpr const char* kNoisy = "tenant-noisy";
+
+struct InflightJob {
+  Matrix storage;
+  svc::JobHandle handle;
+  bool noisy = false;
+};
+
+struct TenantTally {
+  long long jobs = 0;
+  long long completed = 0;
+  long long failed = 0;
+  long long shed = 0;       ///< queue-full + breaker + deadline
+  long long cancelled = 0;  ///< incl. rejected (terminal, never ran)
+  long long attempts = 0;   ///< summed over jobs that ran
+  long long ran = 0;        ///< jobs with >= 1 attempt
+  std::vector<double> latency_ms;  ///< total_ms of completed jobs
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+/// Alternate tenants deterministically (strict 50/50 so availability is a
+/// ratio over a known denominator), vary the job shape from the rng.
+/// Healthy jobs are service-typical sizes; noisy jobs are small rapid-fire
+/// problems — the nastier adversary, since each failure costs the noisy
+/// tenant almost nothing and the breaker window fills fast.
+svc::JobRequest draw_request(int i, std::mt19937& rng, const Matrix& tall,
+                             const Matrix& square, const Matrix& small,
+                             Matrix* storage, rt::FaultInjector* fault) {
+  svc::JobRequest req;
+  const bool noisy = (i % 2) == 1;
+  const bool tall_skinny =
+      std::uniform_real_distribution<double>(0.0, 1.0)(rng) < 0.5;
+  if (noisy) {
+    req.qos = svc::QosClass::Batch;
+    req.tenant = kNoisy;
+    req.fault = fault;  // nullptr in the baseline phase
+    // Tight per-job stall timeout: the noisy tenant's tasks are tiny, so a
+    // few ms of no progress is already pathological. Sized under the
+    // injected hang so the watchdog fires mid-hang.
+    req.stall_timeout = std::chrono::milliseconds(3);
+    *storage = small;
+    req.kind =
+        tall_skinny ? svc::JobKind::CaqrFactor : svc::JobKind::CaluFactor;
+    req.b = 32;
+    req.tr = 2;
+  } else {
+    req.qos = svc::QosClass::Interactive;
+    req.tenant = kHealthy;
+    // Loose timeout scaled to this tenant's biggest legitimate task — the
+    // watchdog still catches a genuine wedge without false-positives on a
+    // slow shared-CI core.
+    req.stall_timeout = std::chrono::milliseconds(250);
+    if (tall_skinny) {
+      *storage = tall;  // copy; the service factors it in place
+      req.kind = svc::JobKind::CaqrFactor;
+      req.b = 16;
+      req.tr = 4;
+    } else {
+      *storage = square;
+      req.kind = svc::JobKind::CaluFactor;
+      req.b = 32;
+      req.tr = 2;
+    }
+  }
+  req.a = storage->view();
+  return req;
+}
+
+struct PhaseResult {
+  double elapsed_s = 0.0;
+  TenantTally healthy;
+  TenantTally noisy;
+  long long injected_throws = 0;
+  long long injected_hangs = 0;
+};
+
+/// Run one open-loop phase. When `storm_cfg` is non-null every noisy job
+/// carries its OWN FaultInjector whose seed is derived from (phase seed,
+/// job index): the fault decision stream is a pure function of the task id,
+/// so jobs sharing one injector would fail (or survive) in perfect lockstep
+/// — per-job seeds are what make "5% per task" behave like independent
+/// draws across the tenant's jobs.
+PhaseResult run_phase(svc::Service& service, int jobs, double rate_hz,
+                      std::uint32_t seed, const Matrix& tall,
+                      const Matrix& square, const Matrix& small,
+                      const rt::FaultConfig* storm_cfg) {
+  std::mt19937 rng(seed);
+  std::exponential_distribution<double> gap(rate_hz);
+  std::vector<std::unique_ptr<InflightJob>> inflight;
+  inflight.reserve(static_cast<std::size_t>(jobs));
+  std::vector<std::unique_ptr<rt::FaultInjector>> injectors;
+
+  const Clock::time_point t0 = Clock::now();
+  Clock::time_point next_arrival = t0;
+  for (int i = 0; i < jobs; ++i) {
+    std::this_thread::sleep_until(next_arrival);
+    next_arrival += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(gap(rng)));
+    auto job = std::make_unique<InflightJob>();
+    rt::FaultInjector* fault = nullptr;
+    if (storm_cfg != nullptr && (i % 2) == 1) {
+      rt::FaultConfig fc = *storm_cfg;
+      fc.seed = rt::splitmix64(fc.seed +
+                               static_cast<std::uint64_t>(i) * 0x9E37u);
+      injectors.push_back(std::make_unique<rt::FaultInjector>(fc));
+      fault = injectors.back().get();
+    }
+    const svc::JobRequest req =
+        draw_request(i, rng, tall, square, small, &job->storage, fault);
+    job->noisy = req.tenant == kNoisy;
+    job->handle = service.submit(req).handle;
+    inflight.push_back(std::move(job));
+  }
+  service.drain();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  PhaseResult res;
+  res.elapsed_s = elapsed;
+  for (const auto& job : inflight) {
+    TenantTally& t = job->noisy ? res.noisy : res.healthy;
+    ++t.jobs;
+    const svc::JobOutcome& out = job->handle.wait();
+    if (out.attempts > 0) {
+      ++t.ran;
+      t.attempts += out.attempts;
+    }
+    switch (out.status) {
+      case svc::JobStatus::Completed:
+        ++t.completed;
+        t.latency_ms.push_back(out.total_ms);
+        break;
+      case svc::JobStatus::Failed:
+        ++t.failed;
+        break;
+      case svc::JobStatus::ShedQueueFull:
+      case svc::JobStatus::ShedDeadline:
+      case svc::JobStatus::ShedBreaker:
+        ++t.shed;
+        break;
+      default:
+        ++t.cancelled;
+        break;
+    }
+  }
+  for (const auto& inj : injectors) {
+    res.injected_throws += inj->injected_throws();
+    res.injected_hangs += inj->injected_hangs();
+  }
+  return res;
+}
+
+/// Per-tenant self-healing counters, snapshotted around a phase to report
+/// phase deltas rather than lifetime totals.
+struct TenantCounters {
+  long long retries = 0;
+  long long stalls = 0;
+  long long breaker_opens = 0;
+};
+
+TenantCounters snapshot(const svc::Service& service, const char* tenant) {
+  const svc::ServiceStats st = service.stats();
+  TenantCounters c;
+  if (const auto it = st.per_tenant.find(tenant); it != st.per_tenant.end()) {
+    c.retries = it->second.retries;
+    c.stalls = it->second.stalls_detected;
+  }
+  if (const auto it = st.breakers.find(tenant); it != st.breakers.end()) {
+    c.breaker_opens = it->second.opens;
+  }
+  return c;
+}
+
+TenantCounters delta(const TenantCounters& before,
+                     const TenantCounters& after) {
+  return {after.retries - before.retries, after.stalls - before.stalls,
+          after.breaker_opens - before.breaker_opens};
+}
+
+}  // namespace
+
+int main() {
+  const int jobs =
+      static_cast<int>(bench::env_idx("CAMULT_BENCH_SVC_JOBS", 80));
+  const int threads = static_cast<int>(bench::env_idx(
+      "CAMULT_BENCH_SVC_THREADS", rt::default_num_threads()));
+  const auto seed =
+      static_cast<std::uint32_t>(bench::env_idx("CAMULT_BENCH_SEED", 42));
+  const double throw_rate =
+      static_cast<double>(bench::env_idx("CAMULT_BENCH_THROW_PCT", 3)) / 100.0;
+  const double hang_rate =
+      static_cast<double>(bench::env_idx("CAMULT_BENCH_HANG_PCT", 2)) / 100.0;
+  const int hang_ms =
+      static_cast<int>(bench::env_idx("CAMULT_BENCH_HANG_MS", 6));
+
+  const Matrix tall = random_matrix(768, 64, 11);
+  const Matrix square = random_matrix(448, 448, 12);
+  const Matrix small = random_matrix(96, 96, 13);
+
+  svc::ServiceConfig cfg;
+  cfg.num_threads = threads;
+  cfg.max_inflight = 3;
+  cfg.max_queue = 32;
+  // The self-healing triad. Stall timeouts are per-request (tight for the
+  // noisy tenant's tiny jobs, loose for healthy big ones — see
+  // draw_request), so the service default stays off; fast small-cap
+  // backoff so retries don't dominate the storm's wall clock; breaker
+  // tuned to open after a handful of decisive failures, then probe at a
+  // cadence that keeps the residual hang exposure (a probe's attempts can
+  // still hang) a small fraction of the phase.
+  cfg.retry.max_attempts = 2;
+  cfg.retry.base = std::chrono::milliseconds(2);
+  cfg.retry.cap = std::chrono::milliseconds(10);
+  cfg.retry.jitter_seed = seed;
+  cfg.breaker.enabled = true;
+  cfg.breaker.window = 4;
+  cfg.breaker.min_samples = 2;
+  cfg.breaker.failure_threshold = 0.5;
+  cfg.breaker.open_for = std::chrono::milliseconds(500);
+  svc::Service service(cfg);
+
+  rt::FaultConfig fault_cfg;
+  fault_cfg.seed = seed;
+  fault_cfg.throw_rate = throw_rate;
+  fault_cfg.hang_rate = hang_rate;
+  fault_cfg.hang_ms = hang_ms;
+
+  // Warm up, then calibrate drain throughput with an unpaced clean burst.
+  // The open-loop rate is 50% of that, additionally capped at 50 jobs/s:
+  // the phase must span real wall time (not land as one burst) so the
+  // breaker's mid-phase open actually sheds later noisy arrivals — that is
+  // the steady-state regime the bench claims to measure.
+  (void)run_phase(service, 4, 1e6, seed, tall, square, small, nullptr);
+  const PhaseResult calib =
+      run_phase(service, 12, 1e6, seed + 1, tall, square, small, nullptr);
+  double capacity_hz = 12.0 / std::max(calib.elapsed_s, 1e-6);
+  const double rate_hz = std::min(0.5 * std::max(capacity_hz, 2.0), 50.0);
+  std::printf(
+      "service_resilience: %d threads, capacity %.1f jobs/s, open-loop "
+      "%.1f jobs/s, storm throw %.0f%% hang %.0f%% (%d ms)\n",
+      threads, capacity_hz, rate_hz, throw_rate * 100.0, hang_rate * 100.0,
+      hang_ms);
+
+  struct Phase {
+    const char* name;
+    const rt::FaultConfig* fault;
+    PhaseResult res;
+    TenantCounters healthy_delta;
+    TenantCounters noisy_delta;
+  };
+  std::vector<Phase> phases;
+  phases.push_back({"baseline", nullptr, {}, {}, {}});
+  phases.push_back({"storm", &fault_cfg, {}, {}, {}});
+  // Both phases replay the SAME arrival/shape stream (same phase seed):
+  // a paired comparison where the only difference is the injector, so the
+  // p99 inflation ratio is not confounded by pacing randomness.
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    const TenantCounters h0 = snapshot(service, kHealthy);
+    const TenantCounters n0 = snapshot(service, kNoisy);
+    phases[p].res = run_phase(service, jobs, rate_hz, seed + 10, tall,
+                              square, small, phases[p].fault);
+    phases[p].healthy_delta = delta(h0, snapshot(service, kHealthy));
+    phases[p].noisy_delta = delta(n0, snapshot(service, kNoisy));
+  }
+
+  const double baseline_p99 =
+      percentile(phases[0].res.healthy.latency_ms, 0.99);
+
+  bench::Table t({"phase", "tenant", "jobs", "done", "fail", "shed", "avail",
+                  "att", "retry", "stall", "brk", "p50 ms", "p99 ms",
+                  "jobs/s"});
+  bench::JsonReport rep("service_resilience", threads, "real");
+  for (Phase& ph : phases) {
+    struct Row {
+      const char* tenant;
+      TenantTally* tally;
+      TenantCounters* counters;
+    };
+    Row rows[2] = {{kHealthy, &ph.res.healthy, &ph.healthy_delta},
+                   {kNoisy, &ph.res.noisy, &ph.noisy_delta}};
+    for (const Row& r : rows) {
+      TenantTally& tl = *r.tally;
+      const double avail =
+          tl.jobs > 0
+              ? static_cast<double>(tl.completed) / static_cast<double>(tl.jobs)
+              : 0.0;
+      const double mean_attempts =
+          tl.ran > 0
+              ? static_cast<double>(tl.attempts) / static_cast<double>(tl.ran)
+              : 0.0;
+      const double p50 = percentile(tl.latency_ms, 0.50);
+      const double p99 = percentile(tl.latency_ms, 0.99);
+      const double goodput = static_cast<double>(tl.completed) /
+                             std::max(ph.res.elapsed_s, 1e-6);
+      t.row().cell(ph.name).cell(r.tenant).cell(tl.jobs).cell(tl.completed);
+      t.cell(tl.failed).cell(tl.shed).cell(avail).cell(mean_attempts);
+      t.cell(r.counters->retries).cell(r.counters->stalls);
+      t.cell(r.counters->breaker_opens).cell(p50).cell(p99).cell(goodput);
+      bench::JsonValue& row = rep.new_row();
+      row.set("competitor", bench::JsonValue::make_string(
+                                std::string(ph.name) + "/" + r.tenant));
+      row.set("phase", bench::JsonValue::make_string(ph.name));
+      row.set("tenant", bench::JsonValue::make_string(r.tenant));
+      row.set("cores", bench::JsonValue::make_number(threads));
+      row.set("jobs", bench::JsonValue::make_number(
+                          static_cast<double>(tl.jobs)));
+      row.set("completed", bench::JsonValue::make_number(
+                               static_cast<double>(tl.completed)));
+      row.set("failed", bench::JsonValue::make_number(
+                            static_cast<double>(tl.failed)));
+      row.set("shed", bench::JsonValue::make_number(
+                          static_cast<double>(tl.shed)));
+      row.set("availability", bench::JsonValue::make_number(avail));
+      row.set("attempts", bench::JsonValue::make_number(mean_attempts));
+      row.set("retries", bench::JsonValue::make_number(
+                             static_cast<double>(r.counters->retries)));
+      row.set("stalls_detected",
+              bench::JsonValue::make_number(
+                  static_cast<double>(r.counters->stalls)));
+      row.set("breaker_opens",
+              bench::JsonValue::make_number(
+                  static_cast<double>(r.counters->breaker_opens)));
+      row.set("p50_ms", bench::JsonValue::make_number(p50));
+      row.set("p99_ms", bench::JsonValue::make_number(p99));
+      row.set("goodput_jobs_per_sec", bench::JsonValue::make_number(goodput));
+      if (r.tenant == kHealthy) {
+        // The CI gate: --max-field unavailability=0.01 <=> avail >= 99%.
+        row.set("unavailability",
+                bench::JsonValue::make_number(1.0 - avail));
+        if (std::string(ph.name) == "storm" && baseline_p99 > 0.0) {
+          row.set("p99_inflation",
+                  bench::JsonValue::make_number(p99 / baseline_p99));
+        }
+      }
+    }
+  }
+  t.print("Service under a one-tenant fault storm",
+          bench::csv_path("service_resilience"));
+  rep.write();
+
+  const double storm_p99 = percentile(phases[1].res.healthy.latency_ms, 0.99);
+  std::printf("\nhealthy availability: baseline %.3f, storm %.3f\n",
+              static_cast<double>(phases[0].res.healthy.completed) /
+                  std::max(1.0, static_cast<double>(phases[0].res.healthy.jobs)),
+              static_cast<double>(phases[1].res.healthy.completed) /
+                  std::max(1.0, static_cast<double>(phases[1].res.healthy.jobs)));
+  if (baseline_p99 > 0.0) {
+    std::printf("healthy p99: baseline %.1f ms, storm %.1f ms (%.2fx)\n",
+                baseline_p99, storm_p99, storm_p99 / baseline_p99);
+  }
+  std::printf(
+      "storm injected: %lld throws, %lld hangs; noisy retries %lld, stalls "
+      "%lld, breaker opens %lld\n",
+      phases[1].res.injected_throws, phases[1].res.injected_hangs,
+      phases[1].noisy_delta.retries, phases[1].noisy_delta.stalls,
+      phases[1].noisy_delta.breaker_opens);
+  const svc::ServiceStats st = service.stats();
+  std::printf("queue drained: %zu queued, %d inflight, %zu retry-pending\n",
+              st.queued, st.inflight, st.retry_pending);
+  return st.queued == 0 && st.inflight == 0 && st.retry_pending == 0 ? 0 : 1;
+}

@@ -72,6 +72,10 @@ struct CaluOptions {
   /// Deterministic fault-injection hook forwarded to the TaskGraph (tests;
   /// see runtime/fault_inject.hpp). nullptr = the CAMULT_FAULT_SEED global.
   rt::FaultInjector* fault = nullptr;
+  /// Salt folded into every fault decision (see rt::FaultInjector::decide):
+  /// 0 reproduces the unsalted stream; the svc layer passes the retry
+  /// attempt index so retried jobs draw independent fault streams.
+  std::uint64_t fault_salt = 0;
   /// When non-null, receives the run's scheduler counters even if a task
   /// threw (calu_factor then propagates the exception and the result — and
   /// its `sched` member — is lost; this is the only way to observe how much

@@ -471,6 +471,7 @@ void caqr_submit(MatrixView a, const CaqrOptions& opts, CaqrJob& job) {
   graph_cfg.pool = opts.pool;
   graph_cfg.cancel = opts.cancel;
   graph_cfg.fault = opts.fault;
+  graph_cfg.fault_salt = opts.fault_salt;
   job.graph = std::make_unique<rt::TaskGraph>(graph_cfg);
   job.ctx = std::move(ctx);
 

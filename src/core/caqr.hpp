@@ -56,6 +56,8 @@ struct CaqrOptions {
   rt::CancelToken cancel{};
   /// Deterministic fault-injection hook (see CaluOptions::fault).
   rt::FaultInjector* fault = nullptr;
+  /// Fault-decision salt (see CaluOptions::fault_salt).
+  std::uint64_t fault_salt = 0;
   /// Scheduler counters surviving a throwing run (see
   /// CaluOptions::sched_out).
   rt::SchedulerStats* sched_out = nullptr;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 
@@ -42,6 +43,16 @@ class CancelToken {
   }
 
   bool cancelled() const { return state_->load(std::memory_order_acquire); }
+
+  /// Stable nonzero identity of the shared flag: every copy of one token
+  /// reports the same id, distinct tokens report distinct ids for as long
+  /// as both are alive. Used as the "which run is this worker executing"
+  /// tag in WorkerPool heartbeats, so a stall monitor can match a stuck
+  /// worker back to the job (attempt) that owns the run.
+  std::uint64_t id() const {
+    return static_cast<std::uint64_t>(
+        reinterpret_cast<std::uintptr_t>(state_.get()));
+  }
 
  private:
   std::shared_ptr<std::atomic<bool>> state_;

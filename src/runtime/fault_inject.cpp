@@ -1,16 +1,13 @@
 #include "runtime/fault_inject.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
 namespace camult::rt {
 
-namespace {
-
-// splitmix64: the one-round mixer from Vigna's xorshift work. Full avalanche
-// (every output bit depends on every input bit), so consecutive task ids map
-// to statistically independent decisions even with a tiny seed.
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
@@ -18,9 +15,21 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+namespace {
+
 // Uniform in [0, 1) from the top 53 bits (exactly representable in double).
 double to_unit(std::uint64_t h) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// A malformed CAMULT_FAULT_* value falls back to its default, but silently
+// doing so cost real debugging time (a fault campaign that "ran" with rate 0
+// because of a stray '%'). Name the variable once on stderr; from_env() is
+// evaluated once per process through the FaultInjector::from_env singleton,
+// so production sees at most one line per bad variable.
+void warn_env(const char* name, const char* value, const char* expected) {
+  std::fprintf(stderr, "camult-fault: ignoring %s='%s' (%s)\n", name, value,
+               expected);
 }
 
 double env_rate(const char* name, double fallback) {
@@ -28,8 +37,24 @@ double env_rate(const char* name, double fallback) {
   if (s == nullptr || *s == '\0') return fallback;
   char* end = nullptr;
   const double v = std::strtod(s, &end);
-  if (end == s || *end != '\0' || !(v >= 0.0) || v > 1.0) return fallback;
+  if (end == s || *end != '\0' || !(v >= 0.0) || v > 1.0) {
+    warn_env(name, s, "expected a probability in [0, 1]");
+    return fallback;
+  }
   return v;
+}
+
+int env_duration(const char* name, int fallback, long max_value,
+                 const char* expected) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 0 || v > max_value) {
+    warn_env(name, s, expected);
+    return fallback;
+  }
+  return static_cast<int>(v);
 }
 
 }  // namespace
@@ -40,50 +65,85 @@ FaultConfig FaultConfig::from_env() {
   if (seed == nullptr || *seed == '\0') return cfg;  // disarmed
   char* end = nullptr;
   cfg.seed = std::strtoull(seed, &end, 10);
-  if (end == seed || *end != '\0') cfg.seed = 0;  // typo: still armed, seed 0
+  if (end == seed || *end != '\0') {
+    warn_env("CAMULT_FAULT_SEED", seed, "expected a uint64; using seed 0");
+    cfg.seed = 0;  // typo: still armed, seed 0
+  }
   cfg.throw_rate = env_rate("CAMULT_FAULT_THROW_RATE", 0.01);
   cfg.delay_rate = env_rate("CAMULT_FAULT_DELAY_RATE", 0.0);
   cfg.wake_rate = env_rate("CAMULT_FAULT_WAKE_RATE", 0.0);
-  if (const char* us = std::getenv("CAMULT_FAULT_DELAY_US")) {
-    end = nullptr;
-    const long v = std::strtol(us, &end, 10);
-    if (end != us && *end == '\0' && v >= 0 && v <= 1000000) {
-      cfg.delay_us = static_cast<int>(v);
-    }
-  }
+  cfg.hang_rate = env_rate("CAMULT_FAULT_HANG_RATE", 0.0);
+  cfg.delay_us =
+      env_duration("CAMULT_FAULT_DELAY_US", cfg.delay_us, 1000000,
+                   "expected microseconds in [0, 1000000]");
+  // Hangs are deliberately cancel-oblivious, so bound them: a typo'd
+  // CAMULT_FAULT_HANG_MS must not wedge a run past any plausible watchdog.
+  cfg.hang_ms = env_duration("CAMULT_FAULT_HANG_MS", cfg.hang_ms, 60000,
+                             "expected milliseconds in [0, 60000]");
   return cfg;
 }
 
-FaultInjector::Action FaultInjector::decide(TaskId id) const {
+FaultInjector::Action FaultInjector::decide(TaskId id,
+                                            std::uint64_t salt) const {
   if (config_.throw_on_task != kNoTask && id == config_.throw_on_task) {
     return Action::Throw;
   }
-  const double total =
-      config_.throw_rate + config_.delay_rate + config_.wake_rate;
+  if (config_.hang_on_task != kNoTask && id == config_.hang_on_task) {
+    return Action::Hang;
+  }
+  const double total = config_.throw_rate + config_.delay_rate +
+                       config_.wake_rate + config_.hang_rate;
   if (total <= 0.0) return Action::None;
-  const double u = to_unit(
-      splitmix64(config_.seed ^ (static_cast<std::uint64_t>(id) *
-                                 0xD6E8FEB86659FD93ull)));
+  // salt == 0 must reproduce the historical unsalted stream bit-for-bit, so
+  // the salt folds in through an extra mix only when present.
+  std::uint64_t h =
+      config_.seed ^ (static_cast<std::uint64_t>(id) * 0xD6E8FEB86659FD93ull);
+  if (salt != 0) h ^= splitmix64(salt ^ 0xA24BAED4963EE407ull);
+  const double u = to_unit(splitmix64(h));
   if (u < config_.throw_rate) return Action::Throw;
   if (u < config_.throw_rate + config_.delay_rate) return Action::Delay;
-  if (u < total) return Action::SpuriousWake;
+  if (u < config_.throw_rate + config_.delay_rate + config_.wake_rate) {
+    return Action::SpuriousWake;
+  }
+  if (u < total) return Action::Hang;
   return Action::None;
 }
 
-bool FaultInjector::before_task(TaskId id) {
-  switch (decide(id)) {
+bool FaultInjector::before_task(TaskId id, std::uint64_t salt,
+                                const CancelToken* cancel) {
+  switch (decide(id, salt)) {
     case Action::None:
       return false;
     case Action::Throw:
       throws_.fetch_add(1, std::memory_order_relaxed);
       throw InjectedFault(id);
-    case Action::Delay:
+    case Action::Delay: {
       delays_.fetch_add(1, std::memory_order_relaxed);
-      std::this_thread::sleep_for(std::chrono::microseconds(config_.delay_us));
+      // Cooperative slow task: never out-sleep a fired CancelToken. Sleep
+      // in <= 500 us slices re-checking the token, so a cancel arriving
+      // mid-delay costs at most one slice instead of the full budget.
+      if (cancel != nullptr && cancel->cancelled()) return false;
+      int remaining_us = config_.delay_us;
+      while (remaining_us > 0) {
+        const int slice = cancel != nullptr ? std::min(remaining_us, 500)
+                                            : remaining_us;
+        std::this_thread::sleep_for(std::chrono::microseconds(slice));
+        remaining_us -= slice;
+        if (cancel != nullptr && cancel->cancelled()) break;
+      }
       return false;
+    }
     case Action::SpuriousWake:
       wakes_.fetch_add(1, std::memory_order_relaxed);
       return true;
+    case Action::Hang:
+      hangs_.fetch_add(1, std::memory_order_relaxed);
+      // A wedged body: ignores the token on purpose. This is the fault the
+      // stall watchdog exists to detect — the sleep is bounded only so a
+      // watchdog-less run still terminates.
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min(config_.hang_ms, 60000)));
+      return false;
   }
   return false;
 }

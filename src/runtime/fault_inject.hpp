@@ -21,6 +21,17 @@
 //   CAMULT_FAULT_DELAY_RATE  probability a task sleeps first      (0)
 //   CAMULT_FAULT_DELAY_US    length of that sleep in microseconds (100)
 //   CAMULT_FAULT_WAKE_RATE   probability of a spurious relay wake (0)
+//   CAMULT_FAULT_HANG_RATE   probability a task hangs before running (0)
+//   CAMULT_FAULT_HANG_MS     length of that hang in milliseconds (100)
+//
+// Delay vs hang: an injected *delay* models a slow-but-cooperative task —
+// it checks the run's CancelToken before and during the sleep, so a
+// cancelled run drains without paying the remaining delay budget. An
+// injected *hang* models a genuinely wedged body (a lost lock, a kernel
+// spinning on bad input): it is cancel-OBLIVIOUS by design — a bounded
+// sleep that ignores the token — so it exercises exactly the path a stall
+// watchdog exists for. Hangs are bounded (<= 60 s) so a misconfigured test
+// still terminates.
 //
 // The injector fires immediately before a task body runs, so an injected
 // throw exercises exactly the path a throwing kernel would: error capture,
@@ -32,6 +43,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "runtime/cancel.hpp"
 #include "runtime/task.hpp"
 
 namespace camult::rt {
@@ -50,42 +62,67 @@ class InjectedFault : public std::runtime_error {
   TaskId task_;
 };
 
+/// splitmix64: the one-round mixer from Vigna's xorshift work. Full
+/// avalanche (every output bit depends on every input bit), so consecutive
+/// inputs map to statistically independent outputs even with a tiny seed.
+/// Exposed because it is the project-wide primitive for "deterministic
+/// pseudo-randomness from a seed": fault decisions here, retry-backoff
+/// jitter in camult::svc.
+std::uint64_t splitmix64(std::uint64_t x);
+
 struct FaultConfig {
   std::uint64_t seed = 0;    ///< decision-hash seed
   double throw_rate = 0.0;   ///< P(task throws InjectedFault)
   double delay_rate = 0.0;   ///< P(task sleeps delay_us before running)
   int delay_us = 100;        ///< length of an injected delay
   double wake_rate = 0.0;    ///< P(spurious relay wake after the task)
+  double hang_rate = 0.0;    ///< P(task hangs hang_ms, ignoring cancel)
+  int hang_ms = 100;         ///< length of an injected hang (capped 60000)
   /// When >= 0, this exact task throws regardless of the rates —
   /// deterministic single-point failure (e.g. "kill panel 0's first leaf").
   TaskId throw_on_task = kNoTask;
+  /// When >= 0, this exact task hangs regardless of the rates —
+  /// deterministic single-point stall for watchdog tests.
+  TaskId hang_on_task = kNoTask;
 
   /// Parse the CAMULT_FAULT_* environment. Returns an armed config iff
   /// CAMULT_FAULT_SEED is set (rates default as documented above).
   /// Malformed numbers fall back to their defaults rather than throwing —
-  /// an env typo must not take the process down.
+  /// an env typo must not take the process down — but each bad variable is
+  /// named once on stderr so the typo is not silent.
   static FaultConfig from_env();
 };
 
-/// Deterministic fault oracle. decide(id) is a pure function of
-/// (config, id); the mutable state is only the fired-fault counters.
+/// Deterministic fault oracle. decide(id, salt) is a pure function of
+/// (config, id, salt); the mutable state is only the fired-fault counters.
 /// Thread-safe: decide/before_task may be called from any worker.
 class FaultInjector {
  public:
-  enum class Action : std::uint8_t { None, Throw, Delay, SpuriousWake };
+  enum class Action : std::uint8_t { None, Throw, Delay, SpuriousWake, Hang };
 
   explicit FaultInjector(const FaultConfig& config) : config_(config) {}
 
   const FaultConfig& config() const { return config_; }
 
   /// The action for task `id` — same answer on every call, every thread,
-  /// every run with this config.
-  Action decide(TaskId id) const;
+  /// every run with this (config, salt). `salt` re-randomizes the decision
+  /// stream without touching the config: salt 0 reproduces the unsalted
+  /// stream bit-for-bit, distinct salts draw independent streams. The
+  /// service retries a transiently failed job with salt = attempt index, so
+  /// a retry is not doomed to replay the exact faults that killed attempt
+  /// one. Sniper tasks (throw_on_task / hang_on_task) ignore the salt —
+  /// a deterministic single-point failure stays deterministic.
+  Action decide(TaskId id, std::uint64_t salt = 0) const;
 
   /// Scheduler hook, called immediately before a task body. Throws
-  /// InjectedFault for Action::Throw, sleeps for Action::Delay, and
-  /// returns true when the caller should issue a spurious wake.
-  bool before_task(TaskId id);
+  /// InjectedFault for Action::Throw, sleeps for Action::Delay/Hang, and
+  /// returns true when the caller should issue a spurious wake. When
+  /// `cancel` is non-null an injected delay is cooperative: skipped if the
+  /// token has already fired, and abandoned at the next ~0.5 ms boundary if
+  /// it fires mid-sleep. An injected hang ignores `cancel` entirely — that
+  /// is its job.
+  bool before_task(TaskId id, std::uint64_t salt = 0,
+                   const CancelToken* cancel = nullptr);
 
   std::int64_t injected_throws() const {
     return throws_.load(std::memory_order_relaxed);
@@ -95,6 +132,9 @@ class FaultInjector {
   }
   std::int64_t injected_wakes() const {
     return wakes_.load(std::memory_order_relaxed);
+  }
+  std::int64_t injected_hangs() const {
+    return hangs_.load(std::memory_order_relaxed);
   }
 
   /// Process-wide injector armed from the environment, or nullptr when
@@ -107,6 +147,7 @@ class FaultInjector {
   std::atomic<std::int64_t> throws_{0};
   std::atomic<std::int64_t> delays_{0};
   std::atomic<std::int64_t> wakes_{0};
+  std::atomic<std::int64_t> hangs_{0};
 };
 
 }  // namespace camult::rt

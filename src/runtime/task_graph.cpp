@@ -336,11 +336,21 @@ void TaskGraph::run_task(TaskId id, int worker_id, bool inline_mode) {
   std::exception_ptr error;
   std::chrono::steady_clock::time_point t0;
   if (config_.record_trace) t0 = std::chrono::steady_clock::now();
+  // Heartbeat: publish "worker_id is inside task `id` of run `tag`" for the
+  // stall watchdog. Pool mode only — owned/inline runs have no monitor and
+  // no per-worker liveness slots.
+  const bool hb = pool_ != nullptr && !inline_mode && !skip;
+  if (hb) pool_->heartbeat_begin(worker_id, config_.cancel.id(), id);
   if (!skip) {
     try {
       // The injector (when armed) fires here so an injected throw takes
-      // exactly the path a throwing kernel would.
-      if (fault_ != nullptr) spurious_wake = fault_->before_task(id);
+      // exactly the path a throwing kernel would. The cancel token makes
+      // injected delays cooperative (skipped/abandoned once the run is
+      // cancelled); injected hangs ignore it by design.
+      if (fault_ != nullptr) {
+        spurious_wake =
+            fault_->before_task(id, config_.fault_salt, &config_.cancel);
+      }
       task.fn();
     } catch (...) {
       // The first failure is rethrown from wait(); a worker must never die.
@@ -348,6 +358,7 @@ void TaskGraph::run_task(TaskId id, int worker_id, bool inline_mode) {
       if (config_.abort_on_error) abort_.store(true, std::memory_order_release);
     }
   }
+  if (hb) pool_->heartbeat_end(worker_id);
   if (config_.record_trace) {
     const auto t1 = std::chrono::steady_clock::now();
     task.record.worker = worker_id;

@@ -137,6 +137,11 @@ class TaskGraph {
     /// before each task body. nullptr = use the process-wide injector
     /// armed by CAMULT_FAULT_SEED, if any.
     FaultInjector* fault = nullptr;
+    /// Salt folded into every fault decision this run (see
+    /// FaultInjector::decide). 0 reproduces the unsalted stream; the
+    /// service sets it to the retry attempt index so a retried job draws a
+    /// fresh fault stream instead of replaying the one that killed it.
+    std::uint64_t fault_salt = 0;
   };
 
   struct Edge {

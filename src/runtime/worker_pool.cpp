@@ -50,6 +50,9 @@ WorkerPool::WorkerPool(const WorkerPoolConfig& config) : config_(config) {
   n_workers_ =
       config_.num_threads > 0 ? config_.num_threads : default_num_threads();
   lifetime_workers_.resize(static_cast<std::size_t>(n_workers_));
+  heartbeats_ =
+      std::make_unique<WorkerHeartbeat[]>(static_cast<std::size_t>(n_workers_));
+  clock_zero_ = std::chrono::steady_clock::now();
   workers_.reserve(static_cast<std::size_t>(n_workers_));
   for (int t = 0; t < n_workers_; ++t) {
     workers_.emplace_back([this, t] { worker_main(t); });
@@ -133,6 +136,70 @@ bool WorkerPool::try_wake_one() {
     idle_cv_.notify_one();
   }
   return wake;
+}
+
+std::int64_t WorkerPool::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - clock_zero_)
+      .count();
+}
+
+// Seqlock write protocol, single writer per slot (worker w's own thread):
+// bump seq to odd, mutate, bump to even. Field stores are relaxed — the
+// release on the closing seq store orders them for a reader that pairs it
+// with an acquire load, and the atomics themselves keep TSAN quiet.
+void WorkerPool::heartbeat_begin(int w, std::uint64_t tag, std::int64_t task) {
+  WorkerHeartbeat& h = heartbeats_[static_cast<std::size_t>(w)];
+  const std::uint64_t s = h.seq.load(std::memory_order_relaxed);
+  h.seq.store(s + 1, std::memory_order_release);
+  h.tag.store(tag, std::memory_order_relaxed);
+  h.task.store(task, std::memory_order_relaxed);
+  h.since_ns.store(now_ns(), std::memory_order_relaxed);
+  h.epoch.store(h.epoch.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  h.seq.store(s + 2, std::memory_order_release);
+}
+
+void WorkerPool::heartbeat_end(int w) {
+  WorkerHeartbeat& h = heartbeats_[static_cast<std::size_t>(w)];
+  const std::uint64_t s = h.seq.load(std::memory_order_relaxed);
+  h.seq.store(s + 1, std::memory_order_release);
+  h.tag.store(0, std::memory_order_relaxed);
+  h.task.store(kNoTask, std::memory_order_relaxed);
+  h.epoch.store(h.epoch.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  h.seq.store(s + 2, std::memory_order_release);
+}
+
+void WorkerPool::heartbeat_park(int w) {
+  WorkerHeartbeat& h = heartbeats_[static_cast<std::size_t>(w)];
+  const std::uint64_t s = h.seq.load(std::memory_order_relaxed);
+  h.seq.store(s + 1, std::memory_order_release);
+  h.epoch.store(h.epoch.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  h.seq.store(s + 2, std::memory_order_release);
+}
+
+bool WorkerPool::read_heartbeat(int w, HeartbeatSnapshot* out) const {
+  if (w < 0 || w >= n_workers_) return false;
+  const WorkerHeartbeat& h = heartbeats_[static_cast<std::size_t>(w)];
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::uint64_t s1 = h.seq.load(std::memory_order_acquire);
+    if (s1 & 1u) continue;  // writer in flight
+    out->epoch = h.epoch.load(std::memory_order_relaxed);
+    out->tag = h.tag.load(std::memory_order_relaxed);
+    out->task = h.task.load(std::memory_order_relaxed);
+    out->since_ns = h.since_ns.load(std::memory_order_relaxed);
+    // Fence-then-reload: the acquire fence keeps the field loads above from
+    // sinking past the seq re-check (an acquire *load* would not).
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t s2 = h.seq.load(std::memory_order_relaxed);
+    if (s1 == s2) {
+      out->busy = out->tag != 0;
+      return true;
+    }
+  }
+  return false;  // persistently torn; caller polls again next tick
 }
 
 TaskGraph* WorkerPool::acquire_next_graph(std::size_t* rr) {
@@ -240,6 +307,9 @@ void WorkerPool::worker_main(int w) {
     }
     if (static_cast<std::size_t>(++dry) <= n_clients) continue;
     dry = 0;
+    // About to park: bump the progress epoch so a stall monitor never
+    // mistakes a sleeping worker for one stuck inside a task body.
+    heartbeat_park(w);
     // Park. Same missed-wake-free handshake as TaskGraph's owned mode:
     // count ourselves as a sleeper (seq_cst), re-scan with the queue locks
     // (any push this scan misses sees sleepers_ > 0 and takes idle_mu_ to

@@ -32,9 +32,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -52,6 +54,31 @@ int default_num_threads();
 struct WorkerPoolConfig {
   int num_threads = 0;      ///< 0 = default_num_threads()
   bool pin_threads = false; ///< bind worker t to CPU t % ncpu (best effort)
+};
+
+/// One worker's liveness slot: a cache-line-padded seqlock written only by
+/// its worker (on task start, task finish, and park) and read lock-free by
+/// stall monitors (svc::Service's watchdog thread). `seq` is odd while the
+/// worker is mid-update; `epoch` counts progress events, so a monitor that
+/// sees the same (epoch, tag, task) across a whole stall_timeout knows the
+/// worker has been inside one task body the entire time. All fields are
+/// atomics — the seqlock ordering makes the snapshot *consistent*, the
+/// atomics keep the mixed-thread access race-free under TSAN.
+struct alignas(64) WorkerHeartbeat {
+  std::atomic<std::uint64_t> seq{0};    ///< seqlock: odd = write in flight
+  std::atomic<std::uint64_t> epoch{0};  ///< bumped on start/finish/park
+  std::atomic<std::uint64_t> tag{0};    ///< owning run's tag, 0 = idle
+  std::atomic<std::int64_t> task{kNoTask};   ///< task id being executed
+  std::atomic<std::int64_t> since_ns{0};     ///< body start, pool clock
+};
+
+/// Consistent snapshot of one WorkerHeartbeat (see read_heartbeat).
+struct HeartbeatSnapshot {
+  std::uint64_t epoch = 0;
+  std::uint64_t tag = 0;  ///< 0 when no task body is in flight
+  std::int64_t task = kNoTask;
+  std::int64_t since_ns = 0;
+  bool busy = false;  ///< tag != 0: a task body is running right now
 };
 
 /// Pool-lifetime telemetry. `lifetime` folds the per-run SchedulerStats of
@@ -92,6 +119,16 @@ class WorkerPool {
   /// Snapshot of the pool-lifetime counters (see WorkerPoolStats).
   WorkerPoolStats stats() const;
 
+  /// Nanoseconds on the pool's monotonic clock (zero at pool construction).
+  /// Heartbeat since_ns timestamps are on this clock, so a monitor computes
+  /// "stuck for" as now_ns() - snapshot.since_ns with no epoch juggling.
+  std::int64_t now_ns() const;
+
+  /// Lock-free consistent read of worker w's heartbeat. Returns false when
+  /// the worker was mid-update on every retry (vanishingly rare — the
+  /// write section is a handful of stores); callers just poll again.
+  bool read_heartbeat(int w, HeartbeatSnapshot* out) const;
+
   /// Lazily created process-wide pool (default_num_threads() workers, no
   /// pinning). Lives until process exit; never destroyed while a static
   /// user could still attach.
@@ -110,6 +147,11 @@ class WorkerPool {
   /// Returns whether a wake was issued (counter attribution is the
   /// caller's).
   bool try_wake_one();
+
+  // --- Heartbeat writers (worker w's thread only; see WorkerHeartbeat).
+  void heartbeat_begin(int w, std::uint64_t tag, std::int64_t task);
+  void heartbeat_end(int w);
+  void heartbeat_park(int w);  ///< progress bump with no task (pre-park)
 
   // --- Worker internals.
   void worker_main(int w);
@@ -155,6 +197,11 @@ class WorkerPool {
   std::atomic<std::int64_t> parks_{0};
   std::atomic<std::int64_t> wakeups_issued_{0};
   int pinned_ok_ = 0;  ///< written before workers run, const after
+
+  // Liveness slots, one padded cache line per worker (heap-allocated so
+  // the alignas(64) actually holds regardless of the pool's own address).
+  std::unique_ptr<WorkerHeartbeat[]> heartbeats_;
+  std::chrono::steady_clock::time_point clock_zero_;
 
   std::vector<std::thread> workers_;
 };

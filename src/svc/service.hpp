@@ -27,6 +27,15 @@
 //    and HealthReport in the JobOutcome, and the service folds them into
 //    per-class and per-tenant aggregates (ServiceStats) — overload behavior
 //    is measured, not anecdotal (bench/service_load.cpp).
+//  * Self-healing (docs/runtime.md § Self-healing). A stall watchdog reads
+//    the pool's worker heartbeats and cancels any job whose running task
+//    made no progress past stall_timeout, reclaiming the runner slot a
+//    wedged kernel would otherwise hold forever; transiently failed jobs
+//    (injected faults, stall-cancels) are retried with deterministic
+//    capped-exponential backoff (RetryPolicy); and per-tenant circuit
+//    breakers (BreakerConfig) shed a persistently failing tenant's load at
+//    admission so it cannot burn runner slots other tenants need
+//    (bench/service_resilience.cpp).
 //
 // Threading model: submit() and JobHandle methods are thread-safe.
 // max_inflight dispatcher ("runner") threads each pop one job, submit its
@@ -83,19 +92,70 @@ enum class JobKind {
 };
 
 enum class JobStatus {
-  Queued,        ///< admitted, waiting for a dispatcher
+  Queued,        ///< admitted, waiting for a dispatcher (or a retry slot)
   Running,       ///< DAG submitted to the pool
   Completed,     ///< factorization finished (info may still be nonzero)
   Failed,        ///< a task threw; JobOutcome::error has the diagnosis
-  Cancelled,     ///< CancelToken fired (client cancel, mid-run deadline, or
+  Cancelled,     ///< CancelToken fired (client cancel, mid-run deadline,
+                 ///< stall-watchdog cancel with retries exhausted, or
                  ///< service shutdown before dispatch)
   ShedDeadline,  ///< deadline expired while still queued; never ran
   ShedQueueFull, ///< evicted from the full queue by a higher-class arrival
+  ShedBreaker,   ///< refused: the tenant's circuit breaker is open
+                 ///< (JobOutcome::retry_after_ms hints when to come back)
   Rejected,      ///< refused at admission (queue full, nothing lower to
                  ///< shed, or service shutting down)
 };
 const char* job_status_name(JobStatus s);
 bool job_status_terminal(JobStatus s);
+
+/// Retry discipline for transiently failed jobs (injected faults and
+/// stall-watchdog cancels — never numerical failures or client cancels).
+/// Attempt k's re-enqueue is delayed by a deterministic draw from
+/// [d/2, d) where d = min(cap, base * 2^(k-1)); the draw mixes
+/// (jitter_seed, job admission sequence, attempt) through splitmix64, so a
+/// storm of retries decorrelates without any global RNG — same seed, same
+/// schedule, every run.
+struct RetryPolicy {
+  /// Total attempts a job may consume, first run included. <= 1 disables
+  /// retry entirely (the PR 7 behaviour); JobRequest-level 0 means
+  /// "inherit ServiceConfig::retry".
+  int max_attempts = 1;
+  std::chrono::nanoseconds base{std::chrono::milliseconds(10)};
+  std::chrono::nanoseconds cap{std::chrono::seconds(1)};
+  std::uint64_t jitter_seed = 0;
+};
+
+/// Per-tenant circuit breaker: a sliding window of the tenant's last
+/// `window` decisive terminal outcomes (Completed = success; Failed or
+/// stall-cancel = failure; sheds and client cancels are neutral). When the
+/// window holds >= min_samples outcomes and the failure fraction reaches
+/// failure_threshold, the breaker opens: the tenant's submissions complete
+/// immediately as ShedBreaker (with a retry_after_ms hint) for open_for,
+/// after which one probe job is admitted (half-open); the probe's success
+/// closes the breaker, its failure re-opens it.
+struct BreakerConfig {
+  bool enabled = false;
+  int window = 16;
+  int min_samples = 8;
+  double failure_threshold = 0.5;
+  std::chrono::nanoseconds open_for{std::chrono::milliseconds(250)};
+};
+
+enum class BreakerState { Closed, Open, HalfOpen };
+const char* breaker_state_name(BreakerState s);
+
+/// Diagnosis of a stall the watchdog detected and cancelled: which pool
+/// worker sat inside which task for how long. `attempt` is the (1-based)
+/// attempt that stalled; when a retried job stalls more than once the
+/// report describes the last stall.
+struct StallReport {
+  bool detected = false;
+  int worker = -1;
+  rt::TaskId task = rt::kNoTask;
+  double stuck_ms = 0.0;
+  int attempt = 0;
+};
 
 struct JobRequest {
   JobKind kind = JobKind::CaluFactor;
@@ -116,6 +176,16 @@ struct JobRequest {
   /// tall-skinny factorizations without one tenant's DAG consuming the
   /// machine. 0 = full-DAG submission (the default).
   idx window = 0;
+  /// Stall watchdog: if a running task of this job makes no progress for
+  /// this long, the watchdog fires the job's CancelToken (reclaiming the
+  /// runner slot) and records a StallReport; the job retries per policy.
+  /// Zero inherits ServiceConfig::stall_timeout (zero there = disabled).
+  std::chrono::nanoseconds stall_timeout{0};
+  /// Retry override; max_attempts == 0 inherits ServiceConfig::retry.
+  RetryPolicy retry{0};
+  /// Fault injector for this job only (chaos drills targeting one tenant);
+  /// nullptr inherits ServiceConfig::fault.
+  rt::FaultInjector* fault = nullptr;
 };
 
 /// Terminal verdict of one job. queue_ms covers submit -> dispatch (or ->
@@ -130,6 +200,14 @@ struct JobOutcome {
   double queue_ms = 0.0;
   double run_ms = 0.0;
   double total_ms = 0.0;
+  /// Attempts consumed (1 for a job that never retried; 0 for one that
+  /// never ran). status/info/health/sched describe the final attempt.
+  int attempts = 0;
+  std::vector<double> attempt_run_ms;  ///< per-attempt run latency, in order
+  double backoff_ms = 0.0;  ///< total time parked between attempts
+  StallReport stall;        ///< last stall the watchdog cancelled (if any)
+  /// ShedBreaker only: suggested client wait before resubmitting.
+  double retry_after_ms = 0.0;
   /// Full factorization results (Completed jobs only; null otherwise).
   std::shared_ptr<core::CaluResult> lu;
   std::shared_ptr<core::CaqrResult> qr;
@@ -181,6 +259,14 @@ struct ServiceConfig {
   /// Deterministic fault injection applied to every job's run (tests /
   /// chaos drills); a task throw turns that job Failed, never the service.
   rt::FaultInjector* fault = nullptr;
+  /// Default retry policy for transient failures; max_attempts <= 1 keeps
+  /// the PR 7 fail-fast behaviour.
+  RetryPolicy retry;
+  /// Per-tenant circuit breakers; disabled by default.
+  BreakerConfig breaker;
+  /// Default stall watchdog timeout (see JobRequest::stall_timeout);
+  /// zero = stall detection off.
+  std::chrono::nanoseconds stall_timeout{0};
 };
 
 /// Per-class / per-tenant terminal-state tallies. Latency sums are over
@@ -192,13 +278,26 @@ struct QosStats {
   std::int64_t cancelled = 0;
   std::int64_t shed_deadline = 0;
   std::int64_t shed_queue_full = 0;
+  std::int64_t shed_breaker = 0;  ///< refused by an open breaker (not in
+                                  ///< submitted)
   std::int64_t rejected = 0;   ///< refused at admission (not in submitted)
+  std::int64_t retries = 0;    ///< re-enqueues after transient failures
+  std::int64_t stalls_detected = 0;  ///< stall-watchdog cancels
   std::int64_t tasks_executed = 0;  ///< folded from each job's sched stats
   std::int64_t tasks_skipped = 0;
   std::int64_t fallback_panels = 0;  ///< folded from each job's health
   double queue_ms_sum = 0.0;
   double run_ms_sum = 0.0;
-  std::int64_t shed() const { return shed_deadline + shed_queue_full; }
+  std::int64_t shed() const {
+    return shed_deadline + shed_queue_full + shed_breaker;
+  }
+};
+
+/// Snapshot of one tenant's circuit breaker (ServiceStats::breakers).
+struct BreakerStat {
+  BreakerState state = BreakerState::Closed;
+  std::int64_t opens = 0;   ///< Closed/HalfOpen -> Open transitions
+  std::int64_t probes = 0;  ///< jobs admitted while half-open
 };
 
 struct ServiceStats {
@@ -213,6 +312,11 @@ struct ServiceStats {
   /// jobs) under sustained submit/complete churn instead of growing
   /// without bound.
   std::size_t watchdog_entries = 0;
+  /// Jobs parked in retry backoff right now (neither queued nor inflight).
+  std::size_t retry_pending = 0;
+  /// Per-tenant breaker snapshots (tenants that ever had a decisive
+  /// outcome while breakers were enabled).
+  std::map<std::string, BreakerStat> breakers;
 };
 
 class Service {
@@ -231,6 +335,8 @@ class Service {
     /// submitter seeing depth near max_queue should slow down before its
     /// class starts getting shed or rejected.
     std::size_t queue_depth = 0;
+    /// ShedBreaker only: suggested wait before this tenant resubmits.
+    double retry_after_ms = 0.0;
   };
   Admission submit(const JobRequest& req);
 
@@ -251,11 +357,39 @@ class Service {
  private:
   struct Watchdog;
 
+  /// One tenant's breaker state (guarded by mu_). `window` holds the last
+  /// decisive outcomes, newest at the back; `failures` counts the true
+  /// entries so the trip test is O(1) per outcome.
+  struct Breaker {
+    BreakerState state = BreakerState::Closed;
+    std::deque<bool> window;  ///< true = failure
+    int failures = 0;
+    std::chrono::steady_clock::time_point open_until{};
+    bool probe_inflight = false;
+    std::int64_t opens = 0;
+    std::int64_t probes = 0;
+  };
+
   void runner_main();
   std::shared_ptr<detail::JobRecord> pop_next_locked();
   void run_job(const std::shared_ptr<detail::JobRecord>& rec);
   void finish(const std::shared_ptr<detail::JobRecord>& rec, JobOutcome out);
   void account_locked(const detail::JobRecord& rec, const JobOutcome& out);
+  /// Breaker admission check for `tenant` (under mu_). Returns true to
+  /// admit; false sets *retry_after_ms and the caller sheds ShedBreaker.
+  bool breaker_admit_locked(const std::string& tenant, bool* probe,
+                            double* retry_after_ms);
+  /// Fold a decisive terminal outcome into the tenant's breaker (under mu_).
+  void breaker_note_locked(const detail::JobRecord& rec,
+                           const JobOutcome& out);
+  /// Watchdog callback: a retry-backoff timer expired; requeue the job (or
+  /// finalize it with its stashed last-attempt outcome if the service is
+  /// dropping queued work).
+  void retry_due(const std::shared_ptr<detail::JobRecord>& rec);
+  /// Watchdog callback: scan the pool heartbeats for a worker stuck inside
+  /// one of this job's tasks past its stall_timeout; on detection record a
+  /// StallReport and fire the attempt's CancelToken.
+  void check_stall(const std::shared_ptr<detail::JobRecord>& rec);
 
   ServiceConfig cfg_;
   std::unique_ptr<rt::WorkerPool> owned_pool_;
@@ -268,8 +402,12 @@ class Service {
       queue_;                       ///< guarded by mu_
   std::size_t total_queued_ = 0;    ///< guarded by mu_
   int inflight_ = 0;                ///< guarded by mu_
+  std::size_t retry_pending_ = 0;   ///< guarded by mu_
   bool stopping_ = false;           ///< guarded by mu_
+  bool drop_queued_ = false;        ///< guarded by mu_: shutdown(false)
+  std::uint64_t next_seq_ = 0;      ///< guarded by mu_: admission order
   ServiceStats stats_;              ///< guarded by mu_ (gauges recomputed)
+  std::map<std::string, Breaker> breakers_;  ///< guarded by mu_
 
   std::unique_ptr<Watchdog> watchdog_;
   std::vector<std::thread> runners_;

@@ -3,7 +3,10 @@
 // admission control with shed-lowest-class-first eviction, deadline
 // enforcement through CancelToken, per-tenant accounting, failure isolation,
 // and the drain/shutdown contract (the queue always empties; the pool is
-// never wedged).
+// never wedged). The self-healing layer rides the same binary: stall
+// watchdog recovery from cancel-oblivious hangs, retry with pristine-input
+// restore and deterministic backoff, and per-tenant circuit breakers
+// (Open -> ShedBreaker + retry_after -> half-open probe -> Closed).
 //
 // Determinism strategy: the service runs on an EXTERNAL pool the test also
 // attaches a "stall" graph to — pool.size() tasks that block on a
@@ -14,8 +17,10 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <limits>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -576,6 +581,364 @@ TEST(SvcService, QosBiasSaturatesInsteadOfWrapping) {
             5 + svc::kQosBandWidth);
   EXPECT_EQ(core::biased_priority(std::numeric_limits<int>::min(), -10),
             std::numeric_limits<int>::min());
+}
+
+// ---- JobHandle::wait_for -------------------------------------------------
+
+TEST(SvcWaitFor, TimesOutWhileRunningAndReturnsImmediatelyOnceTerminal) {
+  rt::WorkerPool pool({2});
+  PoolStall stall(pool);
+  svc::ServiceConfig cfg;
+  cfg.pool = &pool;
+  cfg.max_inflight = 1;
+  svc::Service service(cfg);
+
+  Matrix a = random_matrix(64, 64, 7100);
+  const auto adm =
+      service.submit(lu_request(a.view(), svc::QosClass::Normal));
+  ASSERT_TRUE(adm.accepted);
+  // The pool is fully stalled, so the job cannot reach a terminal state:
+  // a bounded wait must report false instead of blocking forever.
+  EXPECT_FALSE(adm.handle.wait_for(50ms));
+  EXPECT_NE(adm.handle.status(), svc::JobStatus::Completed);
+
+  stall.release();
+  EXPECT_TRUE(adm.handle.wait_for(30s));
+  EXPECT_EQ(adm.handle.status(), svc::JobStatus::Completed);
+  // Already terminal: even a zero timeout succeeds immediately.
+  EXPECT_TRUE(adm.handle.wait_for(0ns));
+
+  EXPECT_THROW(svc::JobHandle().wait_for(1ms), std::logic_error);
+}
+
+// ---- Self-healing: stall watchdog + retry --------------------------------
+
+// End-to-end hang recovery. A sniper hang (hang_on_task = 0, and snipers
+// ignore the retry salt) wedges one pool worker cancel-obliviously on every
+// attempt. The stall watchdog must notice the stuck heartbeat, fire the
+// attempt's token (reclaiming the runner slot long before the hang ends),
+// and the retry machinery must re-run the job until attempts are exhausted.
+// Throughout, a healthy tenant's jobs keep completing and the service ends
+// the test alive and drained — one wedged tenant never takes the pool down.
+TEST(SvcSelfHealing, HangIsStallCancelledRetriedAndIsolated) {
+  svc::ServiceConfig cfg;
+  cfg.num_threads = 2;
+  cfg.max_inflight = 2;
+  cfg.retry.max_attempts = 2;
+  cfg.retry.base = 1ms;
+  cfg.retry.cap = 4ms;
+  cfg.retry.jitter_seed = 7;
+  svc::Service service(cfg);
+
+  rt::FaultConfig fc;
+  fc.hang_on_task = 0;
+  fc.hang_ms = 60;
+  rt::FaultInjector inj(fc);
+
+  Matrix noisy = random_matrix(48, 48, 7200);
+  svc::JobRequest req = lu_request(noisy.view(), svc::QosClass::Batch,
+                                   "chaos");
+  req.fault = &inj;
+  req.stall_timeout = 5ms;
+  const auto adm = service.submit(req);
+  ASSERT_TRUE(adm.accepted);
+
+  // While the noisy job hangs, the healthy tenant still gets service.
+  Matrix healthy = random_matrix(64, 64, 7201);
+  const auto good = service.submit(
+      lu_request(healthy.view(), svc::QosClass::Interactive, "calm"));
+  ASSERT_TRUE(good.accepted);
+  EXPECT_EQ(good.handle.wait().status, svc::JobStatus::Completed);
+
+  const svc::JobOutcome& out = adm.handle.wait();
+  EXPECT_EQ(out.status, svc::JobStatus::Cancelled);
+  EXPECT_EQ(out.attempts, 2);
+  ASSERT_EQ(out.attempt_run_ms.size(), 2u);
+  EXPECT_GT(out.backoff_ms, 0.0);
+  ASSERT_TRUE(out.stall.detected);
+  EXPECT_EQ(out.stall.task, 0);
+  EXPECT_GE(out.stall.worker, 0);
+  EXPECT_LT(out.stall.worker, 2);
+  EXPECT_GE(out.stall.stuck_ms, 4.0);
+  EXPECT_EQ(out.stall.attempt, 2);
+  EXPECT_EQ(inj.injected_hangs(), 2);
+
+  service.drain();
+  const svc::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.per_tenant.at("chaos").cancelled, 1);
+  EXPECT_EQ(stats.per_tenant.at("chaos").retries, 1);
+  EXPECT_EQ(stats.per_tenant.at("chaos").stalls_detected, 2);
+  EXPECT_EQ(stats.per_tenant.at("calm").completed, 1);
+  EXPECT_EQ(stats.retry_pending, 0u);
+
+  // The runner slot was reclaimed: fresh work still completes.
+  Matrix again = random_matrix(64, 64, 7202);
+  const auto fresh = service.submit(
+      lu_request(again.view(), svc::QosClass::Normal, "calm"));
+  ASSERT_TRUE(fresh.accepted);
+  EXPECT_EQ(fresh.handle.wait().status, svc::JobStatus::Completed);
+}
+
+// A retried attempt must factor the CALLER'S matrix, not the wreckage the
+// aborted attempt left behind: the service snapshots the input before
+// attempt 1 and restores it before each retry. Find a fault seed whose
+// salt-0 stream (attempt 1) throws somewhere in the DAG while the salt-1
+// stream (attempt 2) is completely clean — decide() is a pure hash, so the
+// search is exact — then demand the retried job's factorization be
+// bit-identical to a direct clean run on the same input.
+TEST(SvcSelfHealing, RetryRestoresPristineInputAndMatchesDirectRun) {
+  Matrix ref = random_matrix(96, 96, 7300);
+  Matrix via_svc = ref;
+
+  core::CaluOptions opts;
+  opts.b = 16;
+  opts.tr = 2;
+  opts.num_threads = 2;
+  opts.record_trace = false;
+  rt::SchedulerStats sched;
+  opts.sched_out = &sched;
+  const core::CaluResult direct = core::calu_factor(ref.view(), opts);
+  const rt::TaskId n_tasks =
+      static_cast<rt::TaskId>(sched.totals().tasks_executed);
+  ASSERT_GT(n_tasks, 0);
+
+  std::uint64_t seed = 0;
+  for (std::uint64_t s = 1; s < 20000 && seed == 0; ++s) {
+    rt::FaultConfig fc;
+    fc.seed = s;
+    fc.throw_rate = 0.02;
+    rt::FaultInjector probe(fc);
+    bool first_throws = false, second_clean = true;
+    for (rt::TaskId id = 0; id < n_tasks && second_clean; ++id) {
+      first_throws |=
+          probe.decide(id, 0) == rt::FaultInjector::Action::Throw;
+      second_clean = probe.decide(id, 1) == rt::FaultInjector::Action::None;
+    }
+    if (first_throws && second_clean) seed = s;
+  }
+  ASSERT_NE(seed, 0u) << "no suitable fault seed below 20000";
+
+  rt::FaultConfig fc;
+  fc.seed = seed;
+  fc.throw_rate = 0.02;
+  rt::FaultInjector inj(fc);
+
+  svc::ServiceConfig cfg;
+  cfg.num_threads = 2;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.base = 1ms;
+  cfg.retry.cap = 4ms;
+  svc::Service service(cfg);
+  svc::JobRequest req = lu_request(via_svc.view(), svc::QosClass::Normal);
+  req.b = 16;
+  req.fault = &inj;
+  const auto adm = service.submit(req);
+  ASSERT_TRUE(adm.accepted);
+  const svc::JobOutcome& out = adm.handle.wait();
+  ASSERT_EQ(out.status, svc::JobStatus::Completed);
+  EXPECT_EQ(out.attempts, 2);  // attempt 1 faulted, attempt 2 clean
+  EXPECT_EQ(inj.injected_throws(), 1);
+  ASSERT_NE(out.lu, nullptr);
+  EXPECT_EQ(out.lu->ipiv, direct.ipiv);
+  EXPECT_EQ(out.info, direct.info);
+  EXPECT_EQ(test::max_diff(ref.view(), via_svc.view()), 0.0)
+      << "retry factored the half-mutated matrix instead of the snapshot";
+}
+
+// Permanent single-point failures exhaust the retry budget deterministically:
+// a sniper throw ignores the retry salt, so every attempt dies the same way
+// and the job lands Failed with exactly max_attempts attempts on the books.
+TEST(SvcSelfHealing, RetryBudgetExhaustsDeterministically) {
+  rt::FaultConfig fc;
+  fc.throw_on_task = 0;
+  rt::FaultInjector inj(fc);
+
+  svc::ServiceConfig cfg;
+  cfg.num_threads = 2;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.base = 1ms;
+  cfg.retry.cap = 4ms;
+  cfg.retry.jitter_seed = 11;
+  svc::Service service(cfg);
+  Matrix a = random_matrix(64, 64, 7400);
+  svc::JobRequest req = lu_request(a.view(), svc::QosClass::Normal);
+  req.fault = &inj;
+  const auto adm = service.submit(req);
+  ASSERT_TRUE(adm.accepted);
+  const svc::JobOutcome& out = adm.handle.wait();
+  EXPECT_EQ(out.status, svc::JobStatus::Failed);
+  EXPECT_EQ(out.attempts, 3);
+  ASSERT_EQ(out.attempt_run_ms.size(), 3u);
+  EXPECT_GT(out.backoff_ms, 0.0);
+  EXPECT_FALSE(out.stall.detected);
+  EXPECT_EQ(inj.injected_throws(), 3);
+  const svc::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.per_tenant.at("t0").retries, 2);
+  EXPECT_EQ(stats.per_tenant.at("t0").failed, 1);
+}
+
+// Backoff is a pure function of (jitter_seed, admission seq, attempt): two
+// identical services fed the same job must retry on the same schedule and
+// report bit-equal backoff totals. This is the reproducibility contract the
+// chaos drills rely on.
+TEST(SvcSelfHealing, RetryBackoffIsBitReproducibleAcrossServices) {
+  auto run_once = [](double* backoff_ms, int* attempts) {
+    rt::FaultConfig fc;
+    fc.throw_on_task = 0;
+    rt::FaultInjector inj(fc);
+    svc::ServiceConfig cfg;
+    cfg.num_threads = 2;
+    cfg.retry.max_attempts = 4;
+    cfg.retry.base = 1ms;
+    cfg.retry.cap = 3ms;
+    cfg.retry.jitter_seed = 12345;
+    svc::Service service(cfg);
+    Matrix a = random_matrix(48, 48, 7500);
+    svc::JobRequest req;
+    req.kind = svc::JobKind::CaluFactor;
+    req.a = a.view();
+    req.b = 16;
+    req.tr = 2;
+    req.fault = &inj;
+    const auto adm = service.submit(req);
+    ASSERT_TRUE(adm.accepted);
+    const svc::JobOutcome& out = adm.handle.wait();
+    EXPECT_EQ(out.status, svc::JobStatus::Failed);
+    *backoff_ms = out.backoff_ms;
+    *attempts = out.attempts;
+  };
+  double backoff_a = -1.0, backoff_b = -2.0;
+  int attempts_a = 0, attempts_b = 0;
+  run_once(&backoff_a, &attempts_a);
+  run_once(&backoff_b, &attempts_b);
+  EXPECT_EQ(attempts_a, 4);
+  EXPECT_EQ(attempts_a, attempts_b);
+  EXPECT_GT(backoff_a, 0.0);
+  EXPECT_EQ(backoff_a, backoff_b);  // bit-equal, not approximately
+}
+
+// With retry and the breaker left at their defaults (off) a fault-free job
+// must behave exactly like PR 7: one attempt, no snapshot, no backoff, and
+// a factorization bit-identical to the direct driver.
+TEST(SvcSelfHealing, ZeroRetryZeroBreakerConfigMatchesPr7Bitwise) {
+  Matrix ref = random_matrix(96, 96, 7600);
+  Matrix via_svc = ref;
+  core::CaluOptions opts;
+  opts.b = 16;
+  opts.tr = 2;
+  opts.num_threads = 2;
+  opts.record_trace = false;
+  const core::CaluResult direct = core::calu_factor(ref.view(), opts);
+
+  svc::ServiceConfig cfg;
+  cfg.num_threads = 2;
+  svc::Service service(cfg);
+  const auto adm =
+      service.submit(lu_request(via_svc.view(), svc::QosClass::Normal));
+  ASSERT_TRUE(adm.accepted);
+  const svc::JobOutcome& out = adm.handle.wait();
+  ASSERT_EQ(out.status, svc::JobStatus::Completed);
+  EXPECT_EQ(out.attempts, 1);
+  ASSERT_EQ(out.attempt_run_ms.size(), 1u);
+  EXPECT_EQ(out.backoff_ms, 0.0);
+  EXPECT_FALSE(out.stall.detected);
+  EXPECT_EQ(out.retry_after_ms, 0.0);
+  EXPECT_EQ(out.lu->ipiv, direct.ipiv);
+  EXPECT_EQ(test::max_diff(ref.view(), via_svc.view()), 0.0);
+  const svc::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.per_class[1].retries, 0);
+  EXPECT_TRUE(stats.breakers.empty());
+}
+
+// ---- Self-healing: per-tenant circuit breaker ----------------------------
+
+// The full breaker life cycle on one service: two decisive failures trip
+// the "noisy" tenant's breaker (window 4 / min_samples 2 / threshold 0.5);
+// while open, that tenant's submissions come back ShedBreaker with a
+// retry_after hint and never touch the queue; other tenants are untouched.
+// After open_for, exactly one probe is admitted (half-open) — a second
+// submission while the probe is pending is still shed — and the probe's
+// success closes the breaker for everyone.
+TEST(SvcBreaker, OpensShedsHalfOpensAndClosesPerTenant) {
+  rt::WorkerPool pool({2});
+  svc::ServiceConfig cfg;
+  cfg.pool = &pool;
+  cfg.max_inflight = 1;
+  cfg.breaker.enabled = true;
+  cfg.breaker.window = 4;
+  cfg.breaker.min_samples = 2;
+  cfg.breaker.failure_threshold = 0.5;
+  cfg.breaker.open_for = 100ms;
+  svc::Service service(cfg);
+
+  rt::FaultConfig fc;
+  fc.throw_on_task = 0;
+  rt::FaultInjector inj(fc);
+
+  // Two decisive failures -> Open.
+  std::vector<Matrix> mats;
+  for (int i = 0; i < 2; ++i) {
+    mats.push_back(random_matrix(48, 48, 7700 + i));
+    svc::JobRequest req =
+        lu_request(mats.back().view(), svc::QosClass::Normal, "noisy");
+    req.fault = &inj;
+    const auto adm = service.submit(req);
+    ASSERT_TRUE(adm.accepted) << "job " << i;
+    EXPECT_EQ(adm.handle.wait().status, svc::JobStatus::Failed);
+  }
+  {
+    const svc::ServiceStats stats = service.stats();
+    ASSERT_EQ(stats.breakers.count("noisy"), 1u);
+    EXPECT_EQ(stats.breakers.at("noisy").state, svc::BreakerState::Open);
+    EXPECT_EQ(stats.breakers.at("noisy").opens, 1);
+  }
+
+  // Open: the tenant is shed instantly with a retry_after hint.
+  Matrix shed_mat = random_matrix(48, 48, 7710);
+  const auto shed = service.submit(
+      lu_request(shed_mat.view(), svc::QosClass::Normal, "noisy"));
+  EXPECT_FALSE(shed.accepted);
+  EXPECT_GT(shed.retry_after_ms, 0.0);
+  EXPECT_EQ(shed.handle.wait().status, svc::JobStatus::ShedBreaker);
+  EXPECT_GT(shed.handle.wait().retry_after_ms, 0.0);
+
+  // Another tenant sails through the whole time.
+  Matrix calm_mat = random_matrix(64, 64, 7711);
+  const auto calm = service.submit(
+      lu_request(calm_mat.view(), svc::QosClass::Normal, "calm"));
+  ASSERT_TRUE(calm.accepted);
+  EXPECT_EQ(calm.handle.wait().status, svc::JobStatus::Completed);
+
+  // Half-open: exactly one probe goes in; a second submission is shed
+  // while the probe is still pending (the pool stall keeps it Running).
+  std::this_thread::sleep_for(120ms);
+  Matrix probe_mat = random_matrix(48, 48, 7712);
+  Matrix rival_mat = random_matrix(48, 48, 7713);
+  {
+    PoolStall stall(pool);
+    const auto probe = service.submit(
+        lu_request(probe_mat.view(), svc::QosClass::Normal, "noisy"));
+    ASSERT_TRUE(probe.accepted);
+    const auto rival = service.submit(
+        lu_request(rival_mat.view(), svc::QosClass::Normal, "noisy"));
+    EXPECT_FALSE(rival.accepted);
+    EXPECT_EQ(rival.handle.wait().status, svc::JobStatus::ShedBreaker);
+    stall.release();
+    EXPECT_EQ(probe.handle.wait().status, svc::JobStatus::Completed);
+  }
+  {
+    const svc::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.breakers.at("noisy").state, svc::BreakerState::Closed);
+    EXPECT_EQ(stats.breakers.at("noisy").probes, 1);
+    EXPECT_GE(stats.per_tenant.at("noisy").shed_breaker, 2);
+  }
+
+  // Closed again: the tenant is back to normal admission.
+  Matrix back_mat = random_matrix(48, 48, 7714);
+  const auto back = service.submit(
+      lu_request(back_mat.view(), svc::QosClass::Normal, "noisy"));
+  ASSERT_TRUE(back.accepted);
+  EXPECT_EQ(back.handle.wait().status, svc::JobStatus::Completed);
 }
 
 }  // namespace

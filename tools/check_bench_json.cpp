@@ -98,6 +98,11 @@ void check_row(const std::string& file, const JsonValue& row,
                                    // service_load rows (svc job service)
                                    "jobs", "completed", "shed", "rejected",
                                    "p50_ms", "p99_ms", "jobs_per_sec",
+                                   // service_resilience rows (self-healing)
+                                   "failed", "availability", "unavailability",
+                                   "attempts", "retries", "stalls_detected",
+                                   "breaker_opens", "goodput_jobs_per_sec",
+                                   "p99_inflation",
                                    // sliding-window submission telemetry
                                    "window", "peak_task_store_bytes",
                                    "task_blocks_allocated",
@@ -109,7 +114,7 @@ void check_row(const std::string& file, const JsonValue& row,
     }
   }
   static const char* kText[] = {"competitor", "kernel", "arch", "phase",
-                                "qos"};
+                                "qos", "tenant"};
   for (const char* key : kText) {
     if (const JsonValue* v = row.find(key); v != nullptr && !v->is_string()) {
       fail(file, where + "." + key + " is not a string");

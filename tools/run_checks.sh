@@ -14,6 +14,11 @@
 #   svc     the factorization job-service slice: ctest -L svc plus a
 #           short bench/service_load run whose BENCH_service_load.json
 #           must pass tools/check_bench_json
+#   resilience  self-healing smoke: a short bench/service_resilience fault
+#           storm (noisy tenant at ~5% injected throw/hang) whose
+#           BENCH_service_resilience.json must schema-check AND keep the
+#           healthy tenant's unavailability <= 0.01 (availability >= 99%)
+#           via check_bench_json --max-field
 #   bench   run bench/gemm_kernel at full size and schema-check its
 #           BENCH_gemm_kernel.json artifact
 #   window  sliding-window DAG submission smoke: a short real-mode windowed
@@ -30,7 +35,7 @@ set -eu
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${BUILD_DIR:-"$repo_root/build-checks"}
 jobs=${JOBS:-$(nproc 2>/dev/null || echo 4)}
-tiers=${*:-"build test fault svc tsan bench window"}
+tiers=${*:-"build test fault svc resilience tsan bench window"}
 
 say() { printf '\n== run_checks: %s ==\n' "$*"; }
 
@@ -63,6 +68,20 @@ for tier in $tiers; do
         CAMULT_BENCH_SVC_QUEUE=8 CAMULT_BENCH_SEED=7 \
         "$build_dir/bench/service_load"
       "$build_dir/tools/check_bench_json" "$out_dir/BENCH_service_load.json"
+      ;;
+    resilience)
+      say "self-healing smoke (service_resilience storm + availability gate)"
+      out_dir="$build_dir/checks_resilience"
+      rm -rf "$out_dir"
+      mkdir -p "$out_dir"
+      CAMULT_BENCH_JSON="$out_dir" CAMULT_BENCH_SVC_JOBS=40 \
+        CAMULT_BENCH_SEED=7 "$build_dir/bench/service_resilience"
+      # unavailability is emitted only on healthy-tenant rows, so the bound
+      # is exactly "healthy availability >= 0.99" (the noisy tenant is
+      # allowed — expected — to fail and trip its breaker).
+      "$build_dir/tools/check_bench_json" \
+        --max-field unavailability=0.01 \
+        "$out_dir/BENCH_service_resilience.json"
       ;;
     bench)
       say "gemm_kernel bench + JSON schema check"

@@ -12,12 +12,17 @@
 # handshakes), test_blas_pack (including the dead-thread_local slab
 # pool regression, which under ASAN is a heap use-after-free if pool()
 # ever hands back the destroyed pool), test_fault_inject (the
-# failure-aware surface: seeded fault injection into hundreds of
-# CALU/CAQR runs, cancellation, and the fast-abort drain accounting —
-# exactly the error paths production never exercises until it hurts)
+# failure-aware surface: seeded fault injection — throws, delays and
+# cancel-oblivious hangs — into hundreds of CALU/CAQR runs, cancellation,
+# the fast-abort drain accounting, and the 200-seed service fault storm
+# with retry + stall watchdog + breakers armed — exactly the error paths
+# production never exercises until it hurts),
 # test_svc (the multi-tenant job service: dispatcher threads racing
-# submit/shed/cancel/shutdown over one shared pool, watchdog deadline
-# firing against running jobs) and test_window (sliding-window DAG
+# submit/shed/cancel/shutdown over one shared pool, the watchdog firing
+# deadlines AND stall-cancels against running jobs while its seqlock
+# heartbeat reads race the workers' writes, retry re-enqueues racing
+# shutdown, breaker state shared across submitters) and
+# test_window (sliding-window DAG
 # submission: the submission thread recycling task-store slabs and
 # harvesting trace records of retired iterations while workers are
 # still completing newer ones). Any reported race fails the run.
